@@ -1,0 +1,75 @@
+// Experiment E4 — Algorithm 1 (GHW(k)-CLS, Theorem 5.8): classification of
+// an evaluation database in polynomial time WITHOUT materializing the
+// (potentially exponential, Theorem 5.7) feature queries. Series sweep the
+// training size (train/*) and the evaluation size (classify/*).
+
+#include <benchmark/benchmark.h>
+
+#include "core/ghw_separability.h"
+#include "workload/generators.h"
+
+namespace featsep {
+namespace {
+
+std::shared_ptr<TrainingDatabase> TrainingOfSize(std::size_t entities) {
+  std::vector<std::size_t> lengths;
+  for (std::size_t i = 0; i < entities; ++i) lengths.push_back(i % 4);
+  return PathLengthFamily(lengths, 2);
+}
+
+void BM_Alg1Train(benchmark::State& state) {
+  auto training = TrainingOfSize(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto classifier = GhwClassifier::Train(training, 1);
+    benchmark::DoNotOptimize(classifier->dimension());
+  }
+  state.counters["facts"] =
+      static_cast<double>(training->database().size());
+}
+BENCHMARK(BM_Alg1Train)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Alg1Classify(benchmark::State& state) {
+  auto training = TrainingOfSize(8);
+  auto classifier = GhwClassifier::Train(training, 1);
+  std::size_t eval_entities = static_cast<std::size_t>(state.range(0));
+  std::vector<std::size_t> lengths;
+  for (std::size_t i = 0; i < eval_entities; ++i) {
+    lengths.push_back((i * 3) % 5);
+  }
+  auto eval = PathLengthFamily(lengths, 2);
+
+  for (auto _ : state) {
+    Labeling labeling = classifier->Classify(eval->database());
+    benchmark::DoNotOptimize(labeling.size());
+  }
+  state.counters["eval_entities"] = static_cast<double>(eval_entities);
+  state.counters["implicit_dimension"] =
+      static_cast<double>(classifier->dimension());
+}
+BENCHMARK(BM_Alg1Classify)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Alg1ClassifyWidth2(benchmark::State& state) {
+  std::size_t entities = static_cast<std::size_t>(state.range(0));
+  std::vector<std::size_t> lengths;
+  std::vector<Label> labels;
+  for (std::size_t i = 0; i < entities; ++i) {
+    lengths.push_back(3 + i % 3);
+    labels.push_back(lengths.back() % 2 == 0 ? kPositive : kNegative);
+  }
+  auto training = CycleTailFamily(lengths, labels);
+  auto classifier = GhwClassifier::Train(training, 2);
+  if (!classifier.has_value()) {
+    state.SkipWithError("training not GHW(2)-separable");
+    return;
+  }
+  for (auto _ : state) {
+    Labeling labeling = classifier->Classify(training->database());
+    benchmark::DoNotOptimize(labeling.size());
+  }
+  state.counters["facts"] =
+      static_cast<double>(training->database().size());
+}
+BENCHMARK(BM_Alg1ClassifyWidth2)->Arg(3)->Arg(4)->Arg(5);
+
+}  // namespace
+}  // namespace featsep

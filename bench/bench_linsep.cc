@@ -1,0 +1,71 @@
+// Experiment E8 — Proposition 7.2's source of hardness: exact linear
+// separability is polynomial (LP, [19, 21]) while minimum-error separation
+// is NP-complete ([17]). Series contrast the exact-LP decision with the
+// branch-and-bound min-error search as the number of examples grows; on
+// inseparable data the min-error search degrades while the LP stays flat.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "linsep/min_error.h"
+#include "linsep/perceptron.h"
+#include "linsep/separability_lp.h"
+
+namespace featsep {
+namespace {
+
+TrainingCollection RandomCollection(std::size_t examples, std::size_t dims,
+                                    std::uint64_t seed) {
+  bench::Rng rng(seed);
+  TrainingCollection collection;
+  for (std::size_t i = 0; i < examples; ++i) {
+    FeatureVector v;
+    for (std::size_t j = 0; j < dims; ++j) {
+      v.push_back(rng.Next() % 2 == 0 ? 1 : -1);
+    }
+    collection.emplace_back(std::move(v),
+                            rng.Next() % 2 == 0 ? kPositive : kNegative);
+  }
+  return collection;
+}
+
+void BM_LpSeparability(benchmark::State& state) {
+  auto collection =
+      RandomCollection(static_cast<std::size_t>(state.range(0)), 4, 71);
+  bool separable = false;
+  for (auto _ : state) {
+    separable = IsLinearlySeparable(collection);
+    benchmark::DoNotOptimize(separable);
+  }
+  state.counters["separable"] = separable ? 1 : 0;
+}
+BENCHMARK(BM_LpSeparability)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MinErrorExact(benchmark::State& state) {
+  auto collection =
+      RandomCollection(static_cast<std::size_t>(state.range(0)), 4, 71);
+  std::size_t errors = 0;
+  for (auto _ : state) {
+    MinErrorResult result = MinimizeErrors(collection);
+    errors = result.errors;
+    benchmark::DoNotOptimize(result.errors);
+  }
+  state.counters["min_errors"] = static_cast<double>(errors);
+}
+BENCHMARK(BM_MinErrorExact)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_PocketPerceptronHeuristic(benchmark::State& state) {
+  auto collection =
+      RandomCollection(static_cast<std::size_t>(state.range(0)), 4, 71);
+  std::size_t errors = 0;
+  for (auto _ : state) {
+    auto [classifier, pocket_errors] = PocketPerceptron(collection);
+    errors = pocket_errors;
+    benchmark::DoNotOptimize(classifier.arity());
+  }
+  state.counters["pocket_errors"] = static_cast<double>(errors);
+}
+BENCHMARK(BM_PocketPerceptronHeuristic)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace featsep

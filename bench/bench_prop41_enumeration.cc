@@ -1,0 +1,76 @@
+// Experiment E6 — Proposition 4.1's bound: the number of CQ[m] feature
+// queries is r^m · 2^{p(k)} for r relation symbols of maximal arity k —
+// independent of the data. Series sweep r (relations/*), m (atoms/*), and
+// k (arity/*) and report the realized counts against the bound's shape.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cq/enumeration.h"
+
+namespace featsep {
+namespace {
+
+std::shared_ptr<const Schema> MakeSchema(std::size_t relations,
+                                         std::size_t arity) {
+  Schema schema;
+  RelationId eta = schema.AddRelation("Eta", 1);
+  schema.set_entity_relation(eta);
+  for (std::size_t i = 0; i < relations; ++i) {
+    schema.AddRelation("R" + std::to_string(i), arity);
+  }
+  return std::make_shared<const Schema>(std::move(schema));
+}
+
+void BM_EnumerationVsRelations(benchmark::State& state) {
+  auto schema = MakeSchema(static_cast<std::size_t>(state.range(0)), 2);
+  std::size_t count = 0;
+  for (auto _ : state) {
+    count = CountFeatureQueries(schema, 2);
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["features"] = static_cast<double>(count);
+}
+BENCHMARK(BM_EnumerationVsRelations)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_EnumerationVsAtoms(benchmark::State& state) {
+  auto schema = MakeSchema(2, 2);
+  std::size_t m = static_cast<std::size_t>(state.range(0));
+  std::size_t count = 0;
+  for (auto _ : state) {
+    count = CountFeatureQueries(schema, m);
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["features"] = static_cast<double>(count);
+}
+BENCHMARK(BM_EnumerationVsAtoms)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_EnumerationVsArity(benchmark::State& state) {
+  auto schema = MakeSchema(1, static_cast<std::size_t>(state.range(0)));
+  std::size_t count = 0;
+  for (auto _ : state) {
+    count = CountFeatureQueries(schema, 2);
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["features"] = static_cast<double>(count);
+}
+BENCHMARK(BM_EnumerationVsArity)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_EnumerationVariableOccurrenceRestriction(benchmark::State& state) {
+  // Prop 4.3's CQ[m,p]: restricting variable occurrences shrinks the space.
+  auto schema = MakeSchema(2, 2);
+  EnumerationOptions options;
+  options.max_variable_occurrences =
+      static_cast<std::size_t>(state.range(0));
+  std::size_t count = 0;
+  for (auto _ : state) {
+    count = CountFeatureQueries(schema, 3, options);
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["features"] = static_cast<double>(count);
+}
+BENCHMARK(BM_EnumerationVariableOccurrenceRestriction)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace featsep

@@ -1,0 +1,80 @@
+// Experiment T1.a — Table 1, cell (CQ-SEP, coNP-complete [22]).
+//
+// CQ-SEP reduces to pairwise homomorphism-equivalence tests between
+// differently-labeled entities (Kimelfeld–Ré). Each test is an NP
+// homomorphism search: polynomial-behaving on structured instances, with
+// exponential blowup available on adversarial ones. The two series below
+// reproduce that shape:
+//   easy/*: entities on planted paths — time grows polynomially with |D|;
+//   hard/*: entities on unions of coprime directed cycles — the
+//           backtracking search degrades as the cycle products grow.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/separability.h"
+#include "workload/generators.h"
+
+namespace featsep {
+namespace {
+
+void BM_CqSepEasy(benchmark::State& state) {
+  std::size_t entities = static_cast<std::size_t>(state.range(0));
+  std::vector<std::size_t> lengths;
+  for (std::size_t i = 0; i < entities; ++i) lengths.push_back(i % 5);
+  auto training = PathLengthFamily(lengths, 3);
+  for (auto _ : state) {
+    CqSepResult result = DecideCqSep(*training);
+    benchmark::DoNotOptimize(result.separable);
+  }
+  state.counters["facts"] =
+      static_cast<double>(training->database().size());
+  state.counters["entities"] = static_cast<double>(entities);
+}
+BENCHMARK(BM_CqSepEasy)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+/// Hard instances: a positive entity over cycles {2,3,...} and a negative
+/// over slightly different cycles — hom-equivalence testing must reason
+/// about divisibility, which resists the solver's pruning.
+void BM_CqSepHard(benchmark::State& state) {
+  std::size_t r = static_cast<std::size_t>(state.range(0));
+  auto db = std::make_shared<Database>(GraphWorkloadSchema());
+  RelationId eta = db->schema().entity_relation();
+  RelationId e = db->schema().FindRelation("E");
+  auto add_entity_with_cycles =
+      [&](const std::string& name, const std::vector<std::size_t>& lengths) {
+        Value entity = db->Intern(name);
+        db->AddFact(eta, {entity});
+        for (std::size_t c = 0; c < lengths.size(); ++c) {
+          std::vector<Value> nodes;
+          for (std::size_t i = 0; i < lengths[c]; ++i) {
+            nodes.push_back(db->Intern(name + "_c" + std::to_string(c) +
+                                       "_" + std::to_string(i)));
+          }
+          for (std::size_t i = 0; i < lengths[c]; ++i) {
+            db->AddFact(e, {nodes[i], nodes[(i + 1) % lengths[c]]});
+          }
+          db->AddFact(e, {entity, nodes[0]});
+        }
+        return entity;
+      };
+  std::vector<std::size_t> base = {2, 3, 5, 7, 11, 13};
+  std::vector<std::size_t> lengths_a(base.begin(), base.begin() + r);
+  std::vector<std::size_t> lengths_b = lengths_a;
+  lengths_b.back() += 2;  // Almost the same cycle system.
+  Value a = add_entity_with_cycles("a", lengths_a);
+  Value b = add_entity_with_cycles("b", lengths_b);
+  auto training = std::make_shared<TrainingDatabase>(db);
+  training->SetLabel(a, kPositive);
+  training->SetLabel(b, kNegative);
+
+  for (auto _ : state) {
+    CqSepResult result = DecideCqSep(*training);
+    benchmark::DoNotOptimize(result.separable);
+  }
+  state.counters["facts"] = static_cast<double>(db->size());
+}
+BENCHMARK(BM_CqSepHard)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+}  // namespace
+}  // namespace featsep

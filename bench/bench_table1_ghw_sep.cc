@@ -1,0 +1,40 @@
+// Experiment T1.c — Table 1, cell (GHW(k)-SEP, PTIME).
+//
+// Theorem 5.3: the GHW(k)-separability test runs the existential k-cover
+// game between every differently-labeled entity pair (Prop 5.5). Series
+// sweep the number of entities at k ∈ {1, 2}: polynomial growth in |D|,
+// with the exponent rising in k (the game's position space is O(|D|^k)).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/ghw_separability.h"
+#include "workload/generators.h"
+
+namespace featsep {
+namespace {
+
+void RunGhwSep(benchmark::State& state, std::size_t k) {
+  std::size_t entities = static_cast<std::size_t>(state.range(0));
+  std::vector<std::size_t> lengths;
+  for (std::size_t i = 0; i < entities; ++i) lengths.push_back(i % 4);
+  auto training = PathLengthFamily(lengths, 2);
+  bool separable = false;
+  for (auto _ : state) {
+    GhwSepResult result = DecideGhwSep(*training, k);
+    separable = result.separable;
+    benchmark::DoNotOptimize(result.separable);
+  }
+  state.counters["facts"] =
+      static_cast<double>(training->database().size());
+  state.counters["separable"] = separable ? 1 : 0;
+}
+
+void BM_GhwSep_k1(benchmark::State& state) { RunGhwSep(state, 1); }
+void BM_GhwSep_k2(benchmark::State& state) { RunGhwSep(state, 2); }
+
+BENCHMARK(BM_GhwSep_k1)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_GhwSep_k2)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+}  // namespace featsep

@@ -1,0 +1,63 @@
+#ifndef FEATSEP_BENCH_BENCH_UTIL_H_
+#define FEATSEP_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the featsep benchmark harness. Each bench binary
+// regenerates one experiment from DESIGN.md §2 (the paper's Table 1 cells
+// and quantitative theorems); absolute times are machine-specific, the
+// *shape* (scaling exponents, who wins, where crossovers fall) is the
+// reproduced result.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/training_database.h"
+#include "workload/generators.h"
+
+namespace featsep::bench {
+
+/// xorshift64* PRNG (deterministic across platforms).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed == 0 ? 0x9e3779b9 : seed) {}
+  std::uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+  std::size_t Below(std::size_t n) { return Next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Random sparse digraph database over the Eta/E schema (no entities).
+inline std::shared_ptr<Database> RandomGraphDatabase(std::size_t nodes,
+                                                     std::size_t edges,
+                                                     std::uint64_t seed) {
+  auto db = std::make_shared<Database>(GraphWorkloadSchema());
+  RelationId e = db->schema().FindRelation("E");
+  Rng rng(seed);
+  std::vector<Value> vs;
+  vs.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    vs.push_back(db->Intern("v" + std::to_string(i)));
+  }
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < edges && attempts < edges * 20) {
+    ++attempts;
+    Value a = vs[rng.Below(nodes)];
+    Value b = vs[rng.Below(nodes)];
+    if (a == b) continue;
+    if (db->AddFact(e, {a, b})) ++added;
+  }
+  return db;
+}
+
+}  // namespace featsep::bench
+
+#endif  // FEATSEP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,60 @@
+// Propositionalization-style feature generation over multi-relational data
+// (the paper's intro motivation [24, 29]): molecules labeled by a hidden
+// structural motif. The CQ[m] machinery of Section 4 recovers the motif as
+// an explicit, human-readable feature query.
+
+#include <cstdio>
+
+#include "core/separability.h"
+#include "workload/molecules.h"
+
+int main() {
+  using namespace featsep;
+
+  MoleculeParams params;
+  params.num_molecules = 8;
+  params.atoms_per_molecule = 5;
+  params.bonds_per_molecule = 5;
+  params.seed = 5;
+  auto training = MakeMoleculeDataset(params);
+
+  std::printf("Molecule dataset: %zu molecules (%zu positive), %zu facts\n",
+              training->Entities().size(),
+              training->PositiveExamples().size(),
+              training->database().size());
+
+  // Sweep the atom budget m: the planted motif (nitrogen–oxygen bond)
+  // needs 4 atoms; the paper's regularization question is exactly "what is
+  // the smallest m for which CQ[m] features separate?".
+  for (std::size_t m = 1; m <= 4; ++m) {
+    // Limit variable reuse (CQ[m,p] of Prop 4.3) to keep the feature space
+    // tractable as m grows.
+    CqmSepResult result = DecideCqmSep(*training, m, 2);
+    std::printf("CQ[%zu]: %s (searched %zu features)\n", m,
+                result.separable ? "separable" : "not separable",
+                result.features_enumerated);
+    if (result.separable) {
+      std::printf("  discovered feature queries:\n");
+      for (const ConjunctiveQuery& q : result.model->statistic.features()) {
+        std::printf("    %s\n", q.ToString().c_str());
+      }
+      std::printf("  training errors: %zu\n",
+                  result.model->TrainingErrors(*training));
+
+      // Classify a fresh batch of molecules with the learned model.
+      MoleculeParams eval_params = params;
+      eval_params.seed = 17;
+      eval_params.num_molecules = 6;
+      auto eval = MakeMoleculeDataset(eval_params);
+      Labeling predicted = result.model->Apply(eval->database());
+      std::size_t correct = 0;
+      for (Value e : eval->Entities()) {
+        if (predicted.Get(e) == eval->label(e)) ++correct;
+      }
+      std::printf("  held-out accuracy: %zu/%zu\n", correct,
+                  eval->Entities().size());
+      break;
+    }
+  }
+  return 0;
+}

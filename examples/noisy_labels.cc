@@ -1,0 +1,61 @@
+// Approximate separability under label noise (paper, Section 7): Algorithm 2
+// computes the provably-optimal GHW(k)-consistent relabeling, and
+// Corollary 7.5 classifies unseen data despite the noise.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/ghw_separability.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace featsep;
+
+  std::printf("noise  entities  min_disagreement  eps=0  eps=0.1  eps=0.3\n");
+  for (double noise : {0.0, 0.1, 0.2, 0.3}) {
+    RandomGraphParams params;
+    params.num_entities = 14;
+    params.num_background_nodes = 6;
+    params.num_background_edges = 8;
+    params.planted_path_length = 2;
+    params.label_noise = noise;
+    params.seed = 23;
+    auto training = RandomPlantedGraph(params);
+
+    // Algorithm 2 (Theorem 7.4): optimal relabeling per →₁ class.
+    GhwRelabelResult relabel = GhwOptimalRelabel(*training, 1);
+    std::printf("%5.2f  %8zu  %16zu  %5s  %7s  %7s\n", noise,
+                training->Entities().size(), relabel.disagreement,
+                DecideGhwApxSep(*training, 1, 0.0) ? "yes" : "no",
+                DecideGhwApxSep(*training, 1, 0.1) ? "yes" : "no",
+                DecideGhwApxSep(*training, 1, 0.3) ? "yes" : "no");
+  }
+
+  // End-to-end approximate classification (GHW(k)-ApxCls, Corollary 7.5):
+  // train on noisy labels, classify a clean evaluation set.
+  RandomGraphParams params;
+  params.num_entities = 14;
+  params.planted_path_length = 2;
+  params.label_noise = 0.2;
+  params.seed = 29;
+  auto noisy = RandomPlantedGraph(params);
+
+  RandomGraphParams eval_params = params;
+  eval_params.label_noise = 0.0;
+  eval_params.seed = 31;
+  auto eval = RandomPlantedGraph(eval_params);
+
+  auto labeling = GhwApxClassify(noisy, 1, 0.49, eval->database());
+  if (!labeling.has_value()) {
+    std::printf("\nnot approximately separable at eps=0.49 (unexpected)\n");
+    return 1;
+  }
+  std::size_t correct = 0;
+  for (Value e : eval->Entities()) {
+    if (labeling->Get(e) == eval->label(e)) ++correct;
+  }
+  std::printf("\nApxCls trained on 20%% label noise: "
+              "clean eval accuracy %zu/%zu\n",
+              correct, eval->Entities().size());
+  return 0;
+}

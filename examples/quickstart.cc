@@ -1,0 +1,106 @@
+// Quickstart for the featsep library: build a labeled entity database,
+// decide separability under the paper's regularizations, generate feature
+// queries, and classify unseen entities.
+//
+// Scenario: entities are accounts in a tiny transaction graph; an account
+// is "suspicious" (+1) when it starts a money-forwarding chain of length 2.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/ghw_separability.h"
+#include "core/separability.h"
+#include "io/reader.h"
+#include "relational/training_database.h"
+
+namespace {
+
+constexpr const char* kTrainingText = R"(# accounts and transfers
+relation Eta 1 entity
+relation E 2
+Eta(alice)
+Eta(bob)
+Eta(carol)
+Eta(dave)
+E(alice, shell1)
+E(shell1, offshore)
+E(bob, shop)
+E(carol, shell2)
+E(shell2, offshore)
+label alice +
+label bob -
+label carol +
+label dave -
+)";
+
+constexpr const char* kEvalText = R"(relation Eta 1 entity
+relation E 2
+Eta(erin)
+Eta(frank)
+E(erin, mixer)
+E(mixer, exit)
+E(frank, cafe)
+)";
+
+}  // namespace
+
+int main() {
+  using namespace featsep;
+
+  auto training_result = ReadTrainingDatabase(kTrainingText);
+  if (!training_result.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 training_result.error().message().c_str());
+    return 1;
+  }
+  std::shared_ptr<TrainingDatabase> training = training_result.value();
+  std::printf("Training database: %zu facts, %zu entities\n",
+              training->database().size(), training->Entities().size());
+
+  // --- CQ separability (Theorem 3.2 test) --------------------------------
+  CqSepResult cq = DecideCqSep(*training);
+  std::printf("CQ-separable: %s\n", cq.separable ? "yes" : "no");
+
+  // --- CQ[m]: bounded number of atoms (Section 4) ------------------------
+  for (std::size_t m = 1; m <= 2; ++m) {
+    CqmSepResult result = DecideCqmSep(*training, m);
+    std::printf("CQ[%zu]-separable: %s (%zu candidate features)\n", m,
+                result.separable ? "yes" : "no", result.features_enumerated);
+    if (result.separable) {
+      std::printf("  generated statistic:\n");
+      for (const ConjunctiveQuery& q : result.model->statistic.features()) {
+        std::printf("    %s\n", q.ToString().c_str());
+      }
+      std::printf("  classifier: %s\n",
+                  result.model->classifier.ToString().c_str());
+
+      auto eval_result = ReadDatabase(kEvalText);
+      if (!eval_result.ok()) return 1;
+      Labeling predicted = result.model->Apply(*eval_result.value());
+      for (Value e : eval_result.value()->Entities()) {
+        std::printf("  eval %s -> %+d\n",
+                    eval_result.value()->value_name(e).c_str(),
+                    predicted.Get(e));
+      }
+    }
+  }
+
+  // --- GHW(k): bounded generalized hypertree width (Section 5) -----------
+  GhwSepResult ghw = DecideGhwSep(*training, 1);
+  std::printf("GHW(1)-separable: %s\n", ghw.separable ? "yes" : "no");
+  if (ghw.separable) {
+    auto classifier = GhwClassifier::Train(training, 1);
+    std::printf("Algorithm 1: implicit statistic of dimension %zu "
+                "(features never materialized)\n",
+                classifier->dimension());
+    auto eval_result = ReadDatabase(kEvalText);
+    if (!eval_result.ok()) return 1;
+    Labeling predicted = classifier->Classify(*eval_result.value());
+    for (Value e : eval_result.value()->Entities()) {
+      std::printf("  eval %s -> %+d\n",
+                  eval_result.value()->value_name(e).c_str(),
+                  predicted.Get(e));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+#ifndef FEATSEP_CORE_APPROX_H_
+#define FEATSEP_CORE_APPROX_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "core/statistic.h"
+#include "relational/training_database.h"
+
+namespace featsep {
+
+/// Result of approximate CQ[m]-separability (paper, Section 7.2).
+struct CqmApxSepResult {
+  bool separable_with_error = false;
+  /// Fewest training errors achievable by any CQ[m]-statistic + linear
+  /// classifier (the optimization target behind L-ApxSep).
+  std::size_t min_errors = 0;
+  /// A model achieving min_errors.
+  std::optional<SeparatorModel> model;
+};
+
+/// Decides CQ[m]-ApxSep: is (D, λ) CQ[m]-separable with error ε, i.e., is
+/// there a statistic over CQ[m] and a linear classifier misclassifying at
+/// most ε·|η(D)| examples? Constructive (returns a best model), combining
+/// the Prop 4.1 feature enumeration with the exact min-error search —
+/// NP-complete in general (Prop 7.2(2), via [17]), FPT in the schema size
+/// (Prop 7.2(1)).
+CqmApxSepResult DecideCqmApxSep(const TrainingDatabase& training,
+                                std::size_t m, double epsilon,
+                                std::size_t max_variable_occurrences = 0);
+
+/// The Proposition 7.1 reduction from exact to approximate separability:
+/// given (D, λ) and a fixed ε ∈ [0, 1/2), produces (D', λ') over the schema
+/// extended with one fresh unary "anchor" marker such that
+///   (D, λ) is L-separable  ⟺  (D', λ') is L-separable with error ε.
+/// Construction: K fresh anchor entities (K even), all structurally
+/// identical — half positive, half negative — forcing exactly K/2
+/// unavoidable errors; K is chosen so the ε-budget admits K/2 but not
+/// K/2 + 1 errors. Works for every class L of CQs (the anchors are
+/// indistinguishable from each other by any CQ).
+std::shared_ptr<TrainingDatabase> ReduceSepToApxSep(
+    const TrainingDatabase& training, double epsilon);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_CORE_APPROX_H_

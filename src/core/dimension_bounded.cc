@@ -1,0 +1,218 @@
+#include "core/dimension_bounded.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "linsep/separability_lp.h"
+#include "util/check.h"
+
+namespace featsep {
+
+namespace {
+
+/// Canonical sign of a ±1 column: first entry forced to +1 (a feature and
+/// its negation are interchangeable for linear separation — the classifier
+/// flips the weight's sign).
+std::vector<int> CanonicalColumn(std::vector<int> column) {
+  if (!column.empty() && column[0] == -1) {
+    for (int& x : column) x = -x;
+  }
+  return column;
+}
+
+}  // namespace
+
+SepDimResult DecideSepDim(const TrainingDatabase& training, std::size_t ell,
+                          const QbeOracle& oracle) {
+  FEATSEP_CHECK(training.IsFullyLabeled());
+  const Database& db = training.database();
+  std::vector<Value> entities = training.Entities();
+  std::size_t n = entities.size();
+  FEATSEP_CHECK_LE(n, 20u)
+      << "DecideSepDim enumerates 2^|entities| bipartitions "
+         "(guess-and-check per Lemma 6.3); this input is too large";
+
+  SepDimResult result;
+
+  // Constant labelings are separable with zero features.
+  bool constant = true;
+  for (Value e : entities) {
+    constant = constant && training.label(e) == training.label(entities[0]);
+  }
+  if (n == 0 || constant) {
+    result.separable = true;
+    return result;
+  }
+  if (ell == 0) {
+    result.separable = false;
+    return result;
+  }
+
+  // Enumerate realizable, non-constant bipartitions; dedup by canonical
+  // (sign-free) column.
+  struct Candidate {
+    std::vector<int> column;           // Canonicalized.
+    std::vector<Value> positive_set;   // The realizable orientation.
+  };
+  std::vector<Candidate> candidates;
+  std::set<std::vector<int>> seen;
+  std::uint64_t limit = 1ULL << n;
+  for (std::uint64_t mask = 1; mask + 1 < limit; ++mask) {
+    std::vector<Value> s_plus;
+    std::vector<Value> s_minus;
+    std::vector<int> column(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) {
+        s_plus.push_back(entities[i]);
+        column[i] = 1;
+      } else {
+        s_minus.push_back(entities[i]);
+        column[i] = -1;
+      }
+    }
+    std::vector<int> canonical = CanonicalColumn(column);
+    if (seen.count(canonical) > 0) continue;
+    QbeInstance instance{&db, std::move(s_plus), std::move(s_minus)};
+    if (!oracle(instance)) continue;
+    seen.insert(canonical);
+    candidates.push_back(Candidate{std::move(canonical), instance.positives});
+  }
+
+  // Search for ≤ ℓ candidate columns whose vectors separate λ.
+  std::vector<std::size_t> chosen;
+  auto separable_now = [&]() {
+    TrainingCollection collection;
+    for (std::size_t i = 0; i < n; ++i) {
+      FeatureVector v;
+      for (std::size_t c : chosen) v.push_back(candidates[c].column[i]);
+      collection.emplace_back(std::move(v), training.label(entities[i]));
+    }
+    return IsLinearlySeparable(collection);
+  };
+  auto dfs = [&](auto&& self, std::size_t next) -> bool {
+    if (separable_now()) return true;
+    if (chosen.size() == ell) return false;
+    for (std::size_t c = next; c < candidates.size(); ++c) {
+      chosen.push_back(c);
+      if (self(self, c + 1)) return true;
+      chosen.pop_back();
+    }
+    return false;
+  };
+  if (dfs(dfs, 0)) {
+    result.separable = true;
+    for (std::size_t c : chosen) {
+      result.feature_positive_sets.push_back(candidates[c].positive_set);
+    }
+  }
+  return result;
+}
+
+QbeOracle MakeCqQbeOracle(const QbeOptions& options) {
+  return [options](const QbeInstance& instance) {
+    return SolveCqQbe(instance, options).exists;
+  };
+}
+
+QbeOracle MakeGhwQbeOracle(std::size_t k, const QbeOptions& options) {
+  return [k, options](const QbeInstance& instance) {
+    return SolveGhwQbe(instance, k, options).exists;
+  };
+}
+
+QbeOracle MakeCqmQbeOracle(std::size_t m,
+                           std::size_t max_variable_occurrences) {
+  return [m, max_variable_occurrences](const QbeInstance& instance) {
+    return SolveCqmQbe(instance, m, max_variable_occurrences).exists;
+  };
+}
+
+std::optional<SeparatorModel> BuildSepDimModel(
+    const TrainingDatabase& training, const SepDimResult& result,
+    const QbeExplainer& explainer) {
+  FEATSEP_CHECK(result.separable)
+      << "BuildSepDimModel requires a positive SepDimResult";
+  const Database& db = training.database();
+  std::vector<Value> entities = training.Entities();
+
+  std::vector<ConjunctiveQuery> features;
+  for (const std::vector<Value>& positives : result.feature_positive_sets) {
+    std::set<Value> positive_set(positives.begin(), positives.end());
+    QbeInstance instance;
+    instance.db = &db;
+    for (Value e : entities) {
+      if (positive_set.count(e) > 0) {
+        instance.positives.push_back(e);
+      } else {
+        instance.negatives.push_back(e);
+      }
+    }
+    QbeResult qbe = explainer(instance);
+    FEATSEP_CHECK(qbe.exists)
+        << "recorded bipartition no longer QBE-solvable";
+    if (!qbe.explanation.has_value()) return std::nullopt;
+    features.push_back(std::move(*qbe.explanation));
+  }
+
+  Statistic statistic(std::move(features));
+  TrainingCollection collection = MakeTrainingCollection(statistic, training);
+  std::optional<LinearClassifier> classifier = FindSeparator(collection);
+  FEATSEP_CHECK(classifier.has_value())
+      << "materialized SepDim statistic fails to separate";
+  SeparatorModel model{std::move(statistic), std::move(*classifier)};
+  FEATSEP_CHECK_EQ(model.TrainingErrors(training), 0u);
+  return model;
+}
+
+std::shared_ptr<TrainingDatabase> ReduceQbeToSepEll(
+    const Database& db, const std::vector<Value>& s_plus, std::size_t ell) {
+  FEATSEP_CHECK_GE(ell, 1u);
+  FEATSEP_CHECK(!s_plus.empty());
+
+  // Extended schema: σ's relations (same ids), then η, then κ₁..κ_{ℓ−1}.
+  Schema extended;
+  for (RelationId r = 0; r < db.schema().size(); ++r) {
+    extended.AddRelation(db.schema().name(r), db.schema().arity(r));
+  }
+  RelationId eta = extended.AddRelation("Eta_sep", 1);
+  extended.set_entity_relation(eta);
+  std::vector<RelationId> kappa;
+  for (std::size_t i = 1; i < ell; ++i) {
+    kappa.push_back(
+        extended.AddRelation("Kappa" + std::to_string(i), 1));
+  }
+  auto schema = std::make_shared<const Schema>(std::move(extended));
+
+  auto d_prime = std::make_shared<Database>(schema);
+  // Copy D's values (ids preserved) and facts (relation ids preserved).
+  for (Value v = 0; v < db.num_values(); ++v) {
+    Value copy = d_prime->Intern(db.value_name(v));
+    FEATSEP_CHECK_EQ(copy, v);
+  }
+  for (const Fact& fact : db.facts()) {
+    d_prime->AddFact(fact.relation, fact.args);
+  }
+  // Fresh constants c⁻, c₁..c_{ℓ−1} with κᵢ(cᵢ).
+  Value c_minus = d_prime->Intern("c_minus");
+  std::vector<Value> c(ell - 1);
+  for (std::size_t i = 0; i + 1 < ell; ++i) {
+    c[i] = d_prime->Intern("c" + std::to_string(i + 1));
+    d_prime->AddFact(kappa[i], {c[i]});
+  }
+  // η(D') = dom(D) ∪ {c⁻, c₁..}: every value is an entity.
+  for (Value v : db.domain()) d_prime->AddFact(eta, {v});
+  d_prime->AddFact(eta, {c_minus});
+  for (Value ci : c) d_prime->AddFact(eta, {ci});
+
+  auto training = std::make_shared<TrainingDatabase>(d_prime);
+  std::set<Value> positive_set(s_plus.begin(), s_plus.end());
+  for (Value v : db.domain()) {
+    training->SetLabel(v, positive_set.count(v) > 0 ? kPositive : kNegative);
+  }
+  training->SetLabel(c_minus, kNegative);
+  for (Value ci : c) training->SetLabel(ci, kPositive);
+  return training;
+}
+
+}  // namespace featsep

@@ -1,0 +1,76 @@
+#ifndef FEATSEP_CORE_DIMENSION_BOUNDED_H_
+#define FEATSEP_CORE_DIMENSION_BOUNDED_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/statistic.h"
+#include "qbe/qbe.h"
+#include "relational/training_database.h"
+
+namespace featsep {
+
+/// A QBE oracle for a query class L: decides whether an L-explanation
+/// exists for the given instance. Used by the (L, ℓ)-separability test
+/// (paper, Lemma 6.3); bind it to SolveCqQbe / SolveGhwQbe / SolveCqmQbe.
+using QbeOracle = std::function<bool(const QbeInstance&)>;
+
+/// Result of the dimension-bounded separability test.
+struct SepDimResult {
+  bool separable = false;
+  /// When separable: for each of the ℓ features, the positive side of the
+  /// bipartition it realizes (entities mapped to +1 by that feature). A
+  /// concrete explanation query per column can be recovered by re-running
+  /// the QBE solver on that bipartition.
+  std::vector<std::vector<Value>> feature_positive_sets;
+};
+
+/// The (L, ℓ)-separability test (paper, Lemma 6.3): (D, λ) is L-separable
+/// by a statistic of dimension ≤ ℓ iff one can choose a ±1 vector per
+/// entity such that (a) the vectors are linearly separable w.r.t. λ, and
+/// (b) each coordinate's bipartition of the entities admits an
+/// L-explanation.
+///
+/// Implementation: enumerate the bipartitions of η(D) (2^{|η(D)|−1} of
+/// them), keep those passing the QBE oracle, then search for ≤ ℓ of them
+/// (with repetition allowed, which never helps, so without) whose induced
+/// vectors separate λ — checked by exact LP. This mirrors the
+/// guess-and-check structure driving the coNEXPTIME/EXPTIME/NP-completeness
+/// results of Theorem 6.6 / 6.10: the cost is exponential in |η(D)| on top
+/// of the oracle's own cost.
+SepDimResult DecideSepDim(const TrainingDatabase& training, std::size_t ell,
+                          const QbeOracle& oracle);
+
+/// Convenience oracles over a fixed database.
+QbeOracle MakeCqQbeOracle(const QbeOptions& options = {});
+QbeOracle MakeGhwQbeOracle(std::size_t k, const QbeOptions& options = {});
+QbeOracle MakeCqmQbeOracle(std::size_t m,
+                           std::size_t max_variable_occurrences = 0);
+
+/// A QBE solver that also returns the explanation query (for materializing
+/// the dimension-bounded statistic); bind to SolveCqQbe or SolveCqmQbe.
+using QbeExplainer = std::function<QbeResult(const QbeInstance&)>;
+
+/// Materializes an explicit (statistic, classifier) model from a positive
+/// SepDimResult: per feature column, re-solves QBE on the recorded
+/// bipartition to obtain a concrete feature query, then fits the exact LP.
+/// Returns nullopt only if the explainer fails to return queries (e.g., a
+/// GHW oracle that decides without materializing — Theorem 5.7's point).
+std::optional<SeparatorModel> BuildSepDimModel(
+    const TrainingDatabase& training, const SepDimResult& result,
+    const QbeExplainer& explainer);
+
+/// The Lemma 6.5 reduction: transforms a restricted QBE instance (unary
+/// S⁺, S⁻ = dom(D) \ S⁺, both nonempty) into a training database (D', λ')
+/// over the schema extended with η and ℓ−1 fresh unary symbols κᵢ, such
+/// that an L-explanation for the QBE instance exists iff (D', λ') is
+/// L-separable by a statistic with ℓ features.
+std::shared_ptr<TrainingDatabase> ReduceQbeToSepEll(
+    const Database& db, const std::vector<Value>& s_plus, std::size_t ell);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_CORE_DIMENSION_BOUNDED_H_

@@ -1,0 +1,25 @@
+#include "core/fo_separability.h"
+
+#include "fo/iso.h"
+#include "util/check.h"
+
+namespace featsep {
+
+FoSepResult DecideFoSep(const TrainingDatabase& training) {
+  FEATSEP_CHECK(training.IsFullyLabeled());
+  const Database& db = training.database();
+  FoSepResult result;
+  for (Value p : training.PositiveExamples()) {
+    for (Value n : training.NegativeExamples()) {
+      if (AreIsomorphic(db, {p}, db, {n})) {
+        result.separable = false;
+        result.conflict = std::make_pair(p, n);
+        return result;
+      }
+    }
+  }
+  result.separable = true;
+  return result;
+}
+
+}  // namespace featsep

@@ -1,0 +1,28 @@
+#ifndef FEATSEP_CORE_FO_SEPARABILITY_H_
+#define FEATSEP_CORE_FO_SEPARABILITY_H_
+
+#include <optional>
+#include <utility>
+
+#include "relational/training_database.h"
+
+namespace featsep {
+
+/// Result of the FO-separability test (paper, Section 8).
+struct FoSepResult {
+  bool separable = false;
+  /// When inseparable: two differently-labeled entities whose pointed
+  /// databases are isomorphic (hence FO-indistinguishable).
+  std::optional<std::pair<Value, Value>> conflict;
+};
+
+/// Decides FO-SEP: (D, λ) is FO-separable iff no two differently-labeled
+/// entities e, e' have (D, e) ≅ (D, e'). FO has the dimension-collapse
+/// property (Prop 8.1), so this also decides FO-SEP[ℓ] for every ℓ ≥ 1;
+/// the complexity matches FO-QBE, which is GI-complete (Corollary 8.2) —
+/// the pairwise tests below are isomorphism tests.
+FoSepResult DecideFoSep(const TrainingDatabase& training);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_CORE_FO_SEPARABILITY_H_

@@ -1,0 +1,71 @@
+#include "core/separability.h"
+
+#include <utility>
+#include <vector>
+
+#include "cq/enumeration.h"
+#include "cq/homomorphism.h"
+#include "linsep/separability_lp.h"
+#include "util/check.h"
+
+namespace featsep {
+
+CqSepResult DecideCqSep(const TrainingDatabase& training) {
+  FEATSEP_CHECK(training.IsFullyLabeled());
+  const Database& db = training.database();
+  std::vector<Value> positives = training.PositiveExamples();
+  std::vector<Value> negatives = training.NegativeExamples();
+
+  CqSepResult result;
+  for (Value p : positives) {
+    for (Value n : negatives) {
+      if (HomEquivalent(db, {p}, db, {n})) {
+        result.separable = false;
+        result.conflict = std::make_pair(p, n);
+        return result;
+      }
+    }
+  }
+  result.separable = true;
+  return result;
+}
+
+CqmSepResult DecideCqmSep(const TrainingDatabase& training, std::size_t m,
+                          std::size_t max_variable_occurrences) {
+  FEATSEP_CHECK(training.IsFullyLabeled());
+  EnumerationOptions options;
+  options.max_variable_occurrences = max_variable_occurrences;
+  Statistic all_features(EnumerateFeatureQueries(
+      training.database().schema_ptr(), m, options));
+
+  CqmSepResult result;
+  result.features_enumerated = all_features.dimension();
+
+  TrainingCollection collection =
+      MakeTrainingCollection(all_features, training);
+  std::optional<LinearClassifier> classifier = FindSeparator(collection);
+  if (!classifier.has_value()) {
+    result.separable = false;
+    return result;
+  }
+
+  // Prune zero-weight features for a compact model.
+  std::vector<ConjunctiveQuery> used;
+  std::vector<Rational> weights;
+  for (std::size_t i = 0; i < all_features.dimension(); ++i) {
+    if (!classifier->weights()[i].is_zero()) {
+      used.push_back(all_features.feature(i));
+      weights.push_back(classifier->weights()[i]);
+    }
+  }
+  SeparatorModel model{Statistic(std::move(used)),
+                       LinearClassifier(classifier->threshold(),
+                                        std::move(weights))};
+  FEATSEP_CHECK_EQ(model.TrainingErrors(training), 0u)
+      << "generated CQ[m] model misclassifies a training entity";
+  result.separable = true;
+  result.model = std::move(model);
+  return result;
+}
+
+}  // namespace featsep

@@ -1,0 +1,46 @@
+#ifndef FEATSEP_CORE_SEPARABILITY_H_
+#define FEATSEP_CORE_SEPARABILITY_H_
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "core/statistic.h"
+#include "relational/training_database.h"
+
+namespace featsep {
+
+/// Result of the general CQ-separability test (paper, Theorem 3.2 /
+/// Kimelfeld–Ré): (D, λ) is CQ-separable iff no two differently-labeled
+/// entities are homomorphically equivalent as pointed databases.
+struct CqSepResult {
+  bool separable = false;
+  /// When inseparable: a differently-labeled hom-equivalent entity pair.
+  std::optional<std::pair<Value, Value>> conflict;
+};
+
+/// Decides CQ-SEP. coNP-complete (Theorem 3.2): each pairwise test is an
+/// NP homomorphism search, exponential in the worst case.
+CqSepResult DecideCqSep(const TrainingDatabase& training);
+
+/// Result of CQ[m]-separability with feature generation (Prop 4.1 / 4.3).
+struct CqmSepResult {
+  bool separable = false;
+  /// When separable: a witnessing model over the enumerated CQ[m] features.
+  std::optional<SeparatorModel> model;
+  /// Number of feature queries enumerated (the r^m·2^{p(k)} bound of
+  /// Prop 4.1 in action).
+  std::size_t features_enumerated = 0;
+};
+
+/// Decides CQ[m]-SEP and, when separable, generates a separating
+/// (statistic, classifier) pair — the constructive algorithm behind
+/// Proposition 4.1; `max_variable_occurrences` = p restricts to CQ[m,p]
+/// (Proposition 4.3). When separable, the returned model's statistic is
+/// pruned to the features the classifier actually uses (nonzero weight).
+CqmSepResult DecideCqmSep(const TrainingDatabase& training, std::size_t m,
+                          std::size_t max_variable_occurrences = 0);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_CORE_SEPARABILITY_H_

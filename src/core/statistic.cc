@@ -1,0 +1,94 @@
+#include "core/statistic.h"
+
+#include <sstream>
+#include <utility>
+
+#include "cq/evaluation.h"
+#include "util/check.h"
+
+namespace featsep {
+
+Statistic::Statistic(std::vector<ConjunctiveQuery> features)
+    : features_(std::move(features)) {}
+
+const ConjunctiveQuery& Statistic::feature(std::size_t i) const {
+  FEATSEP_CHECK_LT(i, features_.size());
+  return features_[i];
+}
+
+FeatureVector Statistic::Vector(const Database& db, Value entity) const {
+  FeatureVector vector;
+  vector.reserve(features_.size());
+  for (const ConjunctiveQuery& q : features_) {
+    vector.push_back(CqEvaluator(q).SelectsEntity(db, entity) ? 1 : -1);
+  }
+  return vector;
+}
+
+std::vector<FeatureVector> Statistic::Matrix(const Database& db) const {
+  std::vector<Value> entities = db.Entities();
+  std::vector<FeatureVector> matrix(entities.size());
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    matrix[i].reserve(features_.size());
+  }
+  // Evaluate feature-by-feature so each evaluator's canonical database is
+  // built once.
+  for (const ConjunctiveQuery& q : features_) {
+    CqEvaluator evaluator(q);
+    for (std::size_t i = 0; i < entities.size(); ++i) {
+      matrix[i].push_back(evaluator.SelectsEntity(db, entities[i]) ? 1 : -1);
+    }
+  }
+  return matrix;
+}
+
+std::size_t Statistic::TotalAtoms() const {
+  std::size_t total = 0;
+  for (const ConjunctiveQuery& q : features_) total += q.NumAtoms(true);
+  return total;
+}
+
+std::string Statistic::ToString() const {
+  std::ostringstream out;
+  out << "Statistic[" << features_.size() << "](";
+  for (std::size_t i = 0; i < features_.size(); ++i) {
+    if (i > 0) out << "; ";
+    out << features_[i].ToString();
+  }
+  out << ")";
+  return out.str();
+}
+
+Labeling SeparatorModel::Apply(const Database& db) const {
+  Labeling labeling;
+  std::vector<Value> entities = db.Entities();
+  std::vector<FeatureVector> matrix = statistic.Matrix(db);
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    labeling.Set(entities[i], classifier.Classify(matrix[i]));
+  }
+  return labeling;
+}
+
+std::size_t SeparatorModel::TrainingErrors(
+    const TrainingDatabase& training) const {
+  Labeling predicted = Apply(training.database());
+  std::size_t errors = 0;
+  for (Value e : training.Entities()) {
+    if (predicted.Get(e) != training.label(e)) ++errors;
+  }
+  return errors;
+}
+
+TrainingCollection MakeTrainingCollection(const Statistic& statistic,
+                                          const TrainingDatabase& training) {
+  TrainingCollection collection;
+  std::vector<Value> entities = training.Entities();
+  std::vector<FeatureVector> matrix = statistic.Matrix(training.database());
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    collection.emplace_back(std::move(matrix[i]),
+                            training.label(entities[i]));
+  }
+  return collection;
+}
+
+}  // namespace featsep

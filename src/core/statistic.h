@@ -1,0 +1,65 @@
+#ifndef FEATSEP_CORE_STATISTIC_H_
+#define FEATSEP_CORE_STATISTIC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cq/cq.h"
+#include "linsep/linear_classifier.h"
+#include "linsep/separability_lp.h"
+#include "relational/database.h"
+#include "relational/training_database.h"
+
+namespace featsep {
+
+/// A statistic Π = (q₁, …, qₙ): a sequence of feature queries mapping each
+/// entity e of a database D to the vector Π^D(e) ∈ {1, -1}ⁿ of feature
+/// indicators (paper, Section 3).
+class Statistic {
+ public:
+  Statistic() = default;
+  explicit Statistic(std::vector<ConjunctiveQuery> features);
+
+  std::size_t dimension() const { return features_.size(); }
+  const std::vector<ConjunctiveQuery>& features() const { return features_; }
+  const ConjunctiveQuery& feature(std::size_t i) const;
+
+  /// Π^D(e) for one entity.
+  FeatureVector Vector(const Database& db, Value entity) const;
+
+  /// Π^D(e) for all entities of D, in the order of db.Entities().
+  std::vector<FeatureVector> Matrix(const Database& db) const;
+
+  /// Total number of atoms across the feature queries (size measure used by
+  /// the Theorem 5.7 / 6.7 blowup experiments).
+  std::size_t TotalAtoms() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ConjunctiveQuery> features_;
+};
+
+/// A trained separator: a statistic plus a linear classifier, applicable to
+/// any database over the same schema.
+struct SeparatorModel {
+  Statistic statistic;
+  LinearClassifier classifier;
+
+  /// Labels every entity of `db` by Λ(Π^D(e)) — the classification task
+  /// (paper, Section 5.3 / L-CLS).
+  Labeling Apply(const Database& db) const;
+
+  /// Number of entities of the training database the model mislabels.
+  std::size_t TrainingErrors(const TrainingDatabase& training) const;
+};
+
+/// The training collection (Π^D(e), λ(e)) for all entities of the training
+/// database, in the order of Entities().
+TrainingCollection MakeTrainingCollection(const Statistic& statistic,
+                                          const TrainingDatabase& training);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_CORE_STATISTIC_H_

@@ -1,0 +1,89 @@
+#ifndef FEATSEP_COVERGAME_COVER_GAME_H_
+#define FEATSEP_COVERGAME_COVER_GAME_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace featsep {
+
+/// Solver for the existential k-cover game of Chen and Dalmau (paper,
+/// Section 5): decides the relation (D, ā) →_k (D', b̄), i.e., whether
+/// Duplicator has a winning strategy. By Proposition 5.2, this holds iff
+/// every CQ of generalized hypertree width ≤ k that selects ā over D also
+/// selects b̄ over D' — the engine behind GHW(k)-SEP, GHW(k)-CLS
+/// (Algorithm 1) and GHW(k)-ApxSep (Algorithm 2).
+///
+/// Implementation: positional (history-free) strategies suffice because the
+/// winning condition is a safety condition. Game positions are the element
+/// sets coverable by at most k facts of D, represented canonically (one
+/// position per distinct element set). For each position S the solver
+/// enumerates all partial homomorphisms h : S → dom(D') that, together with
+/// the fixed pebbles ā → b̄, preserve every fact of D whose elements lie in
+/// S ∪ set(ā). A greatest fixpoint then deletes every h that Spoiler can
+/// defeat: h ∈ F(S) survives iff for every position S' some h' ∈ F(S')
+/// agrees with h on S ∩ S'. Duplicator wins iff the fixpoint leaves the
+/// empty position nonempty.
+///
+/// Complexity: O(|D|^k) positions with O(|D'|^k) candidate strategies each;
+/// polynomial for every fixed k (Proposition 5.1), with the exponent growing
+/// in k as the theory predicts.
+///
+/// The solver precomputes the ā-independent part (positions and
+/// fact-preserving maps) once per (D, D', k), so probing many pebble pairs —
+/// as the separability preorder does — amortizes the enumeration.
+class CoverGameSolver {
+ public:
+  /// Prepares positions and candidate strategies for games from `from` to
+  /// `to` with cover bound `k` (k ≥ 1). Both databases must outlive the
+  /// solver and share a schema.
+  CoverGameSolver(const Database& from, const Database& to, std::size_t k);
+
+  /// Decides (from, ā) →_k (to, b̄). The tuples must have equal length;
+  /// repeated values in ā must pair with equal values in b̄ (otherwise the
+  /// pebbled tuples admit no partial homomorphism and the answer is false).
+  bool Decide(const std::vector<Value>& a_tuple,
+              const std::vector<Value>& b_tuple) const;
+
+  /// Number of game positions (distinct ≤k-fact-coverable element sets).
+  std::size_t num_positions() const { return positions_.size(); }
+
+  /// Total candidate strategies enumerated across positions (before any
+  /// per-query filtering); a measure of the game's size.
+  std::size_t num_candidate_strategies() const;
+
+ private:
+  struct Position {
+    std::vector<Value> elements;  // Sorted.
+    /// Indexes (into from_) of the facts of `from` whose elements all lie in
+    /// `elements` — the facts any strategy at this position must preserve.
+    std::vector<FactIndex> covered_facts;
+    /// Candidate strategies: image vectors aligned with `elements`, each
+    /// preserving all `covered_facts`. Deduplicated.
+    std::vector<std::vector<Value>> maps;
+  };
+
+  void EnumeratePositions();
+  void EnumerateMaps(Position* position);
+
+  const Database& from_;
+  const Database& to_;
+  std::size_t k_;
+  std::vector<Position> positions_;
+};
+
+/// Convenience wrapper: (from, ā) →_k (to, b̄).
+bool CoverGameWins(const Database& from, const std::vector<Value>& a_tuple,
+                   const Database& to, const std::vector<Value>& b_tuple,
+                   std::size_t k);
+
+/// The full →_k preorder over the given elements of a single database:
+/// result[i][j] = ( (db, elements[i]) →_k (db, elements[j]) ).
+/// Shares one CoverGameSolver across all pairs.
+std::vector<std::vector<bool>> CoverPreorder(
+    const Database& db, const std::vector<Value>& elements, std::size_t k);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_COVERGAME_COVER_GAME_H_

@@ -1,0 +1,29 @@
+#include "cq/containment.h"
+
+#include <utility>
+
+#include "cq/homomorphism.h"
+#include "util/check.h"
+
+namespace featsep {
+
+bool IsContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  FEATSEP_CHECK(q1.schema() == q2.schema());
+  FEATSEP_CHECK_EQ(q1.free_variables().size(), q2.free_variables().size())
+      << "containment requires queries of equal arity";
+  auto [db1, vars1] = q1.CanonicalDatabase();
+  auto [db2, vars2] = q2.CanonicalDatabase();
+  std::vector<Value> tuple1 = ConjunctiveQuery::FreeTuple(q1, vars1);
+  std::vector<Value> tuple2 = ConjunctiveQuery::FreeTuple(q2, vars2);
+  std::vector<std::pair<Value, Value>> seed;
+  for (std::size_t i = 0; i < tuple1.size(); ++i) {
+    seed.emplace_back(tuple2[i], tuple1[i]);
+  }
+  return HomomorphismExists(db2, db1, seed);
+}
+
+bool AreEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  return IsContainedIn(q1, q2) && IsContainedIn(q2, q1);
+}
+
+}  // namespace featsep

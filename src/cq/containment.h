@@ -1,0 +1,19 @@
+#ifndef FEATSEP_CQ_CONTAINMENT_H_
+#define FEATSEP_CQ_CONTAINMENT_H_
+
+#include "cq/cq.h"
+
+namespace featsep {
+
+/// True iff q1 ⊆ q2 (q1(D) ⊆ q2(D) on every database). By the
+/// Chandra–Merlin theorem this holds iff there is a homomorphism from the
+/// canonical database of q2 to that of q1 mapping the free tuple of q2 onto
+/// the free tuple of q1. NP-complete in general.
+bool IsContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// True iff q1 and q2 are equivalent (mutual containment).
+bool AreEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_CQ_CONTAINMENT_H_

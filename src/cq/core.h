@@ -1,0 +1,24 @@
+#ifndef FEATSEP_CQ_CORE_H_
+#define FEATSEP_CQ_CORE_H_
+
+#include <vector>
+
+#include "cq/cq.h"
+#include "relational/database.h"
+
+namespace featsep {
+
+/// Computes the core of the pointed database (db, frozen): the smallest
+/// retract under endomorphisms fixing the frozen values pointwise. The
+/// result's facts are a subset (up to renaming) of the input's; value ids
+/// carry over. Exponential worst case (relies on homomorphism search);
+/// intended for minimizing generated feature queries.
+Database CoreOf(const Database& db, const std::vector<Value>& frozen);
+
+/// Minimizes a CQ to an equivalent one with the fewest atoms (its core).
+/// Free variables are preserved.
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& query);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_CQ_CORE_H_

@@ -1,0 +1,141 @@
+#include "cq/cq.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace featsep {
+
+ConjunctiveQuery::ConjunctiveQuery(std::shared_ptr<const Schema> schema)
+    : schema_(std::move(schema)) {
+  FEATSEP_CHECK(schema_ != nullptr);
+}
+
+ConjunctiveQuery ConjunctiveQuery::MakeFeatureQuery(
+    std::shared_ptr<const Schema> schema) {
+  FEATSEP_CHECK(schema->has_entity_relation())
+      << "feature queries require an entity schema";
+  ConjunctiveQuery q(schema);
+  Variable x = q.NewVariable("x");
+  q.AddFreeVariable(x);
+  q.AddAtom(q.schema().entity_relation(), {x});
+  return q;
+}
+
+Variable ConjunctiveQuery::NewVariable(std::string name) {
+  Variable v = static_cast<Variable>(variable_names_.size());
+  if (name.empty()) name = "v" + std::to_string(v);
+  variable_names_.push_back(std::move(name));
+  return v;
+}
+
+const std::string& ConjunctiveQuery::variable_name(Variable v) const {
+  FEATSEP_CHECK_LT(v, variable_names_.size());
+  return variable_names_[v];
+}
+
+bool ConjunctiveQuery::AddAtom(RelationId relation,
+                               std::vector<Variable> args) {
+  FEATSEP_CHECK_LT(relation, schema_->size());
+  FEATSEP_CHECK_EQ(args.size(), schema_->arity(relation))
+      << "arity mismatch for relation " << schema_->name(relation);
+  for (Variable v : args) FEATSEP_CHECK_LT(v, variable_names_.size());
+  CqAtom atom{relation, std::move(args)};
+  if (std::find(atoms_.begin(), atoms_.end(), atom) != atoms_.end()) {
+    return false;
+  }
+  atoms_.push_back(std::move(atom));
+  return true;
+}
+
+void ConjunctiveQuery::AddFreeVariable(Variable v) {
+  FEATSEP_CHECK_LT(v, variable_names_.size());
+  FEATSEP_CHECK(std::find(free_variables_.begin(), free_variables_.end(),
+                          v) == free_variables_.end())
+      << "variable already free";
+  free_variables_.push_back(v);
+}
+
+Variable ConjunctiveQuery::free_variable() const {
+  FEATSEP_CHECK(IsUnary()) << "free_variable() requires a unary query";
+  return free_variables_[0];
+}
+
+std::size_t ConjunctiveQuery::NumAtoms(bool count_entity_atom) const {
+  if (count_entity_atom || !schema_->has_entity_relation() || !IsUnary()) {
+    return atoms_.size();
+  }
+  RelationId eta = schema_->entity_relation();
+  Variable x = free_variable();
+  std::size_t count = 0;
+  for (const CqAtom& atom : atoms_) {
+    if (atom.relation == eta && atom.args.size() == 1 && atom.args[0] == x) {
+      continue;
+    }
+    ++count;
+  }
+  return count;
+}
+
+std::size_t ConjunctiveQuery::MaxVariableOccurrences() const {
+  std::vector<std::size_t> counts(variable_names_.size(), 0);
+  for (const CqAtom& atom : atoms_) {
+    for (Variable v : atom.args) ++counts[v];
+  }
+  std::size_t result = 0;
+  for (std::size_t c : counts) result = std::max(result, c);
+  return result;
+}
+
+std::pair<Database, std::vector<Value>> ConjunctiveQuery::CanonicalDatabase()
+    const {
+  Database db(schema_);
+  std::vector<Value> var_to_value(variable_names_.size(), kNoValue);
+  for (Variable v = 0; v < variable_names_.size(); ++v) {
+    var_to_value[v] = db.Intern(variable_names_[v]);
+  }
+  for (const CqAtom& atom : atoms_) {
+    std::vector<Value> args;
+    args.reserve(atom.args.size());
+    for (Variable v : atom.args) args.push_back(var_to_value[v]);
+    db.AddFact(atom.relation, std::move(args));
+  }
+  return {std::move(db), std::move(var_to_value)};
+}
+
+std::vector<Value> ConjunctiveQuery::FreeTuple(
+    const ConjunctiveQuery& q, const std::vector<Value>& var_to_value) {
+  std::vector<Value> tuple;
+  tuple.reserve(q.free_variables().size());
+  for (Variable v : q.free_variables()) {
+    FEATSEP_CHECK_LT(v, var_to_value.size());
+    tuple.push_back(var_to_value[v]);
+  }
+  return tuple;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::ostringstream out;
+  out << "q(";
+  for (std::size_t i = 0; i < free_variables_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << variable_names_[free_variables_[i]];
+  }
+  out << ") :- ";
+  if (atoms_.empty()) out << "true";
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out << ", ";
+    const CqAtom& atom = atoms_[i];
+    out << schema_->name(atom.relation) << "(";
+    for (std::size_t j = 0; j < atom.args.size(); ++j) {
+      if (j > 0) out << ", ";
+      out << variable_names_[atom.args[j]];
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+}  // namespace featsep

@@ -1,0 +1,108 @@
+#ifndef FEATSEP_CQ_CQ_H_
+#define FEATSEP_CQ_CQ_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace featsep {
+
+/// A query variable, contiguous within a ConjunctiveQuery.
+using Variable = std::uint32_t;
+
+/// One atom R(x̄) of a conjunctive query.
+struct CqAtom {
+  RelationId relation = kNoRelation;
+  std::vector<Variable> args;
+
+  friend bool operator==(const CqAtom& a, const CqAtom& b) {
+    return a.relation == b.relation && a.args == b.args;
+  }
+  friend bool operator<(const CqAtom& a, const CqAtom& b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return a.args < b.args;
+  }
+};
+
+/// A conjunctive query without constants (paper, Section 2):
+///   q(x̄) = ∃ȳ (R₁(x̄₁) ∧ … ∧ Rₙ(x̄ₙ))
+/// represented by its atom list and the sequence of free variables; all
+/// other variables are implicitly existentially quantified.
+///
+/// Feature queries (paper, Section 3) are unary CQs q(x) over an entity
+/// schema that contain the atom η(x); `MakeFeatureQuery` enforces this.
+class ConjunctiveQuery {
+ public:
+  explicit ConjunctiveQuery(std::shared_ptr<const Schema> schema);
+
+  /// Creates a unary feature query with free variable x and atom η(x).
+  /// The schema must designate an entity relation.
+  static ConjunctiveQuery MakeFeatureQuery(
+      std::shared_ptr<const Schema> schema);
+
+  const Schema& schema() const { return *schema_; }
+  const std::shared_ptr<const Schema>& schema_ptr() const { return schema_; }
+
+  /// Introduces a fresh variable. `name` is for printing only; if empty a
+  /// default name is generated.
+  Variable NewVariable(std::string name = "");
+
+  std::size_t num_variables() const { return variable_names_.size(); }
+  const std::string& variable_name(Variable v) const;
+
+  /// Appends atom relation(args); duplicate atoms are kept out (a CQ is a
+  /// set of atoms). Returns true if the atom is new.
+  bool AddAtom(RelationId relation, std::vector<Variable> args);
+
+  const std::vector<CqAtom>& atoms() const { return atoms_; }
+
+  /// Marks `v` as a free (answer) variable, appending it to the free tuple.
+  void AddFreeVariable(Variable v);
+
+  const std::vector<Variable>& free_variables() const {
+    return free_variables_;
+  }
+
+  /// True for a unary query (exactly one free variable).
+  bool IsUnary() const { return free_variables_.size() == 1; }
+
+  /// The single free variable of a unary query.
+  Variable free_variable() const;
+
+  /// Number of atoms. If the schema designates an entity relation η and
+  /// `count_entity_atom` is false, atoms of the form η(x) on the free
+  /// variable are not counted — the paper's CQ[m] convention.
+  std::size_t NumAtoms(bool count_entity_atom = true) const;
+
+  /// Maximum number of occurrences of any single variable across all atoms
+  /// (the paper's parameter p in CQ[m,p]).
+  std::size_t MaxVariableOccurrences() const;
+
+  /// The canonical database D_q: one constant per variable, one fact per
+  /// atom. The returned pair gives the database and, for each variable, the
+  /// value representing it (indexable by Variable).
+  std::pair<Database, std::vector<Value>> CanonicalDatabase() const;
+
+  /// Values of the free variables inside the canonical database (the tuple
+  /// x̄ of (D_q, x̄)); same order as free_variables().
+  static std::vector<Value> FreeTuple(const ConjunctiveQuery& q,
+                                      const std::vector<Value>& var_to_value);
+
+  /// Human-readable rendering, e.g. "q(x) :- Eta(x), R(x, y)".
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::vector<std::string> variable_names_;
+  std::vector<CqAtom> atoms_;
+  std::vector<Variable> free_variables_;
+};
+
+}  // namespace featsep
+
+#endif  // FEATSEP_CQ_CQ_H_

@@ -1,0 +1,95 @@
+#include "cq/evaluation.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace featsep {
+
+CqEvaluator::CqEvaluator(const ConjunctiveQuery& query)
+    : query_(query), canonical_(query.schema_ptr()) {
+  auto [db, var_to_value] = query_.CanonicalDatabase();
+  canonical_ = std::move(db);
+  var_to_value_ = std::move(var_to_value);
+  free_tuple_ = ConjunctiveQuery::FreeTuple(query_, var_to_value_);
+  if (query_.schema().has_entity_relation() && query_.IsUnary()) {
+    RelationId eta = query_.schema().entity_relation();
+    Variable x = query_.free_variable();
+    for (const CqAtom& atom : query_.atoms()) {
+      if (atom.relation == eta && atom.args.size() == 1 &&
+          atom.args[0] == x) {
+        has_entity_atom_ = true;
+        break;
+      }
+    }
+  }
+}
+
+bool CqEvaluator::Selects(const Database& db, const std::vector<Value>& tuple,
+                          const HomOptions& options) const {
+  FEATSEP_CHECK(query_.schema() == db.schema())
+      << "query and database schemas differ";
+  FEATSEP_CHECK_EQ(tuple.size(), free_tuple_.size());
+  std::vector<std::pair<Value, Value>> seed;
+  seed.reserve(tuple.size());
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    seed.emplace_back(free_tuple_[i], tuple[i]);
+  }
+  return HomomorphismExists(canonical_, db, seed, options);
+}
+
+bool CqEvaluator::SelectsEntity(const Database& db, Value entity,
+                                const HomOptions& options) const {
+  FEATSEP_CHECK(query_.IsUnary());
+  return Selects(db, {entity}, options);
+}
+
+std::vector<Value> CqEvaluator::Evaluate(const Database& db,
+                                         const HomOptions& options) const {
+  FEATSEP_CHECK(query_.IsUnary())
+      << "Evaluate supports unary queries; use Selects for general tuples";
+  std::vector<Value> candidates =
+      has_entity_atom_ ? db.Entities() : db.domain();
+  std::vector<Value> result;
+  for (Value candidate : candidates) {
+    if (SelectsEntity(db, candidate, options)) result.push_back(candidate);
+  }
+  return result;
+}
+
+bool CqSelects(const ConjunctiveQuery& query, const Database& db,
+               Value entity) {
+  return CqEvaluator(query).SelectsEntity(db, entity);
+}
+
+std::vector<Value> EvaluateUnaryCq(const ConjunctiveQuery& query,
+                                   const Database& db) {
+  return CqEvaluator(query).Evaluate(db);
+}
+
+ConjunctiveQuery CqFromDatabase(const Database& db,
+                                const std::vector<Value>& distinguished) {
+  ConjunctiveQuery query(db.schema_ptr());
+  // One variable per domain value (plus distinguished values, which are in
+  // the domain whenever they appear in facts; tolerate isolated ones too).
+  std::vector<Variable> var_of(db.num_values(),
+                               static_cast<Variable>(kNoValue));
+  auto var_for = [&](Value v) -> Variable {
+    if (var_of[v] == static_cast<Variable>(kNoValue)) {
+      var_of[v] = query.NewVariable(db.value_name(v));
+    }
+    return var_of[v];
+  };
+  for (Value v : distinguished) {
+    query.AddFreeVariable(var_for(v));
+  }
+  for (const Fact& fact : db.facts()) {
+    std::vector<Variable> args;
+    args.reserve(fact.args.size());
+    for (Value v : fact.args) args.push_back(var_for(v));
+    query.AddAtom(fact.relation, std::move(args));
+  }
+  return query;
+}
+
+}  // namespace featsep

@@ -1,0 +1,59 @@
+#ifndef FEATSEP_CQ_EVALUATION_H_
+#define FEATSEP_CQ_EVALUATION_H_
+
+#include <vector>
+
+#include "cq/cq.h"
+#include "cq/homomorphism.h"
+#include "relational/database.h"
+
+namespace featsep {
+
+/// Evaluates a CQ over a database via homomorphisms from its canonical
+/// database (paper, Section 2). Builds the canonical database once and
+/// reuses it across probes; create one evaluator per (query, workload).
+class CqEvaluator {
+ public:
+  /// The query's schema must equal the schema of the databases it will be
+  /// evaluated on (compared structurally).
+  explicit CqEvaluator(const ConjunctiveQuery& query);
+
+  const ConjunctiveQuery& query() const { return query_; }
+
+  /// True iff ā ∈ q(D), i.e., (D_q, x̄) → (D, ā).
+  bool Selects(const Database& db, const std::vector<Value>& tuple,
+               const HomOptions& options = {}) const;
+
+  /// For unary queries: true iff e ∈ q(D).
+  bool SelectsEntity(const Database& db, Value entity,
+                     const HomOptions& options = {}) const;
+
+  /// For unary queries: q(D) as a set of entities, in the order of
+  /// db.Entities(). If the query lacks an η(x) atom, candidates are all of
+  /// dom(D) instead (q(D) ⊆ dom(D)).
+  std::vector<Value> Evaluate(const Database& db,
+                              const HomOptions& options = {}) const;
+
+ private:
+  ConjunctiveQuery query_;
+  Database canonical_;
+  std::vector<Value> var_to_value_;
+  std::vector<Value> free_tuple_;
+  bool has_entity_atom_ = false;
+};
+
+/// One-shot helpers.
+bool CqSelects(const ConjunctiveQuery& query, const Database& db,
+               Value entity);
+std::vector<Value> EvaluateUnaryCq(const ConjunctiveQuery& query,
+                                   const Database& db);
+
+/// Converts a pointed database (D, ā) into the CQ whose canonical database
+/// is D with free variables at ā — the inverse of CanonicalDatabase(). This
+/// is how canonical QBE explanations and product queries become CQs.
+ConjunctiveQuery CqFromDatabase(const Database& db,
+                                const std::vector<Value>& distinguished);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_CQ_EVALUATION_H_

@@ -1,0 +1,358 @@
+#include "cq/homomorphism.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace featsep {
+
+namespace {
+
+/// Search state for one FindHomomorphism call.
+class HomSearch {
+ public:
+  HomSearch(const Database& from, const Database& to,
+            const HomOptions& options)
+      : from_(from), to_(to), options_(options) {}
+
+  HomResult Run(const std::vector<std::pair<Value, Value>>& seed);
+
+ private:
+  /// Index of a variable (a dom(from) element) in vars_.
+  using VarIndex = std::size_t;
+  static constexpr VarIndex kNoVar = static_cast<VarIndex>(-1);
+
+  bool InitializeDomains();
+  /// Filters every variable's domain through the unary constraints induced
+  /// by its (relation, position) occurrences in `from_`.
+  bool ApplyUnaryConstraints();
+  /// Recursive backtracking. Returns kFound/kNone/kExhausted.
+  HomStatus Search();
+  /// Assigns var := image, then forward-checks all facts containing var,
+  /// pruning neighbor domains. Returns false on wipe-out. Records undo
+  /// information at trail marker `mark`.
+  bool Assign(VarIndex var, Value image);
+  /// Forward checking for one fact given the current partial assignment.
+  /// Shrinks the domains of the fact's unassigned variables; false on
+  /// wipe-out or if the fact can no longer be matched.
+  bool CheckFact(FactIndex fact_index);
+
+  void SaveDomain(VarIndex var);
+  void UndoTo(std::size_t mark);
+
+  const Database& from_;
+  const Database& to_;
+  const HomOptions& options_;
+
+  std::vector<Value> vars_;                      // dom(from) elements.
+  std::unordered_map<Value, VarIndex> var_of_;   // value -> variable index.
+  std::vector<std::vector<Value>> domains_;      // candidate images.
+  std::vector<Value> assignment_;                // kNoValue if unassigned.
+  std::size_t unassigned_ = 0;
+
+  // Trail of saved domains for backtracking.
+  std::vector<std::pair<VarIndex, std::vector<Value>>> trail_;
+
+  std::uint64_t nodes_ = 0;
+  bool exhausted_ = false;
+};
+
+HomResult HomSearch::Run(const std::vector<std::pair<Value, Value>>& seed) {
+  HomResult result;
+
+  // Variables are the domain elements of `from_`.
+  vars_ = from_.domain();
+  var_of_.reserve(vars_.size());
+  for (VarIndex i = 0; i < vars_.size(); ++i) var_of_[vars_[i]] = i;
+  assignment_.assign(vars_.size(), kNoValue);
+  unassigned_ = vars_.size();
+
+  if (!InitializeDomains() || !ApplyUnaryConstraints()) {
+    result.status = HomStatus::kNone;
+    return result;
+  }
+
+  // Apply the seed as forced assignments.
+  std::vector<std::pair<Value, Value>> free_seeds;  // outside dom(from).
+  for (const auto& [source, image] : seed) {
+    auto it = var_of_.find(source);
+    if (it == var_of_.end()) {
+      free_seeds.emplace_back(source, image);
+      continue;
+    }
+    VarIndex var = it->second;
+    if (assignment_[var] != kNoValue) {
+      if (assignment_[var] != image) {
+        result.status = HomStatus::kNone;
+        result.nodes = nodes_;
+        return result;
+      }
+      continue;
+    }
+    const std::vector<Value>& domain = domains_[var];
+    if (std::find(domain.begin(), domain.end(), image) == domain.end() ||
+        !Assign(var, image)) {
+      result.status = HomStatus::kNone;
+      result.nodes = nodes_;
+      return result;
+    }
+  }
+
+  result.status = Search();
+  result.nodes = nodes_;
+  if (result.status == HomStatus::kFound) {
+    // Mapping indexed by value id over all interned values of `from_`.
+    result.mapping.assign(from_.num_values(), kNoValue);
+    for (VarIndex i = 0; i < vars_.size(); ++i) {
+      result.mapping[vars_[i]] = assignment_[i];
+    }
+    for (const auto& [source, image] : free_seeds) {
+      if (source < result.mapping.size()) result.mapping[source] = image;
+    }
+  }
+  return result;
+}
+
+bool HomSearch::InitializeDomains() {
+  domains_.assign(vars_.size(), to_.domain());
+  for (const std::vector<Value>& domain : domains_) {
+    if (domain.empty() && !vars_.empty()) return false;
+  }
+  return true;
+}
+
+bool HomSearch::ApplyUnaryConstraints() {
+  // allowed[(relation, pos)] = set of `to_` values occurring there.
+  // Computed lazily per (relation, pos) actually used in `from_`.
+  std::unordered_map<std::uint64_t, std::vector<Value>> allowed_cache;
+  auto allowed_at = [&](RelationId rel,
+                        std::size_t pos) -> const std::vector<Value>& {
+    std::uint64_t key = (static_cast<std::uint64_t>(rel) << 32) | pos;
+    auto it = allowed_cache.find(key);
+    if (it != allowed_cache.end()) return it->second;
+    std::unordered_set<Value> set;
+    for (FactIndex fi : to_.FactsOf(rel)) {
+      set.insert(to_.fact(fi).args[pos]);
+    }
+    std::vector<Value> sorted(set.begin(), set.end());
+    std::sort(sorted.begin(), sorted.end());
+    return allowed_cache.emplace(key, std::move(sorted)).first->second;
+  };
+
+  for (const Fact& fact : from_.facts()) {
+    for (std::size_t pos = 0; pos < fact.args.size(); ++pos) {
+      VarIndex var = var_of_.at(fact.args[pos]);
+      const std::vector<Value>& allowed = allowed_at(fact.relation, pos);
+      std::vector<Value>& domain = domains_[var];
+      std::vector<Value> filtered;
+      filtered.reserve(domain.size());
+      for (Value v : domain) {
+        if (std::binary_search(allowed.begin(), allowed.end(), v)) {
+          filtered.push_back(v);
+        }
+      }
+      domain = std::move(filtered);
+      if (domain.empty()) return false;
+    }
+  }
+  return true;
+}
+
+HomStatus HomSearch::Search() {
+  if (unassigned_ == 0) return HomStatus::kFound;
+
+  // Minimum-remaining-values variable selection.
+  auto select = [&]() {
+    VarIndex best = kNoVar;
+    std::size_t best_size = 0;
+    for (VarIndex i = 0; i < vars_.size(); ++i) {
+      if (assignment_[i] != kNoValue) continue;
+      std::size_t size = domains_[i].size();
+      if (best == kNoVar || size < best_size) {
+        best = i;
+        best_size = size;
+        if (size <= 1) break;
+      }
+    }
+    FEATSEP_CHECK_NE(best, kNoVar);
+    return best;
+  };
+
+  // Iterative backtracking with an explicit frame stack: sources can have
+  // tens of thousands of variables (e.g., QBE products), far beyond safe
+  // call-stack recursion depth. Candidates are copied per frame because
+  // Assign() may shrink the live domain via a neighbor's forward check.
+  struct Frame {
+    VarIndex var;
+    std::vector<Value> candidates;
+    std::size_t next = 0;
+    std::size_t mark = 0;     // Trail mark taken before the last Assign.
+    bool assigned = false;    // An Assign from this frame is in effect.
+  };
+  std::vector<Frame> stack;
+  VarIndex first = select();
+  stack.push_back(Frame{first, domains_[first], 0, 0, false});
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.assigned) {
+      // Control returned to this frame: undo its assignment's effects.
+      UndoTo(frame.mark);
+      assignment_[frame.var] = kNoValue;
+      ++unassigned_;
+      frame.assigned = false;
+    }
+    if (options_.max_nodes != 0 && nodes_ >= options_.max_nodes) {
+      return HomStatus::kExhausted;
+    }
+    if (frame.next >= frame.candidates.size()) {
+      stack.pop_back();
+      continue;
+    }
+    Value image = frame.candidates[frame.next++];
+    ++nodes_;
+    frame.mark = trail_.size();
+    frame.assigned = true;
+    if (Assign(frame.var, image)) {
+      if (unassigned_ == 0) return HomStatus::kFound;
+      VarIndex next_var = select();
+      stack.push_back(Frame{next_var, domains_[next_var], 0, 0, false});
+    }
+    // On Assign failure the loop retries this frame (undo happens above).
+  }
+  return HomStatus::kNone;
+}
+
+bool HomSearch::Assign(VarIndex var, Value image) {
+  assignment_[var] = image;
+  --unassigned_;
+  for (FactIndex fi : from_.FactsContaining(vars_[var])) {
+    if (!CheckFact(fi)) return false;
+  }
+  return true;
+}
+
+bool HomSearch::CheckFact(FactIndex fact_index) {
+  const Fact& fact = from_.fact(fact_index);
+
+  // Find the assigned position whose (relation, pos, image) candidate list
+  // in `to_` is smallest.
+  std::size_t pivot = static_cast<std::size_t>(-1);
+  std::size_t pivot_size = 0;
+  for (std::size_t pos = 0; pos < fact.args.size(); ++pos) {
+    Value image = assignment_[var_of_.at(fact.args[pos])];
+    if (image == kNoValue) continue;
+    std::size_t size = to_.FactsWith(fact.relation, pos, image).size();
+    if (pivot == static_cast<std::size_t>(-1) || size < pivot_size) {
+      pivot = pos;
+      pivot_size = size;
+    }
+  }
+
+  const std::vector<FactIndex>& candidates =
+      pivot == static_cast<std::size_t>(-1)
+          ? to_.FactsOf(fact.relation)
+          : to_.FactsWith(fact.relation, pivot,
+                          assignment_[var_of_.at(fact.args[pivot])]);
+
+  // Collect, per fact position, the values supported by some compatible
+  // target fact; also honor repeated variables within the fact. Without
+  // forward checking we stop at the first compatible fact.
+  std::vector<std::unordered_set<Value>> support(fact.args.size());
+  bool any_compatible = false;
+  for (FactIndex ci : candidates) {
+    if (any_compatible && !options_.forward_checking) break;
+    const Fact& target = to_.fact(ci);
+    bool compatible = true;
+    for (std::size_t pos = 0; pos < fact.args.size(); ++pos) {
+      Value image = assignment_[var_of_.at(fact.args[pos])];
+      if (image != kNoValue && target.args[pos] != image) {
+        compatible = false;
+        break;
+      }
+    }
+    if (!compatible) continue;
+    // Repeated source variables must receive equal images.
+    for (std::size_t p1 = 0; compatible && p1 < fact.args.size(); ++p1) {
+      for (std::size_t p2 = p1 + 1; p2 < fact.args.size(); ++p2) {
+        if (fact.args[p1] == fact.args[p2] &&
+            target.args[p1] != target.args[p2]) {
+          compatible = false;
+          break;
+        }
+      }
+    }
+    if (!compatible) continue;
+    any_compatible = true;
+    for (std::size_t pos = 0; pos < fact.args.size(); ++pos) {
+      support[pos].insert(target.args[pos]);
+    }
+  }
+  if (!any_compatible) return false;
+  if (!options_.forward_checking) return true;
+
+  // Prune the domains of unassigned variables of this fact.
+  for (std::size_t pos = 0; pos < fact.args.size(); ++pos) {
+    VarIndex var = var_of_.at(fact.args[pos]);
+    if (assignment_[var] != kNoValue) continue;
+    std::vector<Value>& domain = domains_[var];
+    std::vector<Value> filtered;
+    filtered.reserve(domain.size());
+    for (Value v : domain) {
+      if (support[pos].count(v) > 0) filtered.push_back(v);
+    }
+    if (filtered.size() != domain.size()) {
+      SaveDomain(var);
+      domains_[var] = std::move(filtered);
+      if (domains_[var].empty()) return false;
+    }
+  }
+  return true;
+}
+
+void HomSearch::SaveDomain(VarIndex var) {
+  trail_.emplace_back(var, domains_[var]);
+}
+
+void HomSearch::UndoTo(std::size_t mark) {
+  while (trail_.size() > mark) {
+    auto& [var, domain] = trail_.back();
+    domains_[var] = std::move(domain);
+    trail_.pop_back();
+  }
+}
+
+}  // namespace
+
+HomResult FindHomomorphism(const Database& from, const Database& to,
+                           const std::vector<std::pair<Value, Value>>& seed,
+                           const HomOptions& options) {
+  HomSearch search(from, to, options);
+  return search.Run(seed);
+}
+
+bool HomomorphismExists(const Database& from, const Database& to,
+                        const std::vector<std::pair<Value, Value>>& seed,
+                        const HomOptions& options) {
+  HomResult result = FindHomomorphism(from, to, seed, options);
+  FEATSEP_CHECK(result.status != HomStatus::kExhausted)
+      << "homomorphism search budget exhausted";
+  return result.status == HomStatus::kFound;
+}
+
+bool HomEquivalent(const Database& from, const std::vector<Value>& from_tuple,
+                   const Database& to, const std::vector<Value>& to_tuple) {
+  FEATSEP_CHECK_EQ(from_tuple.size(), to_tuple.size());
+  std::vector<std::pair<Value, Value>> forward;
+  std::vector<std::pair<Value, Value>> backward;
+  for (std::size_t i = 0; i < from_tuple.size(); ++i) {
+    forward.emplace_back(from_tuple[i], to_tuple[i]);
+    backward.emplace_back(to_tuple[i], from_tuple[i]);
+  }
+  return HomomorphismExists(from, to, forward) &&
+         HomomorphismExists(to, from, backward);
+}
+
+}  // namespace featsep

@@ -1,0 +1,69 @@
+#ifndef FEATSEP_CQ_HOMOMORPHISM_H_
+#define FEATSEP_CQ_HOMOMORPHISM_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace featsep {
+
+/// Options for the homomorphism search.
+struct HomOptions {
+  /// Maximum number of search-tree nodes (variable assignments) to explore;
+  /// 0 means unbounded. Deciding homomorphism existence is NP-complete, so
+  /// callers probing hard instances should set a budget.
+  std::uint64_t max_nodes = 0;
+  /// Prune neighbor domains on every assignment (forward checking). With
+  /// this off, the search only verifies that each touched fact still has a
+  /// compatible target fact — an ablation knob for bench_ablation; leave on
+  /// for real use.
+  bool forward_checking = true;
+};
+
+/// Outcome of a homomorphism search.
+enum class HomStatus {
+  kFound,      ///< A homomorphism exists; `mapping` is a witness.
+  kNone,       ///< No homomorphism exists.
+  kExhausted,  ///< The node budget was exhausted before deciding.
+};
+
+/// Result of a homomorphism search.
+struct HomResult {
+  HomStatus status = HomStatus::kNone;
+  /// For kFound: image of every value of `from`, indexed by value id
+  /// (kNoValue for values outside dom(from)).
+  std::vector<Value> mapping;
+  /// Search-tree nodes explored.
+  std::uint64_t nodes = 0;
+};
+
+/// Searches for a homomorphism h from `from` to `to` — a map on dom(from)
+/// with R(h(ā)) ∈ to for every fact R(ā) ∈ from — such that h extends the
+/// partial map `seed` (pairs of (source value, target value)). Seed sources
+/// outside dom(from) are unconstrained and simply copied into the mapping.
+///
+/// The search is backtracking with unary-constraint domain initialization,
+/// fact-granularity forward checking, and minimum-remaining-values variable
+/// selection. Worst-case exponential (the problem is NP-complete).
+HomResult FindHomomorphism(
+    const Database& from, const Database& to,
+    const std::vector<std::pair<Value, Value>>& seed = {},
+    const HomOptions& options = {});
+
+/// Convenience wrapper: true iff a homomorphism extending `seed` exists.
+/// Checked programmer error if a node budget is set and exhausted.
+bool HomomorphismExists(const Database& from, const Database& to,
+                        const std::vector<std::pair<Value, Value>>& seed = {},
+                        const HomOptions& options = {});
+
+/// True iff (from, ā) → (to, b̄) and (to, b̄) → (from, ā): the two pointed
+/// databases are homomorphically equivalent. This is the paper's CQ
+/// indistinguishability test for entities (Kimelfeld–Ré; see Theorem 3.2).
+bool HomEquivalent(const Database& from, const std::vector<Value>& from_tuple,
+                   const Database& to, const std::vector<Value>& to_tuple);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_CQ_HOMOMORPHISM_H_

@@ -1,0 +1,131 @@
+#include "cq/product.h"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace featsep {
+
+namespace {
+
+/// Interns the product value for a tuple of factor values, memoized.
+class ProductValueTable {
+ public:
+  ProductValueTable(const std::vector<const Database*>& factors,
+                    Database* product)
+      : factors_(factors), product_(product) {}
+
+  Value Get(const std::vector<Value>& tuple) {
+    auto it = table_.find(tuple);
+    if (it != table_.end()) return it->second;
+    std::string name;
+    for (std::size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) name += "|";
+      name += factors_[i]->value_name(tuple[i]);
+    }
+    Value value = product_->Intern(name);
+    table_.emplace(tuple, value);
+    return value;
+  }
+
+ private:
+  const std::vector<const Database*>& factors_;
+  Database* product_;
+  std::unordered_map<std::vector<Value>, Value, VectorHash<Value>> table_;
+};
+
+}  // namespace
+
+std::optional<ProductResult> DirectProduct(
+    const std::vector<const Database*>& factors,
+    const std::vector<std::vector<Value>>& distinguished,
+    std::size_t max_facts) {
+  FEATSEP_CHECK(!factors.empty());
+  FEATSEP_CHECK_EQ(factors.size(), distinguished.size());
+  const Schema& schema = factors[0]->schema();
+  for (const Database* factor : factors) {
+    FEATSEP_CHECK(factor->schema() == schema)
+        << "product factors must share a schema";
+  }
+  std::size_t tuple_len = distinguished[0].size();
+  for (const std::vector<Value>& tuple : distinguished) {
+    FEATSEP_CHECK_EQ(tuple.size(), tuple_len)
+        << "distinguished tuples must have equal length";
+  }
+
+  // Fact-count guard before materializing anything.
+  if (max_facts != 0) {
+    std::size_t total = 0;
+    for (RelationId rel = 0; rel < schema.size(); ++rel) {
+      std::size_t combinations = 1;
+      for (const Database* factor : factors) {
+        std::size_t count = factor->FactsOf(rel).size();
+        if (count == 0) {
+          combinations = 0;
+          break;
+        }
+        if (combinations > max_facts / count) {
+          return std::nullopt;  // Would overflow the budget (or size_t).
+        }
+        combinations *= count;
+      }
+      total += combinations;
+      if (total > max_facts) return std::nullopt;
+    }
+  }
+
+  ProductResult result{Database(factors[0]->schema_ptr()), {}};
+  ProductValueTable values(factors, &result.db);
+
+  // For each relation, enumerate the cartesian product of its fact lists.
+  for (RelationId rel = 0; rel < schema.size(); ++rel) {
+    std::size_t arity = schema.arity(rel);
+    bool empty = false;
+    for (const Database* factor : factors) {
+      if (factor->FactsOf(rel).empty()) {
+        empty = true;
+        break;
+      }
+    }
+    if (empty) continue;
+
+    std::vector<std::size_t> cursor(factors.size(), 0);
+    while (true) {
+      std::vector<Value> args(arity);
+      std::vector<Value> component(factors.size());
+      for (std::size_t pos = 0; pos < arity; ++pos) {
+        for (std::size_t i = 0; i < factors.size(); ++i) {
+          FactIndex fi = factors[i]->FactsOf(rel)[cursor[i]];
+          component[i] = factors[i]->fact(fi).args[pos];
+        }
+        args[pos] = values.Get(component);
+      }
+      result.db.AddFact(rel, std::move(args));
+
+      // Advance the multi-index cursor.
+      std::size_t i = 0;
+      while (i < factors.size()) {
+        if (++cursor[i] < factors[i]->FactsOf(rel).size()) break;
+        cursor[i] = 0;
+        ++i;
+      }
+      if (i == factors.size()) break;
+    }
+  }
+
+  // Distinguished tuple.
+  result.tuple.reserve(tuple_len);
+  std::vector<Value> component(factors.size());
+  for (std::size_t pos = 0; pos < tuple_len; ++pos) {
+    for (std::size_t i = 0; i < factors.size(); ++i) {
+      component[i] = distinguished[i][pos];
+    }
+    result.tuple.push_back(values.Get(component));
+  }
+  return result;
+}
+
+}  // namespace featsep

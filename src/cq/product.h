@@ -1,0 +1,38 @@
+#ifndef FEATSEP_CQ_PRODUCT_H_
+#define FEATSEP_CQ_PRODUCT_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace featsep {
+
+/// The direct product of pointed databases, the canonical object behind
+/// query-by-example (ten Cate–Dalmau): a CQ q satisfies
+/// (q, x̄) → (∏ᵢ Dᵢ, (ā₁⊗…⊗āₙ)) iff (q, x̄) → (Dᵢ, āᵢ) for every i.
+///
+/// Values of the product are tuples of factor values; facts are the
+/// positionwise products of same-relation facts. The product has
+/// ∏ᵢ |Dᵢ| facts, i.e., it is exponential in the number of factors — this
+/// is exactly the blowup behind the coNEXPTIME-hardness of CQ-SEP[ℓ]
+/// (paper, Theorem 6.6).
+struct ProductResult {
+  Database db;
+  /// The distinguished tuple (ā₁⊗…⊗āₙ) inside the product.
+  std::vector<Value> tuple;
+};
+
+/// Computes ∏ᵢ (factors[i], distinguished[i]). All factors must share one
+/// schema, and all distinguished tuples must have equal length. If
+/// `max_facts` is nonzero and the product would exceed it, returns
+/// std::nullopt (budget guard for the exponential blowup).
+std::optional<ProductResult> DirectProduct(
+    const std::vector<const Database*>& factors,
+    const std::vector<std::vector<Value>>& distinguished,
+    std::size_t max_facts = 0);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_CQ_PRODUCT_H_

@@ -1,0 +1,102 @@
+#include "fo/color_refinement.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace featsep {
+
+namespace {
+
+/// One refinement round over a list of (database, colors) pairs sharing a
+/// color space. Returns true if any color class split.
+bool RefineRound(const std::vector<const Database*>& dbs,
+                 std::vector<std::vector<std::size_t>>& colors) {
+  // Signature of a value: (own color, sorted list of per-fact signatures).
+  using FactSig = std::vector<std::size_t>;  // relation, position, colors...
+  using ValueSig = std::pair<std::size_t, std::vector<FactSig>>;
+
+  std::map<ValueSig, std::size_t> palette;
+  std::vector<std::vector<std::size_t>> next(colors.size());
+  for (std::size_t d = 0; d < dbs.size(); ++d) {
+    const Database& db = *dbs[d];
+    next[d].assign(db.num_values(), 0);
+    for (Value v = 0; v < db.num_values(); ++v) {
+      ValueSig sig;
+      sig.first = colors[d][v];
+      for (FactIndex fi : db.FactsContaining(v)) {
+        const Fact& fact = db.fact(fi);
+        for (std::size_t pos = 0; pos < fact.args.size(); ++pos) {
+          if (fact.args[pos] != v) continue;
+          FactSig fs;
+          fs.push_back(fact.relation);
+          fs.push_back(pos);
+          for (Value arg : fact.args) fs.push_back(colors[d][arg]);
+          sig.second.push_back(std::move(fs));
+        }
+      }
+      std::sort(sig.second.begin(), sig.second.end());
+      auto [it, inserted] = palette.emplace(std::move(sig), palette.size());
+      (void)inserted;
+      next[d][v] = it->second;
+    }
+  }
+
+  bool changed = false;
+  for (std::size_t d = 0; d < dbs.size(); ++d) {
+    if (next[d] != colors[d]) changed = true;
+  }
+  // Detect stabilization by comparing partition sizes rather than raw ids
+  // (ids are renumbered every round): count distinct colors before/after.
+  auto count_colors = [](const std::vector<std::vector<std::size_t>>& cs) {
+    std::vector<std::size_t> all;
+    for (const auto& c : cs) all.insert(all.end(), c.begin(), c.end());
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    return all.size();
+  };
+  std::size_t before = count_colors(colors);
+  std::size_t after = count_colors(next);
+  colors = std::move(next);
+  (void)changed;
+  return after > before;
+}
+
+std::vector<std::vector<std::size_t>> Refine(
+    const std::vector<const Database*>& dbs,
+    std::vector<std::vector<std::size_t>> colors) {
+  while (RefineRound(dbs, colors)) {
+  }
+  return colors;
+}
+
+}  // namespace
+
+std::vector<std::size_t> StableColors(const Database& db,
+                                      const std::vector<std::size_t>& initial) {
+  std::vector<std::size_t> colors =
+      initial.empty() ? std::vector<std::size_t>(db.num_values(), 0) : initial;
+  FEATSEP_CHECK_EQ(colors.size(), db.num_values());
+  auto result = Refine({&db}, {std::move(colors)});
+  return result[0];
+}
+
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>>
+JointStableColors(const Database& a, const Database& b,
+                  const std::vector<std::size_t>& initial_a,
+                  const std::vector<std::size_t>& initial_b) {
+  std::vector<std::size_t> ca = initial_a.empty()
+                                    ? std::vector<std::size_t>(a.num_values(), 0)
+                                    : initial_a;
+  std::vector<std::size_t> cb = initial_b.empty()
+                                    ? std::vector<std::size_t>(b.num_values(), 0)
+                                    : initial_b;
+  FEATSEP_CHECK_EQ(ca.size(), a.num_values());
+  FEATSEP_CHECK_EQ(cb.size(), b.num_values());
+  auto result = Refine({&a, &b}, {std::move(ca), std::move(cb)});
+  return {std::move(result[0]), std::move(result[1])};
+}
+
+}  // namespace featsep

@@ -1,0 +1,36 @@
+#ifndef FEATSEP_FO_COLOR_REFINEMENT_H_
+#define FEATSEP_FO_COLOR_REFINEMENT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace featsep {
+
+/// Stable coloring of a database's domain by 1-dimensional Weisfeiler–Leman
+/// refinement, generalized to relational structures: at each round a value's
+/// color is refined by the multiset of (relation, own position, colors of
+/// the co-occurring values) signatures over its incident facts. Two values
+/// with different stable colors lie in different orbits of the automorphism
+/// group — the workhorse invariant of the FO-separability isomorphism test
+/// (paper, Section 8; FO-QBE is GI-complete, Arenas–Díaz).
+///
+/// `initial` optionally seeds colors (e.g., to individualize distinguished
+/// elements); it must assign a color to every value id of `db` if present.
+/// The returned vector maps each value id to its stable color; colors are
+/// normalized across *one* database only. To compare two databases, refine
+/// their disjoint union (see JointStableColors).
+std::vector<std::size_t> StableColors(
+    const Database& db, const std::vector<std::size_t>& initial = {});
+
+/// Refines both databases together (colors comparable across them): returns
+/// the pair of color vectors under a common color space.
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>>
+JointStableColors(const Database& a, const Database& b,
+                  const std::vector<std::size_t>& initial_a = {},
+                  const std::vector<std::size_t>& initial_b = {});
+
+}  // namespace featsep
+
+#endif  // FEATSEP_FO_COLOR_REFINEMENT_H_

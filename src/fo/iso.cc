@@ -1,0 +1,161 @@
+#include "fo/iso.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "fo/color_refinement.h"
+#include "util/check.h"
+
+namespace featsep {
+
+namespace {
+
+/// Values participating in the isomorphism: dom(db) plus the distinguished
+/// tuple (isolated interned names are irrelevant to isomorphism).
+std::vector<Value> RelevantValues(const Database& db,
+                                  const std::vector<Value>& tuple) {
+  std::vector<Value> values = db.domain();
+  for (Value v : tuple) values.push_back(v);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+class IsoSearch {
+ public:
+  IsoSearch(const Database& a, const Database& b) : a_(a), b_(b) {}
+
+  bool Run(const std::vector<Value>& a_tuple,
+           const std::vector<Value>& b_tuple, std::uint64_t* nodes) {
+    nodes_ = 0;
+    bool result = false;
+    do {
+      if (a_tuple.size() != b_tuple.size()) break;
+      // Equal repetition patterns in the distinguished tuples.
+      bool pattern_ok = true;
+      for (std::size_t i = 0; i < a_tuple.size() && pattern_ok; ++i) {
+        for (std::size_t j = i + 1; j < a_tuple.size(); ++j) {
+          if ((a_tuple[i] == a_tuple[j]) != (b_tuple[i] == b_tuple[j])) {
+            pattern_ok = false;
+            break;
+          }
+        }
+      }
+      if (!pattern_ok) break;
+
+      relevant_a_ = RelevantValues(a_, a_tuple);
+      relevant_b_ = RelevantValues(b_, b_tuple);
+      if (relevant_a_.size() != relevant_b_.size()) break;
+      if (a_.size() != b_.size()) break;
+      if (!(a_.schema() == b_.schema())) break;
+
+      // Initial colors: 0 everywhere, distinguished positions get 1+i (the
+      // first position at which the value occurs in the tuple).
+      std::vector<std::size_t> ca(a_.num_values(), 0);
+      std::vector<std::size_t> cb(b_.num_values(), 0);
+      for (std::size_t i = a_tuple.size(); i-- > 0;) {
+        ca[a_tuple[i]] = 1 + i;
+        cb[b_tuple[i]] = 1 + i;
+      }
+      result = Recurse(std::move(ca), std::move(cb));
+    } while (false);
+    if (nodes != nullptr) *nodes = nodes_;
+    return result;
+  }
+
+ private:
+  bool Recurse(std::vector<std::size_t> ca, std::vector<std::size_t> cb) {
+    ++nodes_;
+    auto [ra, rb] = JointStableColors(a_, b_, ca, cb);
+
+    // Color class inventories over relevant values must match.
+    std::map<std::size_t, std::vector<Value>> classes_a;
+    std::map<std::size_t, std::vector<Value>> classes_b;
+    for (Value v : relevant_a_) classes_a[ra[v]].push_back(v);
+    for (Value v : relevant_b_) classes_b[rb[v]].push_back(v);
+    if (classes_a.size() != classes_b.size()) return false;
+    for (auto ia = classes_a.begin(), ib = classes_b.begin();
+         ia != classes_a.end(); ++ia, ++ib) {
+      if (ia->first != ib->first || ia->second.size() != ib->second.size()) {
+        return false;
+      }
+    }
+
+    // Find the smallest non-singleton class.
+    const std::vector<Value>* split_a = nullptr;
+    const std::vector<Value>* split_b = nullptr;
+    for (auto ia = classes_a.begin(), ib = classes_b.begin();
+         ia != classes_a.end(); ++ia, ++ib) {
+      if (ia->second.size() > 1 &&
+          (split_a == nullptr || ia->second.size() < split_a->size())) {
+        split_a = &ia->second;
+        split_b = &ib->second;
+      }
+    }
+
+    if (split_a == nullptr) {
+      // Discrete coloring: candidate bijection color -> (value, value).
+      std::vector<Value> map_a_to_b(a_.num_values(), kNoValue);
+      for (auto ia = classes_a.begin(), ib = classes_b.begin();
+           ia != classes_a.end(); ++ia, ++ib) {
+        map_a_to_b[ia->second[0]] = ib->second[0];
+      }
+      return VerifyBijection(map_a_to_b);
+    }
+
+    // A color id strictly above everything the joint palette assigned, so
+    // individualization cannot collide with an existing class.
+    std::size_t fresh = 0;
+    for (std::size_t c : ra) fresh = std::max(fresh, c + 1);
+    for (std::size_t c : rb) fresh = std::max(fresh, c + 1);
+
+    Value pivot = (*split_a)[0];
+    for (Value candidate : *split_b) {
+      std::vector<std::size_t> na = ra;
+      std::vector<std::size_t> nb = rb;
+      na[pivot] = fresh;
+      nb[candidate] = fresh;
+      if (Recurse(std::move(na), std::move(nb))) return true;
+    }
+    return false;
+  }
+
+  bool VerifyBijection(const std::vector<Value>& map_a_to_b) const {
+    // Injectivity over relevant values.
+    std::unordered_set<Value> images;
+    for (Value v : relevant_a_) {
+      FEATSEP_CHECK_NE(map_a_to_b[v], kNoValue);
+      if (!images.insert(map_a_to_b[v]).second) return false;
+    }
+    // Every fact of a maps to a fact of b; with |a| == |b| and injectivity
+    // this forces a fact bijection, hence an isomorphism.
+    for (const Fact& fact : a_.facts()) {
+      std::vector<Value> args;
+      args.reserve(fact.args.size());
+      for (Value v : fact.args) args.push_back(map_a_to_b[v]);
+      if (!b_.ContainsFact(Fact{fact.relation, std::move(args)})) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const Database& a_;
+  const Database& b_;
+  std::vector<Value> relevant_a_;
+  std::vector<Value> relevant_b_;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+bool AreIsomorphic(const Database& a, const std::vector<Value>& a_tuple,
+                   const Database& b, const std::vector<Value>& b_tuple,
+                   std::uint64_t* nodes) {
+  IsoSearch search(a, b);
+  return search.Run(a_tuple, b_tuple, nodes);
+}
+
+}  // namespace featsep

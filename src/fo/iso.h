@@ -1,0 +1,30 @@
+#ifndef FEATSEP_FO_ISO_H_
+#define FEATSEP_FO_ISO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace featsep {
+
+/// Decides whether the pointed databases (a, ā) and (b, b̄) are isomorphic:
+/// a bijection between their domains preserving facts in both directions
+/// and mapping ā to b̄ pointwise.
+///
+/// Isomorphism is exactly FO-indistinguishability for finite structures, so
+/// this test underlies FO-separability (paper, Section 8): a training
+/// database is FO-separable iff no two differently-labeled entities have
+/// isomorphic pointed databases. The problem is GI-complete (Arenas–Díaz),
+/// and the implementation is the classic individualization–refinement
+/// scheme: 1-WL color refinement as an invariant, with backtracking over
+/// color-preserving individualization when refinement alone is not
+/// discrete. `nodes`, if non-null, receives the number of search nodes —
+/// a measure of instance hardness (CFI-style pairs blow it up).
+bool AreIsomorphic(const Database& a, const std::vector<Value>& a_tuple,
+                   const Database& b, const std::vector<Value>& b_tuple,
+                   std::uint64_t* nodes = nullptr);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_FO_ISO_H_

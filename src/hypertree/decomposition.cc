@@ -1,0 +1,125 @@
+#include "hypertree/decomposition.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace featsep {
+
+std::string TreeDecomposition::ToString() const {
+  std::ostringstream out;
+  out << "TreeDecomposition(root=" << root << ";";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    out << " node" << i << "{";
+    for (std::size_t j = 0; j < nodes[i].bag.size(); ++j) {
+      if (j > 0) out << ",";
+      out << nodes[i].bag[j];
+    }
+    out << "}->[";
+    for (std::size_t j = 0; j < nodes[i].children.size(); ++j) {
+      if (j > 0) out << ",";
+      out << nodes[i].children[j];
+    }
+    out << "]";
+  }
+  out << ")";
+  return out.str();
+}
+
+bool ValidateDecomposition(const Hypergraph& graph,
+                           const TreeDecomposition& td, std::size_t k,
+                           std::string* error) {
+  auto fail = [&](const std::string& reason) {
+    if (error != nullptr) *error = reason;
+    return false;
+  };
+  if (td.empty()) {
+    // The empty decomposition is valid only for hypergraphs with no
+    // non-empty edges (nothing to cover).
+    for (HEdge e = 0; e < graph.num_edges(); ++e) {
+      if (!graph.edge(e).empty()) {
+        return fail("empty decomposition but hypergraph has edges");
+      }
+    }
+    return true;
+  }
+  if (td.root >= td.nodes.size()) return fail("root out of range");
+
+  // Tree shape: every node except the root has exactly one parent; all
+  // nodes reachable from the root.
+  std::vector<std::size_t> parent(td.nodes.size(),
+                                  static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < td.nodes.size(); ++i) {
+    for (std::size_t child : td.nodes[i].children) {
+      if (child >= td.nodes.size()) return fail("child index out of range");
+      if (parent[child] != static_cast<std::size_t>(-1)) {
+        return fail("node has two parents");
+      }
+      parent[child] = i;
+    }
+  }
+  std::vector<bool> reached(td.nodes.size(), false);
+  std::vector<std::size_t> stack = {td.root};
+  while (!stack.empty()) {
+    std::size_t node = stack.back();
+    stack.pop_back();
+    if (reached[node]) return fail("cycle in decomposition tree");
+    reached[node] = true;
+    for (std::size_t child : td.nodes[node].children) stack.push_back(child);
+  }
+  for (std::size_t i = 0; i < td.nodes.size(); ++i) {
+    if (!reached[i]) return fail("unreachable decomposition node");
+  }
+
+  // (1) Edge coverage.
+  for (HEdge e = 0; e < graph.num_edges(); ++e) {
+    const std::vector<HVertex>& vs = graph.edge(e);
+    bool covered = false;
+    for (const TreeDecomposition::Node& node : td.nodes) {
+      if (std::includes(node.bag.begin(), node.bag.end(), vs.begin(),
+                        vs.end())) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      return fail("edge " + std::to_string(e) + " not covered by any bag");
+    }
+  }
+
+  // (2) Connectedness: for every vertex, the nodes containing it form a
+  // connected subtree — equivalently, at most one such node has a parent
+  // not containing the vertex.
+  for (HVertex v = 0; v < graph.num_vertices(); ++v) {
+    std::size_t tops = 0;
+    std::size_t occurrences = 0;
+    for (std::size_t i = 0; i < td.nodes.size(); ++i) {
+      const std::vector<HVertex>& bag = td.nodes[i].bag;
+      if (!std::binary_search(bag.begin(), bag.end(), v)) continue;
+      ++occurrences;
+      std::size_t p = parent[i];
+      if (p == static_cast<std::size_t>(-1) ||
+          !std::binary_search(td.nodes[p].bag.begin(),
+                              td.nodes[p].bag.end(), v)) {
+        ++tops;
+      }
+    }
+    if (occurrences > 0 && tops != 1) {
+      return fail("vertex " + std::to_string(v) +
+                  " does not induce a connected subtree");
+    }
+  }
+
+  // (3) Width.
+  for (std::size_t i = 0; i < td.nodes.size(); ++i) {
+    std::size_t cover = graph.EdgeCoverNumber(td.nodes[i].bag);
+    if (cover > k) {
+      return fail("bag of node " + std::to_string(i) + " has cover number " +
+                  std::to_string(cover) + " > " + std::to_string(k));
+    }
+  }
+  return true;
+}
+
+}  // namespace featsep

@@ -1,0 +1,42 @@
+#ifndef FEATSEP_HYPERTREE_DECOMPOSITION_H_
+#define FEATSEP_HYPERTREE_DECOMPOSITION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hypertree/hypergraph.h"
+
+namespace featsep {
+
+/// A (generalized hypertree–style) tree decomposition of a hypergraph: a
+/// rooted tree whose nodes carry bags of vertices. Width of a node = edge
+/// cover number of its bag; width of the decomposition = max node width
+/// (paper, Section 5, following Chen–Dalmau).
+struct TreeDecomposition {
+  struct Node {
+    std::vector<HVertex> bag;          // Sorted.
+    std::vector<std::size_t> children;
+  };
+
+  std::vector<Node> nodes;
+  std::size_t root = 0;
+
+  bool empty() const { return nodes.empty(); }
+  std::string ToString() const;
+};
+
+/// Verifies that `td` is a valid tree decomposition of `graph` of width at
+/// most `k`:
+///   (1) every edge's vertex set is contained in some bag,
+///   (2) for every vertex, the nodes whose bags contain it induce a
+///       connected subtree,
+///   (3) every bag has edge cover number ≤ k.
+/// If `error` is non-null, a human-readable reason is stored on failure.
+bool ValidateDecomposition(const Hypergraph& graph,
+                           const TreeDecomposition& td, std::size_t k,
+                           std::string* error = nullptr);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_HYPERTREE_DECOMPOSITION_H_

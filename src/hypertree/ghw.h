@@ -1,0 +1,55 @@
+#ifndef FEATSEP_HYPERTREE_GHW_H_
+#define FEATSEP_HYPERTREE_GHW_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "cq/cq.h"
+#include "hypertree/decomposition.h"
+#include "hypertree/hypergraph.h"
+
+namespace featsep {
+
+/// Options for the ghw decision procedure.
+struct GhwOptions {
+  /// Upper bound on the candidate bag family size; the procedure CHECK-fails
+  /// beyond it (deciding ghw ≤ k is NP-hard for fixed k ≥ 2 — Gottlob et
+  /// al. — so blowup on large inputs is inherent; this guard makes it loud).
+  std::size_t max_bags = 2000000;
+};
+
+/// Decides whether ghw(graph) ≤ k and, if so, returns a witness tree
+/// decomposition of width ≤ k (validated by ValidateDecomposition).
+///
+/// Algorithm: detkdecomp-style recursive decomposition over edge components
+/// with memoization on (component, connector) pairs. Completeness for
+/// *generalized* hypertree width is obtained by drawing bags from the full
+/// family of subsets of unions of ≤ k edges (the subedge-closure that plain
+/// det-k-decomp lacks), which keeps the procedure exact at exponential
+/// worst-case cost — appropriate for query-sized hypergraphs.
+std::optional<TreeDecomposition> DecideGhwAtMost(
+    const Hypergraph& graph, std::size_t k, const GhwOptions& options = {});
+
+/// The exact generalized hypertree width: the least k with ghw(graph) ≤ k
+/// (0 for hypergraphs with no nonempty edge).
+std::size_t Ghw(const Hypergraph& graph, const GhwOptions& options = {});
+
+/// Builds the hypergraph of a CQ per the paper's Section 5 definition:
+/// vertices are the existentially quantified variables, edges are the atom
+/// variable sets restricted to those. If `vertex_to_variable` is non-null it
+/// receives, for each hypergraph vertex, the corresponding query variable.
+Hypergraph QueryHypergraph(const ConjunctiveQuery& query,
+                           std::vector<Variable>* vertex_to_variable = nullptr);
+
+/// ghw of a CQ.
+std::size_t QueryGhw(const ConjunctiveQuery& query,
+                     const GhwOptions& options = {});
+
+/// True iff the CQ belongs to GHW(k).
+bool IsInGhw(const ConjunctiveQuery& query, std::size_t k,
+             const GhwOptions& options = {});
+
+}  // namespace featsep
+
+#endif  // FEATSEP_HYPERTREE_GHW_H_

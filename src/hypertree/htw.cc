@@ -1,0 +1,297 @@
+#include "hypertree/htw.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace featsep {
+
+namespace {
+
+struct SubproblemKey {
+  std::vector<HEdge> component;    // Sorted.
+  std::vector<HVertex> connector;  // Sorted.
+
+  friend bool operator==(const SubproblemKey& a, const SubproblemKey& b) {
+    return a.component == b.component && a.connector == b.connector;
+  }
+};
+
+struct SubproblemKeyHash {
+  std::size_t operator()(const SubproblemKey& key) const {
+    std::size_t seed = HashRange(key.component.begin(), key.component.end());
+    HashCombine(seed, HashRange(key.connector.begin(), key.connector.end()));
+    return seed;
+  }
+};
+
+/// det-k-decomp engine: guesses λ among ≤k-edge subsets; the bag is the
+/// normal form χ = ⋃λ ∩ (connector ∪ vars(component)), which guarantees
+/// the special condition.
+class HtwSearch {
+ public:
+  HtwSearch(const Hypergraph& graph, std::size_t k) : graph_(graph), k_(k) {}
+
+  std::optional<HypertreeDecomposition> Run() {
+    std::vector<HEdge> all_edges;
+    for (HEdge e = 0; e < graph_.num_edges(); ++e) {
+      if (!graph_.edge(e).empty()) all_edges.push_back(e);
+    }
+    HypertreeDecomposition htd;
+    if (all_edges.empty()) {
+      htd.nodes.push_back(HypertreeDecomposition::Node{{}, {}, {}});
+      htd.root = 0;
+      return htd;
+    }
+    std::vector<std::vector<HEdge>> components =
+        graph_.EdgeComponents(all_edges, {});
+    std::vector<SubproblemKey> roots;
+    for (std::vector<HEdge>& component : components) {
+      SubproblemKey key{std::move(component), {}};
+      if (!Solve(key)) return std::nullopt;
+      roots.push_back(std::move(key));
+    }
+    htd.nodes.push_back(HypertreeDecomposition::Node{{}, {}, {}});
+    htd.root = 0;
+    for (const SubproblemKey& key : roots) {
+      std::size_t child = Emit(key, &htd);
+      htd.nodes[htd.root].children.push_back(child);
+    }
+    return htd;
+  }
+
+ private:
+  struct Choice {
+    std::vector<HVertex> bag;
+    std::vector<HEdge> lambda;
+    std::vector<SubproblemKey> children;
+  };
+
+  bool Solve(const SubproblemKey& key) {
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second.has_value();
+    memo_.emplace(key, std::nullopt);
+
+    std::vector<HVertex> component_vars = graph_.VerticesOf(key.component);
+    std::vector<HVertex> scope;  // connector ∪ vars(component), sorted.
+    std::set_union(component_vars.begin(), component_vars.end(),
+                   key.connector.begin(), key.connector.end(),
+                   std::back_inserter(scope));
+
+    // Enumerate λ of size ≤ k over all edges of the graph.
+    std::vector<HEdge> lambda;
+    bool found = TryLambdas(key, scope, 0, &lambda);
+    return found;
+  }
+
+  bool TryLambdas(const SubproblemKey& key,
+                  const std::vector<HVertex>& scope, HEdge next,
+                  std::vector<HEdge>* lambda) {
+    if (!lambda->empty() && TryOne(key, scope, *lambda)) return true;
+    if (lambda->size() == k_) return false;
+    for (HEdge e = next; e < graph_.num_edges(); ++e) {
+      if (graph_.edge(e).empty()) continue;
+      lambda->push_back(e);
+      if (TryLambdas(key, scope, e + 1, lambda)) {
+        lambda->pop_back();
+        return true;
+      }
+      lambda->pop_back();
+    }
+    return false;
+  }
+
+  bool TryOne(const SubproblemKey& key, const std::vector<HVertex>& scope,
+              const std::vector<HEdge>& lambda) {
+    // Normal-form bag.
+    std::vector<HVertex> covered = graph_.VerticesOf(lambda);
+    std::vector<HVertex> bag;
+    std::set_intersection(covered.begin(), covered.end(), scope.begin(),
+                          scope.end(), std::back_inserter(bag));
+    // Connectedness with the parent.
+    if (!std::includes(bag.begin(), bag.end(), key.connector.begin(),
+                       key.connector.end())) {
+      return false;
+    }
+    std::vector<HEdge> remaining;
+    for (HEdge e : key.component) {
+      const std::vector<HVertex>& vs = graph_.edge(e);
+      if (!std::includes(bag.begin(), bag.end(), vs.begin(), vs.end())) {
+        remaining.push_back(e);
+      }
+    }
+    std::vector<std::vector<HEdge>> components =
+        graph_.EdgeComponents(remaining, bag);
+    if (remaining.size() == key.component.size() && components.size() == 1) {
+      return false;  // No progress.
+    }
+    std::vector<SubproblemKey> children;
+    for (std::vector<HEdge>& component : components) {
+      std::vector<HVertex> vars = graph_.VerticesOf(component);
+      std::vector<HVertex> connector;
+      std::set_intersection(vars.begin(), vars.end(), bag.begin(), bag.end(),
+                            std::back_inserter(connector));
+      SubproblemKey child{std::move(component), std::move(connector)};
+      if (!Solve(child)) return false;
+      children.push_back(std::move(child));
+    }
+    memo_[key] = Choice{std::move(bag), lambda, std::move(children)};
+    return true;
+  }
+
+  std::size_t Emit(const SubproblemKey& key,
+                   HypertreeDecomposition* htd) const {
+    const std::optional<Choice>& choice = memo_.at(key);
+    FEATSEP_CHECK(choice.has_value());
+    std::size_t index = htd->nodes.size();
+    htd->nodes.push_back(
+        HypertreeDecomposition::Node{choice->bag, choice->lambda, {}});
+    for (const SubproblemKey& child : choice->children) {
+      std::size_t child_index = Emit(child, htd);
+      htd->nodes[index].children.push_back(child_index);
+    }
+    return index;
+  }
+
+  const Hypergraph& graph_;
+  std::size_t k_;
+  std::unordered_map<SubproblemKey, std::optional<Choice>, SubproblemKeyHash>
+      memo_;
+};
+
+}  // namespace
+
+std::optional<HypertreeDecomposition> DecideHtwAtMost(const Hypergraph& graph,
+                                                      std::size_t k) {
+  HtwSearch search(graph, k);
+  return search.Run();
+}
+
+std::size_t Htw(const Hypergraph& graph) {
+  for (std::size_t k = 0; k <= graph.num_edges(); ++k) {
+    if (DecideHtwAtMost(graph, k).has_value()) return k;
+  }
+  FEATSEP_CHECK(false) << "htw exceeds the number of edges (impossible)";
+  return graph.num_edges();
+}
+
+bool ValidateHypertreeDecomposition(const Hypergraph& graph,
+                                    const HypertreeDecomposition& htd,
+                                    std::size_t k, std::string* error) {
+  auto fail = [&](const std::string& reason) {
+    if (error != nullptr) *error = reason;
+    return false;
+  };
+  if (htd.empty()) {
+    for (HEdge e = 0; e < graph.num_edges(); ++e) {
+      if (!graph.edge(e).empty()) {
+        return fail("empty decomposition with nonempty edges");
+      }
+    }
+    return true;
+  }
+  if (htd.root >= htd.nodes.size()) return fail("root out of range");
+
+  // Tree shape.
+  std::vector<std::size_t> parent(htd.nodes.size(),
+                                  static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < htd.nodes.size(); ++i) {
+    for (std::size_t child : htd.nodes[i].children) {
+      if (child >= htd.nodes.size()) return fail("child out of range");
+      if (parent[child] != static_cast<std::size_t>(-1)) {
+        return fail("node has two parents");
+      }
+      parent[child] = i;
+    }
+  }
+
+  // (1) Edge coverage.
+  for (HEdge e = 0; e < graph.num_edges(); ++e) {
+    const std::vector<HVertex>& vs = graph.edge(e);
+    bool covered = false;
+    for (const auto& node : htd.nodes) {
+      if (std::includes(node.bag.begin(), node.bag.end(), vs.begin(),
+                        vs.end())) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return fail("edge " + std::to_string(e) + " uncovered");
+  }
+
+  // (2) Connectedness.
+  for (HVertex v = 0; v < graph.num_vertices(); ++v) {
+    std::size_t tops = 0;
+    std::size_t occurrences = 0;
+    for (std::size_t i = 0; i < htd.nodes.size(); ++i) {
+      const std::vector<HVertex>& bag = htd.nodes[i].bag;
+      if (!std::binary_search(bag.begin(), bag.end(), v)) continue;
+      ++occurrences;
+      std::size_t p = parent[i];
+      if (p == static_cast<std::size_t>(-1) ||
+          !std::binary_search(htd.nodes[p].bag.begin(),
+                              htd.nodes[p].bag.end(), v)) {
+        ++tops;
+      }
+    }
+    if (occurrences > 0 && tops != 1) {
+      return fail("vertex " + std::to_string(v) + " disconnected");
+    }
+  }
+
+  // (3) λ covers χ and |λ| ≤ k.
+  for (std::size_t i = 0; i < htd.nodes.size(); ++i) {
+    const auto& node = htd.nodes[i];
+    if (node.lambda.size() > k) {
+      return fail("node " + std::to_string(i) + " has |lambda| > k");
+    }
+    std::vector<HVertex> covered = graph.VerticesOf(node.lambda);
+    if (!std::includes(covered.begin(), covered.end(), node.bag.begin(),
+                       node.bag.end())) {
+      return fail("bag of node " + std::to_string(i) +
+                  " not covered by its lambda");
+    }
+  }
+
+  // (4) Special condition: ⋃λ(t) ∩ χ(T_t) ⊆ χ(t).
+  // Compute subtree bag unions bottom-up.
+  std::vector<std::vector<HVertex>> subtree_vars(htd.nodes.size());
+  // Process nodes in reverse topological order: children have larger
+  // indexes in our emissions, but be safe and iterate to fixpoint.
+  bool changed = true;
+  for (std::size_t i = 0; i < htd.nodes.size(); ++i) {
+    subtree_vars[i] = htd.nodes[i].bag;
+  }
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < htd.nodes.size(); ++i) {
+      for (std::size_t child : htd.nodes[i].children) {
+        std::vector<HVertex> merged;
+        std::set_union(subtree_vars[i].begin(), subtree_vars[i].end(),
+                       subtree_vars[child].begin(), subtree_vars[child].end(),
+                       std::back_inserter(merged));
+        if (merged != subtree_vars[i]) {
+          subtree_vars[i] = std::move(merged);
+          changed = true;
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < htd.nodes.size(); ++i) {
+    std::vector<HVertex> lambda_vars = graph.VerticesOf(htd.nodes[i].lambda);
+    std::vector<HVertex> meet;
+    std::set_intersection(lambda_vars.begin(), lambda_vars.end(),
+                          subtree_vars[i].begin(), subtree_vars[i].end(),
+                          std::back_inserter(meet));
+    if (!std::includes(htd.nodes[i].bag.begin(), htd.nodes[i].bag.end(),
+                       meet.begin(), meet.end())) {
+      return fail("special condition violated at node " + std::to_string(i));
+    }
+  }
+  return true;
+}
+
+}  // namespace featsep

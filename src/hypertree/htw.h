@@ -1,0 +1,54 @@
+#ifndef FEATSEP_HYPERTREE_HTW_H_
+#define FEATSEP_HYPERTREE_HTW_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hypertree/hypergraph.h"
+
+namespace featsep {
+
+/// A hypertree decomposition (Gottlob–Leone–Scarcello [13]): a rooted tree
+/// whose nodes carry a bag χ(t) and an edge label λ(t) with
+///   (1)  every edge covered by some bag,
+///   (2)  connectedness of every vertex's occurrence set,
+///   (3)  χ(t) ⊆ ⋃λ(t) and |λ(t)| ≤ k,
+///   (4)  the special condition: ⋃λ(t) ∩ χ(T_t) ⊆ χ(t), where χ(T_t) is
+///        the union of the bags in the subtree rooted at t.
+/// Hypertree width (htw) relates to the paper's generalized hypertree
+/// width by ghw ≤ htw ≤ 3·ghw + 1; unlike ghw ≤ k (NP-hard for fixed
+/// k ≥ 2), htw ≤ k is decidable in polynomial time — this is the
+/// det-k-decomp algorithm, the classical tool for width-bounded query
+/// evaluation that GHW(k) feature classes build on.
+struct HypertreeDecomposition {
+  struct Node {
+    std::vector<HVertex> bag;      // χ(t), sorted.
+    std::vector<HEdge> lambda;     // λ(t), sorted.
+    std::vector<std::size_t> children;
+  };
+  std::vector<Node> nodes;
+  std::size_t root = 0;
+
+  bool empty() const { return nodes.empty(); }
+};
+
+/// Decides htw(graph) ≤ k via det-k-decomp (recursive edge-component
+/// decomposition with memoization, bags in the normal form
+/// χ = ⋃λ ∩ (connector ∪ vars(component))). Returns a witness on success.
+std::optional<HypertreeDecomposition> DecideHtwAtMost(const Hypergraph& graph,
+                                                      std::size_t k);
+
+/// The exact hypertree width (0 for hypergraphs with no nonempty edge).
+std::size_t Htw(const Hypergraph& graph);
+
+/// Verifies all four conditions above for width ≤ k.
+bool ValidateHypertreeDecomposition(const Hypergraph& graph,
+                                    const HypertreeDecomposition& htd,
+                                    std::size_t k,
+                                    std::string* error = nullptr);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_HYPERTREE_HTW_H_

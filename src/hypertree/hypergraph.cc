@@ -1,0 +1,198 @@
+#include "hypertree/hypergraph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace featsep {
+
+HVertex Hypergraph::AddVertex() {
+  incident_.resize(std::max(incident_.size(), num_vertices_ + 1));
+  return num_vertices_++;
+}
+
+HEdge Hypergraph::AddEdge(std::vector<HVertex> vertices) {
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  for (HVertex v : vertices) {
+    FEATSEP_CHECK_LT(v, num_vertices_) << "edge uses unknown vertex";
+  }
+  HEdge e = edges_.size();
+  incident_.resize(std::max(incident_.size(), num_vertices_));
+  for (HVertex v : vertices) incident_[v].push_back(e);
+  edges_.push_back(std::move(vertices));
+  return e;
+}
+
+const std::vector<HVertex>& Hypergraph::edge(HEdge e) const {
+  FEATSEP_CHECK_LT(e, edges_.size());
+  return edges_[e];
+}
+
+const std::vector<HEdge>& Hypergraph::IncidentEdges(HVertex v) const {
+  FEATSEP_CHECK_LT(v, num_vertices_);
+  static const auto& empty = *new std::vector<HEdge>();
+  if (v >= incident_.size()) return empty;
+  return incident_[v];
+}
+
+std::vector<std::vector<HEdge>> Hypergraph::EdgeComponents(
+    const std::vector<HEdge>& edge_subset,
+    const std::vector<HVertex>& separator) const {
+  // Union-find over the edges of `edge_subset`, merging through shared
+  // vertices not in `separator`.
+  std::vector<std::size_t> parent(edge_subset.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](std::size_t a, std::size_t b) {
+    parent[find(a)] = find(b);
+  };
+
+  // vertex -> index of first subset edge seen containing it.
+  std::vector<std::size_t> first_edge(num_vertices_,
+                                      static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < edge_subset.size(); ++i) {
+    for (HVertex v : edges_[edge_subset[i]]) {
+      if (std::binary_search(separator.begin(), separator.end(), v)) {
+        continue;
+      }
+      if (first_edge[v] == static_cast<std::size_t>(-1)) {
+        first_edge[v] = i;
+      } else {
+        unite(first_edge[v], i);
+      }
+    }
+  }
+
+  std::vector<std::vector<HEdge>> components;
+  std::vector<std::size_t> component_of(edge_subset.size(),
+                                        static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < edge_subset.size(); ++i) {
+    std::size_t root = find(i);
+    if (component_of[root] == static_cast<std::size_t>(-1)) {
+      component_of[root] = components.size();
+      components.emplace_back();
+    }
+    components[component_of[root]].push_back(edge_subset[i]);
+  }
+  for (std::vector<HEdge>& component : components) {
+    std::sort(component.begin(), component.end());
+  }
+  return components;
+}
+
+std::vector<HVertex> Hypergraph::VerticesOf(
+    const std::vector<HEdge>& edges) const {
+  std::vector<HVertex> vertices;
+  for (HEdge e : edges) {
+    const std::vector<HVertex>& vs = edge(e);
+    vertices.insert(vertices.end(), vs.begin(), vs.end());
+  }
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  return vertices;
+}
+
+std::size_t Hypergraph::EdgeCoverNumber(
+    const std::vector<HVertex>& vertices) const {
+  // Exact set cover by branch and bound on the uncovered vertex with the
+  // fewest covering edges.
+  std::vector<HVertex> todo = vertices;
+  std::sort(todo.begin(), todo.end());
+  todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+
+  std::size_t best = edges_.size() + 1;
+  auto recurse = [&](auto&& self, std::vector<HVertex> uncovered,
+                     std::size_t used) -> void {
+    if (used >= best) return;
+    if (uncovered.empty()) {
+      best = used;
+      return;
+    }
+    HVertex pivot = uncovered.front();
+    std::size_t fewest = static_cast<std::size_t>(-1);
+    for (HVertex v : uncovered) {
+      if (IncidentEdges(v).size() < fewest) {
+        fewest = IncidentEdges(v).size();
+        pivot = v;
+      }
+    }
+    for (HEdge e : IncidentEdges(pivot)) {
+      std::vector<HVertex> rest;
+      rest.reserve(uncovered.size());
+      for (HVertex v : uncovered) {
+        if (!std::binary_search(edges_[e].begin(), edges_[e].end(), v)) {
+          rest.push_back(v);
+        }
+      }
+      self(self, std::move(rest), used + 1);
+    }
+  };
+  recurse(recurse, std::move(todo), 0);
+  return best;
+}
+
+std::optional<std::vector<HEdge>> Hypergraph::FindMinimumEdgeCover(
+    const std::vector<HVertex>& vertices) const {
+  std::vector<HVertex> todo = vertices;
+  std::sort(todo.begin(), todo.end());
+  todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+
+  std::optional<std::vector<HEdge>> best;
+  std::vector<HEdge> chosen;
+  auto recurse = [&](auto&& self, std::vector<HVertex> uncovered) -> void {
+    if (best.has_value() && chosen.size() >= best->size()) return;
+    if (uncovered.empty()) {
+      best = chosen;
+      return;
+    }
+    HVertex pivot = uncovered.front();
+    std::size_t fewest = static_cast<std::size_t>(-1);
+    for (HVertex v : uncovered) {
+      if (IncidentEdges(v).size() < fewest) {
+        fewest = IncidentEdges(v).size();
+        pivot = v;
+      }
+    }
+    for (HEdge e : IncidentEdges(pivot)) {
+      std::vector<HVertex> rest;
+      rest.reserve(uncovered.size());
+      for (HVertex v : uncovered) {
+        if (!std::binary_search(edges_[e].begin(), edges_[e].end(), v)) {
+          rest.push_back(v);
+        }
+      }
+      chosen.push_back(e);
+      self(self, std::move(rest));
+      chosen.pop_back();
+    }
+  };
+  recurse(recurse, std::move(todo));
+  return best;
+}
+
+std::string Hypergraph::ToString() const {
+  std::ostringstream out;
+  out << "Hypergraph(" << num_vertices_ << " vertices; edges:";
+  for (const std::vector<HVertex>& edge : edges_) {
+    out << " {";
+    for (std::size_t i = 0; i < edge.size(); ++i) {
+      if (i > 0) out << ",";
+      out << edge[i];
+    }
+    out << "}";
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace featsep

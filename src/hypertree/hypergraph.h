@@ -1,0 +1,73 @@
+#ifndef FEATSEP_HYPERTREE_HYPERGRAPH_H_
+#define FEATSEP_HYPERTREE_HYPERGRAPH_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace featsep {
+
+/// Vertex of a hypergraph (dense index).
+using HVertex = std::size_t;
+/// Edge index within a hypergraph.
+using HEdge = std::size_t;
+
+/// A finite hypergraph: vertices 0..n-1 and a list of hyperedges, each a
+/// sorted set of vertices. This is the combinatorial object underlying
+/// generalized hypertree width (paper, Section 5): for a CQ q, vertices are
+/// its existentially quantified variables and edges are the variable sets of
+/// its atoms (restricted to existential variables, per the Chen–Dalmau
+/// definition of coverwidth that the paper adopts).
+class Hypergraph {
+ public:
+  explicit Hypergraph(std::size_t num_vertices = 0)
+      : num_vertices_(num_vertices) {}
+
+  std::size_t num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Appends a vertex, returning its index.
+  HVertex AddVertex();
+
+  /// Adds a hyperedge (vertices are deduplicated and sorted). Empty edges
+  /// are allowed but carry no constraint. Returns the edge index.
+  HEdge AddEdge(std::vector<HVertex> vertices);
+
+  /// The sorted vertex set of edge `e`.
+  const std::vector<HVertex>& edge(HEdge e) const;
+
+  /// Edges incident to vertex `v`.
+  const std::vector<HEdge>& IncidentEdges(HVertex v) const;
+
+  /// Partitions `edge_subset` into connected components, where two edges
+  /// are adjacent if they share a vertex outside `separator`. Each
+  /// component is a sorted list of edge indices.
+  std::vector<std::vector<HEdge>> EdgeComponents(
+      const std::vector<HEdge>& edge_subset,
+      const std::vector<HVertex>& separator) const;
+
+  /// The sorted union of the vertex sets of `edges`.
+  std::vector<HVertex> VerticesOf(const std::vector<HEdge>& edges) const;
+
+  /// Minimum number of edges needed to cover `vertices`, computed exactly
+  /// by branch-and-bound (set cover; exponential worst case — fine for
+  /// query-sized hypergraphs). Returns num_edges()+1 if not coverable.
+  std::size_t EdgeCoverNumber(const std::vector<HVertex>& vertices) const;
+
+  /// A minimum edge cover of `vertices` (empty for the empty set); nullopt
+  /// if some vertex lies in no edge. Same search as EdgeCoverNumber.
+  std::optional<std::vector<HEdge>> FindMinimumEdgeCover(
+      const std::vector<HVertex>& vertices) const;
+
+  std::string ToString() const;
+
+ private:
+  std::size_t num_vertices_ = 0;
+  std::vector<std::vector<HVertex>> edges_;
+  std::vector<std::vector<HEdge>> incident_;
+};
+
+}  // namespace featsep
+
+#endif  // FEATSEP_HYPERTREE_HYPERGRAPH_H_

@@ -1,0 +1,106 @@
+#include "io/cq_parser.h"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace featsep {
+
+namespace {
+
+/// Splits "Name(a, b), Other(c)" into atom strings at top-level commas.
+std::vector<std::string> SplitAtoms(std::string_view body) {
+  std::vector<std::string> atoms;
+  int depth = 0;
+  std::string current;
+  for (char c : body) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      atoms.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!StripWhitespace(current).empty()) atoms.push_back(current);
+  return atoms;
+}
+
+struct ParsedAtom {
+  std::string relation;
+  std::vector<std::string> args;
+};
+
+Result<ParsedAtom> ParseAtom(std::string_view text) {
+  text = StripWhitespace(text);
+  std::size_t open = text.find('(');
+  if (open == std::string_view::npos || text.empty() ||
+      text.back() != ')') {
+    return Error("malformed atom: '" + std::string(text) + "'");
+  }
+  ParsedAtom atom;
+  atom.relation = std::string(StripWhitespace(text.substr(0, open)));
+  std::string_view args = text.substr(open + 1, text.size() - open - 2);
+  if (!StripWhitespace(args).empty()) {
+    for (const std::string& piece : Split(args, ',')) {
+      std::string name(StripWhitespace(piece));
+      if (name.empty()) return Error("empty variable in atom");
+      atom.args.push_back(std::move(name));
+    }
+  }
+  return atom;
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseCq(std::shared_ptr<const Schema> schema,
+                                 std::string_view text) {
+  std::size_t separator = text.find(":-");
+  if (separator == std::string_view::npos) {
+    return Error("expected 'head :- body'");
+  }
+  Result<ParsedAtom> head = ParseAtom(text.substr(0, separator));
+  if (!head.ok()) return head.error();
+
+  ConjunctiveQuery query(std::move(schema));
+  std::unordered_map<std::string, Variable> variables;
+  auto var_for = [&](const std::string& name) {
+    auto it = variables.find(name);
+    if (it != variables.end()) return it->second;
+    Variable v = query.NewVariable(name);
+    variables.emplace(name, v);
+    return v;
+  };
+  for (const std::string& name : head.value().args) {
+    if (variables.count(name) > 0) {
+      return Error("repeated head variable '" + name + "'");
+    }
+    query.AddFreeVariable(var_for(name));
+  }
+
+  std::string_view body = text.substr(separator + 2);
+  if (StripWhitespace(body) == "true") return query;
+  for (const std::string& atom_text : SplitAtoms(body)) {
+    Result<ParsedAtom> atom = ParseAtom(atom_text);
+    if (!atom.ok()) return atom.error();
+    RelationId rel = query.schema().FindRelation(atom.value().relation);
+    if (rel == kNoRelation) {
+      return Error("unknown relation '" + atom.value().relation + "'");
+    }
+    if (query.schema().arity(rel) != atom.value().args.size()) {
+      return Error("arity mismatch for '" + atom.value().relation + "'");
+    }
+    std::vector<Variable> args;
+    for (const std::string& name : atom.value().args) {
+      args.push_back(var_for(name));
+    }
+    query.AddAtom(rel, std::move(args));
+  }
+  return query;
+}
+
+}  // namespace featsep

@@ -1,0 +1,23 @@
+#ifndef FEATSEP_IO_CQ_PARSER_H_
+#define FEATSEP_IO_CQ_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "cq/cq.h"
+#include "util/result.h"
+
+namespace featsep {
+
+/// Parses a conjunctive query in rule syntax over the given schema:
+///
+///   q(x) :- Eta(x), E(x, y), E(y, z)
+///
+/// Head variables are the free variables; every other variable is
+/// existentially quantified. The inverse of ConjunctiveQuery::ToString.
+Result<ConjunctiveQuery> ParseCq(std::shared_ptr<const Schema> schema,
+                                 std::string_view text);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_IO_CQ_PARSER_H_

@@ -1,0 +1,32 @@
+#ifndef FEATSEP_IO_MODEL_IO_H_
+#define FEATSEP_IO_MODEL_IO_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/statistic.h"
+#include "util/result.h"
+
+namespace featsep {
+
+/// Serializes a trained separator (statistic + linear classifier) to a
+/// text format:
+///
+///   feature q(x) :- Eta(x), E(x, y)
+///   feature q(x) :- Eta(x), E(y, x)
+///   threshold 1/2
+///   weight 1/2
+///   weight -1
+///
+/// One `weight` line per feature, in order; rationals as `p` or `p/q`.
+std::string WriteSeparatorModel(const SeparatorModel& model);
+
+/// Parses the format above over the given schema. The weight count must
+/// match the feature count.
+Result<SeparatorModel> ReadSeparatorModel(
+    std::shared_ptr<const Schema> schema, std::string_view text);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_IO_MODEL_IO_H_

@@ -1,0 +1,31 @@
+#ifndef FEATSEP_IO_READER_H_
+#define FEATSEP_IO_READER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "relational/training_database.h"
+#include "util/result.h"
+
+namespace featsep {
+
+/// Parses the featsep text format:
+///
+///   # comment (blank lines ignored)
+///   relation Eta 1 entity     — declares a relation; "entity" marks η
+///   relation E 2
+///   Eta(e1)                   — a fact
+///   E(e1, a)
+///   label e1 +                — a label (+/-/+1/-1)
+///
+/// Relation declarations must precede their facts; exactly one relation
+/// may be marked "entity" when labels are used.
+Result<std::shared_ptr<TrainingDatabase>> ReadTrainingDatabase(
+    std::string_view text);
+
+/// Same format without label lines.
+Result<std::shared_ptr<Database>> ReadDatabase(std::string_view text);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_IO_READER_H_

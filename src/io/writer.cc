@@ -1,0 +1,48 @@
+#include "io/writer.h"
+
+#include <sstream>
+
+namespace featsep {
+
+namespace {
+
+void WriteSchemaAndFacts(const Database& db, std::ostringstream& out) {
+  const Schema& schema = db.schema();
+  for (RelationId r = 0; r < schema.size(); ++r) {
+    out << "relation " << schema.name(r) << " " << schema.arity(r);
+    if (schema.has_entity_relation() && schema.entity_relation() == r) {
+      out << " entity";
+    }
+    out << "\n";
+  }
+  for (const Fact& fact : db.facts()) {
+    out << schema.name(fact.relation) << "(";
+    for (std::size_t i = 0; i < fact.args.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << db.value_name(fact.args[i]);
+    }
+    out << ")\n";
+  }
+}
+
+}  // namespace
+
+std::string WriteDatabase(const Database& db) {
+  std::ostringstream out;
+  WriteSchemaAndFacts(db, out);
+  return out.str();
+}
+
+std::string WriteTrainingDatabase(const TrainingDatabase& training) {
+  std::ostringstream out;
+  WriteSchemaAndFacts(training.database(), out);
+  for (Value e : training.Entities()) {
+    if (training.labeling().Has(e)) {
+      out << "label " << training.database().value_name(e) << " "
+          << (training.label(e) == kPositive ? "+" : "-") << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace featsep

@@ -1,0 +1,20 @@
+#ifndef FEATSEP_IO_WRITER_H_
+#define FEATSEP_IO_WRITER_H_
+
+#include <string>
+
+#include "relational/training_database.h"
+
+namespace featsep {
+
+/// Serializes a database to the featsep text format (see io/reader.h);
+/// round-trips through ReadDatabase.
+std::string WriteDatabase(const Database& db);
+
+/// Serializes a training database (facts + label lines); round-trips
+/// through ReadTrainingDatabase.
+std::string WriteTrainingDatabase(const TrainingDatabase& training);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_IO_WRITER_H_

@@ -1,0 +1,48 @@
+#ifndef FEATSEP_LINSEP_LINEAR_CLASSIFIER_H_
+#define FEATSEP_LINSEP_LINEAR_CLASSIFIER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "numeric/rational.h"
+#include "relational/value.h"
+
+namespace featsep {
+
+/// A feature vector over {1, -1} — the image Π^D(e) of an entity under a
+/// statistic (paper, Section 3).
+using FeatureVector = std::vector<int>;
+
+/// A linear classifier Λ_w̄ with w̄ = (w₀, w₁, …, wₙ) (paper, Section 2):
+///   Λ(b₁,…,bₙ) = +1  iff  Σᵢ wᵢ·bᵢ ≥ w₀.
+/// Weights are exact rationals so classification decisions at the boundary
+/// are never corrupted by rounding.
+class LinearClassifier {
+ public:
+  LinearClassifier() = default;
+
+  /// threshold = w₀, weights = (w₁,…,wₙ).
+  LinearClassifier(Rational threshold, std::vector<Rational> weights);
+
+  std::size_t arity() const { return weights_.size(); }
+  const Rational& threshold() const { return threshold_; }
+  const std::vector<Rational>& weights() const { return weights_; }
+
+  /// Λ(features); the vector length must equal arity, entries must be ±1.
+  Label Classify(const FeatureVector& features) const;
+
+  /// Number of examples (features, label) the classifier gets wrong.
+  std::size_t CountErrors(
+      const std::vector<std::pair<FeatureVector, Label>>& examples) const;
+
+  std::string ToString() const;
+
+ private:
+  Rational threshold_;
+  std::vector<Rational> weights_;
+};
+
+}  // namespace featsep
+
+#endif  // FEATSEP_LINSEP_LINEAR_CLASSIFIER_H_

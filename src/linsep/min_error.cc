@@ -1,0 +1,134 @@
+#include "linsep/min_error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "linsep/perceptron.h"
+#include "util/check.h"
+
+namespace featsep {
+
+namespace {
+
+struct Group {
+  FeatureVector vector;
+  std::size_t positives = 0;
+  std::size_t negatives = 0;
+
+  std::size_t CostIf(Label assigned) const {
+    return assigned == kPositive ? negatives : positives;
+  }
+  std::size_t UnavoidableCost() const {
+    return std::min(positives, negatives);
+  }
+  Label MajorityLabel() const {
+    return positives >= negatives ? kPositive : kNegative;
+  }
+};
+
+/// Depth-first branch and bound over per-group label assignments.
+class MinErrorSearch {
+ public:
+  MinErrorSearch(std::vector<Group> groups, std::size_t incumbent_errors,
+                 LinearClassifier incumbent)
+      : groups_(std::move(groups)),
+        best_errors_(incumbent_errors),
+        best_classifier_(std::move(incumbent)) {
+    suffix_lower_bound_.assign(groups_.size() + 1, 0);
+    for (std::size_t i = groups_.size(); i-- > 0;) {
+      suffix_lower_bound_[i] =
+          suffix_lower_bound_[i + 1] + groups_[i].UnavoidableCost();
+    }
+  }
+
+  MinErrorResult Run() {
+    assigned_.clear();
+    Recurse(0, 0);
+    return MinErrorResult{best_errors_, best_classifier_};
+  }
+
+ private:
+  void Recurse(std::size_t depth, std::size_t cost) {
+    if (cost + suffix_lower_bound_[depth] >= best_errors_) return;
+    // Realizability of the partial assignment.
+    std::optional<LinearClassifier> separator = FindSeparator(assigned_);
+    if (!separator.has_value()) return;
+    if (depth == groups_.size()) {
+      best_errors_ = cost;
+      best_classifier_ = std::move(*separator);
+      return;
+    }
+    const Group& group = groups_[depth];
+    Label majority = group.MajorityLabel();
+    for (Label label : {majority, static_cast<Label>(-majority)}) {
+      assigned_.emplace_back(group.vector, label);
+      Recurse(depth + 1, cost + group.CostIf(label));
+      assigned_.pop_back();
+      if (best_errors_ == 0) return;
+    }
+  }
+
+  std::vector<Group> groups_;
+  std::vector<std::size_t> suffix_lower_bound_;
+  TrainingCollection assigned_;
+  std::size_t best_errors_;
+  LinearClassifier best_classifier_;
+};
+
+}  // namespace
+
+MinErrorResult MinimizeErrors(const TrainingCollection& examples) {
+  if (examples.empty()) {
+    return MinErrorResult{0, LinearClassifier(Rational(0), {})};
+  }
+
+  // Group duplicates.
+  std::map<FeatureVector, Group> by_vector;
+  for (const auto& [features, label] : examples) {
+    Group& group = by_vector[features];
+    group.vector = features;
+    if (label == kPositive) {
+      ++group.positives;
+    } else {
+      ++group.negatives;
+    }
+  }
+  std::vector<Group> groups;
+  groups.reserve(by_vector.size());
+  for (auto& [vector, group] : by_vector) {
+    (void)vector;
+    groups.push_back(std::move(group));
+  }
+  // Most decisive groups first: larger |positives - negatives| means the
+  // majority branch is more likely to be part of the optimum.
+  std::sort(groups.begin(), groups.end(), [](const Group& a, const Group& b) {
+    auto skew = [](const Group& g) {
+      return g.positives > g.negatives ? g.positives - g.negatives
+                                       : g.negatives - g.positives;
+    };
+    return skew(a) > skew(b);
+  });
+
+  auto [incumbent, incumbent_errors] = PocketPerceptron(examples);
+  MinErrorSearch search(std::move(groups), incumbent_errors,
+                        std::move(incumbent));
+  MinErrorResult result = search.Run();
+  FEATSEP_CHECK_EQ(result.classifier.CountErrors(examples), result.errors)
+      << "min-error classifier does not achieve its reported error";
+  return result;
+}
+
+bool IsSeparableWithError(const TrainingCollection& examples,
+                          double epsilon) {
+  FEATSEP_CHECK_GE(epsilon, 0.0);
+  FEATSEP_CHECK_LT(epsilon, 1.0);
+  double budget = epsilon * static_cast<double>(examples.size());
+  MinErrorResult result = MinimizeErrors(examples);
+  return static_cast<double>(result.errors) <= budget;
+}
+
+}  // namespace featsep

@@ -1,0 +1,38 @@
+#ifndef FEATSEP_LINSEP_MIN_ERROR_H_
+#define FEATSEP_LINSEP_MIN_ERROR_H_
+
+#include <cstddef>
+
+#include "linsep/linear_classifier.h"
+#include "linsep/separability_lp.h"
+
+namespace featsep {
+
+/// Result of the exact minimum-error separation search.
+struct MinErrorResult {
+  std::size_t errors = 0;
+  LinearClassifier classifier;
+};
+
+/// Computes a linear classifier minimizing the number of misclassified
+/// examples — the optimization core of approximate separability (paper,
+/// Section 7). The problem is NP-complete (Höffgen–Simon–Van Horn [17]),
+/// so this is a branch-and-bound over the labels assigned to the *distinct*
+/// feature vectors:
+///   - duplicates are grouped (cost of flipping a group = its minority
+///     count),
+///   - a pocket-perceptron incumbent bounds the search from above,
+///   - the sum of unavoidable minority counts bounds from below,
+///   - exact-LP feasibility prunes label assignments no hyperplane
+///     realizes.
+/// Exponential in the number of distinct vectors in the worst case.
+MinErrorResult MinimizeErrors(const TrainingCollection& examples);
+
+/// True iff some linear classifier misclassifies at most ε·|examples|
+/// examples — approximate linear separability with relative error ε
+/// (trivially true for ε ≥ 1/2 via a constant classifier; paper, fn. 1).
+bool IsSeparableWithError(const TrainingCollection& examples, double epsilon);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_LINSEP_MIN_ERROR_H_

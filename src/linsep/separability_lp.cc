@@ -1,0 +1,65 @@
+#include "linsep/separability_lp.h"
+
+#include "linsep/simplex.h"
+#include "util/check.h"
+
+namespace featsep {
+
+std::optional<LinearClassifier> FindSeparator(
+    const TrainingCollection& examples) {
+  if (examples.empty()) {
+    return LinearClassifier(Rational(0), {});
+  }
+  std::size_t n = examples[0].first.size();
+  for (const auto& [features, label] : examples) {
+    FEATSEP_CHECK_EQ(features.size(), n) << "ragged training collection";
+    FEATSEP_CHECK(label == kPositive || label == kNegative);
+  }
+
+  // LP variables (all ≥ 0): wp_0..wp_n, wn_0..wn_n with w_j = wp_j - wn_j
+  // (index 0 is the threshold w₀).
+  std::size_t num_vars = 2 * (n + 1);
+  auto wp = [&](std::size_t j) { return j; };
+  auto wn = [&](std::size_t j) { return (n + 1) + j; };
+
+  LpProblem problem;
+  problem.c.assign(num_vars, Rational(0));
+  for (const auto& [features, label] : examples) {
+    // s(w) := Σⱼ wⱼ·bⱼ − w₀.
+    // label +1: s(w) ≥ 0   →  −s(w) ≤ 0.
+    // label −1: s(w) ≤ −1.
+    std::vector<Rational> row(num_vars, Rational(0));
+    int sign = label == kPositive ? -1 : 1;
+    // Coefficient of w_j in sign*s(w) is sign*b_j; of w₀ is -sign.
+    for (std::size_t j = 0; j < n; ++j) {
+      Rational coeff(sign * features[j]);
+      row[wp(j + 1)] = coeff;
+      row[wn(j + 1)] = -coeff;
+    }
+    row[wp(0)] = Rational(-sign);
+    row[wn(0)] = Rational(sign);
+    problem.a.push_back(std::move(row));
+    problem.b.push_back(label == kPositive ? Rational(0) : Rational(-1));
+  }
+
+  LpSolution solution = SolveLp(problem);
+  if (solution.status == LpStatus::kInfeasible) return std::nullopt;
+  FEATSEP_CHECK(solution.status == LpStatus::kOptimal);
+
+  Rational threshold = solution.x[wp(0)] - solution.x[wn(0)];
+  std::vector<Rational> weights;
+  weights.reserve(n);
+  for (std::size_t j = 1; j <= n; ++j) {
+    weights.push_back(solution.x[wp(j)] - solution.x[wn(j)]);
+  }
+  LinearClassifier classifier(threshold, std::move(weights));
+  FEATSEP_CHECK_EQ(classifier.CountErrors(examples), 0u)
+      << "separator returned by LP misclassifies an example";
+  return classifier;
+}
+
+bool IsLinearlySeparable(const TrainingCollection& examples) {
+  return FindSeparator(examples).has_value();
+}
+
+}  // namespace featsep

@@ -1,0 +1,34 @@
+#ifndef FEATSEP_LINSEP_SEPARABILITY_LP_H_
+#define FEATSEP_LINSEP_SEPARABILITY_LP_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "linsep/linear_classifier.h"
+
+namespace featsep {
+
+/// A training collection (b̄ᵢ, yᵢ)ᵢ of ±1 feature vectors with ±1 labels
+/// (paper, Section 2).
+using TrainingCollection = std::vector<std::pair<FeatureVector, Label>>;
+
+/// Decides linear separability of a training collection and, when
+/// separable, returns a witnessing classifier (paper, Section 2 and
+/// Proposition 4.1; tractable by LP, [19, 21]).
+///
+/// Encoding: Λ(b̄) = y for all examples iff the system
+///   Σⱼ wⱼ·bᵢⱼ − w₀ ≥ 0    for yᵢ = +1
+///   Σⱼ wⱼ·bᵢⱼ − w₀ ≤ −1   for yᵢ = −1
+/// is feasible — the strict "< w₀" branch of the classifier is rescaled to
+/// margin −1 by homogeneity in (w̄, w₀). Solved exactly by the rational
+/// simplex with free variables split into nonnegative pairs.
+std::optional<LinearClassifier> FindSeparator(
+    const TrainingCollection& examples);
+
+/// True iff the collection is linearly separable.
+bool IsLinearlySeparable(const TrainingCollection& examples);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_LINSEP_SEPARABILITY_LP_H_

@@ -1,0 +1,227 @@
+#include "linsep/simplex.h"
+
+#include <cstddef>
+#include <utility>
+
+#include "util/check.h"
+
+namespace featsep {
+
+namespace {
+
+/// Dense simplex tableau with explicit objective row; all entries exact.
+class Tableau {
+ public:
+  /// rows: coefficient rows (with slacks/artificials appended by caller
+  /// logic below); rhs must be ≥ 0 after setup.
+  Tableau(std::size_t num_rows, std::size_t num_cols)
+      : num_rows_(num_rows),
+        num_cols_(num_cols),
+        rows_(num_rows, std::vector<Rational>(num_cols)),
+        rhs_(num_rows),
+        objective_(num_cols),
+        objective_value_(0),
+        basis_(num_rows, 0) {}
+
+  std::vector<Rational>& row(std::size_t i) { return rows_[i]; }
+  Rational& rhs(std::size_t i) { return rhs_[i]; }
+  std::vector<std::size_t>& basis() { return basis_; }
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_cols() const { return num_cols_; }
+  const Rational& objective_value() const { return objective_value_; }
+
+  /// Installs -objective into the z-row and prices out the basic columns
+  /// (so that reduced costs of basic variables are zero).
+  void SetObjective(const std::vector<Rational>& c) {
+    FEATSEP_CHECK_EQ(c.size(), num_cols_);
+    for (std::size_t j = 0; j < num_cols_; ++j) objective_[j] = -c[j];
+    objective_value_ = 0;
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      std::size_t basic = basis_[i];
+      if (objective_[basic].is_zero()) continue;
+      Rational factor = objective_[basic];
+      for (std::size_t j = 0; j < num_cols_; ++j) {
+        objective_[j] -= factor * rows_[i][j];
+      }
+      objective_value_ -= factor * rhs_[i];
+    }
+  }
+
+  /// Runs simplex pivots (maximization) with Bland's rule until optimal or
+  /// unbounded. Returns false iff unbounded.
+  bool Optimize() {
+    while (true) {
+      // Entering column: smallest index with negative reduced cost.
+      std::size_t entering = num_cols_;
+      for (std::size_t j = 0; j < num_cols_; ++j) {
+        if (objective_[j].sign() < 0) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering == num_cols_) return true;  // Optimal.
+
+      // Leaving row: minimum ratio; Bland ties by smallest basis index.
+      std::size_t leaving = num_rows_;
+      Rational best_ratio = 0;
+      for (std::size_t i = 0; i < num_rows_; ++i) {
+        if (rows_[i][entering].sign() <= 0) continue;
+        Rational ratio = rhs_[i] / rows_[i][entering];
+        if (leaving == num_rows_ || ratio < best_ratio ||
+            (ratio == best_ratio && basis_[i] < basis_[leaving])) {
+          leaving = i;
+          best_ratio = ratio;
+        }
+      }
+      if (leaving == num_rows_) return false;  // Unbounded.
+      Pivot(leaving, entering);
+    }
+  }
+
+  void Pivot(std::size_t pivot_row, std::size_t pivot_col) {
+    Rational pivot = rows_[pivot_row][pivot_col];
+    FEATSEP_CHECK(pivot.sign() != 0);
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      rows_[pivot_row][j] /= pivot;
+    }
+    rhs_[pivot_row] /= pivot;
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (i == pivot_row || rows_[i][pivot_col].is_zero()) continue;
+      Rational factor = rows_[i][pivot_col];
+      for (std::size_t j = 0; j < num_cols_; ++j) {
+        rows_[i][j] -= factor * rows_[pivot_row][j];
+      }
+      rhs_[i] -= factor * rhs_[pivot_row];
+    }
+    if (!objective_[pivot_col].is_zero()) {
+      Rational factor = objective_[pivot_col];
+      for (std::size_t j = 0; j < num_cols_; ++j) {
+        objective_[j] -= factor * rows_[pivot_row][j];
+      }
+      objective_value_ -= factor * rhs_[pivot_row];
+    }
+    basis_[pivot_row] = pivot_col;
+  }
+
+ private:
+  std::size_t num_rows_;
+  std::size_t num_cols_;
+  std::vector<std::vector<Rational>> rows_;
+  std::vector<Rational> rhs_;
+  std::vector<Rational> objective_;  // Reduced costs (z_j - c_j).
+  Rational objective_value_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpSolution SolveLp(const LpProblem& problem) {
+  std::size_t m = problem.a.size();
+  std::size_t n = problem.c.size();
+  FEATSEP_CHECK_EQ(problem.b.size(), m);
+  for (const std::vector<Rational>& row : problem.a) {
+    FEATSEP_CHECK_EQ(row.size(), n);
+  }
+
+  // Columns: n original, m slacks, up to m artificials.
+  // Determine which rows need an artificial (those with negative rhs whose
+  // slack, after negation, has coefficient -1).
+  std::vector<bool> needs_artificial(m, false);
+  std::size_t num_artificials = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (problem.b[i].sign() < 0) {
+      needs_artificial[i] = true;
+      ++num_artificials;
+    }
+  }
+
+  std::size_t cols = n + m + num_artificials;
+  Tableau tableau(m, cols);
+
+  std::size_t artificial_col = n + m;
+  std::vector<std::size_t> artificial_columns;
+  for (std::size_t i = 0; i < m; ++i) {
+    bool negate = problem.b[i].sign() < 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      tableau.row(i)[j] = negate ? -problem.a[i][j] : problem.a[i][j];
+    }
+    tableau.row(i)[n + i] = negate ? Rational(-1) : Rational(1);
+    tableau.rhs(i) = negate ? -problem.b[i] : problem.b[i];
+    if (needs_artificial[i]) {
+      tableau.row(i)[artificial_col] = 1;
+      tableau.basis()[i] = artificial_col;
+      artificial_columns.push_back(artificial_col);
+      ++artificial_col;
+    } else {
+      tableau.basis()[i] = n + i;  // Slack is basic.
+    }
+  }
+
+  // Phase 1: maximize -(sum of artificials).
+  if (num_artificials > 0) {
+    std::vector<Rational> phase1(cols);
+    for (std::size_t col : artificial_columns) phase1[col] = -1;
+    tableau.SetObjective(phase1);
+    bool bounded = tableau.Optimize();
+    FEATSEP_CHECK(bounded) << "phase-1 LP cannot be unbounded";
+    if (tableau.objective_value().sign() < 0) {
+      LpSolution solution;
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    // Pivot any artificial still in the basis (at value 0) out of it.
+    for (std::size_t i = 0; i < m; ++i) {
+      std::size_t basic = tableau.basis()[i];
+      bool is_artificial = basic >= n + m;
+      if (!is_artificial) continue;
+      std::size_t pivot_col = cols;
+      for (std::size_t j = 0; j < n + m; ++j) {
+        if (!tableau.row(i)[j].is_zero()) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col != cols) {
+        tableau.Pivot(i, pivot_col);
+      }
+      // Otherwise the row is redundant (all-zero over real columns with
+      // zero rhs); leaving the artificial basic at level 0 is harmless as
+      // long as its column never re-enters, which the phase-2 objective
+      // (zero coefficient, nonnegative reduced cost) guarantees after we
+      // zero it below.
+    }
+  }
+
+  // Fix every nonbasic artificial at zero by clearing its column (its basic
+  // occurrences are unit columns already); this removes the variable from
+  // the problem so it can never re-enter during phase 2.
+  for (std::size_t col : artificial_columns) {
+    for (std::size_t i = 0; i < m; ++i) {
+      if (tableau.basis()[i] != col) tableau.row(i)[col] = 0;
+    }
+  }
+
+  // Phase 2: real objective (zero on slacks and artificials).
+  std::vector<Rational> phase2(cols);
+  for (std::size_t j = 0; j < n; ++j) phase2[j] = problem.c[j];
+  tableau.SetObjective(phase2);
+
+  if (!tableau.Optimize()) {
+    LpSolution solution;
+    solution.status = LpStatus::kUnbounded;
+    return solution;
+  }
+
+  LpSolution solution;
+  solution.status = LpStatus::kOptimal;
+  solution.objective = tableau.objective_value();
+  solution.x.assign(n, Rational(0));
+  for (std::size_t i = 0; i < m; ++i) {
+    if (tableau.basis()[i] < n) {
+      solution.x[tableau.basis()[i]] = tableau.rhs(i);
+    }
+  }
+  return solution;
+}
+
+}  // namespace featsep

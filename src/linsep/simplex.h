@@ -1,0 +1,39 @@
+#ifndef FEATSEP_LINSEP_SIMPLEX_H_
+#define FEATSEP_LINSEP_SIMPLEX_H_
+
+#include <vector>
+
+#include "numeric/rational.h"
+
+namespace featsep {
+
+/// A linear program in inequality form:
+///   maximize c·x  subject to  A x ≤ b,  x ≥ 0.
+struct LpProblem {
+  std::vector<std::vector<Rational>> a;  ///< m rows of n coefficients.
+  std::vector<Rational> b;               ///< m right-hand sides.
+  std::vector<Rational> c;               ///< n objective coefficients.
+};
+
+enum class LpStatus {
+  kOptimal,     ///< Finite optimum found.
+  kInfeasible,  ///< The constraint set is empty.
+  kUnbounded,   ///< The objective is unbounded above.
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  Rational objective;
+  std::vector<Rational> x;  ///< Optimal point (valid for kOptimal).
+};
+
+/// Solves the LP with a dense two-phase primal simplex over exact rational
+/// arithmetic, using Bland's anti-cycling rule (guaranteed termination).
+/// Exactness matters here: linear separability of training collections
+/// (paper, Section 2 / Proposition 4.1 / [19, 21]) must be decided without
+/// floating-point tolerance artifacts at the separating hyperplane.
+LpSolution SolveLp(const LpProblem& problem);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_LINSEP_SIMPLEX_H_

@@ -1,0 +1,288 @@
+#include "numeric/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace featsep {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  negative_ = value < 0;
+  // Handle INT64_MIN without overflow: negate as unsigned.
+  std::uint64_t magnitude =
+      negative_ ? (~static_cast<std::uint64_t>(value)) + 1
+                : static_cast<std::uint64_t>(value);
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffULL));
+    magnitude >>= 32;
+  }
+}
+
+Result<BigInt> BigInt::FromString(std::string_view text) {
+  if (text.empty()) return Error("BigInt: empty string");
+  bool negative = false;
+  std::size_t i = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    i = 1;
+  }
+  if (i == text.size()) return Error("BigInt: sign without digits");
+  BigInt value;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (c < '0' || c > '9') {
+      return Error(std::string("BigInt: invalid digit '") + c + "'");
+    }
+    value *= BigInt(10);
+    value += BigInt(c - '0');
+  }
+  if (negative && !value.is_zero()) value.negative_ = true;
+  return value;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  if (!result.is_zero()) result.negative_ = !result.negative_;
+  return result;
+}
+
+BigInt BigInt::abs() const {
+  BigInt result = *this;
+  result.negative_ = false;
+  return result;
+}
+
+int BigInt::CompareMagnitude(const std::vector<std::uint32_t>& a,
+                             const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::Compare(const BigInt& a, const BigInt& b) {
+  if (a.negative_ != b.negative_) return a.negative_ ? -1 : 1;
+  int magnitude = CompareMagnitude(a.limbs_, b.limbs_);
+  return a.negative_ ? -magnitude : magnitude;
+}
+
+void BigInt::AddMagnitude(std::vector<std::uint32_t>& a,
+                          const std::vector<std::uint32_t>& b) {
+  if (b.size() > a.size()) a.resize(b.size(), 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t sum = carry + a[i] + (i < b.size() ? b[i] : 0);
+    a[i] = static_cast<std::uint32_t>(sum & 0xffffffffULL);
+    carry = sum >> 32;
+  }
+  if (carry != 0) a.push_back(static_cast<std::uint32_t>(carry));
+}
+
+void BigInt::SubMagnitude(std::vector<std::uint32_t>& a,
+                          const std::vector<std::uint32_t>& b) {
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    a[i] = static_cast<std::uint32_t>(diff);
+  }
+  FEATSEP_CHECK_EQ(borrow, 0) << "SubMagnitude requires |a| >= |b|";
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt& BigInt::operator+=(const BigInt& other) {
+  if (negative_ == other.negative_) {
+    AddMagnitude(limbs_, other.limbs_);
+  } else if (CompareMagnitude(limbs_, other.limbs_) >= 0) {
+    SubMagnitude(limbs_, other.limbs_);
+  } else {
+    std::vector<std::uint32_t> magnitude = other.limbs_;
+    SubMagnitude(magnitude, limbs_);
+    limbs_ = std::move(magnitude);
+    negative_ = other.negative_;
+  }
+  Normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& other) { return *this += -other; }
+
+BigInt& BigInt::operator*=(const BigInt& other) {
+  if (is_zero() || other.is_zero()) {
+    limbs_.clear();
+    negative_ = false;
+    return *this;
+  }
+  std::vector<std::uint32_t> result(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      std::uint64_t cur = result[i + j] + carry +
+                          static_cast<std::uint64_t>(limbs_[i]) *
+                              static_cast<std::uint64_t>(other.limbs_[j]);
+      result[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + other.limbs_.size();
+    while (carry != 0) {
+      std::uint64_t cur = result[k] + carry;
+      result[k] = static_cast<std::uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  limbs_ = std::move(result);
+  negative_ = negative_ != other.negative_;
+  Normalize();
+  return *this;
+}
+
+void BigInt::DivMod(const BigInt& dividend, const BigInt& divisor,
+                    BigInt* quotient, BigInt* remainder) {
+  FEATSEP_CHECK(!divisor.is_zero()) << "BigInt division by zero";
+  // Long division on magnitudes, 32 bits at a time via binary shifting.
+  // Simple bit-at-a-time schoolbook division is adequate here.
+  const std::vector<std::uint32_t>& n = dividend.limbs_;
+  BigInt q;
+  BigInt r;
+  q.limbs_.assign(n.size(), 0);
+  std::size_t total_bits = n.size() * 32;
+  for (std::size_t bit = total_bits; bit-- > 0;) {
+    // r = (r << 1) | n.bit(bit)
+    // Shift r left by one bit.
+    std::uint32_t carry = 0;
+    for (std::size_t i = 0; i < r.limbs_.size(); ++i) {
+      std::uint32_t next_carry = r.limbs_[i] >> 31;
+      r.limbs_[i] = (r.limbs_[i] << 1) | carry;
+      carry = next_carry;
+    }
+    if (carry != 0) r.limbs_.push_back(carry);
+    std::uint32_t n_bit = (n[bit / 32] >> (bit % 32)) & 1u;
+    if (n_bit != 0) {
+      if (r.limbs_.empty()) r.limbs_.push_back(0);
+      r.limbs_[0] |= 1u;
+    }
+    if (CompareMagnitude(r.limbs_, divisor.limbs_) >= 0) {
+      SubMagnitude(r.limbs_, divisor.limbs_);
+      r.Normalize();
+      q.limbs_[bit / 32] |= (1u << (bit % 32));
+    }
+  }
+  q.Normalize();
+  r.Normalize();
+  // Truncated-division sign rules.
+  q.negative_ = !q.is_zero() && (dividend.negative_ != divisor.negative_);
+  r.negative_ = !r.is_zero() && dividend.negative_;
+  if (quotient != nullptr) *quotient = std::move(q);
+  if (remainder != nullptr) *remainder = std::move(r);
+}
+
+BigInt& BigInt::operator/=(const BigInt& other) {
+  BigInt quotient;
+  DivMod(*this, other, &quotient, nullptr);
+  *this = std::move(quotient);
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& other) {
+  BigInt remainder;
+  DivMod(*this, other, nullptr, &remainder);
+  *this = std::move(remainder);
+  return *this;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt remainder;
+    DivMod(a, b, nullptr, &remainder);
+    a = std::move(b);
+    b = std::move(remainder);
+    b.negative_ = false;
+  }
+  return a;
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  // Repeatedly divide the magnitude by 10^9 to extract decimal chunks.
+  std::vector<std::uint32_t> magnitude = limbs_;
+  std::string digits;
+  constexpr std::uint64_t kChunk = 1000000000ULL;
+  while (!magnitude.empty()) {
+    std::uint64_t remainder = 0;
+    for (std::size_t i = magnitude.size(); i-- > 0;) {
+      std::uint64_t cur = (remainder << 32) | magnitude[i];
+      magnitude[i] = static_cast<std::uint32_t>(cur / kChunk);
+      remainder = cur % kChunk;
+    }
+    while (!magnitude.empty() && magnitude.back() == 0) magnitude.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + remainder % 10));
+      remainder /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+bool BigInt::FitsInt64() const {
+  if (limbs_.size() < 2) return true;
+  if (limbs_.size() > 2) return false;
+  std::uint64_t magnitude =
+      (static_cast<std::uint64_t>(limbs_[1]) << 32) | limbs_[0];
+  if (negative_) return magnitude <= (1ULL << 63);
+  return magnitude < (1ULL << 63);
+}
+
+std::int64_t BigInt::ToInt64() const {
+  FEATSEP_CHECK(FitsInt64()) << "BigInt does not fit in int64: " << ToString();
+  std::uint64_t magnitude = 0;
+  if (!limbs_.empty()) magnitude = limbs_[0];
+  if (limbs_.size() == 2) {
+    magnitude |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  }
+  return negative_ ? -static_cast<std::int64_t>(magnitude)
+                   : static_cast<std::int64_t>(magnitude);
+}
+
+double BigInt::ToDouble() const {
+  double value = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    value = value * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -value : value;
+}
+
+std::size_t BigInt::Hash() const {
+  std::size_t seed = negative_ ? 0x1234567ULL : 0;
+  for (std::uint32_t limb : limbs_) HashCombine(seed, limb);
+  return seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.ToString();
+}
+
+}  // namespace featsep

@@ -1,0 +1,129 @@
+#ifndef FEATSEP_NUMERIC_BIGINT_H_
+#define FEATSEP_NUMERIC_BIGINT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace featsep {
+
+/// Arbitrary-precision signed integer (sign + little-endian 32-bit limb
+/// magnitude). Supports the arithmetic needed by the exact rational simplex
+/// solver: addition, subtraction, multiplication, truncated division with
+/// remainder, gcd, comparison, and decimal (de)serialization. All operations
+/// use schoolbook algorithms; tableau entries in this library stay small
+/// enough that asymptotically faster multiplication is not needed.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// Conversion from a machine integer.
+  BigInt(std::int64_t value);  // NOLINT: implicit by design, mirrors int.
+
+  /// Parses a decimal string with optional leading '-'.
+  static Result<BigInt> FromString(std::string_view text);
+
+  BigInt(const BigInt&) = default;
+  BigInt(BigInt&&) = default;
+  BigInt& operator=(const BigInt&) = default;
+  BigInt& operator=(BigInt&&) = default;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  /// -1, 0, or +1.
+  int sign() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt& operator+=(const BigInt& other);
+  BigInt& operator-=(const BigInt& other);
+  BigInt& operator*=(const BigInt& other);
+  BigInt& operator/=(const BigInt& other);
+  BigInt& operator%=(const BigInt& other);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+  friend BigInt operator/(BigInt a, const BigInt& b) { return a /= b; }
+  friend BigInt operator%(BigInt a, const BigInt& b) { return a %= b; }
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) >= 0;
+  }
+
+  /// Three-way comparison: negative / zero / positive as a < b / a == b /
+  /// a > b.
+  static int Compare(const BigInt& a, const BigInt& b);
+
+  /// Truncated division (C++ semantics: quotient rounds toward zero, the
+  /// remainder has the sign of the dividend). `divisor` must be nonzero.
+  static void DivMod(const BigInt& dividend, const BigInt& divisor,
+                     BigInt* quotient, BigInt* remainder);
+
+  /// Greatest common divisor; always nonnegative.
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  /// Decimal representation.
+  std::string ToString() const;
+
+  /// Value as int64 if it fits; used by callers that know their magnitudes.
+  /// Checked programmer error on overflow.
+  std::int64_t ToInt64() const;
+
+  /// True if the value fits into int64.
+  bool FitsInt64() const;
+
+  /// Approximate conversion to double (for reporting only).
+  double ToDouble() const;
+
+  /// Hash compatible with equality.
+  std::size_t Hash() const;
+
+ private:
+  /// Magnitude comparison ignoring signs.
+  static int CompareMagnitude(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b);
+  static void AddMagnitude(std::vector<std::uint32_t>& a,
+                           const std::vector<std::uint32_t>& b);
+  /// Requires |a| >= |b|.
+  static void SubMagnitude(std::vector<std::uint32_t>& a,
+                           const std::vector<std::uint32_t>& b);
+  void Normalize();
+
+  bool negative_ = false;
+  std::vector<std::uint32_t> limbs_;  // little-endian; empty means zero.
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+}  // namespace featsep
+
+template <>
+struct std::hash<featsep::BigInt> {
+  std::size_t operator()(const featsep::BigInt& value) const {
+    return value.Hash();
+  }
+};
+
+#endif  // FEATSEP_NUMERIC_BIGINT_H_

@@ -1,0 +1,84 @@
+#include "numeric/rational.h"
+
+#include <ostream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace featsep {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
+  FEATSEP_CHECK(!denominator_.is_zero()) << "Rational with zero denominator";
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (denominator_.is_negative()) {
+    numerator_ = -numerator_;
+    denominator_ = -denominator_;
+  }
+  if (numerator_.is_zero()) {
+    denominator_ = BigInt(1);
+    return;
+  }
+  BigInt gcd = BigInt::Gcd(numerator_, denominator_);
+  if (gcd != BigInt(1)) {
+    numerator_ /= gcd;
+    denominator_ /= gcd;
+  }
+}
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.numerator_ = -result.numerator_;
+  return result;
+}
+
+Rational& Rational::operator+=(const Rational& other) {
+  numerator_ = numerator_ * other.denominator_ +
+               other.numerator_ * denominator_;
+  denominator_ *= other.denominator_;
+  Normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& other) {
+  return *this += -other;
+}
+
+Rational& Rational::operator*=(const Rational& other) {
+  numerator_ *= other.numerator_;
+  denominator_ *= other.denominator_;
+  Normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& other) {
+  FEATSEP_CHECK(!other.is_zero()) << "Rational division by zero";
+  numerator_ *= other.denominator_;
+  denominator_ *= other.numerator_;
+  Normalize();
+  return *this;
+}
+
+int Rational::Compare(const Rational& a, const Rational& b) {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return BigInt::Compare(a.numerator_ * b.denominator_,
+                         b.numerator_ * a.denominator_);
+}
+
+std::string Rational::ToString() const {
+  if (denominator_ == BigInt(1)) return numerator_.ToString();
+  return numerator_.ToString() + "/" + denominator_.ToString();
+}
+
+double Rational::ToDouble() const {
+  return numerator_.ToDouble() / denominator_.ToDouble();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.ToString();
+}
+
+}  // namespace featsep

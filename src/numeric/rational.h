@@ -1,0 +1,86 @@
+#ifndef FEATSEP_NUMERIC_RATIONAL_H_
+#define FEATSEP_NUMERIC_RATIONAL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "numeric/bigint.h"
+
+namespace featsep {
+
+/// Exact rational number: normalized BigInt numerator/denominator with a
+/// positive denominator and gcd(|num|, den) == 1. This is the scalar type of
+/// the exact simplex solver (src/linsep), guaranteeing that linear
+/// separability decisions are never corrupted by floating-point rounding.
+class Rational {
+ public:
+  /// Zero.
+  Rational() : numerator_(0), denominator_(1) {}
+
+  /// Integer value.
+  Rational(std::int64_t value)  // NOLINT: implicit by design.
+      : numerator_(value), denominator_(1) {}
+
+  /// num / den; `den` must be nonzero. Normalizes.
+  Rational(BigInt numerator, BigInt denominator);
+
+  const BigInt& numerator() const { return numerator_; }
+  const BigInt& denominator() const { return denominator_; }
+
+  bool is_zero() const { return numerator_.is_zero(); }
+  /// -1, 0, or +1.
+  int sign() const { return numerator_.sign(); }
+
+  Rational operator-() const;
+
+  Rational& operator+=(const Rational& other);
+  Rational& operator-=(const Rational& other);
+  Rational& operator*=(const Rational& other);
+  Rational& operator/=(const Rational& other);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.numerator_ == b.numerator_ && a.denominator_ == b.denominator_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& a, const Rational& b) {
+    return Compare(a, b) < 0;
+  }
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return Compare(a, b) <= 0;
+  }
+  friend bool operator>(const Rational& a, const Rational& b) {
+    return Compare(a, b) > 0;
+  }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return Compare(a, b) >= 0;
+  }
+
+  /// Three-way comparison by cross-multiplication.
+  static int Compare(const Rational& a, const Rational& b);
+
+  /// "p/q" (or just "p" when q == 1).
+  std::string ToString() const;
+
+  /// Approximate double (for reporting only).
+  double ToDouble() const;
+
+ private:
+  void Normalize();
+
+  BigInt numerator_;
+  BigInt denominator_;  // Always positive.
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_NUMERIC_RATIONAL_H_

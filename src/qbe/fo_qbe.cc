@@ -1,0 +1,23 @@
+#include "qbe/fo_qbe.h"
+
+#include "fo/iso.h"
+#include "util/check.h"
+
+namespace featsep {
+
+QbeResult SolveFoQbe(const QbeInstance& instance) {
+  FEATSEP_CHECK(instance.db != nullptr);
+  QbeResult result;
+  result.exists = true;
+  for (Value p : instance.positives) {
+    for (Value n : instance.negatives) {
+      if (AreIsomorphic(*instance.db, {p}, *instance.db, {n})) {
+        result.exists = false;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace featsep

@@ -1,0 +1,24 @@
+#ifndef FEATSEP_QBE_FO_QBE_H_
+#define FEATSEP_QBE_FO_QBE_H_
+
+#include "qbe/qbe.h"
+
+namespace featsep {
+
+/// FO-QBE (paper, Section 8): does a first-order query q exist with
+/// S⁺ ⊆ q(D) and q(D) ∩ S⁻ = ∅?
+///
+/// On a finite database, the FO-definable unary sets are exactly the
+/// unions of automorphism orbits: every FO query output is closed under
+/// automorphisms of D, and conversely each orbit is FO-definable (a finite
+/// structure is axiomatizable up to isomorphism). Hence an FO explanation
+/// exists iff no positive example shares an orbit with a negative one,
+/// i.e., iff (D, p) ≇ (D, n) for all p ∈ S⁺, n ∈ S⁻. The pairwise checks
+/// are isomorphism tests — this is the GI-completeness of FO-QBE
+/// (Arenas–Díaz), and by the dimension collapse (Prop 8.1) the same test
+/// decides FO-SEP[ℓ] for every ℓ.
+QbeResult SolveFoQbe(const QbeInstance& instance);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_QBE_FO_QBE_H_

@@ -1,0 +1,114 @@
+#include "qbe/qbe.h"
+
+#include <utility>
+
+#include "covergame/cover_game.h"
+#include "cq/core.h"
+#include "cq/enumeration.h"
+#include "cq/evaluation.h"
+#include "cq/homomorphism.h"
+#include "cq/product.h"
+#include "util/check.h"
+
+namespace featsep {
+
+namespace {
+
+/// Materializes ∏_{e∈S⁺}(D, e); CHECK-fails when over budget.
+ProductResult BuildPositiveProduct(const QbeInstance& instance,
+                                   const QbeOptions& options) {
+  FEATSEP_CHECK(instance.db != nullptr);
+  FEATSEP_CHECK(!instance.positives.empty())
+      << "QBE requires a nonempty positive set";
+  std::vector<const Database*> factors(instance.positives.size(),
+                                       instance.db);
+  std::vector<std::vector<Value>> tuples;
+  tuples.reserve(instance.positives.size());
+  for (Value e : instance.positives) tuples.push_back({e});
+  auto product = DirectProduct(factors, tuples, options.max_product_facts);
+  FEATSEP_CHECK(product.has_value())
+      << "QBE positive product exceeds max_product_facts (coNEXPTIME-sized "
+         "instance; raise the budget or shrink S+)";
+  return std::move(*product);
+}
+
+}  // namespace
+
+QbeResult SolveCqQbe(const QbeInstance& instance, const QbeOptions& options) {
+  ProductResult product = BuildPositiveProduct(instance, options);
+  QbeResult result;
+  result.product_facts = product.db.size();
+  result.exists = true;
+  for (Value b : instance.negatives) {
+    if (HomomorphismExists(product.db, *instance.db,
+                           {{product.tuple[0], b}})) {
+      result.exists = false;
+      return result;
+    }
+  }
+  // The canonical product query is itself an explanation: it selects every
+  // positive (projections are homomorphisms) and, as just verified, no
+  // negative.
+  Database canonical = options.minimize_explanation
+                           ? CoreOf(product.db, {product.tuple[0]})
+                           : std::move(product.db);
+  result.explanation = CqFromDatabase(canonical, {product.tuple[0]});
+  return result;
+}
+
+QbeResult SolveGhwQbe(const QbeInstance& instance, std::size_t k,
+                      const QbeOptions& options) {
+  ProductResult product = BuildPositiveProduct(instance, options);
+  QbeResult result;
+  result.product_facts = product.db.size();
+  result.exists = true;
+  CoverGameSolver solver(product.db, *instance.db, k);
+  for (Value b : instance.negatives) {
+    if (solver.Decide({product.tuple[0]}, {b})) {
+      result.exists = false;
+      return result;
+    }
+  }
+  return result;
+}
+
+QbeResult SolveCqmQbe(const QbeInstance& instance, std::size_t m,
+                      std::size_t max_variable_occurrences) {
+  FEATSEP_CHECK(instance.db != nullptr);
+  FEATSEP_CHECK(!instance.positives.empty())
+      << "QBE requires a nonempty positive set";
+  const Database& db = *instance.db;
+  FEATSEP_CHECK(db.schema().has_entity_relation());
+  for (Value e : instance.positives) {
+    FEATSEP_CHECK(db.IsEntity(e)) << "positive example is not an entity";
+  }
+
+  EnumerationOptions enum_options;
+  enum_options.max_variable_occurrences = max_variable_occurrences;
+  std::vector<ConjunctiveQuery> candidates =
+      EnumerateFeatureQueries(db.schema_ptr(), m, enum_options);
+
+  QbeResult result;
+  for (const ConjunctiveQuery& q : candidates) {
+    CqEvaluator evaluator(q);
+    bool ok = true;
+    for (Value e : instance.positives) {
+      if (!evaluator.SelectsEntity(db, e)) {
+        ok = false;
+        break;
+      }
+    }
+    for (std::size_t i = 0; ok && i < instance.negatives.size(); ++i) {
+      if (evaluator.SelectsEntity(db, instance.negatives[i])) ok = false;
+    }
+    if (ok) {
+      result.exists = true;
+      result.explanation = q;
+      return result;
+    }
+  }
+  result.exists = false;
+  return result;
+}
+
+}  // namespace featsep

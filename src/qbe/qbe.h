@@ -1,0 +1,69 @@
+#ifndef FEATSEP_QBE_QBE_H_
+#define FEATSEP_QBE_QBE_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "cq/cq.h"
+#include "relational/database.h"
+
+namespace featsep {
+
+/// A query-by-example instance (paper, Section 6.1): a database together
+/// with unary positive and negative example sets. An L-explanation is a
+/// unary query q ∈ L with S⁺ ⊆ q(D) and q(D) ∩ S⁻ = ∅.
+struct QbeInstance {
+  const Database* db = nullptr;
+  std::vector<Value> positives;  ///< S⁺ (must be nonempty).
+  std::vector<Value> negatives;  ///< S⁻.
+};
+
+/// Options controlling the product-based solvers.
+struct QbeOptions {
+  /// Budget on the direct-product size; 0 = unbounded. CQ-QBE is
+  /// coNEXPTIME-complete (Theorem 6.1) and the canonical product has
+  /// |D|^{|S⁺|} facts, so real instances need this guard.
+  std::size_t max_product_facts = 2000000;
+  /// If true, SolveCqQbe minimizes the returned explanation to its core
+  /// (exponential extra work, much smaller query).
+  bool minimize_explanation = false;
+};
+
+/// Result of a QBE solver call.
+struct QbeResult {
+  bool exists = false;
+  /// Witness explanation when one was requested and exists (CQ solvers).
+  std::optional<ConjunctiveQuery> explanation;
+  /// Facts in the materialized canonical product (diagnostics; drives the
+  /// Theorem 6.7 blowup measurements).
+  std::size_t product_facts = 0;
+};
+
+/// CQ-QBE via the product homomorphism method (ten Cate–Dalmau): the
+/// canonical explanation is the direct product P = ∏_{e∈S⁺}(D, e); an
+/// explanation exists iff (P, ē) ↛ (D, b) for every b ∈ S⁻. If an
+/// explanation exists, `explanation` carries the canonical product query.
+/// CHECK-fails if the product exceeds the budget.
+QbeResult SolveCqQbe(const QbeInstance& instance,
+                     const QbeOptions& options = {});
+
+/// GHW(k)-QBE: an explanation of generalized hypertree width ≤ k exists iff
+/// (P, ē) ↛_k (D, b) for every b ∈ S⁻ (Proposition 5.2 plus closure of
+/// GHW(k) under conjunction) — decided with the existential cover game on
+/// the product, EXPTIME overall (Theorem 6.1). No explanation query is
+/// materialized (they can be exponentially large; see Theorem 5.7).
+QbeResult SolveGhwQbe(const QbeInstance& instance, std::size_t k,
+                      const QbeOptions& options = {});
+
+/// CQ[m]-QBE by enumeration of all feature queries with at most m atoms
+/// (requires an entity schema whose η holds on all of S⁺ ∪ S⁻; the
+/// enumerated features contain η(x) per the paper's convention).
+/// NP-complete even for m = 1 in the input schema's size (Prop 6.11), so
+/// the cost is driven by the schema. Returns the first explanation found.
+QbeResult SolveCqmQbe(const QbeInstance& instance, std::size_t m,
+                      std::size_t max_variable_occurrences = 0);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_QBE_QBE_H_

@@ -1,0 +1,150 @@
+#include "relational/database.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace featsep {
+
+namespace {
+const std::vector<FactIndex>& EmptyIndexList() {
+  static const auto& empty = *new std::vector<FactIndex>();
+  return empty;
+}
+}  // namespace
+
+Database::Database(std::shared_ptr<const Schema> schema)
+    : schema_(std::move(schema)) {
+  FEATSEP_CHECK(schema_ != nullptr);
+  facts_by_relation_.resize(schema_->size());
+  facts_by_position_.resize(schema_->size());
+  for (RelationId r = 0; r < schema_->size(); ++r) {
+    facts_by_position_[r].resize(schema_->arity(r));
+  }
+}
+
+Value Database::Intern(std::string_view name) {
+  auto it = values_by_name_.find(std::string(name));
+  if (it != values_by_name_.end()) return it->second;
+  Value value = static_cast<Value>(value_names_.size());
+  value_names_.emplace_back(name);
+  values_by_name_.emplace(std::string(name), value);
+  facts_by_value_.emplace_back();
+  in_domain_.push_back(false);
+  return value;
+}
+
+Value Database::FindValue(std::string_view name) const {
+  auto it = values_by_name_.find(std::string(name));
+  return it == values_by_name_.end() ? kNoValue : it->second;
+}
+
+const std::string& Database::value_name(Value value) const {
+  FEATSEP_CHECK_LT(value, value_names_.size());
+  return value_names_[value];
+}
+
+bool Database::AddFact(RelationId relation, std::vector<Value> args) {
+  FEATSEP_CHECK_LT(relation, schema_->size());
+  FEATSEP_CHECK_EQ(args.size(), schema_->arity(relation))
+      << "arity mismatch for relation " << schema_->name(relation);
+  for (Value v : args) FEATSEP_CHECK_LT(v, value_names_.size());
+  Fact fact{relation, std::move(args)};
+  if (fact_set_.count(fact) > 0) return false;
+
+  FactIndex index = facts_.size();
+  facts_by_relation_[relation].push_back(index);
+  for (std::size_t pos = 0; pos < fact.args.size(); ++pos) {
+    facts_by_position_[relation][pos][fact.args[pos]].push_back(index);
+  }
+  // facts_by_value_ lists each fact once even if a value repeats.
+  std::vector<Value> seen;
+  for (Value v : fact.args) {
+    if (std::find(seen.begin(), seen.end(), v) == seen.end()) {
+      seen.push_back(v);
+      facts_by_value_[v].push_back(index);
+      in_domain_[v] = true;
+    }
+  }
+  fact_set_.insert(fact);
+  facts_.push_back(std::move(fact));
+  domain_cache_valid_ = false;
+  return true;
+}
+
+bool Database::AddFact(std::string_view relation_name,
+                       const std::vector<std::string>& arg_names) {
+  RelationId relation = schema_->FindRelation(relation_name);
+  FEATSEP_CHECK_NE(relation, kNoRelation)
+      << "unknown relation: " << relation_name;
+  std::vector<Value> args;
+  args.reserve(arg_names.size());
+  for (const std::string& name : arg_names) args.push_back(Intern(name));
+  return AddFact(relation, std::move(args));
+}
+
+bool Database::ContainsFact(const Fact& fact) const {
+  return fact_set_.count(fact) > 0;
+}
+
+const Fact& Database::fact(FactIndex index) const {
+  FEATSEP_CHECK_LT(index, facts_.size());
+  return facts_[index];
+}
+
+const std::vector<FactIndex>& Database::FactsOf(RelationId relation) const {
+  FEATSEP_CHECK_LT(relation, facts_by_relation_.size());
+  return facts_by_relation_[relation];
+}
+
+const std::vector<FactIndex>& Database::FactsContaining(Value value) const {
+  FEATSEP_CHECK_LT(value, facts_by_value_.size());
+  return facts_by_value_[value];
+}
+
+const std::vector<FactIndex>& Database::FactsWith(RelationId relation,
+                                                  std::size_t pos,
+                                                  Value value) const {
+  FEATSEP_CHECK_LT(relation, facts_by_position_.size());
+  FEATSEP_CHECK_LT(pos, facts_by_position_[relation].size());
+  auto it = facts_by_position_[relation][pos].find(value);
+  if (it == facts_by_position_[relation][pos].end()) return EmptyIndexList();
+  return it->second;
+}
+
+const std::vector<Value>& Database::domain() const {
+  if (!domain_cache_valid_) {
+    domain_cache_.clear();
+    for (Value v = 0; v < in_domain_.size(); ++v) {
+      if (in_domain_[v]) domain_cache_.push_back(v);
+    }
+    domain_cache_valid_ = true;
+  }
+  return domain_cache_;
+}
+
+bool Database::InDomain(Value value) const {
+  return value < in_domain_.size() && in_domain_[value];
+}
+
+std::vector<Value> Database::Entities() const {
+  RelationId eta = schema_->entity_relation();
+  std::vector<Value> entities;
+  for (FactIndex index : FactsOf(eta)) {
+    entities.push_back(facts_[index].args[0]);
+  }
+  return entities;
+}
+
+bool Database::IsEntity(Value value) const {
+  if (!schema_->has_entity_relation()) return false;
+  RelationId eta = schema_->entity_relation();
+  return !FactsWith(eta, 0, value).empty();
+}
+
+std::shared_ptr<const Schema> MakeSharedSchema(Schema schema) {
+  return std::make_shared<const Schema>(std::move(schema));
+}
+
+}  // namespace featsep

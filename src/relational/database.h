@@ -1,0 +1,113 @@
+#ifndef FEATSEP_RELATIONAL_DATABASE_H_
+#define FEATSEP_RELATIONAL_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/fact.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace featsep {
+
+/// A finite set of facts over a schema (paper, Section 2), together with a
+/// symbol table interning the constant names and the secondary indexes used
+/// by the homomorphism engine and the cover-game solver:
+///   - facts by relation,
+///   - facts by contained value,
+///   - facts by (relation, argument position, value).
+/// Fact insertion is deduplicating (a database is a *set* of facts).
+class Database {
+ public:
+  explicit Database(std::shared_ptr<const Schema> schema);
+
+  const Schema& schema() const { return *schema_; }
+  const std::shared_ptr<const Schema>& schema_ptr() const { return schema_; }
+
+  /// Interns a constant name, creating it if absent. Interned values need
+  /// not occur in any fact; the paper's dom(D) is `domain()` below.
+  Value Intern(std::string_view name);
+
+  /// Looks up a constant by name; kNoValue if never interned.
+  Value FindValue(std::string_view name) const;
+
+  /// The name a value was interned under.
+  const std::string& value_name(Value value) const;
+
+  /// Number of interned constants (an upper bound on |dom(D)|).
+  std::size_t num_values() const { return value_names_.size(); }
+
+  /// Adds fact relation(args); returns true if the fact is new. The argument
+  /// count must match the relation's arity.
+  bool AddFact(RelationId relation, std::vector<Value> args);
+
+  /// Convenience: interns names and adds the fact; the relation is looked up
+  /// by name and must exist in the schema.
+  bool AddFact(std::string_view relation_name,
+               const std::vector<std::string>& arg_names);
+
+  bool ContainsFact(const Fact& fact) const;
+
+  /// All facts in insertion order.
+  const std::vector<Fact>& facts() const { return facts_; }
+
+  /// |D|: the number of facts.
+  std::size_t size() const { return facts_.size(); }
+
+  const Fact& fact(FactIndex index) const;
+
+  /// Indexes of all facts of `relation`.
+  const std::vector<FactIndex>& FactsOf(RelationId relation) const;
+
+  /// Indexes of all facts in which `value` occurs (each fact listed once).
+  const std::vector<FactIndex>& FactsContaining(Value value) const;
+
+  /// Indexes of facts of `relation` with `value` at argument position `pos`.
+  const std::vector<FactIndex>& FactsWith(RelationId relation,
+                                          std::size_t pos, Value value) const;
+
+  /// dom(D): the values occurring in facts, in increasing value order.
+  const std::vector<Value>& domain() const;
+
+  /// True if `value` occurs in some fact.
+  bool InDomain(Value value) const;
+
+  /// η(D): the entities, i.e., values e with η(e) ∈ D, in insertion order of
+  /// the η facts. Requires the schema to designate an entity relation.
+  std::vector<Value> Entities() const;
+
+  /// True if η(value) ∈ D.
+  bool IsEntity(Value value) const;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+
+  std::vector<std::string> value_names_;
+  std::unordered_map<std::string, Value> values_by_name_;
+
+  std::vector<Fact> facts_;
+  std::unordered_set<Fact, FactHash> fact_set_;
+
+  std::vector<std::vector<FactIndex>> facts_by_relation_;
+  std::vector<std::vector<FactIndex>> facts_by_value_;
+  // Keyed by (relation, pos) -> value -> fact indexes.
+  std::vector<std::vector<std::unordered_map<Value, std::vector<FactIndex>>>>
+      facts_by_position_;
+
+  mutable std::vector<Value> domain_cache_;
+  mutable bool domain_cache_valid_ = false;
+  std::vector<bool> in_domain_;
+};
+
+/// Builds a database over a fresh single-use schema copy that shares
+/// relation ids with `schema`. (Helper for tests and generators that want a
+/// value-identical schema object they can own.)
+std::shared_ptr<const Schema> MakeSharedSchema(Schema schema);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_RELATIONAL_DATABASE_H_

@@ -1,0 +1,42 @@
+#ifndef FEATSEP_RELATIONAL_FACT_H_
+#define FEATSEP_RELATIONAL_FACT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/hash.h"
+
+namespace featsep {
+
+/// A ground fact R(a₁,…,a_k): a relation symbol id plus its argument tuple.
+/// The argument values are interned in the owning Database.
+struct Fact {
+  RelationId relation = kNoRelation;
+  std::vector<Value> args;
+
+  friend bool operator==(const Fact& a, const Fact& b) {
+    return a.relation == b.relation && a.args == b.args;
+  }
+  friend bool operator!=(const Fact& a, const Fact& b) { return !(a == b); }
+  friend bool operator<(const Fact& a, const Fact& b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return a.args < b.args;
+  }
+};
+
+/// std::hash-compatible functor for facts.
+struct FactHash {
+  std::size_t operator()(const Fact& fact) const {
+    std::size_t seed = fact.relation;
+    for (Value v : fact.args) HashCombine(seed, v);
+    return seed;
+  }
+};
+
+/// Index of a fact within a Database (insertion order).
+using FactIndex = std::size_t;
+
+}  // namespace featsep
+
+#endif  // FEATSEP_RELATIONAL_FACT_H_

@@ -1,0 +1,64 @@
+#include "relational/schema.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace featsep {
+
+RelationId Schema::AddRelation(std::string name, std::size_t arity) {
+  FEATSEP_CHECK_GT(arity, 0u) << "relation arity must be positive";
+  FEATSEP_CHECK(by_name_.find(name) == by_name_.end())
+      << "duplicate relation name: " << name;
+  RelationId id = static_cast<RelationId>(relations_.size());
+  by_name_.emplace(name, id);
+  relations_.push_back(Relation{std::move(name), arity});
+  return id;
+}
+
+RelationId Schema::FindRelation(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kNoRelation : it->second;
+}
+
+const std::string& Schema::name(RelationId id) const {
+  FEATSEP_CHECK_LT(id, relations_.size());
+  return relations_[id].name;
+}
+
+std::size_t Schema::arity(RelationId id) const {
+  FEATSEP_CHECK_LT(id, relations_.size());
+  return relations_[id].arity;
+}
+
+std::size_t Schema::max_arity() const {
+  std::size_t result = 0;
+  for (const Relation& r : relations_) result = std::max(result, r.arity);
+  return result;
+}
+
+void Schema::set_entity_relation(RelationId id) {
+  FEATSEP_CHECK_LT(id, relations_.size());
+  FEATSEP_CHECK_EQ(relations_[id].arity, 1u)
+      << "entity relation must be unary";
+  entity_relation_ = id;
+}
+
+RelationId Schema::entity_relation() const {
+  FEATSEP_CHECK(has_entity_relation())
+      << "schema has no designated entity relation";
+  return entity_relation_;
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.relations_.size() != b.relations_.size()) return false;
+  for (std::size_t i = 0; i < a.relations_.size(); ++i) {
+    if (a.relations_[i].name != b.relations_[i].name ||
+        a.relations_[i].arity != b.relations_[i].arity) {
+      return false;
+    }
+  }
+  return a.entity_relation_ == b.entity_relation_;
+}
+
+}  // namespace featsep

@@ -1,0 +1,66 @@
+#ifndef FEATSEP_RELATIONAL_SCHEMA_H_
+#define FEATSEP_RELATIONAL_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace featsep {
+
+/// A relational schema: a finite set of relation symbols with arities.
+///
+/// Entity schemas (paper, Section 3) are schemas with a distinguished unary
+/// relation symbol η used to mark the entities to be classified; call
+/// `set_entity_relation` to designate it. The conventional name is "Eta" but
+/// any unary relation may serve.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a relation symbol. The name must be fresh and arity positive.
+  RelationId AddRelation(std::string name, std::size_t arity);
+
+  /// Looks up a relation by name; returns kNoRelation if absent.
+  RelationId FindRelation(std::string_view name) const;
+
+  /// Number of relation symbols.
+  std::size_t size() const { return relations_.size(); }
+
+  const std::string& name(RelationId id) const;
+  std::size_t arity(RelationId id) const;
+
+  /// Largest arity over all relation symbols (0 for the empty schema).
+  std::size_t max_arity() const;
+
+  /// Designates `id` (which must be unary) as the entity symbol η, making
+  /// this an entity schema.
+  void set_entity_relation(RelationId id);
+
+  /// True if an entity symbol has been designated.
+  bool has_entity_relation() const { return entity_relation_ != kNoRelation; }
+
+  /// The entity symbol η; checked programmer error if not designated.
+  RelationId entity_relation() const;
+
+  /// True if the two schemas have the same relation names, arities (in the
+  /// same id order), and entity designation.
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  struct Relation {
+    std::string name;
+    std::size_t arity;
+  };
+
+  std::vector<Relation> relations_;
+  std::unordered_map<std::string, RelationId> by_name_;
+  RelationId entity_relation_ = kNoRelation;
+};
+
+}  // namespace featsep
+
+#endif  // FEATSEP_RELATIONAL_SCHEMA_H_

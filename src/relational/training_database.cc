@@ -1,0 +1,72 @@
+#include "relational/training_database.h"
+
+#include "util/check.h"
+
+namespace featsep {
+
+void Labeling::Set(Value entity, Label label) {
+  FEATSEP_CHECK(label == kPositive || label == kNegative)
+      << "label must be +1 or -1, got " << label;
+  labels_[entity] = label;
+}
+
+Label Labeling::Get(Value entity) const {
+  auto it = labels_.find(entity);
+  FEATSEP_CHECK(it != labels_.end())
+      << "no label assigned to entity " << entity;
+  return it->second;
+}
+
+std::vector<std::pair<Value, Label>> Labeling::Items() const {
+  return std::vector<std::pair<Value, Label>>(labels_.begin(), labels_.end());
+}
+
+std::size_t Labeling::Disagreement(const Labeling& other) const {
+  std::size_t count = 0;
+  for (const auto& [entity, label] : labels_) {
+    if (!other.Has(entity) || other.Get(entity) != label) ++count;
+  }
+  return count;
+}
+
+TrainingDatabase::TrainingDatabase(std::shared_ptr<Database> database)
+    : database_(std::move(database)) {
+  FEATSEP_CHECK(database_ != nullptr);
+  FEATSEP_CHECK(database_->schema().has_entity_relation())
+      << "training databases require an entity schema";
+}
+
+void TrainingDatabase::SetLabel(Value entity, Label label) {
+  FEATSEP_CHECK(database_->IsEntity(entity))
+      << "labeled value " << entity << " is not an entity";
+  labeling_.Set(entity, label);
+}
+
+bool TrainingDatabase::IsFullyLabeled() const {
+  for (Value e : database_->Entities()) {
+    if (!labeling_.Has(e)) return false;
+  }
+  return true;
+}
+
+std::vector<Value> TrainingDatabase::PositiveExamples() const {
+  std::vector<Value> result;
+  for (Value e : database_->Entities()) {
+    if (labeling_.Has(e) && labeling_.Get(e) == kPositive) {
+      result.push_back(e);
+    }
+  }
+  return result;
+}
+
+std::vector<Value> TrainingDatabase::NegativeExamples() const {
+  std::vector<Value> result;
+  for (Value e : database_->Entities()) {
+    if (labeling_.Has(e) && labeling_.Get(e) == kNegative) {
+      result.push_back(e);
+    }
+  }
+  return result;
+}
+
+}  // namespace featsep

@@ -1,0 +1,78 @@
+#ifndef FEATSEP_RELATIONAL_TRAINING_DATABASE_H_
+#define FEATSEP_RELATIONAL_TRAINING_DATABASE_H_
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/value.h"
+
+namespace featsep {
+
+/// A labeling λ : η(D) → {1, -1} partitioning the entities of a database
+/// into positive and negative examples (paper, Section 3).
+class Labeling {
+ public:
+  Labeling() = default;
+
+  /// Sets λ(entity) = label; label must be ±1.
+  void Set(Value entity, Label label);
+
+  /// True if a label has been assigned to `entity`.
+  bool Has(Value entity) const { return labels_.count(entity) > 0; }
+
+  /// λ(entity); checked programmer error if unassigned.
+  Label Get(Value entity) const;
+
+  std::size_t size() const { return labels_.size(); }
+
+  /// All (entity, label) pairs in unspecified order.
+  std::vector<std::pair<Value, Label>> Items() const;
+
+  /// Number of entities on which this labeling and `other` disagree
+  /// (both must be defined on the same entities for the count to be
+  /// meaningful; entities missing from `other` count as disagreements).
+  std::size_t Disagreement(const Labeling& other) const;
+
+ private:
+  std::unordered_map<Value, Label> labels_;
+};
+
+/// A training database (D, λ): a database over an entity schema together
+/// with a labeling of its entities (paper, Section 3).
+class TrainingDatabase {
+ public:
+  /// Takes shared ownership of the database. The labeling may be completed
+  /// afterwards via `SetLabel`.
+  explicit TrainingDatabase(std::shared_ptr<Database> database);
+
+  const Database& database() const { return *database_; }
+  Database& mutable_database() { return *database_; }
+  const std::shared_ptr<Database>& database_ptr() const { return database_; }
+
+  void SetLabel(Value entity, Label label);
+
+  const Labeling& labeling() const { return labeling_; }
+  Label label(Value entity) const { return labeling_.Get(entity); }
+
+  /// True if every entity of the database has a label.
+  bool IsFullyLabeled() const;
+
+  /// Entities with λ(e) = +1 / -1.
+  std::vector<Value> PositiveExamples() const;
+  std::vector<Value> NegativeExamples() const;
+
+  /// η(D).
+  std::vector<Value> Entities() const { return database_->Entities(); }
+
+ private:
+  std::shared_ptr<Database> database_;
+  Labeling labeling_;
+};
+
+}  // namespace featsep
+
+#endif  // FEATSEP_RELATIONAL_TRAINING_DATABASE_H_

@@ -1,0 +1,33 @@
+#ifndef FEATSEP_RELATIONAL_VALUE_H_
+#define FEATSEP_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace featsep {
+
+/// A domain element (constant) of a database, represented as an index into
+/// the owning Database's symbol table. Values are only meaningful relative to
+/// the database that interned them.
+using Value = std::uint32_t;
+
+/// Identifier of a relation symbol within a Schema.
+using RelationId = std::uint32_t;
+
+/// Sentinel for "no value"; never a valid interned value.
+inline constexpr Value kNoValue = std::numeric_limits<Value>::max();
+
+/// Sentinel for "no relation".
+inline constexpr RelationId kNoRelation =
+    std::numeric_limits<RelationId>::max();
+
+/// A classification label: +1 (positive class) or -1 (negative class), as in
+/// the paper's {1, -1} convention.
+using Label = int;
+
+inline constexpr Label kPositive = 1;
+inline constexpr Label kNegative = -1;
+
+}  // namespace featsep
+
+#endif  // FEATSEP_RELATIONAL_VALUE_H_

@@ -1,0 +1,19 @@
+#include "util/check.h"
+
+namespace featsep {
+namespace internal_check {
+
+void CheckFailure(const char* file, int line, const char* expr,
+                  const std::string& message) {
+  std::fprintf(stderr, "[featsep] CHECK failed at %s:%d: %s", file, line,
+               expr);
+  if (!message.empty()) {
+    std::fprintf(stderr, " — %s", message.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace featsep

@@ -1,0 +1,58 @@
+#ifndef FEATSEP_UTIL_CHECK_H_
+#define FEATSEP_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace featsep {
+namespace internal_check {
+
+/// Formats the failure message and aborts. Never returns.
+[[noreturn]] void CheckFailure(const char* file, int line, const char* expr,
+                               const std::string& message);
+
+/// Stream-collecting helper so that `CHECK(x) << "context"` works.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailure(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace featsep
+
+/// CHECK(condition): aborts with a diagnostic if `condition` is false.
+/// Used for programmer errors and internal invariants (the library does not
+/// use exceptions). Additional context may be streamed:
+///   CHECK(i < n) << "index " << i << " out of range";
+#define FEATSEP_CHECK(condition)                                        \
+  while (!(condition))                                                  \
+  ::featsep::internal_check::CheckMessageBuilder(__FILE__, __LINE__,    \
+                                                 #condition)
+
+#define FEATSEP_CHECK_EQ(a, b) FEATSEP_CHECK((a) == (b))
+#define FEATSEP_CHECK_NE(a, b) FEATSEP_CHECK((a) != (b))
+#define FEATSEP_CHECK_LT(a, b) FEATSEP_CHECK((a) < (b))
+#define FEATSEP_CHECK_LE(a, b) FEATSEP_CHECK((a) <= (b))
+#define FEATSEP_CHECK_GT(a, b) FEATSEP_CHECK((a) > (b))
+#define FEATSEP_CHECK_GE(a, b) FEATSEP_CHECK((a) >= (b))
+
+#endif  // FEATSEP_UTIL_CHECK_H_

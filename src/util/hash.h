@@ -1,0 +1,51 @@
+#ifndef FEATSEP_UTIL_HASH_H_
+#define FEATSEP_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace featsep {
+
+/// Mixes `value` into a running hash seed (boost::hash_combine-style, with a
+/// 64-bit golden-ratio constant). Order-sensitive.
+inline void HashCombine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes an arbitrary range of hashable elements, order-sensitively.
+template <typename Iterator>
+std::size_t HashRange(Iterator first, Iterator last) {
+  std::size_t seed = 0xcbf29ce484222325ULL;
+  using T = std::decay_t<decltype(*first)>;
+  std::hash<T> hasher;
+  for (; first != last; ++first) {
+    HashCombine(seed, hasher(*first));
+  }
+  return seed;
+}
+
+/// std::hash-compatible functor for vectors of hashable elements; usable as
+/// the Hash template argument of unordered containers keyed by vectors.
+template <typename T>
+struct VectorHash {
+  std::size_t operator()(const std::vector<T>& v) const {
+    return HashRange(v.begin(), v.end());
+  }
+};
+
+/// std::hash-compatible functor for pairs.
+template <typename A, typename B>
+struct PairHash {
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    std::size_t seed = std::hash<A>()(p.first);
+    HashCombine(seed, std::hash<B>()(p.second));
+    return seed;
+  }
+};
+
+}  // namespace featsep
+
+#endif  // FEATSEP_UTIL_HASH_H_

@@ -1,0 +1,62 @@
+#ifndef FEATSEP_UTIL_RESULT_H_
+#define FEATSEP_UTIL_RESULT_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace featsep {
+
+/// A lightweight error descriptor for fallible operations (parsing,
+/// validation of user input, ...). Internal invariant violations use
+/// FEATSEP_CHECK instead; the library does not throw exceptions.
+class Error {
+ public:
+  explicit Error(std::string message) : message_(std::move(message)) {}
+
+  const std::string& message() const { return message_; }
+
+ private:
+  std::string message_;
+};
+
+/// Result<T> holds either a value of type T or an Error, in the spirit of
+/// absl::StatusOr / std::expected. Access to the value of an error-holding
+/// Result is a checked programmer error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse:
+  ///   Result<int> Parse(...) { if (bad) return Error("..."); return 42; }
+  Result(T value) : data_(std::move(value)) {}          // NOLINT
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    FEATSEP_CHECK(ok()) << "Result::value() on error: " << error().message();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    FEATSEP_CHECK(ok()) << "Result::value() on error: " << error().message();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    FEATSEP_CHECK(ok()) << "Result::value() on error: " << error().message();
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    FEATSEP_CHECK(!ok()) << "Result::error() on ok result";
+    return std::get<Error>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace featsep
+
+#endif  // FEATSEP_UTIL_RESULT_H_

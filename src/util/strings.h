@@ -1,0 +1,25 @@
+#ifndef FEATSEP_UTIL_STRINGS_H_
+#define FEATSEP_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace featsep {
+
+/// Splits `text` on `separator`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Joins the elements of `pieces` with `separator` between them.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_UTIL_STRINGS_H_

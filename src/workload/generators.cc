@@ -1,0 +1,159 @@
+#include "workload/generators.h"
+
+#include <string>
+
+#include "cq/cq.h"
+#include "util/check.h"
+
+namespace featsep {
+
+namespace {
+
+/// xorshift64*; deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed == 0 ? 0x243f6a88 : seed) {}
+  std::uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+  std::size_t Below(std::size_t n) { return Next() % n; }
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+std::vector<Value> BuildPath(Database& db, const std::string& prefix,
+                             std::size_t edges) {
+  RelationId e = db.schema().FindRelation("E");
+  std::vector<Value> nodes;
+  for (std::size_t i = 0; i <= edges; ++i) {
+    nodes.push_back(db.Intern(prefix + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < edges; ++i) {
+    db.AddFact(e, {nodes[i], nodes[i + 1]});
+  }
+  return nodes;
+}
+
+}  // namespace
+
+std::shared_ptr<const Schema> GraphWorkloadSchema() {
+  Schema schema;
+  RelationId eta = schema.AddRelation("Eta", 1);
+  schema.AddRelation("E", 2);
+  schema.set_entity_relation(eta);
+  return std::make_shared<const Schema>(std::move(schema));
+}
+
+std::shared_ptr<TrainingDatabase> PathLengthFamily(
+    const std::vector<std::size_t>& lengths,
+    std::size_t positive_threshold) {
+  auto db = std::make_shared<Database>(GraphWorkloadSchema());
+  auto training = std::make_shared<TrainingDatabase>(db);
+  RelationId eta = db->schema().entity_relation();
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    std::string prefix = "p" + std::to_string(i) + "_";
+    std::vector<Value> nodes = BuildPath(*db, prefix, lengths[i]);
+    db->AddFact(eta, {nodes[0]});
+    training->SetLabel(nodes[0], lengths[i] >= positive_threshold
+                                     ? kPositive
+                                     : kNegative);
+  }
+  return training;
+}
+
+std::shared_ptr<TrainingDatabase> CycleTailFamily(
+    const std::vector<std::size_t>& lengths,
+    const std::vector<Label>& labels) {
+  FEATSEP_CHECK_EQ(lengths.size(), labels.size());
+  auto db = std::make_shared<Database>(GraphWorkloadSchema());
+  auto training = std::make_shared<TrainingDatabase>(db);
+  RelationId eta = db->schema().entity_relation();
+  RelationId e = db->schema().FindRelation("E");
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    FEATSEP_CHECK_GE(lengths[i], 1u);
+    std::string prefix = "c" + std::to_string(i) + "_";
+    std::vector<Value> nodes;
+    for (std::size_t j = 0; j < lengths[i]; ++j) {
+      nodes.push_back(db->Intern(prefix + std::to_string(j)));
+    }
+    for (std::size_t j = 0; j < lengths[i]; ++j) {
+      db->AddFact(e, {nodes[j], nodes[(j + 1) % lengths[i]]});
+    }
+    Value entity = db->Intern(prefix + "e");
+    db->AddFact(e, {entity, nodes[0]});
+    db->AddFact(eta, {entity});
+    training->SetLabel(entity, labels[i]);
+  }
+  return training;
+}
+
+std::shared_ptr<TrainingDatabase> RandomPlantedGraph(
+    const RandomGraphParams& params) {
+  FEATSEP_CHECK_GE(params.planted_path_length, 1u);
+  Rng rng(params.seed);
+  auto db = std::make_shared<Database>(GraphWorkloadSchema());
+  auto training = std::make_shared<TrainingDatabase>(db);
+  RelationId eta = db->schema().entity_relation();
+  RelationId e = db->schema().FindRelation("E");
+
+  // Background structure (kept acyclic by forward-only edges so it cannot
+  // accidentally extend a planted short path into a long one).
+  std::vector<Value> background;
+  for (std::size_t i = 0; i < params.num_background_nodes; ++i) {
+    background.push_back(db->Intern("bg" + std::to_string(i)));
+  }
+  for (std::size_t i = 0;
+       i < params.num_background_edges && background.size() >= 2; ++i) {
+    std::size_t a = rng.Below(background.size());
+    std::size_t b = rng.Below(background.size());
+    if (a == b) continue;
+    db->AddFact(e, {background[std::min(a, b)], background[std::max(a, b)]});
+  }
+
+  for (std::size_t i = 0; i < params.num_entities; ++i) {
+    bool positive = rng.Next() % 2 == 0;
+    std::size_t length = positive ? params.planted_path_length
+                                  : rng.Below(params.planted_path_length);
+    std::string prefix = "e" + std::to_string(i) + "_";
+    std::vector<Value> nodes = BuildPath(*db, prefix, length);
+    db->AddFact(eta, {nodes[0]});
+    Label label = positive ? kPositive : kNegative;
+    if (params.label_noise > 0.0 && rng.Uniform() < params.label_noise) {
+      label = -label;
+    }
+    training->SetLabel(nodes[0], label);
+  }
+  return training;
+}
+
+ConjunctiveQuery RandomFeatureQuery(std::shared_ptr<const Schema> schema,
+                                    std::size_t atoms, std::uint64_t seed) {
+  FEATSEP_CHECK(schema->has_entity_relation());
+  Rng rng(seed * 2654435761ULL + 17);
+  ConjunctiveQuery q = ConjunctiveQuery::MakeFeatureQuery(schema);
+  std::vector<Variable> pool = {q.free_variable()};
+  for (std::size_t i = 0; i < atoms; ++i) {
+    RelationId rel = static_cast<RelationId>(rng.Below(schema->size()));
+    std::vector<Variable> args;
+    for (std::size_t pos = 0; pos < schema->arity(rel); ++pos) {
+      // Bias 2:1 toward reusing an existing variable.
+      if (rng.Below(3) == 0 || pool.empty()) {
+        pool.push_back(q.NewVariable());
+        args.push_back(pool.back());
+      } else {
+        args.push_back(pool[rng.Below(pool.size())]);
+      }
+    }
+    q.AddAtom(rel, std::move(args));
+  }
+  return q;
+}
+
+}  // namespace featsep

@@ -1,0 +1,60 @@
+#ifndef FEATSEP_WORKLOAD_GENERATORS_H_
+#define FEATSEP_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cq/cq.h"
+#include "relational/training_database.h"
+
+namespace featsep {
+
+/// The shared entity schema of the graph workloads: unary Eta (entity) and
+/// binary E (directed edge).
+std::shared_ptr<const Schema> GraphWorkloadSchema();
+
+/// Entities at the heads of disjoint directed paths with the given edge
+/// counts, labeled +1 iff the length is at least `positive_threshold`.
+/// →₁-classes are exactly the path lengths, so this family is GHW(1)-
+/// separable and CQ[m]-separable for m ≥ threshold.
+std::shared_ptr<TrainingDatabase> PathLengthFamily(
+    const std::vector<std::size_t>& lengths, std::size_t positive_threshold);
+
+/// Entities attached by a tail edge to disjoint directed cycles of the
+/// given lengths, labeled by `labels` (parallel to `lengths`).
+std::shared_ptr<TrainingDatabase> CycleTailFamily(
+    const std::vector<std::size_t>& lengths, const std::vector<Label>& labels);
+
+/// Parameters for the random planted-feature workload.
+struct RandomGraphParams {
+  std::size_t num_entities = 10;
+  /// Background noise values and edges.
+  std::size_t num_background_nodes = 10;
+  std::size_t num_background_edges = 15;
+  /// Positive entities start a directed path of this length (the planted
+  /// CQ feature); negatives start a strictly shorter one.
+  std::size_t planted_path_length = 2;
+  /// Fraction of entities whose label is flipped after planting (noise for
+  /// the approximate-separability experiments).
+  double label_noise = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Random labeled graph database with a planted path feature: without
+/// noise it is CQ[planted_path_length]-separable and GHW(1)-separable by
+/// construction; with noise the minimal error of Theorem 7.4 grows with
+/// the flip count.
+std::shared_ptr<TrainingDatabase> RandomPlantedGraph(
+    const RandomGraphParams& params);
+
+/// A random unary feature query over the schema: η(x) plus `atoms` random
+/// atoms whose arguments are drawn from a growing variable pool (biased
+/// toward reuse so the queries are usually connected). For property tests
+/// over the CQ machinery.
+ConjunctiveQuery RandomFeatureQuery(std::shared_ptr<const Schema> schema,
+                                    std::size_t atoms, std::uint64_t seed);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_WORKLOAD_GENERATORS_H_

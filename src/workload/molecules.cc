@@ -1,0 +1,84 @@
+#include "workload/molecules.h"
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace featsep {
+
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed == 0 ? 0x13198a2e : seed) {}
+  std::uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+  std::size_t Below(std::size_t n) { return Next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace
+
+std::shared_ptr<const Schema> MoleculeSchema() {
+  Schema schema;
+  RelationId eta = schema.AddRelation("Eta", 1);
+  schema.set_entity_relation(eta);
+  schema.AddRelation("HasAtom", 2);
+  schema.AddRelation("Bond", 2);
+  schema.AddRelation("Carbon", 1);
+  schema.AddRelation("Nitrogen", 1);
+  schema.AddRelation("Oxygen", 1);
+  return std::make_shared<const Schema>(std::move(schema));
+}
+
+std::shared_ptr<TrainingDatabase> MakeMoleculeDataset(
+    const MoleculeParams& params) {
+  FEATSEP_CHECK_GE(params.atoms_per_molecule, 2u);
+  Rng rng(params.seed);
+  auto db = std::make_shared<Database>(MoleculeSchema());
+  auto training = std::make_shared<TrainingDatabase>(db);
+  const Schema& schema = db->schema();
+  RelationId eta = schema.entity_relation();
+  RelationId has_atom = schema.FindRelation("HasAtom");
+  RelationId bond = schema.FindRelation("Bond");
+  RelationId element[3] = {schema.FindRelation("Carbon"),
+                           schema.FindRelation("Nitrogen"),
+                           schema.FindRelation("Oxygen")};
+
+  for (std::size_t m = 0; m < params.num_molecules; ++m) {
+    std::string mol_name = "mol" + std::to_string(m);
+    Value mol = db->Intern(mol_name);
+    db->AddFact(eta, {mol});
+
+    std::vector<Value> atoms;
+    std::vector<std::size_t> kinds;
+    for (std::size_t a = 0; a < params.atoms_per_molecule; ++a) {
+      Value atom = db->Intern(mol_name + "_a" + std::to_string(a));
+      std::size_t kind = rng.Below(3);
+      atoms.push_back(atom);
+      kinds.push_back(kind);
+      db->AddFact(has_atom, {mol, atom});
+      db->AddFact(element[kind], {atom});
+    }
+    bool has_no_bond = false;
+    for (std::size_t b = 0; b < params.bonds_per_molecule; ++b) {
+      std::size_t i = rng.Below(atoms.size());
+      std::size_t j = rng.Below(atoms.size());
+      if (i == j) continue;
+      db->AddFact(bond, {atoms[i], atoms[j]});
+      // The planted motif: Nitrogen –Bond→ Oxygen.
+      if (kinds[i] == 1 && kinds[j] == 2) has_no_bond = true;
+    }
+    training->SetLabel(mol, has_no_bond ? kPositive : kNegative);
+  }
+  return training;
+}
+
+}  // namespace featsep

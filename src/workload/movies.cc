@@ -1,0 +1,55 @@
+#include "workload/movies.h"
+
+namespace featsep {
+
+std::shared_ptr<const Schema> MovieSchema() {
+  Schema schema;
+  RelationId eta = schema.AddRelation("Eta", 1);
+  schema.set_entity_relation(eta);
+  schema.AddRelation("ActsIn", 2);
+  schema.AddRelation("Directs", 2);
+  schema.AddRelation("SciFi", 1);
+  schema.AddRelation("Drama", 1);
+  return std::make_shared<const Schema>(std::move(schema));
+}
+
+std::shared_ptr<Database> MakeMovieDatabase() {
+  auto db = std::make_shared<Database>(MovieSchema());
+  auto person = [&](const std::string& name) {
+    db->AddFact("Eta", {name});
+  };
+  // People.
+  for (const char* name :
+       {"ada", "bela", "carlos", "dora", "emil", "fay", "gus"}) {
+    person(name);
+  }
+  // Movies and genres (genres are unary relations: the paper's CQs are
+  // constant-free, so a binary HasGenre(movie, "scifi") would be invisible
+  // to them — any genre value could be substituted).
+  db->AddFact("SciFi", {"nebula"});
+  db->AddFact("SciFi", {"quasar"});
+  db->AddFact("Drama", {"sunset"});
+  db->AddFact("Drama", {"harvest"});
+  db->AddFact("SciFi", {"orbit"});
+  db->AddFact("Drama", {"orbit"});
+
+  // Cast.
+  db->AddFact("ActsIn", {"ada", "nebula"});
+  db->AddFact("ActsIn", {"ada", "sunset"});
+  db->AddFact("ActsIn", {"bela", "quasar"});
+  db->AddFact("ActsIn", {"carlos", "sunset"});
+  db->AddFact("ActsIn", {"carlos", "harvest"});
+  db->AddFact("ActsIn", {"dora", "orbit"});
+  db->AddFact("ActsIn", {"emil", "harvest"});
+  db->AddFact("ActsIn", {"fay", "nebula"});
+  db->AddFact("ActsIn", {"fay", "harvest"});
+
+  // Direction.
+  db->AddFact("Directs", {"gus", "nebula"});
+  db->AddFact("Directs", {"gus", "harvest"});
+  db->AddFact("Directs", {"dora", "orbit"});   // Actor-director.
+  db->AddFact("Directs", {"carlos", "sunset"});  // Actor-director.
+  return db;
+}
+
+}  // namespace featsep

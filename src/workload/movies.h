@@ -1,0 +1,25 @@
+#ifndef FEATSEP_WORKLOAD_MOVIES_H_
+#define FEATSEP_WORKLOAD_MOVIES_H_
+
+#include <memory>
+
+#include "relational/database.h"
+
+namespace featsep {
+
+/// A small hand-curated movie database for the query-by-example scenarios
+/// (paper, Section 6.1): people acting in / directing movies that carry
+/// genres. Schema:
+///   Eta(person), ActsIn(person, movie), Directs(person, movie),
+///   SciFi(movie), Drama(movie)
+/// (genres are unary relations because the paper's CQs are constant-free).
+/// The data is arranged so that natural example sets ("people who acted in
+/// some scifi movie", "actor-directors") have small CQ explanations that
+/// SolveCqQbe discovers, while adversarial example sets have none.
+std::shared_ptr<const Schema> MovieSchema();
+
+std::shared_ptr<Database> MakeMovieDatabase();
+
+}  // namespace featsep
+
+#endif  // FEATSEP_WORKLOAD_MOVIES_H_

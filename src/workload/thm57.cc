@@ -1,0 +1,73 @@
+#include "workload/thm57.h"
+
+#include <string>
+
+#include "util/check.h"
+#include "workload/generators.h"
+
+namespace featsep {
+
+std::shared_ptr<TrainingDatabase> AlternatingPathFamily(std::size_t m) {
+  FEATSEP_CHECK_GE(m, 1u);
+  auto db = std::make_shared<Database>(GraphWorkloadSchema());
+  auto training = std::make_shared<TrainingDatabase>(db);
+  RelationId eta = db->schema().entity_relation();
+  RelationId e = db->schema().FindRelation("E");
+  std::vector<Value> nodes;
+  for (std::size_t i = 0; i <= m; ++i) {
+    nodes.push_back(db->Intern("n" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    db->AddFact(e, {nodes[i], nodes[i + 1]});
+  }
+  for (std::size_t i = 0; i <= m; ++i) {
+    db->AddFact(eta, {nodes[i]});
+    training->SetLabel(nodes[i], i % 2 == 0 ? kPositive : kNegative);
+  }
+  return training;
+}
+
+std::vector<std::size_t> FirstPrimes(std::size_t count) {
+  std::vector<std::size_t> primes;
+  std::size_t candidate = 2;
+  while (primes.size() < count) {
+    bool is_prime = true;
+    for (std::size_t p : primes) {
+      if (p * p > candidate) break;
+      if (candidate % p == 0) {
+        is_prime = false;
+        break;
+      }
+    }
+    if (is_prime) primes.push_back(candidate);
+    ++candidate;
+  }
+  return primes;
+}
+
+PrimeCycleFamily MakePrimeCycleFamily(std::size_t r) {
+  FEATSEP_CHECK_GE(r, 1u);
+  std::vector<std::size_t> primes = FirstPrimes(r + 1);
+  std::size_t negative_prime = primes.back();
+  primes.pop_back();
+
+  std::vector<std::size_t> lengths = primes;
+  lengths.push_back(negative_prime);
+  std::vector<Label> labels(primes.size(), kPositive);
+  labels.push_back(kNegative);
+
+  PrimeCycleFamily family;
+  family.training = CycleTailFamily(lengths, labels);
+  family.primes = primes;
+  family.negative_prime = negative_prime;
+  family.lcm = 1;
+  for (std::size_t p : primes) family.lcm *= p;
+
+  std::vector<Value> entities = family.training->Entities();
+  FEATSEP_CHECK_EQ(entities.size(), r + 1);
+  family.positives.assign(entities.begin(), entities.end() - 1);
+  family.negative = entities.back();
+  return family;
+}
+
+}  // namespace featsep

@@ -1,0 +1,55 @@
+#ifndef FEATSEP_WORKLOAD_THM57_H_
+#define FEATSEP_WORKLOAD_THM57_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "relational/training_database.h"
+
+namespace featsep {
+
+/// Witness families for the feature-size and dimension lower bounds
+/// (Theorems 5.7 and 6.7). The paper's appendix constructions were not
+/// available in the provided text, so this module engineers families with
+/// the same *mechanisms* (documented per DESIGN.md §4):
+///
+/// 1. Dimension growth (Thm 5.7(a)): a single directed path with entities
+///    at every node and alternating labels. The m+1 positions are pairwise
+///    →₁-inequivalent (a directed path is a core), so the implicit
+///    statistic of Algorithm 1 carries one feature per position — dimension
+///    m+1. (For the Prop 8.6 *linear-family* mechanism, use disjoint paths
+///    as in PathLengthFamily; see tests/dimension_collapse_test.cc.)
+///
+/// 2. Feature-size blowup (Thm 5.7(b)/6.7, the lcm mechanism behind the
+///    product-based canonical explanations): positives sit on tails into
+///    directed cycles of the first r primes, the negative on a tail into a
+///    cycle of a fresh prime. Any single CQ explanation must contain a
+///    connected cycle whose length is divisible by every one of the first
+///    r primes, i.e., at least lcm(p₁..p_r) = e^{Θ(r log r)} atoms, while
+///    |D| = Θ(Σ pᵢ) — superpolynomial feature blowup at fixed dimension.
+
+/// Family 1: path of `m` edges with all nodes as entities, labels
+/// alternating along the path.
+std::shared_ptr<TrainingDatabase> AlternatingPathFamily(std::size_t m);
+
+/// Family 2 description.
+struct PrimeCycleFamily {
+  std::shared_ptr<TrainingDatabase> training;
+  std::vector<Value> positives;  ///< Entities on the first r prime cycles.
+  Value negative;                ///< Entity on the fresh-prime cycle.
+  std::vector<std::size_t> primes;      ///< p₁..p_r.
+  std::size_t negative_prime;           ///< The fresh prime.
+  std::size_t lcm;                      ///< lcm(p₁..p_r) = ∏ pᵢ.
+};
+
+/// Builds Family 2 with the first `r` primes (r ≥ 1; the negative uses the
+/// (r+1)-st prime).
+PrimeCycleFamily MakePrimeCycleFamily(std::size_t r);
+
+/// The first `count` primes.
+std::vector<std::size_t> FirstPrimes(std::size_t count);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_WORKLOAD_THM57_H_

@@ -1,0 +1,70 @@
+#include "workload/vertex_cover.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.h"
+
+namespace featsep {
+
+VertexCoverInstance MakeVertexCoverInstance(
+    std::size_t num_vertices,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges) {
+  Schema schema;
+  RelationId eta = schema.AddRelation("Eta", 1);
+  schema.set_entity_relation(eta);
+  std::vector<RelationId> p(num_vertices);
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    p[v] = schema.AddRelation("P" + std::to_string(v), 1);
+  }
+  auto shared = std::make_shared<const Schema>(std::move(schema));
+
+  auto db = std::make_shared<Database>(shared);
+  auto training = std::make_shared<TrainingDatabase>(db);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    auto [u, v] = edges[i];
+    FEATSEP_CHECK_LT(u, num_vertices);
+    FEATSEP_CHECK_LT(v, num_vertices);
+    Value x = db->Intern("edge" + std::to_string(i));
+    db->AddFact(eta, {x});
+    db->AddFact(p[u], {x});
+    db->AddFact(p[v], {x});
+    training->SetLabel(x, kPositive);
+  }
+  Value y = db->Intern("neg");
+  db->AddFact(eta, {y});
+  training->SetLabel(y, kNegative);
+
+  return VertexCoverInstance{training, edges, num_vertices};
+}
+
+std::size_t MinVertexCover(
+    std::size_t num_vertices,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges) {
+  std::size_t best = num_vertices;
+  std::vector<bool> in_cover(num_vertices, false);
+  auto recurse = [&](auto&& self, std::size_t edge_index,
+                     std::size_t used) -> void {
+    if (used >= best) return;
+    // Find the first uncovered edge.
+    while (edge_index < edges.size()) {
+      auto [u, v] = edges[edge_index];
+      if (!in_cover[u] && !in_cover[v]) break;
+      ++edge_index;
+    }
+    if (edge_index == edges.size()) {
+      best = std::min(best, used);
+      return;
+    }
+    auto [u, v] = edges[edge_index];
+    for (std::size_t pick : {u, v}) {
+      in_cover[pick] = true;
+      self(self, edge_index + 1, used + 1);
+      in_cover[pick] = false;
+    }
+  };
+  recurse(recurse, 0, 0);
+  return best;
+}
+
+}  // namespace featsep

@@ -1,0 +1,43 @@
+#ifndef FEATSEP_WORKLOAD_VERTEX_COVER_H_
+#define FEATSEP_WORKLOAD_VERTEX_COVER_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "relational/training_database.h"
+
+namespace featsep {
+
+/// The Proposition 6.9 reduction: CQ[m]-SEP[*] is NP-complete because
+/// choosing ℓ single-atom features is a covering problem. Given a graph
+/// G = (V, E), this builds a training database over the schema
+/// {η, P_v : v ∈ V} (one fresh unary symbol per vertex — the schema grows
+/// with the input, which is exactly why the problem is only FPT in the
+/// schema size, Prop 6.8):
+///   - one positive entity x_e per edge e = (u, v), with P_u(x_e), P_v(x_e);
+///   - one negative entity y with no facts besides η(y).
+/// Then (D, λ) is CQ[1]-separable by a statistic of dimension ≤ ℓ iff G has
+/// a vertex cover of size ≤ ℓ: each feature distinguishing some x_e from y
+/// must be a P_v(x) with v incident to e, so the chosen vertices cover E;
+/// conversely a cover yields the OR-classifier over its P_v(x) features.
+struct VertexCoverInstance {
+  std::shared_ptr<TrainingDatabase> training;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  std::size_t num_vertices = 0;
+};
+
+VertexCoverInstance MakeVertexCoverInstance(
+    std::size_t num_vertices,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges);
+
+/// Exact minimum vertex cover by branch and bound (for cross-checking the
+/// reduction in tests and benches; exponential).
+std::size_t MinVertexCover(
+    std::size_t num_vertices,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges);
+
+}  // namespace featsep
+
+#endif  // FEATSEP_WORKLOAD_VERTEX_COVER_H_

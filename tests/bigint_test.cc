@@ -1,0 +1,176 @@
+#include "numeric/bigint.h"
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace featsep {
+namespace {
+
+TEST(BigIntTest, ZeroProperties) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_FALSE(zero.is_negative());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ((-zero).ToString(), "0");
+  EXPECT_EQ(zero.ToInt64(), 0);
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (std::int64_t v :
+       std::initializer_list<std::int64_t>{0, 1, -1, 42, -42, 1LL << 40,
+                                           -(1LL << 40), INT64_MAX,
+                                           INT64_MIN + 1}) {
+    BigInt big(v);
+    EXPECT_TRUE(big.FitsInt64());
+    EXPECT_EQ(big.ToInt64(), v) << v;
+    EXPECT_EQ(big.ToString(), std::to_string(v)) << v;
+  }
+}
+
+TEST(BigIntTest, Int64MinHandledWithoutOverflow) {
+  BigInt big(INT64_MIN);
+  EXPECT_TRUE(big.FitsInt64());
+  EXPECT_EQ(big.ToInt64(), INT64_MIN);
+  EXPECT_EQ(big.ToString(), std::to_string(INT64_MIN));
+}
+
+TEST(BigIntTest, FromStringValid) {
+  EXPECT_EQ(BigInt::FromString("0").value().ToInt64(), 0);
+  EXPECT_EQ(BigInt::FromString("-0").value().ToInt64(), 0);
+  EXPECT_EQ(BigInt::FromString("+17").value().ToInt64(), 17);
+  EXPECT_EQ(BigInt::FromString("-00012").value().ToInt64(), -12);
+  EXPECT_EQ(
+      BigInt::FromString("123456789012345678901234567890").value().ToString(),
+      "123456789012345678901234567890");
+}
+
+TEST(BigIntTest, FromStringInvalid) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("12x").ok());
+  EXPECT_FALSE(BigInt::FromString(" 12").ok());
+}
+
+TEST(BigIntTest, AdditionCarries) {
+  BigInt a = BigInt::FromString("999999999999999999999999").value();
+  BigInt one(1);
+  EXPECT_EQ((a + one).ToString(), "1000000000000000000000000");
+}
+
+TEST(BigIntTest, MixedSignAddition) {
+  EXPECT_EQ((BigInt(5) + BigInt(-7)).ToInt64(), -2);
+  EXPECT_EQ((BigInt(-5) + BigInt(7)).ToInt64(), 2);
+  EXPECT_EQ((BigInt(-5) + BigInt(-7)).ToInt64(), -12);
+  EXPECT_EQ((BigInt(5) + BigInt(-5)).sign(), 0);
+}
+
+TEST(BigIntTest, MultiplicationLarge) {
+  BigInt a = BigInt::FromString("123456789123456789").value();
+  BigInt b = BigInt::FromString("-987654321987654321").value();
+  EXPECT_EQ((a * b).ToString(), "-121932631356500531347203169112635269");
+}
+
+TEST(BigIntTest, DivModTruncatedSemantics) {
+  // C++ semantics: quotient toward zero, remainder has dividend's sign.
+  struct Case {
+    std::int64_t a, b, q, r;
+  };
+  for (const Case& c : {Case{7, 3, 2, 1}, Case{-7, 3, -2, -1},
+                        Case{7, -3, -2, 1}, Case{-7, -3, 2, -1},
+                        Case{6, 3, 2, 0}, Case{0, 5, 0, 0}}) {
+    BigInt q, r;
+    BigInt::DivMod(BigInt(c.a), BigInt(c.b), &q, &r);
+    EXPECT_EQ(q.ToInt64(), c.q) << c.a << "/" << c.b;
+    EXPECT_EQ(r.ToInt64(), c.r) << c.a << "%" << c.b;
+  }
+}
+
+TEST(BigIntTest, DivisionLarge) {
+  BigInt a = BigInt::FromString("121932631356500531347203169112635269").value();
+  BigInt b = BigInt::FromString("987654321987654321").value();
+  EXPECT_EQ((a / b).ToString(), "123456789123456789");
+  EXPECT_TRUE((a % b).is_zero());
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToInt64(), 5);
+  EXPECT_EQ(BigInt::Gcd(BigInt(7), BigInt(0)).ToInt64(), 7);
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)).ToInt64(), 1);
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(-2), BigInt(1));
+  EXPECT_LT(BigInt(1), BigInt(2));
+  EXPECT_LT(BigInt(-3), BigInt(-2));
+  EXPECT_LE(BigInt(2), BigInt(2));
+  EXPECT_GT(BigInt::FromString("100000000000000000000").value(), BigInt(1));
+  EXPECT_LT(BigInt::FromString("-100000000000000000000").value(),
+            BigInt(INT64_MIN));
+}
+
+TEST(BigIntTest, HashConsistentWithEquality) {
+  BigInt a = BigInt::FromString("123456789012345678901").value();
+  BigInt b = BigInt::FromString("123456789012345678901").value();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+// Property test: arithmetic on BigInt agrees with native __int128 across
+// random inputs.
+TEST(BigIntPropertyTest, AgreesWithInt128) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::int64_t> dist(-1000000000LL,
+                                                   1000000000LL);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::int64_t x = dist(rng);
+    std::int64_t y = dist(rng);
+    BigInt a(x), b(y);
+    __int128 sum = static_cast<__int128>(x) + y;
+    __int128 product = static_cast<__int128>(x) * y;
+    EXPECT_EQ((a + b).ToInt64(), static_cast<std::int64_t>(sum));
+    EXPECT_EQ((a - b).ToInt64(), static_cast<std::int64_t>(
+                                     static_cast<__int128>(x) - y));
+    EXPECT_EQ((a * b).ToInt64(), static_cast<std::int64_t>(product));
+    if (y != 0) {
+      EXPECT_EQ((a / b).ToInt64(), x / y);
+      EXPECT_EQ((a % b).ToInt64(), x % y);
+    }
+  }
+}
+
+// Property test: (a/b)*b + a%b == a for random big operands.
+TEST(BigIntPropertyTest, DivModIdentity) {
+  std::mt19937_64 rng(11);
+  auto random_big = [&](int digits) {
+    std::string s;
+    if (rng() % 2 == 0) s += '-';
+    s += static_cast<char>('1' + rng() % 9);
+    for (int i = 1; i < digits; ++i) {
+      s += static_cast<char>('0' + rng() % 10);
+    }
+    return BigInt::FromString(s).value();
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    BigInt a = random_big(1 + static_cast<int>(rng() % 40));
+    BigInt b = random_big(1 + static_cast<int>(rng() % 20));
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a) << a << " / " << b;
+    EXPECT_LT(r.abs(), b.abs());
+  }
+}
+
+TEST(BigIntTest, ToDoubleApproximation) {
+  BigInt a = BigInt::FromString("1000000000000000000000").value();
+  EXPECT_NEAR(a.ToDouble(), 1e21, 1e7);
+  EXPECT_NEAR(BigInt(-12345).ToDouble(), -12345.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace featsep

@@ -1,0 +1,125 @@
+#include "core/dimension_collapse.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace featsep {
+namespace {
+
+using ::featsep::testing::AddEntity;
+using ::featsep::testing::UnarySchema;
+
+/// Example 6.2's database: D = {R(a), S(a), S(c)} with entities a, b, c.
+std::shared_ptr<Database> Example62Db() {
+  auto db = std::make_shared<Database>(UnarySchema());
+  AddEntity(*db, "a");
+  AddEntity(*db, "b");
+  AddEntity(*db, "c");
+  db->AddFact("R", {"a"});
+  db->AddFact("S", {"a"});
+  db->AddFact("S", {"c"});
+  return db;
+}
+
+TEST(CqDefinableSetsTest, Example62Family) {
+  auto db = Example62Db();
+  EntitySetFamily family = CqDefinableEntitySets(*db);
+  Value a = db->FindValue("a");
+  Value b = db->FindValue("b");
+  Value c = db->FindValue("c");
+  auto contains = [&](std::vector<Value> set) {
+    std::sort(set.begin(), set.end());
+    return std::find(family.begin(), family.end(), set) != family.end();
+  };
+  // Definable: {a} (by R(x)), {a,c} (by S(x)), everything (by Eta(x)),
+  // and ∅ (R has no fact on... R(y) is satisfiable; but e.g. a query with
+  // two distinct unary patterns... here ∅ comes from no relation lacking
+  // an all-equal fact? All relations are unary so every fact is all-equal;
+  // R nonempty, S nonempty, Eta nonempty → ∅ NOT definable this way).
+  EXPECT_TRUE(contains({a}));
+  EXPECT_TRUE(contains({a, c}));
+  EXPECT_TRUE(contains({a, b, c}));
+  // {b}, {c}, {b,c}, {a,b} are NOT CQ-definable (outputs are up-sets and
+  // b is below everything).
+  EXPECT_FALSE(contains({b}));
+  EXPECT_FALSE(contains({c}));
+  EXPECT_FALSE(contains({a, b}));
+}
+
+TEST(DimensionCollapseTest, CqFailsClosureOnExample62) {
+  // Theorem 8.4: CQ does not have the dimension-collapse property; the
+  // witness is exactly Example 6.2, where ({a,c} ∩ complement({a})) = {c}
+  // is not definable-or-co-definable.
+  auto db = Example62Db();
+  EntitySetFamily family = CqDefinableEntitySets(*db);
+  auto violation =
+      FindIntersectionClosureViolation(family, db->Entities());
+  EXPECT_TRUE(violation.has_value());
+}
+
+TEST(DimensionCollapseTest, FoSatisfiesClosureOnExample62) {
+  // FO has the dimension-collapse property (Prop 8.1): orbit unions are
+  // closed under intersection and complement.
+  auto db = Example62Db();
+  EntitySetFamily family = FoDefinableEntitySets(*db);
+  auto violation =
+      FindIntersectionClosureViolation(family, db->Entities());
+  EXPECT_FALSE(violation.has_value());
+}
+
+TEST(FoDefinableSetsTest, OrbitsAreSingletonsOnAsymmetricData) {
+  auto db = Example62Db();
+  // a, b, c all have distinct pointed structures: 3 orbits, 8 unions.
+  EXPECT_EQ(FoDefinableEntitySets(*db).size(), 8u);
+}
+
+TEST(FoDefinableSetsTest, SymmetricEntitiesShareOrbits) {
+  auto db = std::make_shared<Database>(UnarySchema());
+  AddEntity(*db, "x");
+  AddEntity(*db, "y");  // x and y are interchangeable.
+  AddEntity(*db, "z");
+  db->AddFact("R", {"z"});
+  // Orbits: {x, y} and {z}: 4 unions.
+  EXPECT_EQ(FoDefinableEntitySets(*db).size(), 4u);
+}
+
+TEST(LinearFamilyTest, DetectsChains) {
+  EXPECT_TRUE(IsLinearFamily({{0}, {0, 1}, {0, 1, 2}}));
+  EXPECT_TRUE(IsLinearFamily({{}}));
+  EXPECT_FALSE(IsLinearFamily({{0}, {1}}));
+  EXPECT_FALSE(IsLinearFamily({{0, 1}, {1, 2}}));
+}
+
+TEST(LinearFamilyTest, DisjointPathsGiveLinearCqFamily) {
+  // Prop 8.6 / Theorem 8.7: with entities at the heads of disjoint paths
+  // of lengths 0..3, the hom preorder is a chain (the length-i head maps
+  // onto every length-j head with j ≥ i), so the CQ-definable sets are the
+  // nested up-sets {e_j : j ≥ i} — a linear family of unbounded size, the
+  // source of the unbounded-dimension property.
+  auto db = std::make_shared<Database>(testing::GraphSchema());
+  for (std::size_t len : {0u, 1u, 2u, 3u}) {
+    auto nodes = testing::AddPath(*db, "p" + std::to_string(len) + "_", len);
+    db->AddFact(db->schema().entity_relation(), {nodes[0]});
+  }
+  EntitySetFamily family = CqDefinableEntitySets(*db);
+  EXPECT_TRUE(IsLinearFamily(family));
+  EXPECT_GE(family.size(), 5u);  // 4 nested up-sets plus the empty set.
+}
+
+TEST(LinearFamilyTest, SinglePathWithAllEntitiesIsNotLinear) {
+  // Contrast: entities at every node of ONE path do not form a linear
+  // family — a directed path is a core, so distinct positions are
+  // hom-incomparable and products carve out incomparable "interior" sets.
+  auto db = std::make_shared<Database>(testing::GraphSchema());
+  auto nodes = testing::AddPath(*db, "n", 3);
+  for (Value v : nodes) {
+    db->AddFact(db->schema().entity_relation(), {v});
+  }
+  EXPECT_FALSE(IsLinearFamily(CqDefinableEntitySets(*db)));
+}
+
+}  // namespace
+}  // namespace featsep

@@ -1,0 +1,47 @@
+#include "qbe/fo_qbe.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace featsep {
+namespace {
+
+using ::featsep::testing::AddEntity;
+using ::featsep::testing::GraphSchema;
+
+TEST(FoQbeTest, SeparatesHomEquivalentButNonIsomorphic) {
+  // e1 with one out-edge vs e2 with two: FO explains what CQ cannot.
+  auto db = std::make_shared<Database>(GraphSchema());
+  Value e1 = AddEntity(*db, "e1");
+  Value e2 = AddEntity(*db, "e2");
+  testing::AddEdge(*db, "e1", "t");
+  testing::AddEdge(*db, "e2", "u1");
+  testing::AddEdge(*db, "e2", "u2");
+  EXPECT_TRUE(SolveFoQbe({db.get(), {e1}, {e2}}).exists);
+  EXPECT_TRUE(SolveFoQbe({db.get(), {e2}, {e1}}).exists);
+}
+
+TEST(FoQbeTest, OrbitMatesCannotBeSeparated) {
+  auto db = std::make_shared<Database>(GraphSchema());
+  Value e1 = AddEntity(*db, "e1");
+  Value e2 = AddEntity(*db, "e2");
+  testing::AddEdge(*db, "e1", "t1");
+  testing::AddEdge(*db, "e2", "t2");  // Same orbit: (D,e1) ≅ (D,e2).
+  EXPECT_FALSE(SolveFoQbe({db.get(), {e1}, {e2}}).exists);
+}
+
+TEST(FoQbeTest, MixedSets) {
+  auto db = std::make_shared<Database>(GraphSchema());
+  Value e1 = AddEntity(*db, "e1");
+  Value e2 = AddEntity(*db, "e2");
+  Value e3 = AddEntity(*db, "e3");
+  testing::AddEdge(*db, "e1", "t1");
+  testing::AddEdge(*db, "e2", "t2");
+  // e3 isolated. {e1} vs {e3} separable; {e1} vs {e2, e3} not (e2 ~ e1).
+  EXPECT_TRUE(SolveFoQbe({db.get(), {e1}, {e3}}).exists);
+  EXPECT_FALSE(SolveFoQbe({db.get(), {e1}, {e2, e3}}).exists);
+}
+
+}  // namespace
+}  // namespace featsep

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "core/fo_separability.h"
+#include "core/separability.h"
+#include "fo/color_refinement.h"
+#include "fo/iso.h"
+#include "test_util.h"
+
+namespace featsep {
+namespace {
+
+using ::featsep::testing::AddCycle;
+using ::featsep::testing::AddEntity;
+using ::featsep::testing::AddPath;
+using ::featsep::testing::GraphSchema;
+
+TEST(ColorRefinementTest, DistinguishesDegrees) {
+  Database db(GraphSchema());
+  // Star: center with 3 out-edges.
+  testing::AddEdge(db, "c", "l1");
+  testing::AddEdge(db, "c", "l2");
+  testing::AddEdge(db, "c", "l3");
+  auto colors = StableColors(db);
+  Value c = db.FindValue("c");
+  Value l1 = db.FindValue("l1");
+  Value l2 = db.FindValue("l2");
+  EXPECT_NE(colors[c], colors[l1]);
+  EXPECT_EQ(colors[l1], colors[l2]);
+}
+
+TEST(ColorRefinementTest, CycleIsColorUniform) {
+  Database db(GraphSchema());
+  AddCycle(db, "c", 5);
+  auto colors = StableColors(db);
+  for (Value v : db.domain()) {
+    EXPECT_EQ(colors[v], colors[db.domain()[0]]);
+  }
+}
+
+TEST(ColorRefinementTest, JointRefinementSharesPalette) {
+  Database a(GraphSchema());
+  AddPath(a, "a", 2);
+  Database b(GraphSchema());
+  AddPath(b, "b", 2);
+  auto [ca, cb] = JointStableColors(a, b);
+  // Same positions on isomorphic paths get the same colors.
+  EXPECT_EQ(ca[a.FindValue("a0")], cb[b.FindValue("b0")]);
+  EXPECT_EQ(ca[a.FindValue("a1")], cb[b.FindValue("b1")]);
+  EXPECT_NE(ca[a.FindValue("a0")], ca[a.FindValue("a1")]);
+}
+
+TEST(IsoTest, IsomorphicCycles) {
+  Database a(GraphSchema());
+  AddCycle(a, "a", 6);
+  Database b(GraphSchema());
+  AddCycle(b, "b", 6);
+  EXPECT_TRUE(AreIsomorphic(a, {}, b, {}));
+}
+
+TEST(IsoTest, DifferentSizesRejected) {
+  Database a(GraphSchema());
+  AddCycle(a, "a", 6);
+  Database b(GraphSchema());
+  AddCycle(b, "b", 5);
+  EXPECT_FALSE(AreIsomorphic(a, {}, b, {}));
+}
+
+TEST(IsoTest, SameSizeDifferentShape) {
+  // Two 3-cycles vs one 6-cycle: same fact and domain counts.
+  Database a(GraphSchema());
+  AddCycle(a, "a", 3);
+  AddCycle(a, "b", 3);
+  Database b(GraphSchema());
+  AddCycle(b, "c", 6);
+  EXPECT_FALSE(AreIsomorphic(a, {}, b, {}));
+}
+
+TEST(IsoTest, PointedIsomorphismRespectsPosition) {
+  Database a(GraphSchema());
+  auto pa = AddPath(a, "a", 2);
+  Database b(GraphSchema());
+  auto pb = AddPath(b, "b", 2);
+  EXPECT_TRUE(AreIsomorphic(a, {pa[0]}, b, {pb[0]}));
+  EXPECT_TRUE(AreIsomorphic(a, {pa[1]}, b, {pb[1]}));
+  EXPECT_FALSE(AreIsomorphic(a, {pa[0]}, b, {pb[1]}));
+}
+
+TEST(IsoTest, TuplePatternsMustMatch) {
+  Database a(GraphSchema());
+  auto pa = AddPath(a, "a", 1);
+  Database b(GraphSchema());
+  auto pb = AddPath(b, "b", 1);
+  EXPECT_TRUE(AreIsomorphic(a, {pa[0], pa[0]}, b, {pb[0], pb[0]}));
+  EXPECT_FALSE(AreIsomorphic(a, {pa[0], pa[0]}, b, {pb[0], pb[1]}));
+}
+
+TEST(IsoTest, RegularGraphsNeedIndividualization) {
+  // Two non-isomorphic 3-regular-ish digraphs that 1-WL alone cannot
+  // split: C6 with chords vs two C3s with chords... use C6 vs C3+C3 with
+  // all nodes on cycles (color refinement sees only degrees).
+  Database a(GraphSchema());
+  AddCycle(a, "a", 6);
+  Database b(GraphSchema());
+  AddCycle(b, "b", 3);
+  AddCycle(b, "c", 3);
+  std::uint64_t nodes = 0;
+  EXPECT_FALSE(AreIsomorphic(a, {}, b, {}, &nodes));
+  EXPECT_GT(nodes, 1u);  // Refinement alone was not discrete.
+}
+
+TEST(FoSepTest, SeparableWhenNotIsomorphic) {
+  // e1 with one out-edge vs e2 with two: hom-equivalent (CQ-inseparable)
+  // but NOT isomorphic — FO separates what CQs cannot (Section 8).
+  auto db = std::make_shared<Database>(GraphSchema());
+  Value e1 = AddEntity(*db, "e1");
+  Value e2 = AddEntity(*db, "e2");
+  testing::AddEdge(*db, "e1", "t");
+  testing::AddEdge(*db, "e2", "u1");
+  testing::AddEdge(*db, "e2", "u2");
+  TrainingDatabase training(db);
+  training.SetLabel(e1, kPositive);
+  training.SetLabel(e2, kNegative);
+  EXPECT_FALSE(DecideCqSep(training).separable);
+  EXPECT_TRUE(DecideFoSep(training).separable);
+}
+
+TEST(FoSepTest, InseparableOnIsomorphicConflict) {
+  auto db = std::make_shared<Database>(GraphSchema());
+  Value e1 = AddEntity(*db, "e1");
+  Value e2 = AddEntity(*db, "e2");
+  testing::AddEdge(*db, "e1", "t1");
+  testing::AddEdge(*db, "e2", "t2");
+  TrainingDatabase training(db);
+  training.SetLabel(e1, kPositive);
+  training.SetLabel(e2, kNegative);
+  FoSepResult result = DecideFoSep(training);
+  EXPECT_FALSE(result.separable);
+  ASSERT_TRUE(result.conflict.has_value());
+}
+
+TEST(FoSepTest, CqSeparableImpliesFoSeparable) {
+  // CQ ⊆ FO, so CQ-separability implies FO-separability.
+  auto db = std::make_shared<Database>(GraphSchema());
+  Value e1 = AddEntity(*db, "e1");
+  Value e2 = AddEntity(*db, "e2");
+  testing::AddEdge(*db, "e1", "a");
+  testing::AddEdge(*db, "a", "b");
+  testing::AddEdge(*db, "e2", "c");
+  TrainingDatabase training(db);
+  training.SetLabel(e1, kPositive);
+  training.SetLabel(e2, kNegative);
+  EXPECT_TRUE(DecideCqSep(training).separable);
+  EXPECT_TRUE(DecideFoSep(training).separable);
+}
+
+}  // namespace
+}  // namespace featsep

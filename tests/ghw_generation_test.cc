@@ -1,0 +1,140 @@
+#include "core/ghw_generation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ghw_separability.h"
+#include "cq/evaluation.h"
+#include "hypertree/ghw.h"
+#include "linsep/separability_lp.h"
+#include "test_util.h"
+
+namespace featsep {
+namespace {
+
+using ::featsep::testing::AddEntity;
+using ::featsep::testing::AddPath;
+using ::featsep::testing::GraphSchema;
+
+std::shared_ptr<TrainingDatabase> PathDataset() {
+  auto db = std::make_shared<Database>(GraphSchema());
+  auto training = std::make_shared<TrainingDatabase>(db);
+  for (std::size_t len : {0u, 1u, 2u, 3u}) {
+    std::string prefix = "p" + std::to_string(len) + "_";
+    auto nodes = AddPath(*db, prefix, len);
+    db->AddFact(db->schema().entity_relation(), {nodes[0]});
+    training->SetLabel(nodes[0], len >= 2 ? kPositive : kNegative);
+  }
+  return training;
+}
+
+TEST(UnravelingTest, DepthZeroIsBareQuery) {
+  auto training = PathDataset();
+  const Database& db = training->database();
+  Value e = db.FindValue("p2_0");
+  ConjunctiveQuery q = UnravelingQuery(db, e, 0);
+  EXPECT_EQ(q.NumAtoms(true), 0u);
+}
+
+TEST(UnravelingTest, UnravelingIsAcyclicAndSelectsBasePoint) {
+  auto training = PathDataset();
+  const Database& db = training->database();
+  Value e = db.FindValue("p3_0");
+  for (std::size_t d : {1u, 2u, 3u}) {
+    ConjunctiveQuery q = UnravelingQuery(db, e, d);
+    EXPECT_TRUE(IsInGhw(q, 1)) << "depth " << d;
+    EXPECT_TRUE(CqEvaluator(q).SelectsEntity(db, e)) << "depth " << d;
+  }
+}
+
+TEST(DistinguishingQueryTest, FindsPathLengthWitness) {
+  auto training = PathDataset();
+  const Database& db = training->database();
+  Value longer = db.FindValue("p2_0");
+  Value shorter = db.FindValue("p1_0");
+  auto q = FindDistinguishingAcyclicQuery(db, longer, shorter);
+  ASSERT_TRUE(q.has_value());
+  CqEvaluator evaluator(*q);
+  EXPECT_TRUE(evaluator.SelectsEntity(db, longer));
+  EXPECT_FALSE(evaluator.SelectsEntity(db, shorter));
+  EXPECT_TRUE(IsInGhw(*q, 1));
+  // Minimized: the 2-path query has at most 3 atoms (incl. Eta copies).
+  EXPECT_LE(q->NumAtoms(true), 3u);
+}
+
+TEST(DistinguishingQueryTest, NoneExistsWhenGameHolds) {
+  auto training = PathDataset();
+  const Database& db = training->database();
+  // Everything (acyclic) true at the 1-path head is true at the 3-path
+  // head, so no distinguishing query in that direction.
+  Value shorter = db.FindValue("p1_0");
+  Value longer = db.FindValue("p3_0");
+  GhwGenerationOptions options;
+  options.max_unravel_depth = 8;
+  EXPECT_FALSE(
+      FindDistinguishingAcyclicQuery(db, shorter, longer, options)
+          .has_value());
+}
+
+TEST(ConjoinUnaryTest, SharedFreeVariable) {
+  auto schema = GraphSchema();
+  ConjunctiveQuery q1 = ConjunctiveQuery::MakeFeatureQuery(schema);
+  Variable x1 = q1.free_variable();
+  q1.AddAtom(schema->FindRelation("E"), {x1, q1.NewVariable("y")});
+  ConjunctiveQuery q2 = ConjunctiveQuery::MakeFeatureQuery(schema);
+  Variable x2 = q2.free_variable();
+  q2.AddAtom(schema->FindRelation("E"), {q2.NewVariable("z"), x2});
+  ConjunctiveQuery joined = ConjoinUnary({q1, q2});
+  EXPECT_TRUE(joined.IsUnary());
+  // Eta(x) deduplicates; E(x,y) and E(z,x) remain: 3 atoms.
+  EXPECT_EQ(joined.NumAtoms(true), 3u);
+}
+
+TEST(GenerateGhw1StatisticTest, SeparatesThePathDataset) {
+  auto training = PathDataset();
+  auto statistic = GenerateGhw1Statistic(*training);
+  ASSERT_TRUE(statistic.has_value());
+  // One feature per →₁ class (4 classes).
+  EXPECT_EQ(statistic->dimension(), 4u);
+  // Every feature must lie in GHW(1).
+  for (const ConjunctiveQuery& q : statistic->features()) {
+    EXPECT_TRUE(IsInGhw(q, 1));
+  }
+  TrainingCollection collection =
+      MakeTrainingCollection(*statistic, *training);
+  EXPECT_TRUE(IsLinearlySeparable(collection));
+}
+
+TEST(GenerateGhw1StatisticTest, FailsOnInseparableInput) {
+  auto db = std::make_shared<Database>(GraphSchema());
+  auto training = std::make_shared<TrainingDatabase>(db);
+  Value a = AddEntity(*db, "a");
+  Value b = AddEntity(*db, "b");
+  training->SetLabel(a, kPositive);
+  training->SetLabel(b, kNegative);
+  EXPECT_FALSE(GenerateGhw1Statistic(*training).has_value());
+}
+
+TEST(GenerateGhw1StatisticTest, AgreesWithImplicitClassifier) {
+  // The materialized statistic and the implicit Algorithm-1 classifier
+  // must classify the training database identically.
+  auto training = PathDataset();
+  auto statistic = GenerateGhw1Statistic(*training);
+  ASSERT_TRUE(statistic.has_value());
+  auto classifier = GhwClassifier::Train(training, 1);
+  ASSERT_TRUE(classifier.has_value());
+
+  TrainingCollection collection =
+      MakeTrainingCollection(*statistic, *training);
+  auto separator = FindSeparator(collection);
+  ASSERT_TRUE(separator.has_value());
+
+  Labeling implicit = classifier->Classify(training->database());
+  std::vector<Value> entities = training->Entities();
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    EXPECT_EQ(separator->Classify(collection[i].first),
+              implicit.Get(entities[i]));
+  }
+}
+
+}  // namespace
+}  // namespace featsep

@@ -1,0 +1,218 @@
+#include "cq/homomorphism.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "test_util.h"
+
+namespace featsep {
+namespace {
+
+using ::featsep::testing::AddCycle;
+using ::featsep::testing::AddPath;
+using ::featsep::testing::GraphSchema;
+
+TEST(HomomorphismTest, EmptySourceAlwaysMaps) {
+  Database a(GraphSchema());
+  Database b(GraphSchema());
+  b.AddFact("E", {"x", "y"});
+  EXPECT_TRUE(HomomorphismExists(a, b));
+  EXPECT_TRUE(HomomorphismExists(a, a));  // Even into the empty database.
+}
+
+TEST(HomomorphismTest, PathIntoLongerPath) {
+  Database a(GraphSchema());
+  AddPath(a, "p", 2);
+  Database b(GraphSchema());
+  AddPath(b, "q", 5);
+  EXPECT_TRUE(HomomorphismExists(a, b));
+}
+
+TEST(HomomorphismTest, LongerPathIntoShorterPathFails) {
+  // A 4-edge path has no hom into a 2-edge path (paths are cores among
+  // paths of distinct lengths... actually any path maps into any path of
+  // length >= 1? No: a directed path CAN fold only onto prefixes of equal
+  // direction; 4-edge path into 2-edge path has no hom since the 2-edge
+  // path is a DAG with 3 levels and the 4-edge path needs 5 levels.
+  Database a(GraphSchema());
+  AddPath(a, "p", 4);
+  Database b(GraphSchema());
+  AddPath(b, "q", 2);
+  EXPECT_FALSE(HomomorphismExists(a, b));
+}
+
+TEST(HomomorphismTest, AnythingMapsIntoSelfLoop) {
+  Database a(GraphSchema());
+  AddCycle(a, "c", 7);
+  AddPath(a, "p", 3);
+  Database loop(GraphSchema());
+  loop.AddFact("E", {"v", "v"});
+  EXPECT_TRUE(HomomorphismExists(a, loop));
+  EXPECT_FALSE(HomomorphismExists(loop, a));  // No loop to map onto.
+}
+
+TEST(HomomorphismTest, CycleDivisibility) {
+  // C_m -> C_n iff n divides m (directed cycles).
+  for (std::size_t m : {3u, 4u, 6u, 9u}) {
+    for (std::size_t n : {3u, 4u, 6u}) {
+      Database a(GraphSchema());
+      AddCycle(a, "a", m);
+      Database b(GraphSchema());
+      AddCycle(b, "b", n);
+      bool expected = (m % n) == 0;
+      EXPECT_EQ(HomomorphismExists(a, b), expected)
+          << "C_" << m << " -> C_" << n;
+    }
+  }
+}
+
+TEST(HomomorphismTest, SeedForcesImages) {
+  Database a(GraphSchema());
+  auto p = AddPath(a, "p", 1);  // p0 -> p1
+  Database b(GraphSchema());
+  auto q = AddPath(b, "q", 2);  // q0 -> q1 -> q2
+  // p0 can map to q0 or q1; forcing p0 -> q2 must fail (no outgoing edge).
+  EXPECT_TRUE(HomomorphismExists(a, b, {{p[0], q[0]}}));
+  EXPECT_TRUE(HomomorphismExists(a, b, {{p[0], q[1]}}));
+  EXPECT_FALSE(HomomorphismExists(a, b, {{p[0], q[2]}}));
+  // Conflicting double seed.
+  EXPECT_FALSE(HomomorphismExists(a, b, {{p[0], q[0]}, {p[1], q[2]}}));
+  EXPECT_TRUE(HomomorphismExists(a, b, {{p[0], q[0]}, {p[1], q[1]}}));
+}
+
+TEST(HomomorphismTest, MappingIsAValidHomomorphism) {
+  Database a(GraphSchema());
+  AddCycle(a, "a", 6);
+  Database b(GraphSchema());
+  AddCycle(b, "b", 3);
+  HomResult result = FindHomomorphism(a, b);
+  ASSERT_EQ(result.status, HomStatus::kFound);
+  RelationId e = a.schema().FindRelation("E");
+  for (const Fact& fact : a.facts()) {
+    Fact image{e, {result.mapping[fact.args[0]], result.mapping[fact.args[1]]}};
+    EXPECT_TRUE(b.ContainsFact(image));
+  }
+}
+
+TEST(HomomorphismTest, RepeatedVariablePositions) {
+  // E(x, x) in the source requires a self-loop in the target.
+  Database a(GraphSchema());
+  a.AddFact("E", {"u", "u"});
+  Database no_loop(GraphSchema());
+  AddCycle(no_loop, "c", 3);
+  EXPECT_FALSE(HomomorphismExists(a, no_loop));
+  Database loop(GraphSchema());
+  loop.AddFact("E", {"v", "v"});
+  EXPECT_TRUE(HomomorphismExists(a, loop));
+}
+
+TEST(HomomorphismTest, BudgetExhaustion) {
+  // A moderately hard instance with a tiny node budget must report
+  // exhaustion rather than an answer.
+  Database a(GraphSchema());
+  AddCycle(a, "a", 9);
+  Database b(GraphSchema());
+  AddCycle(b, "b", 6);
+  AddCycle(b, "c", 4);
+  HomOptions options;
+  options.max_nodes = 1;
+  HomResult result = FindHomomorphism(a, b, {}, options);
+  EXPECT_NE(result.status, HomStatus::kFound);
+}
+
+TEST(HomomorphismTest, HomEquivalentEntities) {
+  Database db(GraphSchema());
+  auto e1 = testing::AddEntity(db, "e1");
+  auto e2 = testing::AddEntity(db, "e2");
+  auto e3 = testing::AddEntity(db, "e3");
+  testing::AddEdge(db, "e1", "t1");
+  testing::AddEdge(db, "e2", "t2");
+  // e3 has no outgoing edge.
+  EXPECT_TRUE(HomEquivalent(db, {e1}, db, {e2}));
+  EXPECT_FALSE(HomEquivalent(db, {e1}, db, {e3}));
+  // e3's structure maps into e1's side but not conversely.
+  EXPECT_TRUE(HomomorphismExists(db, db, {{e3, e1}}));
+  EXPECT_FALSE(HomomorphismExists(db, db, {{e1, e3}}));
+}
+
+// Property test: homomorphisms compose — if A -> B and B -> C then A -> C,
+// checked on random graph databases.
+TEST(HomomorphismPropertyTest, Composition) {
+  std::mt19937_64 rng(3);
+  auto random_graph = [&](int nodes, int edges, const std::string& prefix) {
+    Database db(GraphSchema());
+    std::vector<Value> vs;
+    for (int i = 0; i < nodes; ++i) {
+      vs.push_back(db.Intern(prefix + std::to_string(i)));
+    }
+    RelationId e = db.schema().FindRelation("E");
+    for (int i = 0; i < edges; ++i) {
+      db.AddFact(e, {vs[rng() % vs.size()], vs[rng() % vs.size()]});
+    }
+    return db;
+  };
+  int transitive_checks = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    Database a = random_graph(4, 5, "a");
+    Database b = random_graph(4, 6, "b");
+    Database c = random_graph(4, 7, "c");
+    bool ab = HomomorphismExists(a, b);
+    bool bc = HomomorphismExists(b, c);
+    if (ab && bc) {
+      EXPECT_TRUE(HomomorphismExists(a, c));
+      ++transitive_checks;
+    }
+  }
+  EXPECT_GT(transitive_checks, 0) << "vacuous property test";
+}
+
+// Property test: the witness returned by FindHomomorphism always preserves
+// all facts, across random instances.
+TEST(HomomorphismPropertyTest, WitnessSoundness) {
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 80; ++trial) {
+    Database a(GraphSchema());
+    Database b(GraphSchema());
+    RelationId e = a.schema().FindRelation("E");
+    for (int i = 0; i < 6; ++i) {
+      a.AddFact(e, {a.Intern("a" + std::to_string(rng() % 4)),
+                    a.Intern("a" + std::to_string(rng() % 4))});
+      b.AddFact(e, {b.Intern("b" + std::to_string(rng() % 5)),
+                    b.Intern("b" + std::to_string(rng() % 5))});
+    }
+    HomResult result = FindHomomorphism(a, b);
+    if (result.status != HomStatus::kFound) continue;
+    for (const Fact& fact : a.facts()) {
+      Fact image{fact.relation,
+                 {result.mapping[fact.args[0]], result.mapping[fact.args[1]]}};
+      EXPECT_TRUE(b.ContainsFact(image));
+    }
+  }
+}
+
+
+// Regression: sources with tens of thousands of variables (QBE products)
+// must not overflow the stack — the search is iterative.
+TEST(HomomorphismTest, VeryDeepInstances) {
+  auto schema = GraphSchema();
+  Database big(schema);
+  RelationId e = schema->FindRelation("E");
+  Value prev = big.Intern("n0");
+  for (int i = 1; i <= 60000; ++i) {
+    Value next = big.Intern("n" + std::to_string(i));
+    big.AddFact(e, {prev, next});
+    prev = next;
+  }
+  Database loop(schema);
+  loop.AddFact("E", {"v", "v"});
+  EXPECT_TRUE(HomomorphismExists(big, loop));
+  // And a failing deep search: a long path into a shorter path.
+  Database short_path(schema);
+  AddPath(short_path, "s", 3);
+  EXPECT_FALSE(HomomorphismExists(big, short_path));
+}
+
+}  // namespace
+}  // namespace featsep

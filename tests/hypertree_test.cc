@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "hypertree/decomposition.h"
+#include "hypertree/ghw.h"
+#include "hypertree/htw.h"
+#include "hypertree/hypergraph.h"
+#include "test_util.h"
+
+namespace featsep {
+namespace {
+
+using ::featsep::testing::GraphSchema;
+
+/// An undirected cycle of length n as a hypergraph (n vertices, n 2-edges).
+Hypergraph CycleHypergraph(std::size_t n) {
+  Hypergraph g;
+  for (std::size_t i = 0; i < n; ++i) g.AddVertex();
+  for (std::size_t i = 0; i < n; ++i) g.AddEdge({i, (i + 1) % n});
+  return g;
+}
+
+/// A path with n edges.
+Hypergraph PathHypergraph(std::size_t edges) {
+  Hypergraph g;
+  for (std::size_t i = 0; i <= edges; ++i) g.AddVertex();
+  for (std::size_t i = 0; i < edges; ++i) g.AddEdge({i, i + 1});
+  return g;
+}
+
+/// Clique on n vertices (all 2-edges).
+Hypergraph CliqueHypergraph(std::size_t n) {
+  Hypergraph g;
+  for (std::size_t i = 0; i < n; ++i) g.AddVertex();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) g.AddEdge({i, j});
+  }
+  return g;
+}
+
+TEST(HypergraphTest, EdgeCoverNumber) {
+  Hypergraph g;
+  for (int i = 0; i < 4; ++i) g.AddVertex();
+  g.AddEdge({0, 1});
+  g.AddEdge({2, 3});
+  g.AddEdge({1, 2});
+  EXPECT_EQ(g.EdgeCoverNumber({0, 1}), 1u);
+  EXPECT_EQ(g.EdgeCoverNumber({0, 1, 2, 3}), 2u);
+  EXPECT_EQ(g.EdgeCoverNumber({}), 0u);
+  // Vertex 0 and 3 need two distinct edges.
+  EXPECT_EQ(g.EdgeCoverNumber({0, 3}), 2u);
+}
+
+TEST(HypergraphTest, EdgeComponentsSplitBySeparator) {
+  Hypergraph g = PathHypergraph(4);  // Edges {0,1},{1,2},{2,3},{3,4}.
+  // Separating at vertex 2 splits edges {0,1},{1,2} from {2,3},{3,4}.
+  auto components = g.EdgeComponents({0, 1, 2, 3}, {2});
+  EXPECT_EQ(components.size(), 2u);
+  // No separator: a single component.
+  EXPECT_EQ(g.EdgeComponents({0, 1, 2, 3}, {}).size(), 1u);
+}
+
+TEST(GhwTest, AcyclicQueriesHaveWidthOne) {
+  EXPECT_EQ(Ghw(PathHypergraph(5)), 1u);
+  Hypergraph star;
+  for (int i = 0; i < 5; ++i) star.AddVertex();
+  for (std::size_t i = 1; i < 5; ++i) star.AddEdge({0, i});
+  EXPECT_EQ(Ghw(star), 1u);
+}
+
+TEST(GhwTest, CyclesHaveWidthTwo) {
+  for (std::size_t n : {4u, 5u, 6u, 7u}) {
+    EXPECT_EQ(Ghw(CycleHypergraph(n)), 2u) << "cycle length " << n;
+  }
+}
+
+TEST(GhwTest, TriangleIsAcyclicAsHypergraph) {
+  // The 3-cycle with 2-edges: bag {0,1,2} needs 2 edges to cover, so ghw 2.
+  EXPECT_EQ(Ghw(CycleHypergraph(3)), 2u);
+  // But a single 3-edge covering all vertices gives width 1.
+  Hypergraph g;
+  for (int i = 0; i < 3; ++i) g.AddVertex();
+  g.AddEdge({0, 1, 2});
+  g.AddEdge({0, 1});
+  EXPECT_EQ(Ghw(g), 1u);
+}
+
+TEST(GhwTest, CliqueWidthGrows) {
+  // K4 with 2-edges: any decomposition needs a bag with >= 2-edge cover;
+  // ghw(K_n) = ceil(n/2) for cliques with 2-edges.
+  EXPECT_EQ(Ghw(CliqueHypergraph(4)), 2u);
+  EXPECT_EQ(Ghw(CliqueHypergraph(5)), 3u);
+  EXPECT_EQ(Ghw(CliqueHypergraph(6)), 3u);
+}
+
+TEST(GhwTest, EmptyAndTrivialHypergraphs) {
+  Hypergraph empty;
+  EXPECT_EQ(Ghw(empty), 0u);
+  Hypergraph one_edge;
+  one_edge.AddVertex();
+  one_edge.AddVertex();
+  one_edge.AddEdge({0, 1});
+  EXPECT_EQ(Ghw(one_edge), 1u);
+}
+
+TEST(GhwTest, DisconnectedComponentsDecomposeIndependently) {
+  Hypergraph g;
+  for (int i = 0; i < 8; ++i) g.AddVertex();
+  // Component 1: 4-cycle (ghw 2). Component 2: path (ghw 1).
+  g.AddEdge({0, 1});
+  g.AddEdge({1, 2});
+  g.AddEdge({2, 3});
+  g.AddEdge({3, 0});
+  g.AddEdge({4, 5});
+  g.AddEdge({5, 6});
+  g.AddEdge({6, 7});
+  EXPECT_EQ(Ghw(g), 2u);
+}
+
+TEST(GhwTest, WitnessDecompositionValidates) {
+  for (std::size_t n : {4u, 6u}) {
+    Hypergraph g = CycleHypergraph(n);
+    auto td = DecideGhwAtMost(g, 2);
+    ASSERT_TRUE(td.has_value());
+    std::string error;
+    EXPECT_TRUE(ValidateDecomposition(g, *td, 2, &error)) << error;
+    EXPECT_FALSE(DecideGhwAtMost(g, 1).has_value());
+  }
+}
+
+TEST(ValidateDecompositionTest, RejectsBadDecompositions) {
+  Hypergraph g = PathHypergraph(2);  // Edges {0,1},{1,2}.
+  // Missing edge coverage.
+  TreeDecomposition td;
+  td.nodes.push_back({{0, 1}, {}});
+  std::string error;
+  EXPECT_FALSE(ValidateDecomposition(g, td, 1, &error));
+  // A correct decomposition: {0,1} -- {1,2}.
+  TreeDecomposition td2;
+  td2.nodes.push_back({{0, 1}, {1}});
+  td2.nodes.push_back({{1, 2}, {}});
+  EXPECT_TRUE(ValidateDecomposition(g, td2, 1, &error)) << error;
+  // Now break connectedness: vertex 1 in nodes 0 and 2 with node 1 between.
+  TreeDecomposition td3;
+  td3.nodes.push_back({{0, 1}, {1}});
+  td3.nodes.push_back({{2}, {2}});
+  td3.nodes.push_back({{1, 2}, {}});
+  EXPECT_FALSE(ValidateDecomposition(g, td3, 1, &error));
+}
+
+TEST(HtwTest, AcyclicHypergraphsHaveWidthOne) {
+  EXPECT_EQ(Htw(PathHypergraph(5)), 1u);
+}
+
+TEST(HtwTest, CyclesHaveWidthTwo) {
+  for (std::size_t n : {4u, 5u, 6u}) {
+    EXPECT_EQ(Htw(CycleHypergraph(n)), 2u) << n;
+  }
+}
+
+TEST(HtwTest, WitnessValidates) {
+  Hypergraph g = CycleHypergraph(6);
+  auto htd = DecideHtwAtMost(g, 2);
+  ASSERT_TRUE(htd.has_value());
+  std::string error;
+  EXPECT_TRUE(ValidateHypertreeDecomposition(g, *htd, 2, &error)) << error;
+  EXPECT_FALSE(DecideHtwAtMost(g, 1).has_value());
+}
+
+TEST(HtwTest, SandwichedByGhw) {
+  // ghw <= htw <= 3*ghw + 1 on assorted hypergraphs.
+  std::vector<Hypergraph> graphs;
+  graphs.push_back(PathHypergraph(4));
+  graphs.push_back(CycleHypergraph(5));
+  graphs.push_back(CliqueHypergraph(4));
+  graphs.push_back(CliqueHypergraph(5));
+  for (const Hypergraph& g : graphs) {
+    std::size_t ghw = Ghw(g);
+    std::size_t htw = Htw(g);
+    EXPECT_LE(ghw, htw) << g.ToString();
+    EXPECT_LE(htw, 3 * ghw + 1) << g.ToString();
+  }
+}
+
+TEST(HtwTest, EmptyHypergraph) {
+  Hypergraph empty;
+  EXPECT_EQ(Htw(empty), 0u);
+}
+
+TEST(QueryGhwTest, EntityAtomDoesNotInflateWidth) {
+  // q(x) :- Eta(x), E(x,y): one existential variable, ghw 1.
+  ConjunctiveQuery q = ConjunctiveQuery::MakeFeatureQuery(GraphSchema());
+  Variable x = q.free_variable();
+  Variable y = q.NewVariable("y");
+  q.AddAtom(q.schema().FindRelation("E"), {x, y});
+  EXPECT_EQ(QueryGhw(q), 1u);
+  EXPECT_TRUE(IsInGhw(q, 1));
+}
+
+TEST(QueryGhwTest, CycleQueryThroughFreeVariableDropsWidth) {
+  // A cycle x -> y1 -> y2 -> x: the free variable x is excluded from the
+  // hypergraph (Chen–Dalmau coverwidth), so only y1, y2 remain; the edge
+  // {y1, y2} plus unary-ish projections keep ghw at 1.
+  ConjunctiveQuery q = ConjunctiveQuery::MakeFeatureQuery(GraphSchema());
+  Variable x = q.free_variable();
+  Variable y1 = q.NewVariable("y1");
+  Variable y2 = q.NewVariable("y2");
+  RelationId e = q.schema().FindRelation("E");
+  q.AddAtom(e, {x, y1});
+  q.AddAtom(e, {y1, y2});
+  q.AddAtom(e, {y2, x});
+  EXPECT_EQ(QueryGhw(q), 1u);
+}
+
+TEST(QueryGhwTest, ExistentialCycleHasWidthTwo) {
+  // Cycle entirely within existential variables: y1..y4.
+  ConjunctiveQuery q = ConjunctiveQuery::MakeFeatureQuery(GraphSchema());
+  RelationId e = q.schema().FindRelation("E");
+  std::vector<Variable> y;
+  for (int i = 0; i < 4; ++i) y.push_back(q.NewVariable());
+  for (int i = 0; i < 4; ++i) q.AddAtom(e, {y[i], y[(i + 1) % 4]});
+  // Connect to x so the query is a sensible feature.
+  q.AddAtom(e, {q.free_variable(), y[0]});
+  EXPECT_EQ(QueryGhw(q), 2u);
+  EXPECT_FALSE(IsInGhw(q, 1));
+  EXPECT_TRUE(IsInGhw(q, 2));
+}
+
+TEST(QueryGhwTest, CqMIsInGhwM) {
+  // Paper, Section 5: every CQ with at most m atoms lies in GHW(m).
+  ConjunctiveQuery q = ConjunctiveQuery::MakeFeatureQuery(GraphSchema());
+  RelationId e = q.schema().FindRelation("E");
+  Variable x = q.free_variable();
+  std::vector<Variable> y;
+  for (int i = 0; i < 3; ++i) y.push_back(q.NewVariable());
+  q.AddAtom(e, {x, y[0]});
+  q.AddAtom(e, {y[0], y[1]});
+  q.AddAtom(e, {y[1], y[2]});
+  std::size_t m = q.NumAtoms(false);
+  EXPECT_TRUE(IsInGhw(q, m));
+}
+
+}  // namespace
+}  // namespace featsep

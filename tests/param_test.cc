@@ -1,0 +1,157 @@
+// Parameterized property sweeps (TEST_P) across the CQ machinery, the
+// cover game, and the width notions, driven by random seeds and structured
+// parameter grids.
+
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/ghw_generation.h"
+#include "covergame/cover_game.h"
+#include "cq/containment.h"
+#include "cq/core.h"
+#include "cq/evaluation.h"
+#include "cq/homomorphism.h"
+#include "hypertree/ghw.h"
+#include "hypertree/htw.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace featsep {
+namespace {
+
+using ::featsep::testing::AddCycle;
+using ::featsep::testing::GraphSchema;
+
+// ---------------------------------------------------------------------------
+// Random-query properties, swept over (atom count, seed).
+
+class RandomQueryTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+ protected:
+  ConjunctiveQuery MakeQuery() const {
+    auto [atoms, seed] = GetParam();
+    return RandomFeatureQuery(GraphSchema(), atoms, seed);
+  }
+};
+
+TEST_P(RandomQueryTest, MinimizationPreservesEquivalence) {
+  ConjunctiveQuery q = MakeQuery();
+  ConjunctiveQuery minimized = MinimizeCq(q);
+  EXPECT_TRUE(AreEquivalent(q, minimized)) << q.ToString();
+  EXPECT_LE(minimized.NumAtoms(true), q.NumAtoms(true));
+}
+
+TEST_P(RandomQueryTest, GhwAtMostAtomCountAndHtwSandwich) {
+  ConjunctiveQuery q = MakeQuery();
+  Hypergraph h = QueryHypergraph(q);
+  std::size_t ghw = Ghw(h);
+  std::size_t htw = Htw(h);
+  EXPECT_LE(ghw, q.NumAtoms(true)) << q.ToString();  // CQ[m] ⊆ GHW(m).
+  EXPECT_LE(ghw, htw) << q.ToString();
+  EXPECT_LE(htw, 3 * ghw + 1) << q.ToString();
+}
+
+TEST_P(RandomQueryTest, ContainmentIsReflexive) {
+  ConjunctiveQuery q = MakeQuery();
+  EXPECT_TRUE(IsContainedIn(q, q)) << q.ToString();
+  EXPECT_TRUE(AreEquivalent(q, q)) << q.ToString();
+}
+
+TEST_P(RandomQueryTest, EvaluationRespectsContainmentOnData) {
+  // If q1 ⊆ q2 then q1(D) ⊆ q2(D) on a concrete database.
+  auto [atoms, seed] = GetParam();
+  ConjunctiveQuery q1 = RandomFeatureQuery(GraphSchema(), atoms, seed);
+  ConjunctiveQuery q2 = RandomFeatureQuery(GraphSchema(), atoms, seed + 1);
+  if (!IsContainedIn(q1, q2)) GTEST_SKIP() << "not contained";
+  RandomGraphParams params;
+  params.num_entities = 5;
+  params.seed = seed + 2;
+  auto training = RandomPlantedGraph(params);
+  const Database& db = training->database();
+  CqEvaluator e1(q1);
+  CqEvaluator e2(q2);
+  for (Value e : db.Entities()) {
+    if (e1.SelectsEntity(db, e)) {
+      EXPECT_TRUE(e2.SelectsEntity(db, e));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomQueryTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+// ---------------------------------------------------------------------------
+// Cover-game chain →  ⊆ →₂ ⊆ →₁ on directed cycle pairs, swept over (m, n).
+
+class CycleGameTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(CycleGameTest, ApproximationChain) {
+  auto [m, n] = GetParam();
+  Database a(GraphSchema());
+  AddCycle(a, "a", m);
+  Database b(GraphSchema());
+  AddCycle(b, "b", n);
+  bool hom = HomomorphismExists(a, b);  // C_m -> C_n iff n | m.
+  bool game2 = CoverGameWins(a, {}, b, {}, 2);
+  bool game1 = CoverGameWins(a, {}, b, {}, 1);
+  EXPECT_EQ(hom, m % n == 0);
+  // The chain → ⊆ →₂ ⊆ →₁ (paper, Section 5).
+  EXPECT_TRUE(!hom || game2) << m << "," << n;
+  EXPECT_TRUE(!game2 || game1) << m << "," << n;
+  // Directed cycles of length >= 3 are never distinguished at k = 1
+  // (their distinguishing cycle queries have ghw 2). Length 2 is special:
+  // E(y1,y2) ∧ E(y2,y1) lives on a SINGLE hypergraph edge {y1,y2}, so the
+  // 2-cycle query already has ghw 1 — hence m, n >= 3 below.
+  EXPECT_TRUE(game1) << m << "," << n;
+  // At k = 2 the cycle query of length m witnesses n ∤ m.
+  EXPECT_EQ(game2, m % n == 0) << m << "," << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, CycleGameTest,
+    ::testing::Combine(::testing::Values(3u, 4u, 6u, 9u),
+                       ::testing::Values(3u, 4u, 5u)));
+
+TEST(CycleGameSpecialCase, TwoCyclesAreWidthOneDistinguishable) {
+  // The ghw-1 query E(y1,y2) ∧ E(y2,y1) is true on C2 and false on C4,
+  // so Spoiler wins already the 1-cover game from C2 to C4.
+  Database a(GraphSchema());
+  AddCycle(a, "a", 2);
+  Database b(GraphSchema());
+  AddCycle(b, "b", 4);
+  EXPECT_FALSE(CoverGameWins(a, {}, b, {}, 1));
+  // The converse direction holds at every k: C4 folds onto C2 (2 | 4),
+  // so there is a full homomorphism.
+  EXPECT_TRUE(HomomorphismExists(b, a));
+  EXPECT_TRUE(CoverGameWins(b, {}, a, {}, 1));
+  EXPECT_TRUE(CoverGameWins(b, {}, a, {}, 2));
+}
+
+// ---------------------------------------------------------------------------
+// Unraveling depth sweep: the depth-d unraveling always selects its base
+// point and stays acyclic.
+
+class UnravelDepthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UnravelDepthTest, PathFamilyStructure) {
+  auto training = PathLengthFamily({0, 1, 2, 3}, 2);
+  const Database& db = training->database();
+  std::vector<Value> entities = db.Entities();
+  for (Value e : entities) {
+    ConjunctiveQuery q = UnravelingQuery(db, e, GetParam());
+    EXPECT_TRUE(IsInGhw(q, 1));
+    EXPECT_TRUE(CqEvaluator(q).SelectsEntity(db, e));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, UnravelDepthTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace featsep

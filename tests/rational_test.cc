@@ -1,0 +1,111 @@
+#include "numeric/rational.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace featsep {
+namespace {
+
+TEST(RationalTest, NormalizationReducesAndFixesSign) {
+  Rational r(BigInt(4), BigInt(-6));
+  EXPECT_EQ(r.numerator().ToInt64(), -2);
+  EXPECT_EQ(r.denominator().ToInt64(), 3);
+  EXPECT_EQ(r.ToString(), "-2/3");
+
+  Rational zero(BigInt(0), BigInt(-5));
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.denominator().ToInt64(), 1);
+}
+
+TEST(RationalTest, IntegerRendering) {
+  EXPECT_EQ(Rational(7).ToString(), "7");
+  EXPECT_EQ(Rational(BigInt(14), BigInt(7)).ToString(), "2");
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(BigInt(1), BigInt(2));
+  Rational third(BigInt(1), BigInt(3));
+  EXPECT_EQ((half + third).ToString(), "5/6");
+  EXPECT_EQ((half - third).ToString(), "1/6");
+  EXPECT_EQ((half * third).ToString(), "1/6");
+  EXPECT_EQ((half / third).ToString(), "3/2");
+  EXPECT_EQ((-half).ToString(), "-1/2");
+}
+
+TEST(RationalTest, Comparisons) {
+  Rational half(BigInt(1), BigInt(2));
+  Rational third(BigInt(1), BigInt(3));
+  Rational neg(BigInt(-7), BigInt(2));
+  EXPECT_LT(third, half);
+  EXPECT_GT(half, neg);
+  EXPECT_LE(half, half);
+  EXPECT_EQ(Rational(BigInt(2), BigInt(4)), half);
+  EXPECT_NE(half, third);
+}
+
+TEST(RationalTest, SignAndZero) {
+  EXPECT_EQ(Rational(5).sign(), 1);
+  EXPECT_EQ(Rational(-5).sign(), -1);
+  EXPECT_EQ(Rational(0).sign(), 0);
+  EXPECT_TRUE((Rational(5) - Rational(5)).is_zero());
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_NEAR(Rational(BigInt(1), BigInt(3)).ToDouble(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(Rational(BigInt(-22), BigInt(7)).ToDouble(), -22.0 / 7.0,
+              1e-12);
+}
+
+// Property test: field axioms on random small rationals.
+TEST(RationalPropertyTest, FieldAxioms) {
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<std::int64_t> num(-50, 50);
+  std::uniform_int_distribution<std::int64_t> den(1, 30);
+  auto random_rational = [&] {
+    return Rational(BigInt(num(rng)), BigInt(den(rng)));
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    Rational a = random_rational();
+    Rational b = random_rational();
+    Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Rational(0), a);
+    EXPECT_EQ(a * Rational(1), a);
+    EXPECT_TRUE((a - a).is_zero());
+    if (!a.is_zero()) {
+      EXPECT_EQ(a / a, Rational(1));
+      EXPECT_EQ((b / a) * a, b);
+    }
+  }
+}
+
+// Property test: Compare is a total order consistent with ToDouble.
+TEST(RationalPropertyTest, OrderConsistency) {
+  std::mt19937_64 rng(13);
+  std::uniform_int_distribution<std::int64_t> num(-100, 100);
+  std::uniform_int_distribution<std::int64_t> den(1, 40);
+  for (int trial = 0; trial < 500; ++trial) {
+    Rational a(BigInt(num(rng)), BigInt(den(rng)));
+    Rational b(BigInt(num(rng)), BigInt(den(rng)));
+    int compared = Rational::Compare(a, b);
+    double da = a.ToDouble();
+    double db = b.ToDouble();
+    if (compared < 0) {
+      EXPECT_LT(da, db + 1e-12);
+    }
+    if (compared > 0) {
+      EXPECT_GT(da, db - 1e-12);
+    }
+    if (compared == 0) {
+      EXPECT_NEAR(da, db, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace featsep

@@ -1,0 +1,191 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/database_ops.h"
+#include "relational/schema.h"
+#include "relational/training_database.h"
+#include "test_util.h"
+
+namespace featsep {
+namespace {
+
+using ::featsep::testing::AddEntity;
+using ::featsep::testing::GraphSchema;
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema schema;
+  RelationId r = schema.AddRelation("R", 2);
+  RelationId s = schema.AddRelation("S", 3);
+  EXPECT_EQ(schema.size(), 2u);
+  EXPECT_EQ(schema.FindRelation("R"), r);
+  EXPECT_EQ(schema.FindRelation("S"), s);
+  EXPECT_EQ(schema.FindRelation("T"), kNoRelation);
+  EXPECT_EQ(schema.arity(r), 2u);
+  EXPECT_EQ(schema.name(s), "S");
+  EXPECT_EQ(schema.max_arity(), 3u);
+  EXPECT_FALSE(schema.has_entity_relation());
+}
+
+TEST(SchemaTest, EntityDesignation) {
+  Schema schema;
+  RelationId eta = schema.AddRelation("Eta", 1);
+  schema.set_entity_relation(eta);
+  EXPECT_TRUE(schema.has_entity_relation());
+  EXPECT_EQ(schema.entity_relation(), eta);
+}
+
+TEST(SchemaTest, StructuralEquality) {
+  Schema a;
+  a.set_entity_relation(a.AddRelation("Eta", 1));
+  a.AddRelation("E", 2);
+  Schema b;
+  b.set_entity_relation(b.AddRelation("Eta", 1));
+  b.AddRelation("E", 2);
+  EXPECT_TRUE(a == b);
+  Schema c;
+  c.set_entity_relation(c.AddRelation("Eta", 1));
+  c.AddRelation("E", 3);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DatabaseTest, InternIsIdempotent) {
+  Database db(GraphSchema());
+  Value a1 = db.Intern("a");
+  Value a2 = db.Intern("a");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(db.FindValue("a"), a1);
+  EXPECT_EQ(db.FindValue("zzz"), kNoValue);
+  EXPECT_EQ(db.value_name(a1), "a");
+}
+
+TEST(DatabaseTest, FactsDeduplicate) {
+  Database db(GraphSchema());
+  EXPECT_TRUE(db.AddFact("E", {"a", "b"}));
+  EXPECT_FALSE(db.AddFact("E", {"a", "b"}));
+  EXPECT_TRUE(db.AddFact("E", {"b", "a"}));
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(DatabaseTest, DomainTracksFactOccurrences) {
+  Database db(GraphSchema());
+  db.Intern("isolated");  // Interned but never in a fact.
+  db.AddFact("E", {"a", "b"});
+  EXPECT_EQ(db.domain().size(), 2u);
+  EXPECT_TRUE(db.InDomain(db.FindValue("a")));
+  EXPECT_FALSE(db.InDomain(db.FindValue("isolated")));
+}
+
+TEST(DatabaseTest, Indexes) {
+  Database db(GraphSchema());
+  db.AddFact("E", {"a", "b"});
+  db.AddFact("E", {"a", "c"});
+  db.AddFact("E", {"b", "c"});
+  RelationId e = db.schema().FindRelation("E");
+  Value a = db.FindValue("a");
+  Value c = db.FindValue("c");
+  EXPECT_EQ(db.FactsOf(e).size(), 3u);
+  EXPECT_EQ(db.FactsWith(e, 0, a).size(), 2u);
+  EXPECT_EQ(db.FactsWith(e, 1, c).size(), 2u);
+  EXPECT_EQ(db.FactsWith(e, 1, a).size(), 0u);
+  EXPECT_EQ(db.FactsContaining(a).size(), 2u);
+}
+
+TEST(DatabaseTest, FactsContainingListsRepeatedValueOnce) {
+  Database db(GraphSchema());
+  db.AddFact("E", {"a", "a"});
+  Value a = db.FindValue("a");
+  EXPECT_EQ(db.FactsContaining(a).size(), 1u);
+}
+
+TEST(DatabaseTest, Entities) {
+  Database db(GraphSchema());
+  AddEntity(db, "e1");
+  AddEntity(db, "e2");
+  db.AddFact("E", {"e1", "x"});
+  EXPECT_EQ(db.Entities().size(), 2u);
+  EXPECT_TRUE(db.IsEntity(db.FindValue("e1")));
+  EXPECT_FALSE(db.IsEntity(db.FindValue("x")));
+}
+
+TEST(TrainingDatabaseTest, LabelingLifecycle) {
+  auto db = std::make_shared<Database>(GraphSchema());
+  Value e1 = AddEntity(*db, "e1");
+  Value e2 = AddEntity(*db, "e2");
+  TrainingDatabase training(db);
+  EXPECT_FALSE(training.IsFullyLabeled());
+  training.SetLabel(e1, kPositive);
+  training.SetLabel(e2, kNegative);
+  EXPECT_TRUE(training.IsFullyLabeled());
+  EXPECT_EQ(training.label(e1), kPositive);
+  EXPECT_EQ(training.PositiveExamples().size(), 1u);
+  EXPECT_EQ(training.NegativeExamples().size(), 1u);
+}
+
+TEST(LabelingTest, Disagreement) {
+  Labeling a;
+  a.Set(0, kPositive);
+  a.Set(1, kNegative);
+  a.Set(2, kPositive);
+  Labeling b;
+  b.Set(0, kPositive);
+  b.Set(1, kPositive);
+  EXPECT_EQ(a.Disagreement(b), 2u);  // Entity 1 flipped, entity 2 missing.
+}
+
+TEST(DatabaseOpsTest, InducedSubdatabasePreservesIds) {
+  Database db(GraphSchema());
+  db.AddFact("E", {"a", "b"});
+  db.AddFact("E", {"b", "c"});
+  Value a = db.FindValue("a");
+  Value b = db.FindValue("b");
+  Database sub = InducedSubdatabase(db, {a, b});
+  EXPECT_EQ(sub.size(), 1u);
+  EXPECT_EQ(sub.FindValue("a"), a);
+  EXPECT_EQ(sub.FindValue("b"), b);
+  EXPECT_FALSE(sub.InDomain(db.FindValue("c")));
+}
+
+TEST(DatabaseOpsTest, MapDatabaseFoldsFacts) {
+  Database db(GraphSchema());
+  db.AddFact("E", {"a", "b"});
+  db.AddFact("E", {"c", "b"});
+  Value a = db.FindValue("a");
+  Value b = db.FindValue("b");
+  Value c = db.FindValue("c");
+  std::vector<Value> mapping(db.num_values(), kNoValue);
+  mapping[a] = a;
+  mapping[b] = b;
+  mapping[c] = a;  // Fold c onto a.
+  Database mapped = MapDatabase(db, mapping);
+  EXPECT_EQ(mapped.size(), 1u);  // Both facts collapse to E(a, b).
+  EXPECT_TRUE(mapped.ContainsFact(Fact{db.schema().FindRelation("E"), {a, b}}));
+}
+
+TEST(DatabaseOpsTest, DisjointUnionRenamesCollisions) {
+  Database a(GraphSchema());
+  a.AddFact("E", {"x", "y"});
+  Database b(GraphSchema());
+  b.AddFact("E", {"x", "z"});
+  std::vector<Value> b_map;
+  Database u = DisjointUnion(a, b, "_2", &b_map);
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_EQ(u.domain().size(), 4u);  // x, y, x_2, z.
+  EXPECT_NE(u.FindValue("x_2"), kNoValue);
+  EXPECT_EQ(b_map[b.FindValue("x")], u.FindValue("x_2"));
+}
+
+TEST(DatabaseOpsTest, CopyPreservesEverything) {
+  Database db(GraphSchema());
+  AddEntity(db, "e");
+  db.AddFact("E", {"e", "f"});
+  Database copy = Copy(db);
+  EXPECT_EQ(copy.size(), db.size());
+  EXPECT_EQ(copy.num_values(), db.num_values());
+  EXPECT_EQ(copy.FindValue("e"), db.FindValue("e"));
+  EXPECT_TRUE(copy.IsEntity(copy.FindValue("e")));
+}
+
+}  // namespace
+}  // namespace featsep

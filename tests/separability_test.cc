@@ -1,0 +1,138 @@
+#include "core/separability.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace featsep {
+namespace {
+
+using ::featsep::testing::AddEntity;
+using ::featsep::testing::GraphSchema;
+using ::featsep::testing::UnarySchema;
+
+/// Entities: e1 starts a 2-path (+), e2 starts a 1-edge (-), e3 isolated (-).
+std::shared_ptr<TrainingDatabase> TwoPathDataset() {
+  auto db = std::make_shared<Database>(GraphSchema());
+  Value e1 = AddEntity(*db, "e1");
+  Value e2 = AddEntity(*db, "e2");
+  Value e3 = AddEntity(*db, "e3");
+  testing::AddEdge(*db, "e1", "a");
+  testing::AddEdge(*db, "a", "b");
+  testing::AddEdge(*db, "e2", "c");
+  auto training = std::make_shared<TrainingDatabase>(db);
+  training->SetLabel(e1, kPositive);
+  training->SetLabel(e2, kNegative);
+  training->SetLabel(e3, kNegative);
+  return training;
+}
+
+/// Example 6.2: D = {R(a), S(a), S(c)}, entities a(+), b(+), c(-).
+std::shared_ptr<TrainingDatabase> Example62() {
+  auto db = std::make_shared<Database>(UnarySchema());
+  Value a = AddEntity(*db, "a");
+  Value b = AddEntity(*db, "b");
+  Value c = AddEntity(*db, "c");
+  db->AddFact("R", {"a"});
+  db->AddFact("S", {"a"});
+  db->AddFact("S", {"c"});
+  auto training = std::make_shared<TrainingDatabase>(db);
+  training->SetLabel(a, kPositive);
+  training->SetLabel(b, kPositive);
+  training->SetLabel(c, kNegative);
+  return training;
+}
+
+TEST(CqSepTest, StructurallyDistinctEntitiesAreSeparable) {
+  EXPECT_TRUE(DecideCqSep(*TwoPathDataset()).separable);
+  EXPECT_TRUE(DecideCqSep(*Example62()).separable);
+}
+
+TEST(CqSepTest, HomEquivalentConflictBlocksSeparability) {
+  auto db = std::make_shared<Database>(GraphSchema());
+  // e1 with one out-edge, e2 with two out-edges: hom-equivalent pointed
+  // databases, so no CQ distinguishes them (Kimelfeld–Ré).
+  Value e1 = AddEntity(*db, "e1");
+  Value e2 = AddEntity(*db, "e2");
+  testing::AddEdge(*db, "e1", "t");
+  testing::AddEdge(*db, "e2", "u1");
+  testing::AddEdge(*db, "e2", "u2");
+  TrainingDatabase training(db);
+  training.SetLabel(e1, kPositive);
+  training.SetLabel(e2, kNegative);
+  CqSepResult result = DecideCqSep(training);
+  EXPECT_FALSE(result.separable);
+  ASSERT_TRUE(result.conflict.has_value());
+  EXPECT_EQ(result.conflict->first, e1);
+  EXPECT_EQ(result.conflict->second, e2);
+}
+
+TEST(CqmSepTest, Example62SeparableWithOneAtomFeatures) {
+  CqmSepResult result = DecideCqmSep(*Example62(), 1);
+  ASSERT_TRUE(result.separable);
+  EXPECT_EQ(result.model->TrainingErrors(*Example62()), 0u);
+  EXPECT_GE(result.features_enumerated, 5u);
+}
+
+TEST(CqmSepTest, TwoPathNeedsTwoAtoms) {
+  auto training = TwoPathDataset();
+  // With one atom, e1 and e2 are indistinguishable (both have an
+  // out-edge and nothing else a single atom can see).
+  EXPECT_FALSE(DecideCqmSep(*training, 1).separable);
+  CqmSepResult with_two = DecideCqmSep(*training, 2);
+  ASSERT_TRUE(with_two.separable);
+  EXPECT_EQ(with_two.model->TrainingErrors(*training), 0u);
+}
+
+TEST(CqmSepTest, GeneratedModelClassifiesUnseenDatabase) {
+  auto training = TwoPathDataset();
+  CqmSepResult result = DecideCqmSep(*training, 2);
+  ASSERT_TRUE(result.separable);
+
+  // Evaluation database with fresh entities of both shapes.
+  Database eval(GraphSchema());
+  Value f1 = AddEntity(eval, "f1");
+  Value f2 = AddEntity(eval, "f2");
+  testing::AddEdge(eval, "f1", "p");
+  testing::AddEdge(eval, "p", "q");
+  testing::AddEdge(eval, "f2", "r");
+  Labeling predicted = result.model->Apply(eval);
+  EXPECT_EQ(predicted.Get(f1), kPositive);
+  EXPECT_EQ(predicted.Get(f2), kNegative);
+}
+
+TEST(CqmSepTest, InseparableBecauseOfContradictoryLabels) {
+  auto db = std::make_shared<Database>(UnarySchema());
+  Value a = AddEntity(*db, "a");
+  Value b = AddEntity(*db, "b");
+  // a and b are both isolated entities: no CQ distinguishes them.
+  TrainingDatabase training(db);
+  training.SetLabel(a, kPositive);
+  training.SetLabel(b, kNegative);
+  EXPECT_FALSE(DecideCqmSep(training, 3).separable);
+  EXPECT_FALSE(DecideCqSep(training).separable);
+}
+
+TEST(CqmSepTest, MonotoneInM) {
+  // Separability at m implies separability at m+1 (CQ[m] ⊆ CQ[m+1]).
+  auto training = TwoPathDataset();
+  bool m1 = DecideCqmSep(*training, 1).separable;
+  bool m2 = DecideCqmSep(*training, 2).separable;
+  bool m3 = DecideCqmSep(*training, 3).separable;
+  EXPECT_TRUE(!m1 || m2);
+  EXPECT_TRUE(!m2 || m3);
+  EXPECT_TRUE(m2);
+}
+
+TEST(CqmSepTest, VariableOccurrenceRestriction) {
+  // CQ[m,p]-SEP (Prop 4.3): the 2-path feature E(x,y),E(y,z) needs y to
+  // occur twice; with p = 1 it is unavailable.
+  auto training = TwoPathDataset();
+  EXPECT_FALSE(DecideCqmSep(*training, 2, 1).separable);
+  EXPECT_TRUE(DecideCqmSep(*training, 2, 2).separable);
+}
+
+}  // namespace
+}  // namespace featsep

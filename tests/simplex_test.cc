@@ -1,0 +1,116 @@
+#include "linsep/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace featsep {
+namespace {
+
+Rational R(std::int64_t n, std::int64_t d = 1) {
+  return Rational(BigInt(n), BigInt(d));
+}
+
+TEST(SimplexTest, SimpleOptimum) {
+  // max x + y s.t. x + 2y <= 4, 3x + y <= 6, x,y >= 0 -> (8/5, 6/5), obj 14/5.
+  LpProblem p;
+  p.a = {{R(1), R(2)}, {R(3), R(1)}};
+  p.b = {R(4), R(6)};
+  p.c = {R(1), R(1)};
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_EQ(s.objective, R(14, 5));
+  EXPECT_EQ(s.x[0], R(8, 5));
+  EXPECT_EQ(s.x[1], R(6, 5));
+}
+
+TEST(SimplexTest, Unbounded) {
+  // max x s.t. -x + y <= 1.
+  LpProblem p;
+  p.a = {{R(-1), R(1)}};
+  p.b = {R(1)};
+  p.c = {R(1), R(0)};
+  EXPECT_EQ(SolveLp(p).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, InfeasibleNeedsPhase1) {
+  // x <= -1 with x >= 0 is infeasible.
+  LpProblem p;
+  p.a = {{R(1)}};
+  p.b = {R(-1)};
+  p.c = {R(0)};
+  EXPECT_EQ(SolveLp(p).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, FeasibleWithNegativeRhs) {
+  // x >= 2 (as -x <= -2), x <= 5, max -x: optimum x = 2.
+  LpProblem p;
+  p.a = {{R(-1)}, {R(1)}};
+  p.b = {R(-2), R(5)};
+  p.c = {R(-1)};
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_EQ(s.x[0], R(2));
+  EXPECT_EQ(s.objective, R(-2));
+}
+
+TEST(SimplexTest, EqualityViaTwoInequalities) {
+  // x + y = 3 (two inequalities), max 2x + y s.t. x <= 2: x=2, y=1, obj 5.
+  LpProblem p;
+  p.a = {{R(1), R(1)}, {R(-1), R(-1)}, {R(1), R(0)}};
+  p.b = {R(3), R(-3), R(2)};
+  p.c = {R(2), R(1)};
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_EQ(s.objective, R(5));
+  EXPECT_EQ(s.x[0], R(2));
+  EXPECT_EQ(s.x[1], R(1));
+}
+
+TEST(SimplexTest, DegenerateDoesNotCycle) {
+  // A classic degenerate instance (Beale-like); Bland's rule must terminate.
+  LpProblem p;
+  p.a = {{R(1, 4), R(-8), R(-1), R(9)},
+         {R(1, 2), R(-12), R(-1, 2), R(3)},
+         {R(0), R(0), R(1), R(0)}};
+  p.b = {R(0), R(0), R(1)};
+  p.c = {R(3, 4), R(-20), R(1, 2), R(-6)};
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_EQ(s.objective, R(5, 4));
+}
+
+TEST(SimplexTest, ZeroObjectiveFeasibility) {
+  LpProblem p;
+  p.a = {{R(1), R(1)}, {R(-1), R(0)}};
+  p.b = {R(10), R(-3)};
+  p.c = {R(0), R(0)};
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  // Solution satisfies constraints: x0 >= 3, x0 + x1 <= 10.
+  EXPECT_GE(s.x[0], R(3));
+  EXPECT_LE(s.x[0] + s.x[1], R(10));
+}
+
+TEST(SimplexTest, RedundantRows) {
+  // Duplicate constraints with a forced equality x = 4.
+  LpProblem p;
+  p.a = {{R(1)}, {R(1)}, {R(-1)}};
+  p.b = {R(4), R(4), R(-4)};
+  p.c = {R(1)};
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_EQ(s.x[0], R(4));
+}
+
+TEST(SimplexTest, ExactFractionsSurvive) {
+  // max x s.t. 3x <= 1 -> x = 1/3 exactly.
+  LpProblem p;
+  p.a = {{R(3)}};
+  p.b = {R(1)};
+  p.c = {R(1)};
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_EQ(s.x[0], R(1, 3));
+}
+
+}  // namespace
+}  // namespace featsep

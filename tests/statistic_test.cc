@@ -1,0 +1,97 @@
+#include "core/statistic.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace featsep {
+namespace {
+
+using ::featsep::testing::AddEntity;
+using ::featsep::testing::GraphSchema;
+
+Statistic OutInStatistic() {
+  auto schema = GraphSchema();
+  ConjunctiveQuery out = ConjunctiveQuery::MakeFeatureQuery(schema);
+  out.AddAtom(schema->FindRelation("E"),
+              {out.free_variable(), out.NewVariable("y")});
+  ConjunctiveQuery in = ConjunctiveQuery::MakeFeatureQuery(schema);
+  in.AddAtom(schema->FindRelation("E"),
+             {in.NewVariable("z"), in.free_variable()});
+  return Statistic({out, in});
+}
+
+TEST(StatisticTest, VectorSemantics) {
+  Database db(GraphSchema());
+  Value both = AddEntity(db, "both");
+  Value none = AddEntity(db, "none");
+  Value only_out = AddEntity(db, "out");
+  testing::AddEdge(db, "both", "t");
+  testing::AddEdge(db, "u", "both");
+  testing::AddEdge(db, "out", "w");
+
+  Statistic statistic = OutInStatistic();
+  EXPECT_EQ(statistic.Vector(db, both), (FeatureVector{1, 1}));
+  EXPECT_EQ(statistic.Vector(db, none), (FeatureVector{-1, -1}));
+  EXPECT_EQ(statistic.Vector(db, only_out), (FeatureVector{1, -1}));
+}
+
+TEST(StatisticTest, MatrixMatchesVectors) {
+  Database db(GraphSchema());
+  AddEntity(db, "a");
+  AddEntity(db, "b");
+  testing::AddEdge(db, "a", "t");
+  Statistic statistic = OutInStatistic();
+  std::vector<FeatureVector> matrix = statistic.Matrix(db);
+  std::vector<Value> entities = db.Entities();
+  ASSERT_EQ(matrix.size(), entities.size());
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    EXPECT_EQ(matrix[i], statistic.Vector(db, entities[i]));
+  }
+}
+
+TEST(StatisticTest, TotalAtoms) {
+  // Each feature: Eta(x) + one E atom = 2; total 4.
+  EXPECT_EQ(OutInStatistic().TotalAtoms(), 4u);
+  EXPECT_EQ(Statistic().TotalAtoms(), 0u);
+}
+
+TEST(SeparatorModelTest, ApplyAndTrainingErrors) {
+  auto db = std::make_shared<Database>(GraphSchema());
+  Value pos = AddEntity(*db, "pos");
+  Value neg = AddEntity(*db, "neg");
+  testing::AddEdge(*db, "pos", "t");
+
+  // Classifier: +1 iff the out-edge feature fires (w = (1), w0 = 1).
+  SeparatorModel model{
+      Statistic({OutInStatistic().feature(0)}),
+      LinearClassifier(Rational(1), {Rational(1)})};
+  Labeling predicted = model.Apply(*db);
+  EXPECT_EQ(predicted.Get(pos), kPositive);
+  EXPECT_EQ(predicted.Get(neg), kNegative);
+
+  TrainingDatabase training(db);
+  training.SetLabel(pos, kPositive);
+  training.SetLabel(neg, kPositive);  // One deliberate disagreement.
+  EXPECT_EQ(model.TrainingErrors(training), 1u);
+}
+
+TEST(MakeTrainingCollectionTest, PairsVectorsWithLabels) {
+  auto db = std::make_shared<Database>(GraphSchema());
+  Value a = AddEntity(*db, "a");
+  Value b = AddEntity(*db, "b");
+  testing::AddEdge(*db, "a", "t");
+  TrainingDatabase training(db);
+  training.SetLabel(a, kPositive);
+  training.SetLabel(b, kNegative);
+  TrainingCollection collection =
+      MakeTrainingCollection(OutInStatistic(), training);
+  ASSERT_EQ(collection.size(), 2u);
+  EXPECT_EQ(collection[0].first, (FeatureVector{1, -1}));
+  EXPECT_EQ(collection[0].second, kPositive);
+  EXPECT_EQ(collection[1].first, (FeatureVector{-1, -1}));
+  EXPECT_EQ(collection[1].second, kNegative);
+}
+
+}  // namespace
+}  // namespace featsep

@@ -1,0 +1,78 @@
+#ifndef FEATSEP_TESTS_TEST_UTIL_H_
+#define FEATSEP_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/schema.h"
+#include "relational/training_database.h"
+
+namespace featsep {
+namespace testing {
+
+/// Entity schema with unary Eta and binary E (a labeled digraph world).
+inline std::shared_ptr<const Schema> GraphSchema() {
+  Schema schema;
+  RelationId eta = schema.AddRelation("Eta", 1);
+  schema.AddRelation("E", 2);
+  schema.set_entity_relation(eta);
+  return std::make_shared<const Schema>(std::move(schema));
+}
+
+/// Entity schema with unary Eta, unary R, unary S (Example 6.2's schema).
+inline std::shared_ptr<const Schema> UnarySchema() {
+  Schema schema;
+  RelationId eta = schema.AddRelation("Eta", 1);
+  schema.AddRelation("R", 1);
+  schema.AddRelation("S", 1);
+  schema.set_entity_relation(eta);
+  return std::make_shared<const Schema>(std::move(schema));
+}
+
+/// Adds Eta(name) and returns the value.
+inline Value AddEntity(Database& db, const std::string& name) {
+  Value v = db.Intern(name);
+  db.AddFact(db.schema().entity_relation(), {v});
+  return v;
+}
+
+/// Adds E(a, b) to a GraphSchema database.
+inline void AddEdge(Database& db, const std::string& a,
+                    const std::string& b) {
+  db.AddFact("E", {a, b});
+}
+
+/// Builds a directed path a0 -> a1 -> ... -> a_n (n edges) with the given
+/// prefix; returns the interned node values.
+inline std::vector<Value> AddPath(Database& db, const std::string& prefix,
+                                  std::size_t edges) {
+  std::vector<Value> nodes;
+  for (std::size_t i = 0; i <= edges; ++i) {
+    nodes.push_back(db.Intern(prefix + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < edges; ++i) {
+    db.AddFact(db.schema().FindRelation("E"), {nodes[i], nodes[i + 1]});
+  }
+  return nodes;
+}
+
+/// Builds a directed cycle of the given length; returns the node values.
+inline std::vector<Value> AddCycle(Database& db, const std::string& prefix,
+                                   std::size_t length) {
+  std::vector<Value> nodes;
+  for (std::size_t i = 0; i < length; ++i) {
+    nodes.push_back(db.Intern(prefix + std::to_string(i)));
+  }
+  RelationId e = db.schema().FindRelation("E");
+  for (std::size_t i = 0; i < length; ++i) {
+    db.AddFact(e, {nodes[i], nodes[(i + 1) % length]});
+  }
+  return nodes;
+}
+
+}  // namespace testing
+}  // namespace featsep
+
+#endif  // FEATSEP_TESTS_TEST_UTIL_H_
