@@ -6,6 +6,18 @@
 // and quantitative theorems); absolute times are machine-specific, the
 // *shape* (scaling exponents, who wins, where crossovers fall) is the
 // reproduced result.
+//
+// JSON output convention: every bench binary accepts the standard google
+// benchmark flags, and committed snapshots are produced with
+//
+//   ./build/bench_<name> --benchmark_out=<file>.json \
+//                        --benchmark_out_format=json
+//
+// Checked-in snapshots live at the repo root as BENCH_<topic>.json (e.g.
+// BENCH_homomorphism.json merges bench_evaluation + bench_table1_cq_sep).
+// Regenerate them on a Release build (cmake --preset release) so numbers
+// are comparable across commits from the same machine; see EXPERIMENTS.md
+// for the recorded before/after history.
 
 #include <cstdint>
 #include <memory>

@@ -7,24 +7,38 @@
 #include "cq/homomorphism.h"
 #include "linsep/separability_lp.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace featsep {
 
-CqSepResult DecideCqSep(const TrainingDatabase& training) {
+CqSepResult DecideCqSep(const TrainingDatabase& training,
+                        const CqSepOptions& options) {
   FEATSEP_CHECK(training.IsFullyLabeled());
   const Database& db = training.database();
   std::vector<Value> positives = training.PositiveExamples();
   std::vector<Value> negatives = training.NegativeExamples();
 
+  // Warm the database's lazy domain caches before sharing it across the
+  // worker threads (they are read-only afterwards).
+  db.domain();
+  db.domain_index();
+
+  // The pairwise hom-equivalence tests are independent; sweep them in
+  // parallel, reporting the first conflicting pair in the same
+  // positive-major order the serial loop used.
   CqSepResult result;
-  for (Value p : positives) {
-    for (Value n : negatives) {
-      if (HomEquivalent(db, {p}, db, {n})) {
-        result.separable = false;
-        result.conflict = std::make_pair(p, n);
-        return result;
-      }
-    }
+  std::size_t pairs = positives.size() * negatives.size();
+  std::size_t hit = ParallelFindFirst(
+      options.num_threads, pairs, [&](std::size_t index) {
+        Value p = positives[index / negatives.size()];
+        Value n = negatives[index % negatives.size()];
+        return HomEquivalent(db, {p}, db, {n});
+      });
+  if (hit < pairs) {
+    result.separable = false;
+    result.conflict = std::make_pair(positives[hit / negatives.size()],
+                                     negatives[hit % negatives.size()]);
+    return result;
   }
   result.separable = true;
   return result;

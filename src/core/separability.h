@@ -19,9 +19,21 @@ struct CqSepResult {
   std::optional<std::pair<Value, Value>> conflict;
 };
 
+/// Options for the CQ-SEP decision procedure.
+struct CqSepOptions {
+  /// Worker threads fanning out the independent pairwise hom-equivalence
+  /// checks: 0 = hardware concurrency, 1 = serial (the historical
+  /// behavior). The decision and the reported conflict pair are identical
+  /// for every setting — the sweep always reports the first conflicting
+  /// pair in (positive-major) scan order.
+  std::size_t num_threads = 0;
+};
+
 /// Decides CQ-SEP. coNP-complete (Theorem 3.2): each pairwise test is an
-/// NP homomorphism search, exponential in the worst case.
-CqSepResult DecideCqSep(const TrainingDatabase& training);
+/// NP homomorphism search, exponential in the worst case. The pairwise
+/// tests are independent and run on `options.num_threads` threads.
+CqSepResult DecideCqSep(const TrainingDatabase& training,
+                        const CqSepOptions& options = {});
 
 /// Result of CQ[m]-separability with feature generation (Prop 4.1 / 4.3).
 struct CqmSepResult {

@@ -1,16 +1,26 @@
 #include "cq/homomorphism.h"
 
-#include <algorithm>
+#include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "util/check.h"
+#include "util/svo_bitset.h"
 
 namespace featsep {
 
 namespace {
 
 /// Search state for one FindHomomorphism call.
+///
+/// The CSP is solved over dense indices on both sides: variables are
+/// positions into dom(from), candidate images are positions into dom(to),
+/// and every domain is an SvoBitset over the 0..|dom(to)|-1 universe. All
+/// per-fact structure (variable indices per position, repeated-variable
+/// position pairs) and all per-(relation, position[, value]) target indexes
+/// (allowed-value and support bitsets) are computed once per search and
+/// reused at every node, so the inner loops are word-wise bit operations.
 class HomSearch {
  public:
   HomSearch(const Database& from, const Database& to,
@@ -21,23 +31,51 @@ class HomSearch {
 
  private:
   /// Index of a variable (a dom(from) element) in vars_.
-  using VarIndex = std::size_t;
+  using VarIndex = std::uint32_t;
   static constexpr VarIndex kNoVar = static_cast<VarIndex>(-1);
+  /// Index of a candidate image in dom(to) (a position in to_.domain()).
+  using DomIndex = std::uint32_t;
+  static constexpr DomIndex kNoDomIndex = Database::kNoDomainIndex;
 
-  bool InitializeDomains();
+  /// Precomputed structure of one `from_` fact.
+  struct FactInfo {
+    std::vector<VarIndex> vars;  // Variable index per argument position.
+    // Position pairs (p1 < p2) carrying the same variable; targets must
+    // agree on them. Hoisted out of the per-candidate loops.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> rep_pairs;
+  };
+
+  void BuildStructures();
   /// Filters every variable's domain through the unary constraints induced
   /// by its (relation, position) occurrences in `from_`.
   bool ApplyUnaryConstraints();
-  /// Recursive backtracking. Returns kFound/kNone/kExhausted.
+  /// Iterative backtracking. Returns kFound/kNone/kExhausted.
   HomStatus Search();
-  /// Assigns var := image, then forward-checks all facts containing var,
-  /// pruning neighbor domains. Returns false on wipe-out. Records undo
-  /// information at trail marker `mark`.
-  bool Assign(VarIndex var, Value image);
+  /// Assigns var := the dom(to) element at `image`, then forward-checks all
+  /// facts containing var, pruning neighbor domains. Returns false on
+  /// wipe-out. Opens a new trail epoch (copy-on-first-write granularity).
+  bool Assign(VarIndex var, DomIndex image);
   /// Forward checking for one fact given the current partial assignment.
   /// Shrinks the domains of the fact's unassigned variables; false on
   /// wipe-out or if the fact can no longer be matched.
   bool CheckFact(FactIndex fact_index);
+  /// Intersects var's domain with `mask`, saving the old domain on the
+  /// trail at most once per epoch. False on wipe-out.
+  bool PruneDomain(VarIndex var, const SvoBitset& mask);
+  /// Minimum-remaining-values selection with a static-degree tie-break.
+  VarIndex SelectVar() const;
+
+  std::uint32_t RelPosId(RelationId relation, std::size_t pos) const {
+    return relpos_base_[relation] + static_cast<std::uint32_t>(pos);
+  }
+  /// Bitset of dom(to) positions of values occurring at (relation, pos) in
+  /// `to_`. Built lazily, once per (relation, pos).
+  const SvoBitset& Allowed(RelationId relation, std::size_t pos);
+  /// Per-position support bitsets of (relation, pos, image): entry p is the
+  /// set of dom(to) positions of values at argument p among the `to_` facts
+  /// of `relation` carrying `image` at `pos`. Built lazily, once per key.
+  const std::vector<SvoBitset>& Support(RelationId relation, std::size_t pos,
+                                        DomIndex image_index, Value image);
 
   void SaveDomain(VarIndex var);
   void UndoTo(std::size_t mark);
@@ -46,17 +84,45 @@ class HomSearch {
   const Database& to_;
   const HomOptions& options_;
 
-  std::vector<Value> vars_;                      // dom(from) elements.
-  std::unordered_map<Value, VarIndex> var_of_;   // value -> variable index.
-  std::vector<std::vector<Value>> domains_;      // candidate images.
-  std::vector<Value> assignment_;                // kNoValue if unassigned.
+  std::vector<Value> vars_;          // var index -> dom(from) element.
+  std::vector<VarIndex> var_of_;     // from-value id -> var index (dense).
+  const std::vector<Value>* to_dom_ = nullptr;          // index -> to-value.
+  const std::vector<std::uint32_t>* to_index_ = nullptr;  // to-value -> index.
+  std::size_t ndom_ = 0;             // |dom(to)|.
+
+  std::vector<FactInfo> fact_info_;  // Indexed by FactIndex of from_.
+  std::vector<std::uint32_t> degree_;  // Facts containing each variable.
+  std::vector<std::uint32_t> relpos_base_;  // relation -> (rel, pos) id base.
+
+  std::vector<SvoBitset> domains_;
+  std::vector<std::uint32_t> domain_size_;  // Cached domain popcounts.
+  std::vector<Value> assigned_value_;       // kNoValue if unassigned.
+  std::vector<DomIndex> assigned_index_;    // Dense twin of assigned_value_.
   std::size_t unassigned_ = 0;
 
-  // Trail of saved domains for backtracking.
-  std::vector<std::pair<VarIndex, std::vector<Value>>> trail_;
+  std::vector<SvoBitset> allowed_;          // Indexed by (rel, pos) id.
+  std::vector<bool> allowed_valid_;
+  // (rel, pos) id << 32 | image index -> per-position support bitsets.
+  std::unordered_map<std::uint64_t, std::vector<SvoBitset>> support_cache_;
+
+  std::vector<DomIndex> prefer_;     // Per-var preferred image, or kNoDomIndex.
+
+  // Trail of saved (domain, popcount) snapshots; at most one per variable
+  // per epoch (= Assign call), so undo cost tracks actual pruning.
+  struct TrailEntry {
+    VarIndex var;
+    SvoBitset saved;
+    std::uint32_t saved_size;
+  };
+  std::vector<TrailEntry> trail_;
+  std::vector<std::uint64_t> saved_epoch_;  // Last epoch each var was saved.
+  std::uint64_t epoch_ = 0;
+
+  // Scratch bitsets reused across CheckFact calls (general path).
+  std::vector<SvoBitset> scratch_;
+  SvoBitset tmp_;
 
   std::uint64_t nodes_ = 0;
-  bool exhausted_ = false;
 };
 
 HomResult HomSearch::Run(const std::vector<std::pair<Value, Value>>& seed) {
@@ -64,36 +130,57 @@ HomResult HomSearch::Run(const std::vector<std::pair<Value, Value>>& seed) {
 
   // Variables are the domain elements of `from_`.
   vars_ = from_.domain();
-  var_of_.reserve(vars_.size());
+  var_of_.assign(from_.num_values(), kNoVar);
   for (VarIndex i = 0; i < vars_.size(); ++i) var_of_[vars_[i]] = i;
-  assignment_.assign(vars_.size(), kNoValue);
+  to_dom_ = &to_.domain();
+  to_index_ = &to_.domain_index();
+  ndom_ = to_dom_->size();
+  assigned_value_.assign(vars_.size(), kNoValue);
+  assigned_index_.assign(vars_.size(), kNoDomIndex);
   unassigned_ = vars_.size();
 
-  if (!InitializeDomains() || !ApplyUnaryConstraints()) {
+  if (!vars_.empty() && ndom_ == 0) {
     result.status = HomStatus::kNone;
+    result.nodes = nodes_;
     return result;
+  }
+
+  BuildStructures();
+
+  if (!ApplyUnaryConstraints()) {
+    result.status = HomStatus::kNone;
+    result.nodes = nodes_;
+    return result;
+  }
+
+  prefer_.assign(vars_.size(), kNoDomIndex);
+  for (const auto& [source, image] : options_.prefer) {
+    if (source >= var_of_.size() || var_of_[source] == kNoVar) continue;
+    if (image >= to_index_->size()) continue;
+    DomIndex index = (*to_index_)[image];
+    if (index != kNoDomIndex) prefer_[var_of_[source]] = index;
   }
 
   // Apply the seed as forced assignments.
   std::vector<std::pair<Value, Value>> free_seeds;  // outside dom(from).
   for (const auto& [source, image] : seed) {
-    auto it = var_of_.find(source);
-    if (it == var_of_.end()) {
+    VarIndex var = source < var_of_.size() ? var_of_[source] : kNoVar;
+    if (var == kNoVar) {
       free_seeds.emplace_back(source, image);
       continue;
     }
-    VarIndex var = it->second;
-    if (assignment_[var] != kNoValue) {
-      if (assignment_[var] != image) {
+    if (assigned_value_[var] != kNoValue) {
+      if (assigned_value_[var] != image) {
         result.status = HomStatus::kNone;
         result.nodes = nodes_;
         return result;
       }
       continue;
     }
-    const std::vector<Value>& domain = domains_[var];
-    if (std::find(domain.begin(), domain.end(), image) == domain.end() ||
-        !Assign(var, image)) {
+    DomIndex index =
+        image < to_index_->size() ? (*to_index_)[image] : kNoDomIndex;
+    if (index == kNoDomIndex || !domains_[var].test(index) ||
+        !Assign(var, index)) {
       result.status = HomStatus::kNone;
       result.nodes = nodes_;
       return result;
@@ -106,7 +193,7 @@ HomResult HomSearch::Run(const std::vector<std::pair<Value, Value>>& seed) {
     // Mapping indexed by value id over all interned values of `from_`.
     result.mapping.assign(from_.num_values(), kNoValue);
     for (VarIndex i = 0; i < vars_.size(); ++i) {
-      result.mapping[vars_[i]] = assignment_[i];
+      result.mapping[vars_[i]] = assigned_value_[i];
     }
     for (const auto& [source, image] : free_seeds) {
       if (source < result.mapping.size()) result.mapping[source] = image;
@@ -115,70 +202,115 @@ HomResult HomSearch::Run(const std::vector<std::pair<Value, Value>>& seed) {
   return result;
 }
 
-bool HomSearch::InitializeDomains() {
-  domains_.assign(vars_.size(), to_.domain());
-  for (const std::vector<Value>& domain : domains_) {
-    if (domain.empty() && !vars_.empty()) return false;
+void HomSearch::BuildStructures() {
+  const Schema& schema = from_.schema();
+  relpos_base_.resize(schema.size());
+  std::uint32_t base = 0;
+  for (RelationId r = 0; r < schema.size(); ++r) {
+    relpos_base_[r] = base;
+    base += static_cast<std::uint32_t>(schema.arity(r));
+  }
+  allowed_.resize(base);
+  allowed_valid_.assign(base, false);
+
+  fact_info_.resize(from_.facts().size());
+  for (FactIndex fi = 0; fi < from_.facts().size(); ++fi) {
+    const Fact& fact = from_.fact(fi);
+    FactInfo& info = fact_info_[fi];
+    info.vars.reserve(fact.args.size());
+    for (Value v : fact.args) info.vars.push_back(var_of_[v]);
+    for (std::uint32_t p1 = 0; p1 < fact.args.size(); ++p1) {
+      for (std::uint32_t p2 = p1 + 1; p2 < fact.args.size(); ++p2) {
+        if (fact.args[p1] == fact.args[p2]) info.rep_pairs.emplace_back(p1, p2);
+      }
+    }
+  }
+
+  degree_.resize(vars_.size());
+  for (VarIndex i = 0; i < vars_.size(); ++i) {
+    degree_[i] =
+        static_cast<std::uint32_t>(from_.FactsContaining(vars_[i]).size());
+  }
+
+  domains_.clear();
+  domains_.reserve(vars_.size());
+  for (VarIndex i = 0; i < vars_.size(); ++i) {
+    domains_.emplace_back(ndom_, true);
+  }
+  domain_size_.assign(vars_.size(), static_cast<std::uint32_t>(ndom_));
+  saved_epoch_.assign(vars_.size(), 0);
+  tmp_ = SvoBitset(ndom_);
+}
+
+const SvoBitset& HomSearch::Allowed(RelationId relation, std::size_t pos) {
+  std::uint32_t id = RelPosId(relation, pos);
+  if (!allowed_valid_[id]) {
+    SvoBitset bits(ndom_);
+    for (FactIndex fi : to_.FactsOf(relation)) {
+      bits.set((*to_index_)[to_.fact(fi).args[pos]]);
+    }
+    allowed_[id] = std::move(bits);
+    allowed_valid_[id] = true;
+  }
+  return allowed_[id];
+}
+
+const std::vector<SvoBitset>& HomSearch::Support(RelationId relation,
+                                                 std::size_t pos,
+                                                 DomIndex image_index,
+                                                 Value image) {
+  std::uint64_t key =
+      (static_cast<std::uint64_t>(RelPosId(relation, pos)) << 32) |
+      image_index;
+  auto it = support_cache_.find(key);
+  if (it != support_cache_.end()) return it->second;
+  std::size_t arity = to_.schema().arity(relation);
+  std::vector<SvoBitset> support;
+  support.reserve(arity);
+  for (std::size_t p = 0; p < arity; ++p) support.emplace_back(ndom_);
+  for (FactIndex fi : to_.FactsWith(relation, pos, image)) {
+    const Fact& target = to_.fact(fi);
+    for (std::size_t p = 0; p < arity; ++p) {
+      support[p].set((*to_index_)[target.args[p]]);
+    }
+  }
+  return support_cache_.emplace(key, std::move(support)).first->second;
+}
+
+bool HomSearch::ApplyUnaryConstraints() {
+  for (FactIndex fi = 0; fi < from_.facts().size(); ++fi) {
+    const Fact& fact = from_.fact(fi);
+    const FactInfo& info = fact_info_[fi];
+    for (std::size_t pos = 0; pos < fact.args.size(); ++pos) {
+      domains_[info.vars[pos]].intersect_with(Allowed(fact.relation, pos));
+    }
+  }
+  for (VarIndex i = 0; i < vars_.size(); ++i) {
+    domain_size_[i] = static_cast<std::uint32_t>(domains_[i].count());
+    if (domain_size_[i] == 0) return false;
   }
   return true;
 }
 
-bool HomSearch::ApplyUnaryConstraints() {
-  // allowed[(relation, pos)] = set of `to_` values occurring there.
-  // Computed lazily per (relation, pos) actually used in `from_`.
-  std::unordered_map<std::uint64_t, std::vector<Value>> allowed_cache;
-  auto allowed_at = [&](RelationId rel,
-                        std::size_t pos) -> const std::vector<Value>& {
-    std::uint64_t key = (static_cast<std::uint64_t>(rel) << 32) | pos;
-    auto it = allowed_cache.find(key);
-    if (it != allowed_cache.end()) return it->second;
-    std::unordered_set<Value> set;
-    for (FactIndex fi : to_.FactsOf(rel)) {
-      set.insert(to_.fact(fi).args[pos]);
-    }
-    std::vector<Value> sorted(set.begin(), set.end());
-    std::sort(sorted.begin(), sorted.end());
-    return allowed_cache.emplace(key, std::move(sorted)).first->second;
-  };
-
-  for (const Fact& fact : from_.facts()) {
-    for (std::size_t pos = 0; pos < fact.args.size(); ++pos) {
-      VarIndex var = var_of_.at(fact.args[pos]);
-      const std::vector<Value>& allowed = allowed_at(fact.relation, pos);
-      std::vector<Value>& domain = domains_[var];
-      std::vector<Value> filtered;
-      filtered.reserve(domain.size());
-      for (Value v : domain) {
-        if (std::binary_search(allowed.begin(), allowed.end(), v)) {
-          filtered.push_back(v);
-        }
-      }
-      domain = std::move(filtered);
-      if (domain.empty()) return false;
+HomSearch::VarIndex HomSearch::SelectVar() const {
+  VarIndex best = kNoVar;
+  std::uint32_t best_size = 0;
+  for (VarIndex i = 0; i < vars_.size(); ++i) {
+    if (assigned_value_[i] != kNoValue) continue;
+    std::uint32_t size = domain_size_[i];
+    if (best == kNoVar || size < best_size ||
+        (size == best_size && degree_[i] > degree_[best])) {
+      best = i;
+      best_size = size;
+      if (size <= 1) break;
     }
   }
-  return true;
+  FEATSEP_CHECK_NE(best, kNoVar);
+  return best;
 }
 
 HomStatus HomSearch::Search() {
   if (unassigned_ == 0) return HomStatus::kFound;
-
-  // Minimum-remaining-values variable selection.
-  auto select = [&]() {
-    VarIndex best = kNoVar;
-    std::size_t best_size = 0;
-    for (VarIndex i = 0; i < vars_.size(); ++i) {
-      if (assignment_[i] != kNoValue) continue;
-      std::size_t size = domains_[i].size();
-      if (best == kNoVar || size < best_size) {
-        best = i;
-        best_size = size;
-        if (size <= 1) break;
-      }
-    }
-    FEATSEP_CHECK_NE(best, kNoVar);
-    return best;
-  };
 
   // Iterative backtracking with an explicit frame stack: sources can have
   // tens of thousands of variables (e.g., QBE products), far beyond safe
@@ -186,47 +318,69 @@ HomStatus HomSearch::Search() {
   // Assign() may shrink the live domain via a neighbor's forward check.
   struct Frame {
     VarIndex var;
-    std::vector<Value> candidates;
-    std::size_t next = 0;
-    std::size_t mark = 0;     // Trail mark taken before the last Assign.
-    bool assigned = false;    // An Assign from this frame is in effect.
+    SvoBitset candidates;
+    std::size_t cursor = 0;       // Next candidate bit to scan.
+    DomIndex pref = kNoDomIndex;  // Preferred image, tried before the scan.
+    std::size_t mark = 0;         // Trail mark taken before the last Assign.
+    bool assigned = false;        // An Assign from this frame is in effect.
   };
+  auto make_frame = [&](VarIndex var) {
+    Frame frame;
+    frame.var = var;
+    frame.candidates = domains_[var];
+    DomIndex pref = prefer_[var];
+    if (pref != kNoDomIndex && frame.candidates.test(pref)) {
+      frame.candidates.reset(pref);  // Consumed through the pref slot.
+      frame.pref = pref;
+    }
+    return frame;
+  };
+
   std::vector<Frame> stack;
-  VarIndex first = select();
-  stack.push_back(Frame{first, domains_[first], 0, 0, false});
+  stack.push_back(make_frame(SelectVar()));
 
   while (!stack.empty()) {
     Frame& frame = stack.back();
     if (frame.assigned) {
       // Control returned to this frame: undo its assignment's effects.
       UndoTo(frame.mark);
-      assignment_[frame.var] = kNoValue;
+      assigned_value_[frame.var] = kNoValue;
+      assigned_index_[frame.var] = kNoDomIndex;
       ++unassigned_;
       frame.assigned = false;
     }
     if (options_.max_nodes != 0 && nodes_ >= options_.max_nodes) {
       return HomStatus::kExhausted;
     }
-    if (frame.next >= frame.candidates.size()) {
-      stack.pop_back();
-      continue;
+    DomIndex image;
+    if (frame.pref != kNoDomIndex) {
+      image = frame.pref;
+      frame.pref = kNoDomIndex;
+    } else {
+      std::size_t bit = frame.candidates.find_next(frame.cursor);
+      if (bit == SvoBitset::kNoBit) {
+        stack.pop_back();
+        continue;
+      }
+      image = static_cast<DomIndex>(bit);
+      frame.cursor = bit + 1;
     }
-    Value image = frame.candidates[frame.next++];
     ++nodes_;
     frame.mark = trail_.size();
     frame.assigned = true;
     if (Assign(frame.var, image)) {
       if (unassigned_ == 0) return HomStatus::kFound;
-      VarIndex next_var = select();
-      stack.push_back(Frame{next_var, domains_[next_var], 0, 0, false});
+      stack.push_back(make_frame(SelectVar()));
     }
     // On Assign failure the loop retries this frame (undo happens above).
   }
   return HomStatus::kNone;
 }
 
-bool HomSearch::Assign(VarIndex var, Value image) {
-  assignment_[var] = image;
+bool HomSearch::Assign(VarIndex var, DomIndex image) {
+  ++epoch_;
+  assigned_index_[var] = image;
+  assigned_value_[var] = (*to_dom_)[image];
   --unassigned_;
   for (FactIndex fi : from_.FactsContaining(vars_[var])) {
     if (!CheckFact(fi)) return false;
@@ -236,14 +390,18 @@ bool HomSearch::Assign(VarIndex var, Value image) {
 
 bool HomSearch::CheckFact(FactIndex fact_index) {
   const Fact& fact = from_.fact(fact_index);
+  const FactInfo& info = fact_info_[fact_index];
+  const std::size_t arity = fact.args.size();
 
   // Find the assigned position whose (relation, pos, image) candidate list
   // in `to_` is smallest.
+  std::size_t assigned_count = 0;
   std::size_t pivot = static_cast<std::size_t>(-1);
   std::size_t pivot_size = 0;
-  for (std::size_t pos = 0; pos < fact.args.size(); ++pos) {
-    Value image = assignment_[var_of_.at(fact.args[pos])];
+  for (std::size_t pos = 0; pos < arity; ++pos) {
+    Value image = assigned_value_[info.vars[pos]];
     if (image == kNoValue) continue;
+    ++assigned_count;
     std::size_t size = to_.FactsWith(fact.relation, pos, image).size();
     if (pivot == static_cast<std::size_t>(-1) || size < pivot_size) {
       pivot = pos;
@@ -251,23 +409,49 @@ bool HomSearch::CheckFact(FactIndex fact_index) {
     }
   }
 
+  // Fast path: one assigned position and no repeated variables. Every fact
+  // in the pivot's candidate list is compatible, so the per-position
+  // supports are exactly the precomputed support bitsets — forward checking
+  // degenerates to one word-wise AND per unassigned position.
+  if (assigned_count == 1 && info.rep_pairs.empty()) {
+    if (pivot_size == 0) return false;
+    if (!options_.forward_checking) return true;
+    VarIndex pivot_var = info.vars[pivot];
+    const std::vector<SvoBitset>& support =
+        Support(fact.relation, pivot, assigned_index_[pivot_var],
+                assigned_value_[pivot_var]);
+    for (std::size_t pos = 0; pos < arity; ++pos) {
+      if (pos == pivot) continue;
+      if (!PruneDomain(info.vars[pos], support[pos])) return false;
+    }
+    return true;
+  }
+
+  // General path: several assigned positions or repeated variables. A
+  // target fact must agree with *all* assigned positions simultaneously
+  // (pairwise support is not enough at arity ≥ 3), so scan the pivot's
+  // candidate list and accumulate per-position supports in scratch bitsets.
   const std::vector<FactIndex>& candidates =
       pivot == static_cast<std::size_t>(-1)
           ? to_.FactsOf(fact.relation)
           : to_.FactsWith(fact.relation, pivot,
-                          assignment_[var_of_.at(fact.args[pivot])]);
+                          assigned_value_[info.vars[pivot]]);
 
-  // Collect, per fact position, the values supported by some compatible
-  // target fact; also honor repeated variables within the fact. Without
-  // forward checking we stop at the first compatible fact.
-  std::vector<std::unordered_set<Value>> support(fact.args.size());
+  if (options_.forward_checking) {
+    if (scratch_.size() < arity) scratch_.resize(arity);
+    for (std::size_t pos = 0; pos < arity; ++pos) {
+      if (assigned_value_[info.vars[pos]] != kNoValue) continue;
+      if (scratch_[pos].size() != ndom_) scratch_[pos] = SvoBitset(ndom_);
+      scratch_[pos].reset_all();
+    }
+  }
+
   bool any_compatible = false;
   for (FactIndex ci : candidates) {
-    if (any_compatible && !options_.forward_checking) break;
     const Fact& target = to_.fact(ci);
     bool compatible = true;
-    for (std::size_t pos = 0; pos < fact.args.size(); ++pos) {
-      Value image = assignment_[var_of_.at(fact.args[pos])];
+    for (std::size_t pos = 0; pos < arity; ++pos) {
+      Value image = assigned_value_[info.vars[pos]];
       if (image != kNoValue && target.args[pos] != image) {
         compatible = false;
         break;
@@ -275,51 +459,55 @@ bool HomSearch::CheckFact(FactIndex fact_index) {
     }
     if (!compatible) continue;
     // Repeated source variables must receive equal images.
-    for (std::size_t p1 = 0; compatible && p1 < fact.args.size(); ++p1) {
-      for (std::size_t p2 = p1 + 1; p2 < fact.args.size(); ++p2) {
-        if (fact.args[p1] == fact.args[p2] &&
-            target.args[p1] != target.args[p2]) {
-          compatible = false;
-          break;
-        }
+    for (const auto& [p1, p2] : info.rep_pairs) {
+      if (target.args[p1] != target.args[p2]) {
+        compatible = false;
+        break;
       }
     }
     if (!compatible) continue;
     any_compatible = true;
-    for (std::size_t pos = 0; pos < fact.args.size(); ++pos) {
-      support[pos].insert(target.args[pos]);
+    // Without forward checking we stop at the first compatible fact.
+    if (!options_.forward_checking) return true;
+    for (std::size_t pos = 0; pos < arity; ++pos) {
+      if (assigned_value_[info.vars[pos]] != kNoValue) continue;
+      scratch_[pos].set((*to_index_)[target.args[pos]]);
     }
   }
   if (!any_compatible) return false;
-  if (!options_.forward_checking) return true;
 
   // Prune the domains of unassigned variables of this fact.
-  for (std::size_t pos = 0; pos < fact.args.size(); ++pos) {
-    VarIndex var = var_of_.at(fact.args[pos]);
-    if (assignment_[var] != kNoValue) continue;
-    std::vector<Value>& domain = domains_[var];
-    std::vector<Value> filtered;
-    filtered.reserve(domain.size());
-    for (Value v : domain) {
-      if (support[pos].count(v) > 0) filtered.push_back(v);
-    }
-    if (filtered.size() != domain.size()) {
-      SaveDomain(var);
-      domains_[var] = std::move(filtered);
-      if (domains_[var].empty()) return false;
-    }
+  for (std::size_t pos = 0; pos < arity; ++pos) {
+    VarIndex var = info.vars[pos];
+    if (assigned_value_[var] != kNoValue) continue;
+    if (!PruneDomain(var, scratch_[pos])) return false;
   }
   return true;
 }
 
+bool HomSearch::PruneDomain(VarIndex var, const SvoBitset& mask) {
+  tmp_ = domains_[var];
+  tmp_.intersect_with(mask);
+  std::uint32_t count = static_cast<std::uint32_t>(tmp_.count());
+  // Intersections only shrink, so an equal popcount means an equal set.
+  if (count == domain_size_[var]) return true;
+  SaveDomain(var);
+  std::swap(domains_[var], tmp_);
+  domain_size_[var] = count;
+  return count != 0;
+}
+
 void HomSearch::SaveDomain(VarIndex var) {
-  trail_.emplace_back(var, domains_[var]);
+  if (saved_epoch_[var] == epoch_) return;  // Copy-on-first-write per epoch.
+  saved_epoch_[var] = epoch_;
+  trail_.push_back(TrailEntry{var, domains_[var], domain_size_[var]});
 }
 
 void HomSearch::UndoTo(std::size_t mark) {
   while (trail_.size() > mark) {
-    auto& [var, domain] = trail_.back();
-    domains_[var] = std::move(domain);
+    TrailEntry& entry = trail_.back();
+    domains_[entry.var] = std::move(entry.saved);
+    domain_size_[entry.var] = entry.saved_size;
     trail_.pop_back();
   }
 }
@@ -351,8 +539,19 @@ bool HomEquivalent(const Database& from, const std::vector<Value>& from_tuple,
     forward.emplace_back(from_tuple[i], to_tuple[i]);
     backward.emplace_back(to_tuple[i], from_tuple[i]);
   }
-  return HomomorphismExists(from, to, forward) &&
-         HomomorphismExists(to, from, backward);
+  HomResult fwd = FindHomomorphism(from, to, forward);
+  FEATSEP_CHECK(fwd.status != HomStatus::kExhausted)
+      << "homomorphism search budget exhausted";
+  if (fwd.status != HomStatus::kFound) return false;
+  // Replay the forward witness as the backward search's value ordering: if
+  // h maps v to w, try w -> v first. When h is close to invertible this
+  // lets the backward search walk straight to a witness.
+  HomOptions backward_options;
+  for (Value v : from.domain()) {
+    Value w = fwd.mapping[v];
+    if (w != kNoValue) backward_options.prefer.emplace_back(w, v);
+  }
+  return HomomorphismExists(to, from, backward, backward_options);
 }
 
 }  // namespace featsep

@@ -20,6 +20,12 @@ struct HomOptions {
   /// compatible target fact — an ablation knob for bench_ablation; leave on
   /// for real use.
   bool forward_checking = true;
+  /// Optional value-ordering hint: when the search branches on a pair's
+  /// source value, the paired image is tried first if still in the domain
+  /// (later pairs for the same source win). Affects only exploration order,
+  /// never the decision. HomEquivalent uses this to replay the forward
+  /// witness mapping as the candidate ordering of the backward search.
+  std::vector<std::pair<Value, Value>> prefer;
 };
 
 /// Outcome of a homomorphism search.
@@ -44,9 +50,11 @@ struct HomResult {
 /// partial map `seed` (pairs of (source value, target value)). Seed sources
 /// outside dom(from) are unconstrained and simply copied into the mapping.
 ///
-/// The search is backtracking with unary-constraint domain initialization,
-/// fact-granularity forward checking, and minimum-remaining-values variable
-/// selection. Worst-case exponential (the problem is NP-complete).
+/// The search is backtracking over bitset domains indexed by dom(to)
+/// positions, with unary-constraint domain initialization, fact-granularity
+/// forward checking against precomputed (relation, position, value) support
+/// bitsets, and minimum-remaining-values variable selection with a degree
+/// tie-break. Worst-case exponential (the problem is NP-complete).
 HomResult FindHomomorphism(
     const Database& from, const Database& to,
     const std::vector<std::pair<Value, Value>>& seed = {},

@@ -263,7 +263,8 @@ std::int64_t BigInt::ToInt64() const {
   if (limbs_.size() == 2) {
     magnitude |= static_cast<std::uint64_t>(limbs_[1]) << 32;
   }
-  return negative_ ? -static_cast<std::int64_t>(magnitude)
+  // Negate in unsigned space: -INT64_MIN is undefined in int64_t.
+  return negative_ ? static_cast<std::int64_t>(~magnitude + 1)
                    : static_cast<std::int64_t>(magnitude);
 }
 

@@ -9,6 +9,7 @@
 #include "cq/homomorphism.h"
 #include "cq/product.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace featsep {
 
@@ -39,12 +40,21 @@ QbeResult SolveCqQbe(const QbeInstance& instance, const QbeOptions& options) {
   QbeResult result;
   result.product_facts = product.db.size();
   result.exists = true;
-  for (Value b : instance.negatives) {
-    if (HomomorphismExists(product.db, *instance.db,
-                           {{product.tuple[0], b}})) {
-      result.exists = false;
-      return result;
-    }
+  // Warm the lazy domain caches shared by the worker threads.
+  product.db.domain();
+  product.db.domain_index();
+  instance.db->domain();
+  instance.db->domain_index();
+  // The per-negative refutation checks are independent NP searches; fan
+  // them out and stop at the first negative the product maps into.
+  std::size_t hit = ParallelFindFirst(
+      options.num_threads, instance.negatives.size(), [&](std::size_t i) {
+        return HomomorphismExists(product.db, *instance.db,
+                                  {{product.tuple[0], instance.negatives[i]}});
+      });
+  if (hit < instance.negatives.size()) {
+    result.exists = false;
+    return result;
   }
   // The canonical product query is itself an explanation: it selects every
   // positive (projections are homomorphisms) and, as just verified, no
@@ -73,7 +83,8 @@ QbeResult SolveGhwQbe(const QbeInstance& instance, std::size_t k,
 }
 
 QbeResult SolveCqmQbe(const QbeInstance& instance, std::size_t m,
-                      std::size_t max_variable_occurrences) {
+                      std::size_t max_variable_occurrences,
+                      const QbeOptions& options) {
   FEATSEP_CHECK(instance.db != nullptr);
   FEATSEP_CHECK(!instance.positives.empty())
       << "QBE requires a nonempty positive set";
@@ -88,24 +99,28 @@ QbeResult SolveCqmQbe(const QbeInstance& instance, std::size_t m,
   std::vector<ConjunctiveQuery> candidates =
       EnumerateFeatureQueries(db.schema_ptr(), m, enum_options);
 
+  // Warm the lazy domain caches shared by the worker threads.
+  db.domain();
+  db.domain_index();
+
+  // Each candidate query is screened independently; fan the screens out
+  // and return the first explanation in enumeration order.
   QbeResult result;
-  for (const ConjunctiveQuery& q : candidates) {
-    CqEvaluator evaluator(q);
-    bool ok = true;
-    for (Value e : instance.positives) {
-      if (!evaluator.SelectsEntity(db, e)) {
-        ok = false;
-        break;
-      }
-    }
-    for (std::size_t i = 0; ok && i < instance.negatives.size(); ++i) {
-      if (evaluator.SelectsEntity(db, instance.negatives[i])) ok = false;
-    }
-    if (ok) {
-      result.exists = true;
-      result.explanation = q;
-      return result;
-    }
+  std::size_t hit = ParallelFindFirst(
+      options.num_threads, candidates.size(), [&](std::size_t index) {
+        CqEvaluator evaluator(candidates[index]);
+        for (Value e : instance.positives) {
+          if (!evaluator.SelectsEntity(db, e)) return false;
+        }
+        for (Value b : instance.negatives) {
+          if (evaluator.SelectsEntity(db, b)) return false;
+        }
+        return true;
+      });
+  if (hit < candidates.size()) {
+    result.exists = true;
+    result.explanation = std::move(candidates[hit]);
+    return result;
   }
   result.exists = false;
   return result;

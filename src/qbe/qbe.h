@@ -28,6 +28,11 @@ struct QbeOptions {
   /// If true, SolveCqQbe minimizes the returned explanation to its core
   /// (exponential extra work, much smaller query).
   bool minimize_explanation = false;
+  /// Worker threads fanning out the independent per-negative homomorphism
+  /// checks (SolveCqQbe) and per-candidate evaluations (SolveCqmQbe):
+  /// 0 = hardware concurrency, 1 = serial (the historical behavior).
+  /// Results are identical for every setting.
+  std::size_t num_threads = 0;
 };
 
 /// Result of a QBE solver call.
@@ -60,9 +65,11 @@ QbeResult SolveGhwQbe(const QbeInstance& instance, std::size_t k,
 /// (requires an entity schema whose η holds on all of S⁺ ∪ S⁻; the
 /// enumerated features contain η(x) per the paper's convention).
 /// NP-complete even for m = 1 in the input schema's size (Prop 6.11), so
-/// the cost is driven by the schema. Returns the first explanation found.
+/// the cost is driven by the schema. Returns the first explanation found
+/// (in enumeration order, regardless of `options.num_threads`).
 QbeResult SolveCqmQbe(const QbeInstance& instance, std::size_t m,
-                      std::size_t max_variable_occurrences = 0);
+                      std::size_t max_variable_occurrences = 0,
+                      const QbeOptions& options = {});
 
 }  // namespace featsep
 

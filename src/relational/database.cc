@@ -116,12 +116,27 @@ const std::vector<FactIndex>& Database::FactsWith(RelationId relation,
 const std::vector<Value>& Database::domain() const {
   if (!domain_cache_valid_) {
     domain_cache_.clear();
+    domain_index_cache_.assign(value_names_.size(), kNoDomainIndex);
     for (Value v = 0; v < in_domain_.size(); ++v) {
-      if (in_domain_[v]) domain_cache_.push_back(v);
+      if (in_domain_[v]) {
+        domain_index_cache_[v] =
+            static_cast<std::uint32_t>(domain_cache_.size());
+        domain_cache_.push_back(v);
+      }
     }
     domain_cache_valid_ = true;
   }
   return domain_cache_;
+}
+
+const std::vector<std::uint32_t>& Database::domain_index() const {
+  domain();  // Rebuilds both caches when stale.
+  return domain_index_cache_;
+}
+
+std::uint32_t Database::DomainIndexOf(Value value) const {
+  const std::vector<std::uint32_t>& index = domain_index();
+  return value < index.size() ? index[value] : kNoDomainIndex;
 }
 
 bool Database::InDomain(Value value) const {

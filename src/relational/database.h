@@ -73,6 +73,24 @@ class Database {
   /// dom(D): the values occurring in facts, in increasing value order.
   const std::vector<Value>& domain() const;
 
+  /// Sentinel for "not a domain position".
+  static constexpr std::uint32_t kNoDomainIndex =
+      static_cast<std::uint32_t>(-1);
+
+  /// Dense value index: maps every interned value to its position in
+  /// domain(), or kNoDomainIndex for values outside dom(D). Indexed by value
+  /// id; the vector has num_values() entries. This is the bridge between
+  /// Value ids and the 0..|dom(D)|-1 universe the bitset-domain homomorphism
+  /// engine operates over.
+  ///
+  /// Like domain(), the mapping is built lazily on first call after a
+  /// mutation; warm it (call it once) before sharing the database across
+  /// threads.
+  const std::vector<std::uint32_t>& domain_index() const;
+
+  /// Position of `value` in domain(), or kNoDomainIndex if absent.
+  std::uint32_t DomainIndexOf(Value value) const;
+
   /// True if `value` occurs in some fact.
   bool InDomain(Value value) const;
 
@@ -99,6 +117,7 @@ class Database {
       facts_by_position_;
 
   mutable std::vector<Value> domain_cache_;
+  mutable std::vector<std::uint32_t> domain_index_cache_;
   mutable bool domain_cache_valid_ = false;
   std::vector<bool> in_domain_;
 };

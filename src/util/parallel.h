@@ -1,0 +1,101 @@
+#ifndef FEATSEP_UTIL_PARALLEL_H_
+#define FEATSEP_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace featsep {
+
+/// Resolves a user-facing `num_threads` knob (0 = hardware concurrency,
+/// 1 = serial) against the number of independent work items. Never returns 0.
+inline std::size_t EffectiveThreads(std::size_t num_threads,
+                                    std::size_t items) {
+  if (num_threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
+  }
+  if (num_threads > items) num_threads = items;
+  return num_threads == 0 ? 1 : num_threads;
+}
+
+/// Calls `fn(i)` exactly once for every i in [0, n), fanned out over a
+/// bounded pool of at most `num_threads` std::threads (0 = hardware
+/// concurrency, 1 = serial in the calling thread). Work is claimed from an
+/// atomic counter, so items run in roughly increasing order but on arbitrary
+/// threads; when results must be ordered, write them into a pre-sized vector
+/// at index i — the caller observes deterministic ordering regardless of the
+/// thread count. Blocks until all items finish. `fn` must be safe to call
+/// concurrently from distinct threads for distinct i.
+///
+/// Lazily-built caches shared by work items (e.g. Database::domain()) must
+/// be warmed before the parallel region: the pool provides no exclusion.
+template <typename Fn>
+void ParallelFor(std::size_t num_threads, std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  std::size_t threads = EffectiveThreads(num_threads, n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::size_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+}
+
+/// Returns the smallest i in [0, n) with `pred(i)` true, or n if none —
+/// the same answer a serial first-match loop produces, for any thread count.
+/// Workers claim indices in increasing order and publish matches into an
+/// atomic minimum; claiming stops once the next index exceeds the current
+/// best (the early-exit flag), so work beyond the first match is bounded.
+/// Indices below the returned value are always fully evaluated, which is
+/// what makes the result deterministic under threading.
+template <typename Pred>
+std::size_t ParallelFindFirst(std::size_t num_threads, std::size_t n,
+                              Pred&& pred) {
+  if (n == 0) return 0;
+  std::size_t threads = EffectiveThreads(num_threads, n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred(i)) return i;
+    }
+    return n;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> best{n};
+  auto worker = [&]() {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      // Early exit: every index below the current best has been claimed by
+      // some worker, so indexes at or above it can no longer win.
+      if (i >= best.load(std::memory_order_acquire)) return;
+      if (!pred(i)) continue;
+      std::size_t current = best.load(std::memory_order_acquire);
+      while (i < current &&
+             !best.compare_exchange_weak(current, i,
+                                         std::memory_order_acq_rel)) {
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::size_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+  return best.load(std::memory_order_acquire);
+}
+
+}  // namespace featsep
+
+#endif  // FEATSEP_UTIL_PARALLEL_H_

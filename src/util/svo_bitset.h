@@ -1,0 +1,239 @@
+#ifndef FEATSEP_UTIL_SVO_BITSET_H_
+#define FEATSEP_UTIL_SVO_BITSET_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace featsep {
+
+/// A fixed-size dynamic bitset with small-vector optimization: bitsets of up
+/// to kInlineBits bits live entirely inside the object (no allocation), and
+/// only larger ones spill to the heap. The homomorphism engine stores one
+/// bitset per CSP variable and snapshots them onto its backtracking trail, so
+/// copies must be cheap and allocation-free for the common case of domains
+/// with at most a few hundred values (cf. the Glasgow subgraph solver's
+/// SVOBitset design).
+///
+/// The bit universe size is fixed at construction; all binary operations
+/// require operands of equal size. Bits beyond `size()` are never set, so
+/// `count()`/`find_first()` need no masking.
+class SvoBitset {
+ public:
+  static constexpr std::size_t kBitsPerWord = 64;
+  static constexpr std::size_t kInlineWords = 4;
+  static constexpr std::size_t kInlineBits = kInlineWords * kBitsPerWord;
+  /// Sentinel returned by find_first/find_next when no bit is set.
+  static constexpr std::size_t kNoBit = static_cast<std::size_t>(-1);
+
+  /// An empty bitset over a universe of zero bits.
+  SvoBitset() = default;
+
+  /// A bitset over `bits` bits, all initialized to `value`.
+  explicit SvoBitset(std::size_t bits, bool value = false) : bits_(bits) {
+    if (num_words() > kInlineWords) heap_ = new std::uint64_t[num_words()];
+    if (value) {
+      set_all();
+    } else {
+      std::memset(words(), 0, num_words() * sizeof(std::uint64_t));
+    }
+  }
+
+  SvoBitset(const SvoBitset& other) : bits_(other.bits_) {
+    if (other.heap_ != nullptr) heap_ = new std::uint64_t[num_words()];
+    std::memcpy(words(), other.words(), num_words() * sizeof(std::uint64_t));
+  }
+
+  SvoBitset(SvoBitset&& other) noexcept : bits_(other.bits_) {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      other.heap_ = nullptr;
+      other.bits_ = 0;
+    } else {
+      std::memcpy(inline_, other.inline_, sizeof(inline_));
+    }
+  }
+
+  SvoBitset& operator=(const SvoBitset& other) {
+    if (this == &other) return *this;
+    if (num_words() != other.num_words() ||
+        (heap_ != nullptr) != (other.heap_ != nullptr)) {
+      delete[] heap_;
+      heap_ = nullptr;
+      bits_ = other.bits_;
+      if (other.heap_ != nullptr) heap_ = new std::uint64_t[num_words()];
+    } else {
+      bits_ = other.bits_;
+    }
+    std::memcpy(words(), other.words(), num_words() * sizeof(std::uint64_t));
+    return *this;
+  }
+
+  SvoBitset& operator=(SvoBitset&& other) noexcept {
+    if (this == &other) return *this;
+    delete[] heap_;
+    heap_ = nullptr;
+    bits_ = other.bits_;
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      other.heap_ = nullptr;
+      other.bits_ = 0;
+    } else {
+      std::memcpy(inline_, other.inline_, sizeof(inline_));
+    }
+    return *this;
+  }
+
+  ~SvoBitset() { delete[] heap_; }
+
+  /// Number of bits in the universe.
+  std::size_t size() const { return bits_; }
+
+  void set(std::size_t bit) {
+    FEATSEP_CHECK_LT(bit, bits_);
+    words()[bit / kBitsPerWord] |= std::uint64_t{1} << (bit % kBitsPerWord);
+  }
+
+  void reset(std::size_t bit) {
+    FEATSEP_CHECK_LT(bit, bits_);
+    words()[bit / kBitsPerWord] &= ~(std::uint64_t{1} << (bit % kBitsPerWord));
+  }
+
+  bool test(std::size_t bit) const {
+    FEATSEP_CHECK_LT(bit, bits_);
+    return (words()[bit / kBitsPerWord] >>
+            (bit % kBitsPerWord)) & std::uint64_t{1};
+  }
+
+  /// Sets every bit of the universe.
+  void set_all() {
+    if (bits_ == 0) return;
+    std::memset(words(), 0xff, num_words() * sizeof(std::uint64_t));
+    std::size_t tail = bits_ % kBitsPerWord;
+    if (tail != 0) {
+      words()[num_words() - 1] = (std::uint64_t{1} << tail) - 1;
+    }
+  }
+
+  void reset_all() {
+    std::memset(words(), 0, num_words() * sizeof(std::uint64_t));
+  }
+
+  /// In-place intersection; `other` must have the same universe size.
+  void intersect_with(const SvoBitset& other) {
+    FEATSEP_CHECK_EQ(bits_, other.bits_);
+    std::uint64_t* w = words();
+    const std::uint64_t* o = other.words();
+    for (std::size_t i = 0; i < num_words(); ++i) w[i] &= o[i];
+  }
+
+  /// In-place union; `other` must have the same universe size.
+  void union_with(const SvoBitset& other) {
+    FEATSEP_CHECK_EQ(bits_, other.bits_);
+    std::uint64_t* w = words();
+    const std::uint64_t* o = other.words();
+    for (std::size_t i = 0; i < num_words(); ++i) w[i] |= o[i];
+  }
+
+  /// True if the intersection with `other` is nonempty (no temporary).
+  bool intersects(const SvoBitset& other) const {
+    FEATSEP_CHECK_EQ(bits_, other.bits_);
+    const std::uint64_t* w = words();
+    const std::uint64_t* o = other.words();
+    for (std::size_t i = 0; i < num_words(); ++i) {
+      if ((w[i] & o[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  bool empty() const {
+    const std::uint64_t* w = words();
+    for (std::size_t i = 0; i < num_words(); ++i) {
+      if (w[i] != 0) return false;
+    }
+    return true;
+  }
+
+  /// Number of set bits.
+  std::size_t count() const {
+    std::size_t total = 0;
+    const std::uint64_t* w = words();
+    for (std::size_t i = 0; i < num_words(); ++i) {
+      total += static_cast<std::size_t>(__builtin_popcountll(w[i]));
+    }
+    return total;
+  }
+
+  /// Index of the lowest set bit, or kNoBit if none.
+  std::size_t find_first() const {
+    const std::uint64_t* w = words();
+    for (std::size_t i = 0; i < num_words(); ++i) {
+      if (w[i] != 0) {
+        return i * kBitsPerWord +
+               static_cast<std::size_t>(__builtin_ctzll(w[i]));
+      }
+    }
+    return kNoBit;
+  }
+
+  /// Index of the lowest set bit at position >= `from`, or kNoBit if none.
+  std::size_t find_next(std::size_t from) const {
+    if (from >= bits_) return kNoBit;
+    const std::uint64_t* w = words();
+    std::size_t word = from / kBitsPerWord;
+    std::uint64_t masked = w[word] & (~std::uint64_t{0} << (from % kBitsPerWord));
+    if (masked != 0) {
+      return word * kBitsPerWord +
+             static_cast<std::size_t>(__builtin_ctzll(masked));
+    }
+    for (std::size_t i = word + 1; i < num_words(); ++i) {
+      if (w[i] != 0) {
+        return i * kBitsPerWord +
+               static_cast<std::size_t>(__builtin_ctzll(w[i]));
+      }
+    }
+    return kNoBit;
+  }
+
+  /// Calls `fn(bit)` for every set bit in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::uint64_t* w = words();
+    for (std::size_t i = 0; i < num_words(); ++i) {
+      std::uint64_t word = w[i];
+      while (word != 0) {
+        std::size_t bit = static_cast<std::size_t>(__builtin_ctzll(word));
+        fn(i * kBitsPerWord + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const SvoBitset& a, const SvoBitset& b) {
+    if (a.bits_ != b.bits_) return false;
+    return std::memcmp(a.words(), b.words(),
+                       a.num_words() * sizeof(std::uint64_t)) == 0;
+  }
+  friend bool operator!=(const SvoBitset& a, const SvoBitset& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::size_t num_words() const {
+    return (bits_ + kBitsPerWord - 1) / kBitsPerWord;
+  }
+
+  std::uint64_t* words() { return heap_ != nullptr ? heap_ : inline_; }
+  const std::uint64_t* words() const {
+    return heap_ != nullptr ? heap_ : inline_;
+  }
+
+  std::size_t bits_ = 0;
+  std::uint64_t inline_[kInlineWords] = {0, 0, 0, 0};
+  std::uint64_t* heap_ = nullptr;
+};
+
+}  // namespace featsep
+
+#endif  // FEATSEP_UTIL_SVO_BITSET_H_

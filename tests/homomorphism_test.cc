@@ -1,10 +1,12 @@
 #include "cq/homomorphism.h"
 
+#include <memory>
 #include <random>
 
 #include <gtest/gtest.h>
 
 #include "relational/database.h"
+#include "relational/schema.h"
 #include "test_util.h"
 
 namespace featsep {
@@ -120,6 +122,139 @@ TEST(HomomorphismTest, BudgetExhaustion) {
   options.max_nodes = 1;
   HomResult result = FindHomomorphism(a, b, {}, options);
   EXPECT_NE(result.status, HomStatus::kFound);
+}
+
+TEST(HomomorphismTest, BudgetExhaustionMidSearch) {
+  // Hitting max_nodes partway through a search must report kExhausted — a
+  // truncated refutation is not a refutation.
+  Database a(GraphSchema());
+  AddCycle(a, "a", 9);
+  Database b(GraphSchema());
+  AddCycle(b, "b", 6);
+  AddCycle(b, "c", 4);
+  HomResult full = FindHomomorphism(a, b);
+  ASSERT_EQ(full.status, HomStatus::kNone);  // 9 divides neither 6 nor 4.
+  ASSERT_GT(full.nodes, 2u);
+  HomOptions options;
+  options.max_nodes = full.nodes / 2;
+  HomResult truncated = FindHomomorphism(a, b, {}, options);
+  EXPECT_EQ(truncated.status, HomStatus::kExhausted);
+  EXPECT_LE(truncated.nodes, options.max_nodes);
+  // A budget past the full search's needs leaves the answer intact.
+  options.max_nodes = full.nodes * 2 + 1;
+  EXPECT_EQ(FindHomomorphism(a, b, {}, options).status, HomStatus::kNone);
+}
+
+TEST(HomomorphismTest, EarlyDomainWipeoutPopulatesResult) {
+  // Unary-constraint failure (the target has no E facts at all) returns
+  // kNone with zero nodes and no mapping — the pre-search early exit.
+  Database a(GraphSchema());
+  a.AddFact("E", {"u", "v"});
+  Database b(GraphSchema());
+  b.AddFact("Eta", {"w"});  // Nonempty domain, but no E facts.
+  HomResult result = FindHomomorphism(a, b);
+  EXPECT_EQ(result.status, HomStatus::kNone);
+  EXPECT_EQ(result.nodes, 0u);
+  EXPECT_TRUE(result.mapping.empty());
+}
+
+TEST(HomomorphismTest, SeedSourceOutsideDomainIsCopied) {
+  Database a(GraphSchema());
+  auto p = AddPath(a, "p", 1);
+  Value isolated = a.Intern("iso");  // Interned but occurs in no fact.
+  Database b(GraphSchema());
+  auto q = AddPath(b, "q", 2);
+  HomResult result =
+      FindHomomorphism(a, b, {{isolated, q[2]}, {p[0], q[0]}});
+  ASSERT_EQ(result.status, HomStatus::kFound);
+  EXPECT_EQ(result.mapping[isolated], q[2]);  // Unconstrained, copied.
+  EXPECT_EQ(result.mapping[p[0]], q[0]);
+  EXPECT_EQ(result.mapping[p[1]], q[1]);
+
+  // A seed source never interned in `a` at all is simply dropped.
+  Value alien = static_cast<Value>(a.num_values() + 7);
+  HomResult dropped = FindHomomorphism(a, b, {{alien, q[0]}});
+  ASSERT_EQ(dropped.status, HomStatus::kFound);
+  EXPECT_EQ(dropped.mapping.size(), a.num_values());
+}
+
+TEST(HomomorphismTest, PreferHintSteersWitnessNotDecision) {
+  Database a(GraphSchema());
+  auto p = AddPath(a, "p", 1);  // p0 -> p1
+  Database b(GraphSchema());
+  auto q = AddPath(b, "q", 2);  // q0 -> q1 -> q2
+  HomResult plain = FindHomomorphism(a, b);
+  ASSERT_EQ(plain.status, HomStatus::kFound);
+  EXPECT_EQ(plain.mapping[p[0]], q[0]);  // First candidate in domain order.
+
+  HomOptions options;
+  options.prefer = {{p[0], q[1]}};
+  HomResult hinted = FindHomomorphism(a, b, {}, options);
+  ASSERT_EQ(hinted.status, HomStatus::kFound);
+  EXPECT_EQ(hinted.mapping[p[0]], q[1]);  // Hint tried first, and it works.
+
+  // An infeasible hint (q2 has no outgoing edge) costs one branch but
+  // cannot change the decision.
+  options.prefer = {{p[0], q[2]}};
+  HomResult infeasible = FindHomomorphism(a, b, {}, options);
+  ASSERT_EQ(infeasible.status, HomStatus::kFound);
+  EXPECT_EQ(infeasible.mapping[p[0]], q[0]);
+}
+
+namespace {
+std::shared_ptr<const Schema> TernarySchema() {
+  Schema schema;
+  schema.AddRelation("R", 3);
+  return std::make_shared<const Schema>(std::move(schema));
+}
+}  // namespace
+
+TEST(HomomorphismTest, TernaryFactNeedsOneTargetFactForAllPositions) {
+  // Pairwise position supports are not enough at arity 3: each pair of the
+  // seeded images co-occurs in some target fact, but no single target fact
+  // carries all three. The engine must reject the seeded assignment.
+  auto schema = TernarySchema();
+  Database source(schema);
+  source.AddFact("R", {"x", "y", "z"});
+  Database target(schema);
+  target.AddFact("R", {"a", "b", "c1"});
+  target.AddFact("R", {"a", "b1", "c"});
+  target.AddFact("R", {"a1", "b", "c"});
+  Value x = source.FindValue("x");
+  Value y = source.FindValue("y");
+  Value z = source.FindValue("z");
+  Value va = target.FindValue("a");
+  Value vb = target.FindValue("b");
+  Value vc = target.FindValue("c");
+  EXPECT_FALSE(HomomorphismExists(source, target,
+                                  {{x, va}, {y, vb}, {z, vc}}));
+  // Two of the three seeds are satisfiable (via R(a, b, c1)).
+  EXPECT_TRUE(HomomorphismExists(source, target, {{x, va}, {y, vb}}));
+  EXPECT_TRUE(HomomorphismExists(source, target));
+}
+
+TEST(HomomorphismTest, RepeatedVariablesInTernaryFact) {
+  auto schema = TernarySchema();
+  Database source(schema);
+  source.AddFact("R", {"x", "x", "y"});  // Positions 0 and 1 must agree.
+  Database unequal(schema);
+  unequal.AddFact("R", {"u", "v", "w"});
+  EXPECT_FALSE(HomomorphismExists(source, unequal));
+  Database equal(schema);
+  equal.AddFact("R", {"u", "v", "w"});
+  equal.AddFact("R", {"t", "t", "s"});
+  HomResult result = FindHomomorphism(source, equal);
+  ASSERT_EQ(result.status, HomStatus::kFound);
+  EXPECT_EQ(result.mapping[source.FindValue("x")], equal.FindValue("t"));
+  EXPECT_EQ(result.mapping[source.FindValue("y")], equal.FindValue("s"));
+
+  // All-positions-repeated: R(x, x, x) needs a fully diagonal target fact.
+  Database diag_source(schema);
+  diag_source.AddFact("R", {"x", "x", "x"});
+  EXPECT_FALSE(HomomorphismExists(diag_source, equal));
+  Database diag(schema);
+  diag.AddFact("R", {"d", "d", "d"});
+  EXPECT_TRUE(HomomorphismExists(diag_source, diag));
 }
 
 TEST(HomomorphismTest, HomEquivalentEntities) {

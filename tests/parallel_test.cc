@@ -1,0 +1,98 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace featsep {
+namespace {
+
+TEST(ParallelTest, EffectiveThreadsResolvesKnob) {
+  EXPECT_GE(EffectiveThreads(0, 100), 1u);   // Auto is at least one.
+  EXPECT_EQ(EffectiveThreads(1, 100), 1u);   // Explicit serial.
+  EXPECT_EQ(EffectiveThreads(8, 3), 3u);     // Clamped to the work items.
+  EXPECT_EQ(EffectiveThreads(8, 0), 1u);     // Never zero.
+}
+
+TEST(ParallelTest, ForVisitsEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1ul, 2ul, 4ul, 16ul}) {
+    constexpr std::size_t kItems = 1000;
+    std::vector<std::atomic<int>> visits(kItems);
+    ParallelFor(threads, kItems, [&](std::size_t i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kItems; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelTest, ForOrderedResultsViaIndexedWrites) {
+  constexpr std::size_t kItems = 512;
+  for (std::size_t threads : {1ul, 4ul}) {
+    std::vector<std::size_t> squares(kItems, 0);
+    ParallelFor(threads, kItems, [&](std::size_t i) { squares[i] = i * i; });
+    for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+TEST(ParallelTest, ForHandlesEmptyRange) {
+  bool called = false;
+  ParallelFor(4, 0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelTest, FindFirstMatchesSerialAnswer) {
+  constexpr std::size_t kItems = 500;
+  auto pred = [](std::size_t i) { return i % 97 == 41; };  // First hit: 41.
+  std::size_t serial = ParallelFindFirst(1, kItems, pred);
+  EXPECT_EQ(serial, 41u);
+  for (std::size_t threads : {2ul, 4ul, 8ul}) {
+    // Repeat to shake out scheduling races: the answer must be the serial
+    // one every time, not just usually.
+    for (int round = 0; round < 25; ++round) {
+      EXPECT_EQ(ParallelFindFirst(threads, kItems, pred), serial);
+    }
+  }
+}
+
+TEST(ParallelTest, FindFirstNoMatchReturnsN) {
+  auto never = [](std::size_t) { return false; };
+  EXPECT_EQ(ParallelFindFirst(1, 100, never), 100u);
+  EXPECT_EQ(ParallelFindFirst(4, 100, never), 100u);
+  EXPECT_EQ(ParallelFindFirst(4, 0, never), 0u);
+}
+
+TEST(ParallelTest, FindFirstEvaluatesEveryIndexBelowTheAnswer) {
+  // Determinism contract: indices below the returned match are all fully
+  // evaluated, no matter which thread found the match first.
+  constexpr std::size_t kItems = 400;
+  constexpr std::size_t kMatch = 333;
+  for (std::size_t threads : {2ul, 8ul}) {
+    std::vector<std::atomic<int>> visits(kItems);
+    std::size_t hit = ParallelFindFirst(threads, kItems, [&](std::size_t i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+      return i >= kMatch;
+    });
+    EXPECT_EQ(hit, kMatch);
+    for (std::size_t i = 0; i < kMatch; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelTest, FindFirstSerialStopsAtTheMatch) {
+  // The serial path short-circuits exactly like a hand-written loop.
+  std::size_t evaluated = 0;
+  std::size_t hit = ParallelFindFirst(1, 100000, [&](std::size_t i) {
+    ++evaluated;
+    return i == 17;
+  });
+  EXPECT_EQ(hit, 17u);
+  EXPECT_EQ(evaluated, 18u);
+}
+
+}  // namespace
+}  // namespace featsep

@@ -1,5 +1,8 @@
 #include "qbe/qbe.h"
 
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "cq/evaluation.h"
@@ -159,6 +162,53 @@ TEST(CqmQbeTest, AtomBudgetMatters) {
   testing::AddEdge(db, "n", "c");
   EXPECT_FALSE(SolveCqmQbe({&db, {p}, {n}}, 1).exists);
   EXPECT_TRUE(SolveCqmQbe({&db, {p}, {n}}, 2).exists);
+}
+
+TEST(CqmQbeTest, ThreadCountDoesNotChangeTheExplanation) {
+  // The candidate sweep runs in enumeration order: whatever explanation the
+  // serial scan returns, every thread count must return the same one.
+  Database db(GraphSchema());
+  Value p1 = AddEntity(db, "p1");
+  Value p2 = AddEntity(db, "p2");
+  Value n1 = AddEntity(db, "n1");
+  Value n2 = AddEntity(db, "n2");
+  testing::AddEdge(db, "p1", "a");
+  testing::AddEdge(db, "a", "b");
+  testing::AddEdge(db, "p2", "c");
+  testing::AddEdge(db, "c", "d");
+  testing::AddEdge(db, "n1", "e");
+  testing::AddEdge(db, "n2", "f");
+  QbeInstance instance{&db, {p1, p2}, {n1, n2}};
+
+  QbeResult serial = SolveCqmQbe(instance, 2, 0, {.num_threads = 1});
+  ASSERT_TRUE(serial.exists);
+  std::string serial_cq = serial.explanation->ToString();
+  for (std::size_t threads : {2ul, 4ul, 8ul}) {
+    QbeResult parallel = SolveCqmQbe(instance, 2, 0, {.num_threads = threads});
+    ASSERT_TRUE(parallel.exists);
+    EXPECT_EQ(parallel.explanation->ToString(), serial_cq);
+  }
+}
+
+TEST(CqQbeTest, ThreadCountDoesNotChangeTheAnswer) {
+  Database db(GraphSchema());
+  Value p = AddEntity(db, "p");
+  std::vector<Value> negatives;
+  for (int i = 0; i < 6; ++i) {
+    std::string name = "n" + std::to_string(i);
+    negatives.push_back(AddEntity(db, name));
+    testing::AddEdge(db, name, name + "t");
+  }
+  testing::AddEdge(db, "p", "a");
+  testing::AddEdge(db, "a", "b");
+  QbeInstance instance{&db, {p}, negatives};
+
+  QbeResult serial = SolveCqQbe(instance, {.num_threads = 1});
+  for (std::size_t threads : {2ul, 4ul}) {
+    QbeResult parallel = SolveCqQbe(instance, {.num_threads = threads});
+    EXPECT_EQ(parallel.exists, serial.exists);
+  }
+  EXPECT_TRUE(serial.exists);
 }
 
 TEST(QbeConsistencyTest, CqmImpliesCqAndGhw) {

@@ -1,6 +1,8 @@
 #include "core/separability.h"
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -67,6 +69,72 @@ TEST(CqSepTest, HomEquivalentConflictBlocksSeparability) {
   ASSERT_TRUE(result.conflict.has_value());
   EXPECT_EQ(result.conflict->first, e1);
   EXPECT_EQ(result.conflict->second, e2);
+}
+
+TEST(CqSepTest, ThreadCountDoesNotChangeTheAnswer) {
+  // Many (positive, negative) pairs, with the hom-equivalent conflict
+  // deliberately NOT first in enumeration order: the parallel sweep must
+  // still report the same minimal-index conflict the serial loop finds.
+  auto db = std::make_shared<Database>(GraphSchema());
+  std::vector<Value> pos, neg;
+  for (int i = 0; i < 3; ++i) {
+    // Positives p0..p2 each start a 2-path.
+    std::string name = "p" + std::to_string(i);
+    Value p = AddEntity(*db, name);
+    testing::AddEdge(*db, name, name + "m");
+    testing::AddEdge(*db, name + "m", name + "t");
+    pos.push_back(p);
+  }
+  for (int i = 0; i < 4; ++i) {
+    // Negatives n0..n3 each start a single edge.
+    std::string name = "n" + std::to_string(i);
+    Value n = AddEntity(*db, name);
+    testing::AddEdge(*db, name, name + "t");
+    neg.push_back(n);
+  }
+  // Positive p3 carries the negative 1-edge shape, so the first conflict
+  // in positive-major pair order is (p3, n0) — pair index 12 of 16.
+  Value bad = AddEntity(*db, "p3");
+  testing::AddEdge(*db, "p3", "p3t");
+  pos.push_back(bad);
+  TrainingDatabase training(db);
+  for (Value p : pos) training.SetLabel(p, kPositive);
+  for (Value n : neg) training.SetLabel(n, kNegative);
+
+  CqSepResult serial = DecideCqSep(training, {.num_threads = 1});
+  for (std::size_t threads : {2ul, 4ul, 8ul}) {
+    CqSepResult parallel = DecideCqSep(training, {.num_threads = threads});
+    EXPECT_EQ(parallel.separable, serial.separable);
+    EXPECT_EQ(parallel.conflict, serial.conflict);
+  }
+}
+
+TEST(CqSepTest, ParallelConflictIsTheFirstInPairOrder) {
+  // Two conflicting pairs exist; the reported one must be the first in
+  // positive-major order regardless of thread count.
+  auto db = std::make_shared<Database>(GraphSchema());
+  Value p1 = AddEntity(*db, "p1");
+  Value p2 = AddEntity(*db, "p2");
+  Value n1 = AddEntity(*db, "n1");
+  Value n2 = AddEntity(*db, "n2");
+  // All four entities carry the same 1-edge shape: every pair conflicts.
+  testing::AddEdge(*db, "p1", "a");
+  testing::AddEdge(*db, "p2", "b");
+  testing::AddEdge(*db, "n1", "c");
+  testing::AddEdge(*db, "n2", "d");
+  TrainingDatabase training(db);
+  training.SetLabel(p1, kPositive);
+  training.SetLabel(p2, kPositive);
+  training.SetLabel(n1, kNegative);
+  training.SetLabel(n2, kNegative);
+
+  for (std::size_t threads : {1ul, 4ul}) {
+    CqSepResult result = DecideCqSep(training, {.num_threads = threads});
+    EXPECT_FALSE(result.separable);
+    ASSERT_TRUE(result.conflict.has_value());
+    EXPECT_EQ(result.conflict->first, p1);
+    EXPECT_EQ(result.conflict->second, n1);
+  }
 }
 
 TEST(CqmSepTest, Example62SeparableWithOneAtomFeatures) {

@@ -1,0 +1,155 @@
+#include "util/svo_bitset.h"
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace featsep {
+namespace {
+
+// Sizes straddling every storage boundary: word edges and the inline↔heap
+// transition at kInlineBits.
+const std::size_t kBoundarySizes[] = {
+    0,   1,   63,  64,  65,  127, 128, 129,
+    SvoBitset::kInlineBits - 1, SvoBitset::kInlineBits,
+    SvoBitset::kInlineBits + 1, 1000};
+
+TEST(SvoBitsetTest, SetTestResetAcrossBoundaries) {
+  for (std::size_t size : kBoundarySizes) {
+    SvoBitset bits(size);
+    EXPECT_EQ(bits.size(), size);
+    EXPECT_EQ(bits.count(), 0u);
+    EXPECT_TRUE(bits.empty());
+    for (std::size_t i = 0; i < size; ++i) {
+      EXPECT_FALSE(bits.test(i));
+      bits.set(i);
+      EXPECT_TRUE(bits.test(i));
+    }
+    EXPECT_EQ(bits.count(), size);
+    for (std::size_t i = 0; i < size; ++i) {
+      bits.reset(i);
+      EXPECT_FALSE(bits.test(i));
+    }
+    EXPECT_TRUE(bits.empty());
+  }
+}
+
+TEST(SvoBitsetTest, FilledConstructionMasksTailBits) {
+  for (std::size_t size : kBoundarySizes) {
+    SvoBitset bits(size, true);
+    EXPECT_EQ(bits.count(), size);
+    EXPECT_EQ(bits.find_first(), size == 0 ? SvoBitset::kNoBit : 0u);
+  }
+}
+
+TEST(SvoBitsetTest, FindFirstAndNext) {
+  SvoBitset bits(300);
+  EXPECT_EQ(bits.find_first(), SvoBitset::kNoBit);
+  bits.set(7);
+  bits.set(64);
+  bits.set(255);
+  bits.set(299);
+  EXPECT_EQ(bits.find_first(), 7u);
+  EXPECT_EQ(bits.find_next(0), 7u);
+  EXPECT_EQ(bits.find_next(7), 7u);
+  EXPECT_EQ(bits.find_next(8), 64u);
+  EXPECT_EQ(bits.find_next(65), 255u);
+  EXPECT_EQ(bits.find_next(256), 299u);
+  EXPECT_EQ(bits.find_next(300), SvoBitset::kNoBit);
+}
+
+TEST(SvoBitsetTest, ForEachVisitsSetBitsInOrder) {
+  for (std::size_t size : {100ul, 1000ul}) {
+    SvoBitset bits(size);
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 3; i < size; i += 37) {
+      bits.set(i);
+      expected.push_back(i);
+    }
+    std::vector<std::size_t> seen;
+    bits.for_each([&](std::size_t bit) { seen.push_back(bit); });
+    EXPECT_EQ(seen, expected);
+  }
+}
+
+TEST(SvoBitsetTest, IntersectUnionIntersects) {
+  for (std::size_t size : {60ul, 500ul}) {
+    SvoBitset a(size);
+    SvoBitset b(size);
+    for (std::size_t i = 0; i < size; i += 2) a.set(i);
+    for (std::size_t i = 0; i < size; i += 3) b.set(i);
+    EXPECT_TRUE(a.intersects(b));  // Multiples of 6.
+
+    SvoBitset both = a;
+    both.intersect_with(b);
+    for (std::size_t i = 0; i < size; ++i) {
+      EXPECT_EQ(both.test(i), i % 6 == 0) << i;
+    }
+
+    SvoBitset either = a;
+    either.union_with(b);
+    for (std::size_t i = 0; i < size; ++i) {
+      EXPECT_EQ(either.test(i), i % 2 == 0 || i % 3 == 0) << i;
+    }
+
+    SvoBitset odd(size);
+    for (std::size_t i = 1; i < size; i += 2) odd.set(i);
+    EXPECT_FALSE(a.intersects(odd));
+  }
+}
+
+TEST(SvoBitsetTest, CopyAndMoveAcrossInlineHeapBoundary) {
+  for (std::size_t size :
+       {SvoBitset::kInlineBits, SvoBitset::kInlineBits + 1}) {
+    SvoBitset original(size);
+    original.set(5);
+    original.set(size - 1);
+
+    SvoBitset copy(original);
+    EXPECT_EQ(copy, original);
+    copy.reset(5);
+    EXPECT_NE(copy, original);          // Deep copy, no sharing.
+    EXPECT_TRUE(original.test(5));
+
+    SvoBitset moved(std::move(copy));
+    EXPECT_FALSE(moved.test(5));
+    EXPECT_TRUE(moved.test(size - 1));
+
+    // Cross-size assignments reallocate/shrink correctly.
+    SvoBitset small(8);
+    small.set(3);
+    small = original;
+    EXPECT_EQ(small, original);
+    SvoBitset big(2000, true);
+    big = original;
+    EXPECT_EQ(big, original);
+
+    SvoBitset target(17);
+    target = std::move(moved);
+    EXPECT_EQ(target.size(), size);
+    EXPECT_TRUE(target.test(size - 1));
+  }
+}
+
+TEST(SvoBitsetTest, SetAllResetAll) {
+  SvoBitset bits(70);
+  bits.set_all();
+  EXPECT_EQ(bits.count(), 70u);
+  bits.reset_all();
+  EXPECT_TRUE(bits.empty());
+  EXPECT_EQ(bits.count(), 0u);
+}
+
+TEST(SvoBitsetTest, EqualityRequiresSameUniverse) {
+  SvoBitset a(10);
+  SvoBitset b(11);
+  EXPECT_NE(a, b);
+  SvoBitset c(10);
+  EXPECT_EQ(a, c);
+  c.set(9);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace featsep
