@@ -1,0 +1,352 @@
+#include "testing/fuzz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "io/writer.h"
+#include "relational/database_ops.h"
+#include "relational/training_database.h"
+#include "testing/properties.h"
+#include "testing/random_instance.h"
+#include "testing/shrink.h"
+#include "util/check.h"
+#include "workload/generators.h"
+
+namespace featsep {
+namespace testing {
+
+namespace {
+
+/// Cap on |dom(to)|^|dom(from)| (resp. |dom(D)|^|vars(q)|): the reference
+/// oracle is brute force, so instance sizes are chosen to keep its search
+/// space bounded regardless of how unlucky a seed is.
+constexpr double kOracleBudget = 2e5;
+
+/// Largest value count in [2, hi] whose `exponent`-th power stays within
+/// the oracle budget.
+std::size_t BoundedValues(std::size_t exponent, std::size_t hi) {
+  std::size_t v = hi;
+  while (v > 2 &&
+         std::pow(static_cast<double>(v), static_cast<double>(exponent)) >
+             kOracleBudget) {
+    --v;
+  }
+  return v;
+}
+
+/// Largest exponent in [2, hi] with base^exponent within the oracle budget.
+std::size_t BoundedExponent(std::size_t base, std::size_t hi) {
+  std::size_t e = hi;
+  while (e > 2 &&
+         std::pow(static_cast<double>(base), static_cast<double>(e)) >
+             kOracleBudget) {
+    --e;
+  }
+  return e;
+}
+
+std::shared_ptr<const Schema> PickSchema(WorkloadRng& rng,
+                                         std::size_t max_arity,
+                                         bool need_entity) {
+  if (!need_entity && rng.Chance(0.25)) {
+    RandomSchemaParams params;
+    params.num_relations = rng.Range(1, 3);
+    params.max_arity = max_arity;
+    params.entity_schema = false;
+    return RandomSchema(params, rng);
+  }
+  if (rng.Chance(0.5)) return GraphWorkloadSchema();
+  RandomSchemaParams params;
+  params.num_relations = rng.Range(1, 3);
+  params.max_arity = max_arity;
+  params.entity_schema = true;
+  return RandomSchema(params, rng);
+}
+
+Database PickDatabase(std::shared_ptr<const Schema> schema, WorkloadRng& rng,
+                      std::size_t max_values, std::size_t max_facts) {
+  RandomDatabaseParams params;
+  params.num_values = rng.Range(2, max_values);
+  params.num_facts = rng.Range(max_facts / 2, max_facts);
+  params.entity_fraction = 0.2 + 0.4 * rng.Uniform();
+  return RandomDatabase(std::move(schema), params, rng);
+}
+
+std::string Reproduce(FuzzConfig config, std::uint64_t instance_seed) {
+  std::ostringstream out;
+  out << "featsep_fuzz --config " << FuzzConfigName(config) << " --seed "
+      << instance_seed << " --iters 1";
+  return out.str();
+}
+
+/// One fuzz iteration: generate per `config`, check, shrink on failure.
+/// Returns nullopt when all properties hold.
+std::optional<FuzzFailure> RunIteration(FuzzConfig config,
+                                        std::uint64_t instance_seed,
+                                        bool shrink) {
+  if (config == FuzzConfig::kMixed) {
+    constexpr FuzzConfig kAll[] = {FuzzConfig::kHom,  FuzzConfig::kEval,
+                                   FuzzConfig::kContainment,
+                                   FuzzConfig::kCore, FuzzConfig::kGhw,
+                                   FuzzConfig::kSep};
+    WorkloadRng selector(instance_seed);
+    config = kAll[selector.Below(6)];
+  }
+  // The generation stream depends only on (instance_seed, resolved config),
+  // so `--config <resolved> --seed S --iters 1` replays an instance found
+  // under `--config mixed` exactly.
+  WorkloadRng rng(instance_seed ^
+                  (0x9e3779b97f4a7c15ULL *
+                   (static_cast<std::uint64_t>(config) + 1)));
+
+  PropertyCheck violation;
+  std::string shrunk_report;
+
+  switch (config) {
+    case FuzzConfig::kHom: {
+      auto schema = PickSchema(rng, 3, /*need_entity=*/false);
+      Database to = PickDatabase(schema, rng, 5, 12);
+      std::size_t from_values = BoundedExponent(
+          std::max<std::size_t>(to.domain().size(), 2), 7);
+      Database from = PickDatabase(schema, rng, from_values, 12);
+      std::vector<std::pair<Value, Value>> seed;
+      if (rng.Chance(0.3) && !from.domain().empty() && !to.domain().empty()) {
+        // Mostly well-formed seed pairs, sometimes stale ids to exercise
+        // the free-seed and out-of-domain paths.
+        Value source = rng.Chance(0.8)
+                           ? from.domain()[rng.Below(from.domain().size())]
+                           : static_cast<Value>(from.num_values() +
+                                                rng.Below(3));
+        Value image = rng.Chance(0.8)
+                          ? to.domain()[rng.Below(to.domain().size())]
+                          : static_cast<Value>(to.num_values() + rng.Below(3));
+        seed.emplace_back(source, image);
+      }
+      violation = CheckHomAgainstReference(from, to, seed);
+      if (!violation.has_value() && rng.Chance(0.25)) {
+        Database third = PickDatabase(schema, rng, 5, 10);
+        violation = CheckHomComposition(from, to, third);
+        if (violation.has_value()) shrink = false;  // Triple; report as-is.
+      }
+      if (violation.has_value() && shrink) {
+        auto [sf, st] = ShrinkHomPair(
+            std::move(from), std::move(to),
+            [&](const Database& f, const Database& t) {
+              return CheckHomAgainstReference(f, t, seed).has_value();
+            });
+        PropertyCheck again = CheckHomAgainstReference(sf, st, seed);
+        if (again.has_value()) shrunk_report = again->detail;
+      }
+      break;
+    }
+    case FuzzConfig::kEval: {
+      auto schema = PickSchema(rng, 2, /*need_entity=*/false);
+      RandomCqParams cq_params;
+      cq_params.num_atoms = rng.Range(1, 4);
+      ConjunctiveQuery query = RandomUnaryCq(schema, cq_params, rng);
+      std::size_t max_values = BoundedValues(query.num_variables(), 6);
+      Database db = PickDatabase(schema, rng, max_values, 12);
+      violation = CheckEvaluationAgainstReference(query, db);
+      if (violation.has_value() && shrink) {
+        auto [sq, sdb] = ShrinkCqInstance(
+            std::move(query), std::move(db),
+            [](const ConjunctiveQuery& q, const Database& d) {
+              return CheckEvaluationAgainstReference(q, d).has_value();
+            });
+        PropertyCheck again = CheckEvaluationAgainstReference(sq, sdb);
+        if (again.has_value()) shrunk_report = again->detail;
+      }
+      break;
+    }
+    case FuzzConfig::kContainment: {
+      auto schema = PickSchema(rng, 2, /*need_entity=*/false);
+      RandomCqParams cq_params;
+      cq_params.num_atoms = rng.Range(1, 3);
+      ConjunctiveQuery q1 = RandomUnaryCq(schema, cq_params, rng);
+      cq_params.num_atoms = rng.Range(1, 3);
+      ConjunctiveQuery q2 = RandomUnaryCq(schema, cq_params, rng);
+      std::size_t max_values = BoundedValues(
+          std::max(q1.num_variables(), q2.num_variables()), 5);
+      Database db = PickDatabase(schema, rng, max_values, 10);
+      violation = CheckContainmentAgainstReference(q1, q2, db);
+      if (violation.has_value() && shrink) {
+        // Alternate single-atom removals on either query, then shrink the
+        // data, as long as the discrepancy persists.
+        bool changed = true;
+        while (changed) {
+          changed = false;
+          for (std::size_t i = 0; i < q1.atoms().size(); ++i) {
+            ConjunctiveQuery candidate = WithoutAtom(q1, i);
+            if (CheckContainmentAgainstReference(candidate, q2, db)
+                    .has_value()) {
+              q1 = std::move(candidate);
+              changed = true;
+              break;
+            }
+          }
+          if (changed) continue;
+          for (std::size_t i = 0; i < q2.atoms().size(); ++i) {
+            ConjunctiveQuery candidate = WithoutAtom(q2, i);
+            if (CheckContainmentAgainstReference(q1, candidate, db)
+                    .has_value()) {
+              q2 = std::move(candidate);
+              changed = true;
+              break;
+            }
+          }
+          if (changed) continue;
+          std::size_t before = db.size();
+          db = ShrinkDatabase(std::move(db), [&](const Database& d) {
+            return CheckContainmentAgainstReference(q1, q2, d).has_value();
+          });
+          changed = db.size() != before;
+        }
+        PropertyCheck again = CheckContainmentAgainstReference(q1, q2, db);
+        if (again.has_value()) shrunk_report = again->detail;
+      }
+      break;
+    }
+    case FuzzConfig::kCore: {
+      auto schema = PickSchema(rng, 3, /*need_entity=*/false);
+      Database db = PickDatabase(schema, rng, 6, 10);
+      std::vector<Value> frozen;
+      if (!db.domain().empty()) {
+        for (std::size_t i = rng.Below(3); i > 0; --i) {
+          frozen.push_back(db.domain()[rng.Below(db.domain().size())]);
+        }
+      }
+      violation = CheckCoreProperties(db, frozen);
+      if (violation.has_value() && shrink) {
+        Database shrunk =
+            ShrinkDatabase(std::move(db), [&](const Database& d) {
+              return CheckCoreProperties(d, frozen).has_value();
+            });
+        PropertyCheck again = CheckCoreProperties(shrunk, frozen);
+        if (again.has_value()) shrunk_report = again->detail;
+      }
+      break;
+    }
+    case FuzzConfig::kGhw: {
+      auto schema = PickSchema(rng, 3, /*need_entity=*/false);
+      RandomCqParams cq_params;
+      cq_params.num_atoms = rng.Range(2, 5);
+      ConjunctiveQuery query = RandomUnaryCq(schema, cq_params, rng);
+      violation = CheckGhwProperties(query);
+      if (violation.has_value() && shrink) {
+        bool changed = true;
+        while (changed) {
+          changed = false;
+          for (std::size_t i = 0; i < query.atoms().size(); ++i) {
+            ConjunctiveQuery candidate = WithoutAtom(query, i);
+            if (CheckGhwProperties(candidate).has_value()) {
+              query = std::move(candidate);
+              changed = true;
+              break;
+            }
+          }
+        }
+        PropertyCheck again = CheckGhwProperties(query);
+        if (again.has_value()) shrunk_report = again->detail;
+      }
+      break;
+    }
+    case FuzzConfig::kSep: {
+      auto schema = PickSchema(rng, 3, /*need_entity=*/true);
+      RandomDatabaseParams params;
+      params.num_values = rng.Range(3, 6);
+      params.num_facts = rng.Range(5, 12);
+      params.entity_fraction = 0.3 + 0.4 * rng.Uniform();
+      std::shared_ptr<TrainingDatabase> training =
+          RandomTrainingDatabase(schema, params, rng);
+      violation = CheckSepThreadDeterminism(*training);
+      if (violation.has_value() && shrink) {
+        // Shrink the underlying database; surviving entities keep their
+        // original labels (label ids are stable under the removal edits).
+        const Labeling labels = training->labeling();
+        auto rebuild = [&](const Database& d) {
+          auto shrunk_db = std::make_shared<Database>(Copy(d));
+          TrainingDatabase t(shrunk_db);
+          for (Value e : shrunk_db->Entities()) {
+            t.SetLabel(e, labels.Get(e));
+          }
+          return t;
+        };
+        Database shrunk = ShrinkDatabase(
+            Copy(training->database()), [&](const Database& d) {
+              return CheckSepThreadDeterminism(rebuild(d)).has_value();
+            });
+        PropertyCheck again = CheckSepThreadDeterminism(rebuild(shrunk));
+        if (again.has_value()) shrunk_report = again->detail;
+      }
+      break;
+    }
+    case FuzzConfig::kMixed:
+      FEATSEP_CHECK(false) << "mixed resolved above";
+  }
+
+  if (!violation.has_value()) return std::nullopt;
+  FuzzFailure failure;
+  failure.instance_seed = instance_seed;
+  failure.config = FuzzConfigName(config);
+  failure.property = violation->property;
+  failure.detail = violation->detail;
+  failure.shrunk = shrunk_report;
+  failure.reproduce = Reproduce(config, instance_seed);
+  return failure;
+}
+
+}  // namespace
+
+const char* FuzzConfigName(FuzzConfig config) {
+  switch (config) {
+    case FuzzConfig::kHom: return "hom";
+    case FuzzConfig::kEval: return "eval";
+    case FuzzConfig::kContainment: return "containment";
+    case FuzzConfig::kCore: return "core";
+    case FuzzConfig::kGhw: return "ghw";
+    case FuzzConfig::kSep: return "sep";
+    case FuzzConfig::kMixed: return "mixed";
+  }
+  return "unknown";
+}
+
+std::optional<FuzzConfig> ParseFuzzConfig(std::string_view name) {
+  for (FuzzConfig config :
+       {FuzzConfig::kHom, FuzzConfig::kEval, FuzzConfig::kContainment,
+        FuzzConfig::kCore, FuzzConfig::kGhw, FuzzConfig::kSep,
+        FuzzConfig::kMixed}) {
+    if (name == FuzzConfigName(config)) return config;
+  }
+  return std::nullopt;
+}
+
+FuzzReport RunFuzz(const FuzzOptions& options, std::ostream* progress) {
+  FuzzReport report;
+  for (std::size_t i = 0; i < options.iterations; ++i) {
+    std::uint64_t instance_seed = options.seed + i;
+    std::optional<FuzzFailure> failure =
+        RunIteration(options.config, instance_seed, options.shrink);
+    ++report.iterations;
+    if (!failure.has_value()) continue;
+    failure->iteration = i;
+    if (progress != nullptr) {
+      *progress << "FAIL [" << failure->config << "/" << failure->property
+                << "] iteration " << i << "\n"
+                << failure->detail << "\n";
+      if (!failure->shrunk.empty()) {
+        *progress << "shrunk counterexample:\n" << failure->shrunk << "\n";
+      }
+      *progress << "reproduce: " << failure->reproduce << "\n";
+    }
+    report.failures.push_back(std::move(*failure));
+  }
+  return report;
+}
+
+}  // namespace testing
+}  // namespace featsep

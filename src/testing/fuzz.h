@@ -1,0 +1,68 @@
+#ifndef FEATSEP_TESTING_FUZZ_H_
+#define FEATSEP_TESTING_FUZZ_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace featsep {
+namespace testing {
+
+/// Differential fuzz loop: generate a random instance, run the matching
+/// property driver (properties.h), and greedily shrink any instance the
+/// driver rejects. Deterministic: iteration i uses instance seed
+/// `options.seed + i`, so every failure prints a `--seed S --iters 1`
+/// command that regenerates the identical instance.
+
+enum class FuzzConfig {
+  kHom,          ///< FindHomomorphism vs reference (+ composition closure).
+  kEval,         ///< CqEvaluator / DecomposedEvaluator vs reference.
+  kContainment,  ///< IsContainedIn vs canonical-database criterion.
+  kCore,         ///< CoreOf laws.
+  kGhw,          ///< GHW witness/monotonicity laws.
+  kSep,          ///< DecideCqSep determinism + Theorem 3.2 oracle.
+  kMixed,        ///< Per-iteration uniform choice among the above.
+};
+
+const char* FuzzConfigName(FuzzConfig config);
+std::optional<FuzzConfig> ParseFuzzConfig(std::string_view name);
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t iterations = 100;
+  FuzzConfig config = FuzzConfig::kMixed;
+  /// Greedily minimize failing instances before reporting.
+  bool shrink = true;
+};
+
+struct FuzzFailure {
+  std::size_t iteration = 0;
+  /// Reproduce with `featsep_fuzz --config <config> --seed <instance_seed>
+  /// --iters 1` (also spelled out in `reproduce`).
+  std::uint64_t instance_seed = 0;
+  std::string config;
+  std::string property;
+  /// Discrepancy on the instance as generated.
+  std::string detail;
+  /// Discrepancy restated on the shrunk instance (empty when !shrink).
+  std::string shrunk;
+  std::string reproduce;
+};
+
+struct FuzzReport {
+  std::size_t iterations = 0;
+  std::vector<FuzzFailure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+/// Runs the loop. When `progress` is non-null, failures are streamed to it
+/// as they are found (the report carries them regardless).
+FuzzReport RunFuzz(const FuzzOptions& options, std::ostream* progress = nullptr);
+
+}  // namespace testing
+}  // namespace featsep
+
+#endif  // FEATSEP_TESTING_FUZZ_H_

@@ -1,0 +1,356 @@
+#include "testing/properties.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+
+#include "core/separability.h"
+#include "cq/containment.h"
+#include "cq/core.h"
+#include "cq/decomposed_evaluation.h"
+#include "cq/evaluation.h"
+#include "cq/homomorphism.h"
+#include "hypertree/decomposition.h"
+#include "hypertree/ghw.h"
+#include "io/writer.h"
+#include "testing/reference_hom.h"
+#include "testing/shrink.h"
+#include "util/check.h"
+
+namespace featsep {
+namespace testing {
+
+namespace {
+
+PropertyViolation Violation(std::string property, std::string detail) {
+  return PropertyViolation{std::move(property), std::move(detail)};
+}
+
+std::string DescribeHomPair(const Database& from, const Database& to) {
+  std::ostringstream out;
+  out << "from:\n" << WriteDatabase(from) << "to:\n" << WriteDatabase(to);
+  return out.str();
+}
+
+std::string DescribeValues(const Database& db,
+                           const std::vector<Value>& values) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << db.value_name(values[i]);
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace
+
+PropertyCheck CheckHomAgainstReference(
+    const Database& from, const Database& to,
+    const std::vector<std::pair<Value, Value>>& seed) {
+  HomResult fast = FindHomomorphism(from, to, seed);
+  if (fast.status == HomStatus::kExhausted) {
+    return Violation("hom-vs-reference/status",
+                     "kernel reported kExhausted with no node budget\n" +
+                         DescribeHomPair(from, to));
+  }
+  std::optional<std::vector<Value>> ref = RefFindHomomorphism(from, to, seed);
+  bool fast_found = fast.status == HomStatus::kFound;
+  if (fast_found != ref.has_value()) {
+    std::ostringstream detail;
+    detail << "kernel says " << (fast_found ? "FOUND" : "NONE")
+           << ", reference says " << (ref.has_value() ? "FOUND" : "NONE")
+           << "\n"
+           << DescribeHomPair(from, to);
+    return Violation("hom-vs-reference/status", detail.str());
+  }
+  if (fast_found) {
+    if (!RefIsHomomorphism(from, to, fast.mapping)) {
+      return Violation("hom-vs-reference/witness",
+                       "kernel witness is not a homomorphism\n" +
+                           DescribeHomPair(from, to));
+    }
+    for (const auto& [source, image] : seed) {
+      if (source < fast.mapping.size() && from.InDomain(source) &&
+          fast.mapping[source] != image) {
+        return Violation("hom-vs-reference/seed",
+                         "kernel witness ignores a seed pair\n" +
+                             DescribeHomPair(from, to));
+      }
+    }
+  }
+
+  HomOptions no_fc;
+  no_fc.forward_checking = false;
+  HomResult unpruned = FindHomomorphism(from, to, seed, no_fc);
+  if ((unpruned.status == HomStatus::kFound) != fast_found) {
+    return Violation("hom-vs-reference/forward-checking",
+                     "decision differs with forward checking off\n" +
+                         DescribeHomPair(from, to));
+  }
+
+  if (ref.has_value()) {
+    // Seeding the reference witness as a value-ordering hint must affect
+    // exploration order only, never the decision or witness validity.
+    HomOptions preferred;
+    for (Value v : from.domain()) {
+      preferred.prefer.emplace_back(v, (*ref)[v]);
+    }
+    HomResult hinted = FindHomomorphism(from, to, seed, preferred);
+    if (hinted.status != HomStatus::kFound ||
+        !RefIsHomomorphism(from, to, hinted.mapping)) {
+      return Violation("hom-vs-reference/prefer",
+                       "witness-seeded prefer changed the decision or "
+                       "produced an invalid witness\n" +
+                           DescribeHomPair(from, to));
+    }
+  }
+  return std::nullopt;
+}
+
+PropertyCheck CheckHomComposition(const Database& a, const Database& b,
+                                  const Database& c) {
+  HomResult f = FindHomomorphism(a, b);
+  HomResult g = FindHomomorphism(b, c);
+  if (f.status != HomStatus::kFound || g.status != HomStatus::kFound) {
+    return std::nullopt;  // Vacuous for this triple.
+  }
+  std::vector<Value> composite(a.num_values(), kNoValue);
+  for (Value v : a.domain()) {
+    composite[v] = g.mapping[f.mapping[v]];
+  }
+  if (!RefIsHomomorphism(a, c, composite)) {
+    return Violation("hom-composition/witness",
+                     "g∘f is not a homomorphism a → c\n" +
+                         DescribeHomPair(a, c));
+  }
+  if (!HomomorphismExists(a, c)) {
+    return Violation("hom-composition/closure",
+                     "a → b and b → c but kernel denies a → c\n" +
+                         DescribeHomPair(a, c));
+  }
+  return std::nullopt;
+}
+
+PropertyCheck CheckEvaluationAgainstReference(const ConjunctiveQuery& query,
+                                              const Database& db,
+                                              std::size_t max_width) {
+  std::vector<Value> fast = CqEvaluator(query).Evaluate(db);
+  std::vector<Value> ref = RefEvaluateUnaryCq(query, db);
+  if (fast != ref) {
+    std::ostringstream detail;
+    detail << query.ToString() << "\nkernel q(D) = " << DescribeValues(db, fast)
+           << ", reference q(D) = " << DescribeValues(db, ref) << "\nD:\n"
+           << WriteDatabase(db);
+    return Violation("eval-vs-reference", detail.str());
+  }
+  std::optional<DecomposedEvaluator> plan =
+      DecomposedEvaluator::Create(query, max_width);
+  if (plan.has_value()) {
+    std::vector<Value> decomposed = plan->Evaluate(db);
+    if (decomposed != ref) {
+      std::ostringstream detail;
+      detail << query.ToString() << " (width " << plan->width()
+             << ")\ndecomposed q(D) = " << DescribeValues(db, decomposed)
+             << ", reference q(D) = " << DescribeValues(db, ref) << "\nD:\n"
+             << WriteDatabase(db);
+      return Violation("decomposed-eval-vs-reference", detail.str());
+    }
+  }
+  return std::nullopt;
+}
+
+PropertyCheck CheckContainmentAgainstReference(const ConjunctiveQuery& q1,
+                                               const ConjunctiveQuery& q2,
+                                               const Database& db) {
+  if (!IsContainedIn(q1, q1) || !IsContainedIn(q2, q2)) {
+    return Violation("containment/reflexivity",
+                     "q ⊈ q for " + q1.ToString() + " or " + q2.ToString());
+  }
+  bool fast12 = IsContainedIn(q1, q2);
+  bool ref12 = RefIsContainedIn(q1, q2);
+  bool fast21 = IsContainedIn(q2, q1);
+  bool ref21 = RefIsContainedIn(q2, q1);
+  if (fast12 != ref12 || fast21 != ref21) {
+    std::ostringstream detail;
+    detail << "q1 = " << q1.ToString() << "\nq2 = " << q2.ToString()
+           << "\nkernel (q1⊆q2, q2⊆q1) = (" << fast12 << ", " << fast21
+           << "), reference = (" << ref12 << ", " << ref21 << ")";
+    return Violation("containment-vs-reference", detail.str());
+  }
+  if (fast12) {
+    // Semantic soundness on data: q1 ⊆ q2 implies q1(D) ⊆ q2(D).
+    std::vector<Value> eval1 = RefEvaluateUnaryCq(q1, db);
+    std::vector<Value> eval2 = RefEvaluateUnaryCq(q2, db);
+    for (Value e : eval1) {
+      if (std::find(eval2.begin(), eval2.end(), e) == eval2.end()) {
+        std::ostringstream detail;
+        detail << "q1 ⊆ q2 but " << db.value_name(e)
+               << " ∈ q1(D) \\ q2(D)\nq1 = " << q1.ToString()
+               << "\nq2 = " << q2.ToString() << "\nD:\n" << WriteDatabase(db);
+        return Violation("containment/semantics", detail.str());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+PropertyCheck CheckCoreProperties(const Database& db,
+                                  const std::vector<Value>& frozen) {
+  Database core = CoreOf(db, frozen);
+  for (const Fact& fact : core.facts()) {
+    if (!db.ContainsFact(fact)) {
+      return Violation("core/subset",
+                       "core contains a fact absent from the input\n" +
+                           DescribeHomPair(db, core));
+    }
+  }
+  if (!RefHomEquivalent(db, frozen, core, frozen)) {
+    return Violation("core/hom-equivalence",
+                     "core not hom-equivalent to its input (frozen " +
+                         DescribeValues(db, frozen) + ")\n" +
+                         DescribeHomPair(db, core));
+  }
+  Database core2 = CoreOf(core, frozen);
+  bool same = core2.size() == core.size();
+  if (same) {
+    for (const Fact& fact : core2.facts()) {
+      if (!core.ContainsFact(fact)) {
+        same = false;
+        break;
+      }
+    }
+  }
+  if (!same) {
+    return Violation("core/idempotence",
+                     "coring the core changed it\n" +
+                         DescribeHomPair(core, core2));
+  }
+  return std::nullopt;
+}
+
+PropertyCheck CheckGhwProperties(const ConjunctiveQuery& query) {
+  Hypergraph graph = QueryHypergraph(query);
+  std::size_t width = QueryGhw(query);
+  if (width >= 1) {
+    std::optional<TreeDecomposition> td = DecideGhwAtMost(graph, width);
+    if (!td.has_value()) {
+      return Violation("ghw/witness",
+                       "Ghw = " + std::to_string(width) +
+                           " but DecideGhwAtMost(width) found nothing: " +
+                           query.ToString());
+    }
+    std::string error;
+    if (!ValidateDecomposition(graph, *td, width, &error)) {
+      return Violation("ghw/witness-validity",
+                       error + " for " + query.ToString());
+    }
+    if (width >= 2 && DecideGhwAtMost(graph, width - 1).has_value()) {
+      return Violation("ghw/tightness",
+                       "DecideGhwAtMost succeeded below Ghw for " +
+                           query.ToString());
+    }
+  }
+  if (!IsInGhw(query, width + 1)) {
+    return Violation("ghw/monotonicity",
+                     "q ∈ GHW(k) but q ∉ GHW(k+1) for " + query.ToString());
+  }
+
+  // Removing an atom whose existential variables are covered by another
+  // atom's cannot increase the width: any bag cover using the removed
+  // atom's edge can use the subsuming atom's edge instead.
+  const std::vector<Variable>& free = query.free_variables();
+  auto existential_vars = [&](const CqAtom& atom) {
+    std::vector<Variable> vars;
+    for (Variable v : atom.args) {
+      if (std::find(free.begin(), free.end(), v) == free.end() &&
+          std::find(vars.begin(), vars.end(), v) == vars.end()) {
+        vars.push_back(v);
+      }
+    }
+    std::sort(vars.begin(), vars.end());
+    return vars;
+  };
+  const std::vector<CqAtom>& atoms = query.atoms();
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    std::vector<Variable> vi = existential_vars(atoms[i]);
+    for (std::size_t j = 0; j < atoms.size(); ++j) {
+      if (i == j) continue;
+      std::vector<Variable> vj = existential_vars(atoms[j]);
+      if (!std::includes(vj.begin(), vj.end(), vi.begin(), vi.end())) {
+        continue;
+      }
+      ConjunctiveQuery reduced = WithoutAtom(query, i);
+      std::size_t reduced_width = QueryGhw(reduced);
+      if (reduced_width > width) {
+        return Violation(
+            "ghw/subsumed-atom-removal",
+            "removing a subsumed atom raised ghw from " +
+                std::to_string(width) + " to " +
+                std::to_string(reduced_width) + " for " + query.ToString());
+      }
+      break;  // One subsumed pair per atom i is enough.
+    }
+  }
+  return std::nullopt;
+}
+
+PropertyCheck CheckSepThreadDeterminism(const TrainingDatabase& training) {
+  CqSepResult results[3];
+  const std::size_t thread_counts[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    CqSepOptions options;
+    options.num_threads = thread_counts[i];
+    results[i] = DecideCqSep(training, options);
+  }
+  for (int i = 1; i < 3; ++i) {
+    if (results[i].separable != results[0].separable ||
+        results[i].conflict != results[0].conflict) {
+      std::ostringstream detail;
+      detail << "DecideCqSep differs between 1 and " << thread_counts[i]
+             << " threads\n" << WriteTrainingDatabase(training);
+      return Violation("sep/thread-determinism", detail.str());
+    }
+  }
+
+  // Theorem 3.2 oracle: separable iff no differently-labeled pair of
+  // entities is hom-equivalent as pointed databases.
+  const Database& db = training.database();
+  bool ref_separable = true;
+  for (Value p : training.PositiveExamples()) {
+    for (Value n : training.NegativeExamples()) {
+      if (RefHomEquivalent(db, {p}, db, {n})) {
+        ref_separable = false;
+        break;
+      }
+    }
+    if (!ref_separable) break;
+  }
+  if (results[0].separable != ref_separable) {
+    std::ostringstream detail;
+    detail << "DecideCqSep says " << results[0].separable
+           << ", reference pairwise sweep says " << ref_separable << "\n"
+           << WriteTrainingDatabase(training);
+    return Violation("sep-vs-reference", detail.str());
+  }
+  if (!results[0].separable) {
+    if (!results[0].conflict.has_value()) {
+      return Violation("sep/conflict-missing",
+                       "inseparable without a conflict pair\n" +
+                           WriteTrainingDatabase(training));
+    }
+    auto [x, y] = *results[0].conflict;
+    if (training.label(x) == training.label(y) ||
+        !RefHomEquivalent(db, {x}, db, {y})) {
+      return Violation("sep/conflict-invalid",
+                       "reported conflict pair is not a differently-labeled "
+                       "hom-equivalent pair\n" +
+                           WriteTrainingDatabase(training));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace testing
+}  // namespace featsep

@@ -1,0 +1,78 @@
+#ifndef FEATSEP_TESTING_PROPERTIES_H_
+#define FEATSEP_TESTING_PROPERTIES_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cq/cq.h"
+#include "relational/database.h"
+#include "relational/training_database.h"
+
+namespace featsep {
+namespace testing {
+
+/// Differential/metamorphic property drivers: each check runs the optimized
+/// engines against the naive reference oracle (reference_hom.h) and/or a
+/// metamorphic law implied by the paper's semantics, returning nullopt on
+/// agreement or a violation describing the discrepancy. The fuzz loop
+/// (fuzz.h) feeds them random instances and shrinks whatever they reject.
+
+struct PropertyViolation {
+  /// Which law failed, e.g. "hom-vs-reference/status".
+  std::string property;
+  /// Human-readable discrepancy description.
+  std::string detail;
+};
+
+using PropertyCheck = std::optional<PropertyViolation>;
+
+/// FindHomomorphism vs the reference oracle on (from, to, seed):
+///   - decision agreement (with forward checking on and off),
+///   - witness validity when the kernel reports kFound,
+///   - decision invariance under a witness-seeded `prefer` ordering.
+PropertyCheck CheckHomAgainstReference(
+    const Database& from, const Database& to,
+    const std::vector<std::pair<Value, Value>>& seed = {});
+
+/// Composition closure: whenever the kernel finds witnesses f : a → b and
+/// g : b → c, the composite g∘f must be a valid homomorphism a → c, and the
+/// kernel must also decide a → c positively.
+PropertyCheck CheckHomComposition(const Database& a, const Database& b,
+                                  const Database& c);
+
+/// Unary-CQ evaluation: CqEvaluator vs the reference oracle vs (when a
+/// width-≤`max_width` plan exists) the decomposition-guided evaluator.
+PropertyCheck CheckEvaluationAgainstReference(const ConjunctiveQuery& query,
+                                              const Database& db,
+                                              std::size_t max_width = 2);
+
+/// Containment: IsContainedIn vs the reference canonical-database
+/// criterion in both directions, reflexivity, and semantic soundness on
+/// data (q1 ⊆ q2 implies q1(D) ⊆ q2(D) under the reference evaluator).
+PropertyCheck CheckContainmentAgainstReference(const ConjunctiveQuery& q1,
+                                               const ConjunctiveQuery& q2,
+                                               const Database& db);
+
+/// CoreOf: the core's facts are a subset of the input's, the core is
+/// hom-equivalent to the input (pointed at `frozen`, per the reference
+/// oracle), and coring is idempotent.
+PropertyCheck CheckCoreProperties(const Database& db,
+                                  const std::vector<Value>& frozen);
+
+/// GHW laws: the witness decomposition validates at the claimed width,
+/// Ghw/IsInGhw agree (tight at g, false at g-1, monotone at g+1), and
+/// removing an atom whose existential variables are covered by another
+/// atom never increases the width.
+PropertyCheck CheckGhwProperties(const ConjunctiveQuery& query);
+
+/// DecideCqSep determinism and correctness: identical results (decision
+/// and conflict pair) at 1, 2, and 8 threads, and agreement with the
+/// reference pairwise hom-equivalence criterion of Theorem 3.2.
+PropertyCheck CheckSepThreadDeterminism(const TrainingDatabase& training);
+
+}  // namespace testing
+}  // namespace featsep
+
+#endif  // FEATSEP_TESTING_PROPERTIES_H_

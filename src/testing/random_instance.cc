@@ -1,0 +1,133 @@
+#include "testing/random_instance.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace featsep {
+namespace testing {
+
+std::shared_ptr<const Schema> RandomSchema(const RandomSchemaParams& params,
+                                           WorkloadRng& rng) {
+  FEATSEP_CHECK_GE(params.max_arity, 1u);
+  FEATSEP_CHECK(params.entity_schema || params.num_relations > 0)
+      << "a schema needs at least one relation";
+  Schema schema;
+  if (params.entity_schema) {
+    schema.set_entity_relation(schema.AddRelation("Eta", 1));
+  }
+  for (std::size_t i = 0; i < params.num_relations; ++i) {
+    schema.AddRelation("R" + std::to_string(i),
+                       rng.Range(1, params.max_arity));
+  }
+  return std::make_shared<const Schema>(std::move(schema));
+}
+
+Database RandomDatabase(std::shared_ptr<const Schema> schema,
+                        const RandomDatabaseParams& params, WorkloadRng& rng) {
+  FEATSEP_CHECK_GE(params.num_values, 1u);
+  Database db(schema);
+  std::vector<Value> values;
+  for (std::size_t i = 0; i < params.num_values; ++i) {
+    values.push_back(db.Intern("v" + std::to_string(i)));
+  }
+
+  // Relations facts are drawn from; η membership is decided separately so
+  // `entity_fraction` controls it directly.
+  std::vector<RelationId> fact_relations;
+  for (RelationId r = 0; r < schema->size(); ++r) {
+    if (schema->has_entity_relation() && r == schema->entity_relation()) {
+      continue;
+    }
+    fact_relations.push_back(r);
+  }
+
+  if (schema->has_entity_relation()) {
+    RelationId eta = schema->entity_relation();
+    bool any_entity = false;
+    for (Value v : values) {
+      if (rng.Chance(params.entity_fraction)) {
+        db.AddFact(eta, {v});
+        any_entity = true;
+      }
+    }
+    // Degenerate labelings/evaluations are uninteresting; guarantee at
+    // least one entity.
+    if (!any_entity) db.AddFact(eta, {values[rng.Below(values.size())]});
+  }
+
+  for (std::size_t i = 0; i < params.num_facts && !fact_relations.empty();
+       ++i) {
+    RelationId rel = fact_relations[rng.Below(fact_relations.size())];
+    std::vector<Value> args;
+    for (std::size_t pos = 0; pos < schema->arity(rel); ++pos) {
+      args.push_back(values[rng.Below(values.size())]);
+    }
+    db.AddFact(rel, std::move(args));
+  }
+  return db;
+}
+
+ConjunctiveQuery RandomUnaryCq(std::shared_ptr<const Schema> schema,
+                               const RandomCqParams& params,
+                               WorkloadRng& rng) {
+  ConjunctiveQuery q(schema);
+  std::vector<Variable> pool;
+  if (schema->has_entity_relation()) {
+    q = ConjunctiveQuery::MakeFeatureQuery(schema);
+  } else {
+    Variable x = q.NewVariable("x");
+    q.AddFreeVariable(x);
+  }
+  pool.push_back(q.free_variable());
+  for (std::size_t i = 0; i < params.num_atoms; ++i) {
+    RelationId rel = static_cast<RelationId>(rng.Below(schema->size()));
+    std::vector<Variable> args;
+    for (std::size_t pos = 0; pos < schema->arity(rel); ++pos) {
+      if (rng.Chance(params.fresh_variable_chance)) {
+        pool.push_back(q.NewVariable());
+        args.push_back(pool.back());
+      } else {
+        args.push_back(pool[rng.Below(pool.size())]);
+      }
+    }
+    q.AddAtom(rel, std::move(args));
+  }
+  // Without an η(x) atom the free variable may have ended up in no atom;
+  // force one so the query constrains x and evaluation stays meaningful.
+  if (!schema->has_entity_relation()) {
+    Variable x = q.free_variable();
+    bool x_used = false;
+    for (const CqAtom& atom : q.atoms()) {
+      if (std::find(atom.args.begin(), atom.args.end(), x) !=
+          atom.args.end()) {
+        x_used = true;
+        break;
+      }
+    }
+    if (!x_used) {
+      RelationId rel = static_cast<RelationId>(rng.Below(schema->size()));
+      std::vector<Variable> args(schema->arity(rel), x);
+      q.AddAtom(rel, std::move(args));
+    }
+  }
+  return q;
+}
+
+std::shared_ptr<TrainingDatabase> RandomTrainingDatabase(
+    std::shared_ptr<const Schema> schema, const RandomDatabaseParams& params,
+    WorkloadRng& rng) {
+  FEATSEP_CHECK(schema->has_entity_relation());
+  auto db = std::make_shared<Database>(
+      RandomDatabase(schema, params, rng));
+  auto training = std::make_shared<TrainingDatabase>(db);
+  for (Value entity : db->Entities()) {
+    training->SetLabel(entity, rng.Chance(0.5) ? kPositive : kNegative);
+  }
+  return training;
+}
+
+}  // namespace testing
+}  // namespace featsep

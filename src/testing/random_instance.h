@@ -1,0 +1,73 @@
+#ifndef FEATSEP_TESTING_RANDOM_INSTANCE_H_
+#define FEATSEP_TESTING_RANDOM_INSTANCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cq/cq.h"
+#include "relational/database.h"
+#include "relational/training_database.h"
+#include "workload/generators.h"
+
+namespace featsep {
+namespace testing {
+
+/// Seeded, deterministic random-instance generators for the differential
+/// fuzz harness (extends `src/workload/generators`: those build *structured*
+/// workloads with planted features; these sample the instance space broadly
+/// with tunable arity/size/density). All randomness flows through the
+/// caller's WorkloadRng, so one seed pins the whole instance.
+
+/// Parameters for random schema generation.
+struct RandomSchemaParams {
+  /// Relation symbols besides the entity relation (when present).
+  std::size_t num_relations = 2;
+  std::size_t max_arity = 3;
+  /// If true the schema additionally gets a designated unary η ("Eta").
+  bool entity_schema = true;
+};
+
+std::shared_ptr<const Schema> RandomSchema(const RandomSchemaParams& params,
+                                           WorkloadRng& rng);
+
+/// Parameters for random database generation.
+struct RandomDatabaseParams {
+  /// Interned constants facts draw their arguments from.
+  std::size_t num_values = 6;
+  /// Fact insertions attempted (duplicates collapse: databases are sets, so
+  /// the density knob is attempts per value, not an exact fact count).
+  std::size_t num_facts = 12;
+  /// With an entity schema: probability each value is declared an entity.
+  double entity_fraction = 0.4;
+};
+
+Database RandomDatabase(std::shared_ptr<const Schema> schema,
+                        const RandomDatabaseParams& params, WorkloadRng& rng);
+
+/// Parameters for random CQ generation.
+struct RandomCqParams {
+  /// Atoms besides the η(x) atom of feature queries.
+  std::size_t num_atoms = 3;
+  /// Probability of minting a fresh variable per argument position (the
+  /// complement reuses a pooled variable, biasing toward connectedness).
+  double fresh_variable_chance = 1.0 / 3;
+};
+
+/// A random unary query over `schema`: a feature query q(x) ⊇ {η(x)} when
+/// the schema designates an entity relation, else a unary CQ whose free
+/// variable is seeded into the pool (and, if no atom picked it up, attached
+/// to a final forced atom so the query stays safe to evaluate).
+ConjunctiveQuery RandomUnaryCq(std::shared_ptr<const Schema> schema,
+                               const RandomCqParams& params, WorkloadRng& rng);
+
+/// A random labeled training database: RandomDatabase plus a ±1 label on
+/// every entity. Requires an entity schema.
+std::shared_ptr<TrainingDatabase> RandomTrainingDatabase(
+    std::shared_ptr<const Schema> schema, const RandomDatabaseParams& params,
+    WorkloadRng& rng);
+
+}  // namespace testing
+}  // namespace featsep
+
+#endif  // FEATSEP_TESTING_RANDOM_INSTANCE_H_

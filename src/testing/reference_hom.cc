@@ -1,0 +1,181 @@
+#include "testing/reference_hom.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace featsep {
+namespace testing {
+
+namespace {
+
+/// True iff the fact image under `mapping` (defined wherever it matters)
+/// occurs in `to`, by linear scan — intentionally index-free.
+bool ImageFactInTo(const Fact& fact, const std::vector<Value>& mapping,
+                   const Database& to) {
+  for (const Fact& target : to.facts()) {
+    if (target.relation != fact.relation) continue;
+    bool same = true;
+    for (std::size_t p = 0; p < fact.args.size(); ++p) {
+      if (target.args[p] != mapping[fact.args[p]]) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return true;
+  }
+  return false;
+}
+
+/// Recursive backtracking over the variables `vars` (dom(from) order),
+/// trying every element of dom(to) in order. After each assignment, every
+/// fully-assigned fact containing the variable is checked by linear scan.
+bool Extend(std::size_t next_var, const std::vector<Value>& vars,
+            const Database& from, const Database& to,
+            std::vector<Value>& mapping) {
+  if (next_var == vars.size()) return true;
+  Value var = vars[next_var];
+  if (mapping[var] != kNoValue) {
+    // Pre-assigned by the seed; just validate its facts and recurse.
+    for (FactIndex fi : from.FactsContaining(var)) {
+      const Fact& fact = from.fact(fi);
+      bool complete = true;
+      for (Value arg : fact.args) {
+        if (mapping[arg] == kNoValue) {
+          complete = false;
+          break;
+        }
+      }
+      if (complete && !ImageFactInTo(fact, mapping, to)) return false;
+    }
+    return Extend(next_var + 1, vars, from, to, mapping);
+  }
+  for (Value image : to.domain()) {
+    mapping[var] = image;
+    bool consistent = true;
+    for (FactIndex fi : from.FactsContaining(var)) {
+      const Fact& fact = from.fact(fi);
+      bool complete = true;
+      for (Value arg : fact.args) {
+        if (mapping[arg] == kNoValue) {
+          complete = false;
+          break;
+        }
+      }
+      if (complete && !ImageFactInTo(fact, mapping, to)) {
+        consistent = false;
+        break;
+      }
+    }
+    if (consistent && Extend(next_var + 1, vars, from, to, mapping)) {
+      return true;
+    }
+  }
+  mapping[var] = kNoValue;
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<Value>> RefFindHomomorphism(
+    const Database& from, const Database& to,
+    const std::vector<std::pair<Value, Value>>& seed) {
+  const std::vector<Value>& vars = from.domain();
+  std::vector<Value> mapping(from.num_values(), kNoValue);
+  std::vector<std::pair<Value, Value>> free_seeds;
+  for (const auto& [source, image] : seed) {
+    if (source >= from.num_values() || !from.InDomain(source)) {
+      free_seeds.emplace_back(source, image);
+      continue;
+    }
+    if (mapping[source] != kNoValue && mapping[source] != image) {
+      return std::nullopt;  // Contradictory seed.
+    }
+    // A value of dom(from) occurs in a fact, so its image must lie in
+    // dom(to) for that fact to have an image; reject stale images early.
+    if (!to.InDomain(image)) return std::nullopt;
+    mapping[source] = image;
+  }
+  if (!Extend(0, vars, from, to, mapping)) return std::nullopt;
+  for (const auto& [source, image] : free_seeds) {
+    if (source < mapping.size()) mapping[source] = image;
+  }
+  return mapping;
+}
+
+bool RefHomomorphismExists(const Database& from, const Database& to,
+                           const std::vector<std::pair<Value, Value>>& seed) {
+  return RefFindHomomorphism(from, to, seed).has_value();
+}
+
+bool RefIsHomomorphism(const Database& from, const Database& to,
+                       const std::vector<Value>& mapping) {
+  if (mapping.size() < from.num_values()) return false;
+  for (Value v : from.domain()) {
+    if (mapping[v] == kNoValue) return false;
+  }
+  for (const Fact& fact : from.facts()) {
+    if (!ImageFactInTo(fact, mapping, to)) return false;
+  }
+  return true;
+}
+
+bool RefHomEquivalent(const Database& from,
+                      const std::vector<Value>& from_tuple,
+                      const Database& to,
+                      const std::vector<Value>& to_tuple) {
+  FEATSEP_CHECK_EQ(from_tuple.size(), to_tuple.size());
+  std::vector<std::pair<Value, Value>> forward;
+  std::vector<std::pair<Value, Value>> backward;
+  for (std::size_t i = 0; i < from_tuple.size(); ++i) {
+    forward.emplace_back(from_tuple[i], to_tuple[i]);
+    backward.emplace_back(to_tuple[i], from_tuple[i]);
+  }
+  return RefHomomorphismExists(from, to, forward) &&
+         RefHomomorphismExists(to, from, backward);
+}
+
+std::vector<Value> RefEvaluateUnaryCq(const ConjunctiveQuery& query,
+                                      const Database& db) {
+  FEATSEP_CHECK(query.IsUnary());
+  auto [canonical, var_to_value] = query.CanonicalDatabase();
+  Value free_value = var_to_value[query.free_variable()];
+  bool has_entity_atom = false;
+  if (query.schema().has_entity_relation()) {
+    RelationId eta = query.schema().entity_relation();
+    for (const CqAtom& atom : query.atoms()) {
+      if (atom.relation == eta && atom.args.size() == 1 &&
+          atom.args[0] == query.free_variable()) {
+        has_entity_atom = true;
+        break;
+      }
+    }
+  }
+  std::vector<Value> candidates =
+      has_entity_atom ? db.Entities() : db.domain();
+  std::vector<Value> result;
+  for (Value candidate : candidates) {
+    if (RefHomomorphismExists(canonical, db, {{free_value, candidate}})) {
+      result.push_back(candidate);
+    }
+  }
+  return result;
+}
+
+bool RefIsContainedIn(const ConjunctiveQuery& q1,
+                      const ConjunctiveQuery& q2) {
+  FEATSEP_CHECK(q1.schema() == q2.schema());
+  FEATSEP_CHECK_EQ(q1.free_variables().size(), q2.free_variables().size());
+  auto [db1, vars1] = q1.CanonicalDatabase();
+  auto [db2, vars2] = q2.CanonicalDatabase();
+  std::vector<Value> tuple1 = ConjunctiveQuery::FreeTuple(q1, vars1);
+  std::vector<Value> tuple2 = ConjunctiveQuery::FreeTuple(q2, vars2);
+  std::vector<std::pair<Value, Value>> seed;
+  for (std::size_t i = 0; i < tuple1.size(); ++i) {
+    seed.emplace_back(tuple2[i], tuple1[i]);
+  }
+  return RefHomomorphismExists(db2, db1, seed);
+}
+
+}  // namespace testing
+}  // namespace featsep

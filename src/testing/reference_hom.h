@@ -1,0 +1,62 @@
+#ifndef FEATSEP_TESTING_REFERENCE_HOM_H_
+#define FEATSEP_TESTING_REFERENCE_HOM_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "cq/cq.h"
+#include "relational/database.h"
+
+namespace featsep {
+namespace testing {
+
+/// Deliberately naive reference implementations of the homomorphism-based
+/// semantics of Section 2: plain backtracking over `Value`s in domain order,
+/// no bitsets, no indexes, no pruning, no variable ordering. These exist as
+/// permanent independent oracles for the differential fuzz harness — the
+/// optimized kernel in `src/cq/homomorphism.cc` is cross-checked against
+/// them on random instances. DO NOT optimize or share code with the kernel;
+/// slowness and independence are the point. Keep oracle instances small
+/// (worst case O(|dom(to)|^|dom(from)| · |from| · |to|)).
+
+/// Searches for a homomorphism h : dom(from) → dom(to) with R(h(ā)) ∈ to
+/// for every R(ā) ∈ from, extending the partial map `seed`. Returns the
+/// mapping indexed by value id of `from` (kNoValue outside dom(from)), or
+/// nullopt if none exists. Seed sources outside dom(from) are unconstrained
+/// and copied into the mapping, matching FindHomomorphism's contract.
+std::optional<std::vector<Value>> RefFindHomomorphism(
+    const Database& from, const Database& to,
+    const std::vector<std::pair<Value, Value>>& seed = {});
+
+/// True iff a homomorphism extending `seed` exists.
+bool RefHomomorphismExists(const Database& from, const Database& to,
+                           const std::vector<std::pair<Value, Value>>& seed =
+                               {});
+
+/// Validity checker: true iff `mapping` (indexed by value id of `from`) is
+/// defined on all of dom(from) and maps every fact of `from` into `to`.
+/// Used to vet witnesses returned by the optimized kernel.
+bool RefIsHomomorphism(const Database& from, const Database& to,
+                       const std::vector<Value>& mapping);
+
+/// Reference pointed hom-equivalence: (from, ā) → (to, b̄) and back.
+bool RefHomEquivalent(const Database& from,
+                      const std::vector<Value>& from_tuple,
+                      const Database& to, const std::vector<Value>& to_tuple);
+
+/// Reference unary-CQ evaluation q(D) via canonical-database homomorphisms.
+/// Candidates are db.Entities() when the query has an η(x) atom on its free
+/// variable, else all of dom(D) — the same convention as CqEvaluator.
+std::vector<Value> RefEvaluateUnaryCq(const ConjunctiveQuery& query,
+                                      const Database& db);
+
+/// Reference containment q1 ⊆ q2 by the Chandra–Merlin criterion: a
+/// homomorphism from the canonical database of q2 to that of q1 mapping
+/// free tuple onto free tuple.
+bool RefIsContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+}  // namespace testing
+}  // namespace featsep
+
+#endif  // FEATSEP_TESTING_REFERENCE_HOM_H_

@@ -1,0 +1,123 @@
+#include "testing/shrink.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "relational/database_ops.h"
+#include "util/check.h"
+
+namespace featsep {
+namespace testing {
+
+Database WithoutFact(const Database& db, FactIndex index) {
+  FEATSEP_CHECK_LT(index, db.facts().size());
+  Database result(db.schema_ptr());
+  for (Value v = 0; v < db.num_values(); ++v) {
+    result.Intern(db.value_name(v));
+  }
+  for (FactIndex fi = 0; fi < db.facts().size(); ++fi) {
+    if (fi == index) continue;
+    const Fact& fact = db.fact(fi);
+    result.AddFact(fact.relation, fact.args);
+  }
+  return result;
+}
+
+Database WithoutValue(const Database& db, Value value) {
+  std::unordered_set<Value> keep;
+  for (Value v : db.domain()) {
+    if (v != value) keep.insert(v);
+  }
+  return InducedSubdatabase(db, keep);
+}
+
+ConjunctiveQuery WithoutAtom(const ConjunctiveQuery& query,
+                             std::size_t atom_index) {
+  FEATSEP_CHECK_LT(atom_index, query.atoms().size());
+  ConjunctiveQuery result(query.schema_ptr());
+  for (Variable v = 0; v < query.num_variables(); ++v) {
+    result.NewVariable(query.variable_name(v));
+  }
+  for (Variable v : query.free_variables()) {
+    result.AddFreeVariable(v);
+  }
+  for (std::size_t i = 0; i < query.atoms().size(); ++i) {
+    if (i == atom_index) continue;
+    result.AddAtom(query.atoms()[i].relation, query.atoms()[i].args);
+  }
+  return result;
+}
+
+Database ShrinkDatabase(
+    Database db,
+    const std::function<bool(const Database&)>& still_failing) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Value v : db.domain()) {
+      Database candidate = WithoutValue(db, v);
+      if (still_failing(candidate)) {
+        db = std::move(candidate);
+        changed = true;
+        break;  // Domain changed; restart the scan.
+      }
+    }
+    if (changed) continue;
+    for (FactIndex fi = 0; fi < db.facts().size(); ++fi) {
+      Database candidate = WithoutFact(db, fi);
+      if (still_failing(candidate)) {
+        db = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return db;
+}
+
+std::pair<Database, Database> ShrinkHomPair(
+    Database from, Database to,
+    const std::function<bool(const Database&, const Database&)>&
+        still_failing) {
+  bool changed = true;
+  while (changed) {
+    std::size_t from_size = from.size();
+    std::size_t to_size = to.size();
+    from = ShrinkDatabase(std::move(from), [&](const Database& candidate) {
+      return still_failing(candidate, to);
+    });
+    to = ShrinkDatabase(std::move(to), [&](const Database& candidate) {
+      return still_failing(from, candidate);
+    });
+    changed = from.size() != from_size || to.size() != to_size;
+  }
+  return {std::move(from), std::move(to)};
+}
+
+std::pair<ConjunctiveQuery, Database> ShrinkCqInstance(
+    ConjunctiveQuery query, Database db,
+    const std::function<bool(const ConjunctiveQuery&, const Database&)>&
+        still_failing) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < query.atoms().size(); ++i) {
+      ConjunctiveQuery candidate = WithoutAtom(query, i);
+      if (still_failing(candidate, db)) {
+        query = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+    std::size_t db_size = db.size();
+    db = ShrinkDatabase(std::move(db), [&](const Database& candidate) {
+      return still_failing(query, candidate);
+    });
+    changed = db.size() != db_size;
+  }
+  return {std::move(query), std::move(db)};
+}
+
+}  // namespace testing
+}  // namespace featsep

@@ -1,0 +1,57 @@
+#ifndef FEATSEP_TESTING_SHRINK_H_
+#define FEATSEP_TESTING_SHRINK_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "cq/cq.h"
+#include "relational/database.h"
+
+namespace featsep {
+namespace testing {
+
+/// Greedy counterexample shrinking for the fuzz harness: given a failing
+/// instance and a predicate "does the discrepancy persist?", repeatedly try
+/// the removal edits below and keep every edit that preserves the failure,
+/// until no single removal does (a 1-minimal counterexample). Deterministic:
+/// edits are tried in a fixed order, so a seed's shrunk counterexample is
+/// stable across runs.
+
+/// `db` minus the fact at `index`. Value names/ids carry over.
+Database WithoutFact(const Database& db, FactIndex index);
+
+/// `db` minus every fact containing `value` (the value drops out of the
+/// domain). Value names/ids carry over.
+Database WithoutValue(const Database& db, Value value);
+
+/// `query` minus the atom at `atom_index`. Variables and the free tuple
+/// carry over (a variable left atom-less is harmless: it no longer occurs
+/// in the canonical database's domain).
+ConjunctiveQuery WithoutAtom(const ConjunctiveQuery& query,
+                             std::size_t atom_index);
+
+/// Shrinks `db` while `still_failing(db)` stays true: first value
+/// removals (coarse), then fact removals (fine), to fixpoint.
+Database ShrinkDatabase(Database db,
+                        const std::function<bool(const Database&)>&
+                            still_failing);
+
+/// Shrinks a homomorphism instance (from, to) while the predicate stays
+/// true, alternating sides to fixpoint.
+std::pair<Database, Database> ShrinkHomPair(
+    Database from, Database to,
+    const std::function<bool(const Database&, const Database&)>&
+        still_failing);
+
+/// Shrinks a (query, database) instance while the predicate stays true:
+/// atom removals on the query interleaved with database shrinking.
+std::pair<ConjunctiveQuery, Database> ShrinkCqInstance(
+    ConjunctiveQuery query, Database db,
+    const std::function<bool(const ConjunctiveQuery&, const Database&)>&
+        still_failing);
+
+}  // namespace testing
+}  // namespace featsep
+
+#endif  // FEATSEP_TESTING_SHRINK_H_

@@ -9,25 +9,6 @@ namespace featsep {
 
 namespace {
 
-/// xorshift64*; deterministic across platforms.
-class Rng {
- public:
-  explicit Rng(std::uint64_t seed) : state_(seed == 0 ? 0x243f6a88 : seed) {}
-  std::uint64_t Next() {
-    state_ ^= state_ >> 12;
-    state_ ^= state_ << 25;
-    state_ ^= state_ >> 27;
-    return state_ * 0x2545f4914f6cdd1dULL;
-  }
-  std::size_t Below(std::size_t n) { return Next() % n; }
-  double Uniform() {
-    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
-  }
-
- private:
-  std::uint64_t state_;
-};
-
 std::vector<Value> BuildPath(Database& db, const std::string& prefix,
                              std::size_t edges) {
   RelationId e = db.schema().FindRelation("E");
@@ -97,7 +78,7 @@ std::shared_ptr<TrainingDatabase> CycleTailFamily(
 std::shared_ptr<TrainingDatabase> RandomPlantedGraph(
     const RandomGraphParams& params) {
   FEATSEP_CHECK_GE(params.planted_path_length, 1u);
-  Rng rng(params.seed);
+  WorkloadRng rng(params.seed);
   auto db = std::make_shared<Database>(GraphWorkloadSchema());
   auto training = std::make_shared<TrainingDatabase>(db);
   RelationId eta = db->schema().entity_relation();
@@ -136,7 +117,7 @@ std::shared_ptr<TrainingDatabase> RandomPlantedGraph(
 ConjunctiveQuery RandomFeatureQuery(std::shared_ptr<const Schema> schema,
                                     std::size_t atoms, std::uint64_t seed) {
   FEATSEP_CHECK(schema->has_entity_relation());
-  Rng rng(seed * 2654435761ULL + 17);
+  WorkloadRng rng(seed * 2654435761ULL + 17);
   ConjunctiveQuery q = ConjunctiveQuery::MakeFeatureQuery(schema);
   std::vector<Variable> pool = {q.free_variable()};
   for (std::size_t i = 0; i < atoms; ++i) {

@@ -10,6 +10,40 @@
 
 namespace featsep {
 
+/// xorshift64* PRNG shared by the random workload generators and the
+/// `src/testing` differential-fuzz instance generators; deterministic across
+/// platforms and standard libraries (unlike std::mt19937 distributions), so a
+/// printed seed reproduces the same instance everywhere.
+class WorkloadRng {
+ public:
+  explicit WorkloadRng(std::uint64_t seed)
+      : state_(seed == 0 ? 0x243f6a88 : seed) {}
+
+  std::uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform in [0, n); n must be positive.
+  std::size_t Below(std::size_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] (inclusive).
+  std::size_t Range(std::size_t lo, std::size_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// Uniform in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// True with probability p.
+  bool Chance(double p) { return Uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
 /// The shared entity schema of the graph workloads: unary Eta (entity) and
 /// binary E (directed edge).
 std::shared_ptr<const Schema> GraphWorkloadSchema();

@@ -83,6 +83,38 @@ TEST(ParallelTest, FindFirstEvaluatesEveryIndexBelowTheAnswer) {
   }
 }
 
+TEST(ParallelTest, FindFirstEmptyRangeNeverCallsPredicate) {
+  for (std::size_t threads : {1ul, 2ul, 8ul}) {
+    bool called = false;
+    std::size_t hit = ParallelFindFirst(threads, 0, [&](std::size_t) {
+      called = true;
+      return true;
+    });
+    EXPECT_EQ(hit, 0u);
+    EXPECT_FALSE(called);
+  }
+}
+
+TEST(ParallelTest, FindFirstMoreThreadsThanItems) {
+  // Oversubscription must neither skip nor double-evaluate indices, and
+  // the minimal match must still win.
+  constexpr std::size_t kItems = 3;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::atomic<int>> visits(kItems);
+    std::size_t hit = ParallelFindFirst(16, kItems, [&](std::size_t i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+      return i >= 1;
+    });
+    EXPECT_EQ(hit, 1u);
+    EXPECT_EQ(visits[0].load(), 1);
+    EXPECT_EQ(visits[1].load(), 1);
+    EXPECT_LE(visits[2].load(), 1);  // May be skipped by early exit.
+  }
+  // All-match and no-match extremes under oversubscription.
+  EXPECT_EQ(ParallelFindFirst(16, 2, [](std::size_t) { return true; }), 0u);
+  EXPECT_EQ(ParallelFindFirst(16, 2, [](std::size_t) { return false; }), 2u);
+}
+
 TEST(ParallelTest, FindFirstSerialStopsAtTheMatch) {
   // The serial path short-circuits exactly like a hand-written loop.
   std::size_t evaluated = 0;

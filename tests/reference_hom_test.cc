@@ -1,0 +1,217 @@
+#include "testing/reference_hom.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cq/containment.h"
+#include "cq/evaluation.h"
+#include "cq/homomorphism.h"
+#include "relational/database.h"
+#include "relational/schema.h"
+#include "test_util.h"
+
+namespace featsep {
+namespace {
+
+using ::featsep::testing::AddCycle;
+using ::featsep::testing::AddEntity;
+using ::featsep::testing::AddPath;
+using ::featsep::testing::GraphSchema;
+using ::featsep::testing::RefEvaluateUnaryCq;
+using ::featsep::testing::RefFindHomomorphism;
+using ::featsep::testing::RefHomEquivalent;
+using ::featsep::testing::RefHomomorphismExists;
+using ::featsep::testing::RefIsContainedIn;
+using ::featsep::testing::RefIsHomomorphism;
+
+// Known-answer tests for the naive oracle itself. The oracle guards the
+// optimized kernel, so its own behavior is pinned on instances where the
+// right answer is provable by hand.
+
+TEST(ReferenceHomTest, EmptySourceMapsAnywhere) {
+  Database a(GraphSchema());
+  Database b(GraphSchema());
+  EXPECT_TRUE(RefHomomorphismExists(a, b));
+  b.AddFact("E", {"x", "y"});
+  EXPECT_TRUE(RefHomomorphismExists(a, b));
+}
+
+TEST(ReferenceHomTest, PathIntoLongerPath) {
+  Database a(GraphSchema());
+  AddPath(a, "p", 2);
+  Database b(GraphSchema());
+  AddPath(b, "q", 5);
+  EXPECT_TRUE(RefHomomorphismExists(a, b));
+  EXPECT_FALSE(RefHomomorphismExists(b, a));
+}
+
+TEST(ReferenceHomTest, DirectedCyclesMapIffLengthDivides) {
+  // C_n -> C_m for directed cycles iff m divides n.
+  Database c6(GraphSchema());
+  AddCycle(c6, "a", 6);
+  Database c3(GraphSchema());
+  AddCycle(c3, "b", 3);
+  Database c4(GraphSchema());
+  AddCycle(c4, "c", 4);
+  EXPECT_TRUE(RefHomomorphismExists(c6, c3));   // 3 | 6.
+  EXPECT_FALSE(RefHomomorphismExists(c6, c4));  // 4 does not divide 6.
+  EXPECT_FALSE(RefHomomorphismExists(c3, c6));  // 6 does not divide 3.
+}
+
+TEST(ReferenceHomTest, WitnessIsValid) {
+  Database a(GraphSchema());
+  AddPath(a, "p", 3);
+  Database b(GraphSchema());
+  AddCycle(b, "q", 2);
+  std::optional<std::vector<Value>> mapping = RefFindHomomorphism(a, b);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_TRUE(RefIsHomomorphism(a, b, *mapping));
+}
+
+TEST(ReferenceHomTest, IsHomomorphismRejectsBrokenMapping) {
+  Database a(GraphSchema());
+  std::vector<Value> path = AddPath(a, "p", 1);  // E(p0, p1).
+  Database b(GraphSchema());
+  Value x = b.Intern("x");
+  Value y = b.Intern("y");
+  b.AddFact(b.schema().FindRelation("E"), {x, y});
+  std::vector<Value> good(a.num_values(), kNoValue);
+  good[path[0]] = x;
+  good[path[1]] = y;
+  EXPECT_TRUE(RefIsHomomorphism(a, b, good));
+  std::vector<Value> bad = good;
+  bad[path[1]] = x;  // E(x, x) is not in b.
+  EXPECT_FALSE(RefIsHomomorphism(a, b, bad));
+}
+
+TEST(ReferenceHomTest, SeedConstrainsTheSearch) {
+  Database a(GraphSchema());
+  std::vector<Value> p = AddPath(a, "p", 1);
+  Database b(GraphSchema());
+  std::vector<Value> q = AddPath(b, "q", 1);
+  EXPECT_TRUE(RefHomomorphismExists(a, b, {{p[0], q[0]}}));
+  // Forcing p0 onto the sink q1 leaves no image for the edge.
+  EXPECT_FALSE(RefHomomorphismExists(a, b, {{p[0], q[1]}}));
+}
+
+TEST(ReferenceHomTest, ContradictorySeedFails) {
+  Database a(GraphSchema());
+  Value v = a.Intern("v");
+  a.AddFact(a.schema().FindRelation("E"), {v, v});
+  Database b(GraphSchema());
+  Value x = b.Intern("x");
+  Value y = b.Intern("y");
+  b.AddFact(b.schema().FindRelation("E"), {x, x});
+  b.AddFact(b.schema().FindRelation("E"), {y, y});
+  EXPECT_TRUE(RefHomomorphismExists(a, b, {{v, x}}));
+  EXPECT_FALSE(RefHomomorphismExists(a, b, {{v, x}, {v, y}}));
+}
+
+TEST(ReferenceHomTest, FreeSeedSourcesAreCopiedThrough) {
+  Database a(GraphSchema());
+  Value v = a.Intern("v");
+  a.AddFact(a.schema().FindRelation("E"), {v, v});
+  Database b(GraphSchema());
+  Value x = b.Intern("x");
+  b.AddFact(b.schema().FindRelation("E"), {x, x});
+  // Interned but factless: outside dom(a), so the pair is unconstrained by
+  // the search and simply copied into the mapping.
+  Value isolated = a.Intern("isolated");
+  std::optional<std::vector<Value>> mapping =
+      RefFindHomomorphism(a, b, {{isolated, x}});
+  ASSERT_TRUE(mapping.has_value());
+  ASSERT_LT(isolated, mapping->size());
+  EXPECT_EQ((*mapping)[isolated], x);
+  EXPECT_EQ((*mapping)[v], x);
+  // A source id beyond num_values never constrains the search either (it
+  // just cannot be recorded in the id-indexed mapping).
+  Value stale = static_cast<Value>(a.num_values() + 5);
+  EXPECT_TRUE(RefHomomorphismExists(a, b, {{stale, x}}));
+}
+
+TEST(ReferenceHomTest, PointedEquivalenceDistinguishesPathEnds) {
+  // Both pointed at sources of a 1-edge path: equivalent. Source vs sink:
+  // not equivalent (no hom maps a source onto a sink of the same path).
+  Database a(GraphSchema());
+  std::vector<Value> p = AddPath(a, "p", 1);
+  Database b(GraphSchema());
+  std::vector<Value> q = AddPath(b, "q", 1);
+  EXPECT_TRUE(RefHomEquivalent(a, {p[0]}, b, {q[0]}));
+  EXPECT_FALSE(RefHomEquivalent(a, {p[0]}, b, {q[1]}));
+}
+
+TEST(ReferenceHomTest, EvaluationMatchesHandAnswer) {
+  // q(x) := Eta(x), E(x, y): entities with an outgoing edge.
+  auto schema = GraphSchema();
+  ConjunctiveQuery q(schema);
+  Variable x = q.NewVariable("x");
+  Variable y = q.NewVariable("y");
+  q.AddFreeVariable(x);
+  q.AddAtom(schema->entity_relation(), {x});
+  q.AddAtom(schema->FindRelation("E"), {x, y});
+
+  Database db(schema);
+  Value a = AddEntity(db, "a");
+  Value b = AddEntity(db, "b");
+  AddEntity(db, "c");
+  Value d = db.Intern("d");  // Not an entity.
+  db.AddFact(db.schema().FindRelation("E"), {a, b});
+  db.AddFact(db.schema().FindRelation("E"), {d, a});
+
+  std::vector<Value> answers = RefEvaluateUnaryCq(q, db);
+  EXPECT_EQ(answers, std::vector<Value>({a}));
+}
+
+TEST(ReferenceHomTest, ContainmentKnownAnswers) {
+  // q1(x) := Eta(x), E(x, y), E(y, z)  (2-step walk)
+  // q2(x) := Eta(x), E(x, y)           (1-step walk)
+  auto schema = GraphSchema();
+  RelationId e = schema->FindRelation("E");
+  ConjunctiveQuery q1(schema);
+  {
+    Variable x = q1.NewVariable("x");
+    Variable y = q1.NewVariable("y");
+    Variable z = q1.NewVariable("z");
+    q1.AddFreeVariable(x);
+    q1.AddAtom(schema->entity_relation(), {x});
+    q1.AddAtom(e, {x, y});
+    q1.AddAtom(e, {y, z});
+  }
+  ConjunctiveQuery q2(schema);
+  {
+    Variable x = q2.NewVariable("x");
+    Variable y = q2.NewVariable("y");
+    q2.AddFreeVariable(x);
+    q2.AddAtom(schema->entity_relation(), {x});
+    q2.AddAtom(e, {x, y});
+  }
+  EXPECT_TRUE(RefIsContainedIn(q1, q2));   // More atoms, fewer answers.
+  EXPECT_FALSE(RefIsContainedIn(q2, q1));  // E(a,b) alone answers q2 only.
+  EXPECT_TRUE(RefIsContainedIn(q1, q1));
+  // The optimized engine agrees on the same pair.
+  EXPECT_TRUE(IsContainedIn(q1, q2));
+  EXPECT_FALSE(IsContainedIn(q2, q1));
+}
+
+TEST(ReferenceHomTest, AgreesWithKernelOnHandcraftedInstances) {
+  Database c6(GraphSchema());
+  AddCycle(c6, "a", 6);
+  Database c3(GraphSchema());
+  AddCycle(c3, "b", 3);
+  Database p4(GraphSchema());
+  AddPath(p4, "p", 4);
+  const Database* dbs[] = {&c6, &c3, &p4};
+  for (const Database* from : dbs) {
+    for (const Database* to : dbs) {
+      EXPECT_EQ(RefHomomorphismExists(*from, *to),
+                HomomorphismExists(*from, *to))
+          << "oracle and kernel disagree";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace featsep

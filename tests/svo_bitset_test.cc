@@ -141,6 +141,30 @@ TEST(SvoBitsetTest, SetAllResetAll) {
   EXPECT_EQ(bits.count(), 0u);
 }
 
+TEST(SvoBitsetTest, IntersectWithEmptyAtExactInlineBoundary) {
+  // Regression guard for the 256-bit storage transition: a full bitset
+  // intersected with an all-zero one of the same universe must clear every
+  // word — including the last inline word at exactly kInlineBits, and the
+  // first heap word one past it.
+  for (std::size_t bits :
+       {SvoBitset::kInlineBits - 1, SvoBitset::kInlineBits,
+        SvoBitset::kInlineBits + 1}) {
+    SvoBitset full(bits, true);
+    SvoBitset empty(bits);
+    ASSERT_EQ(full.count(), bits);
+    full.intersect_with(empty);
+    EXPECT_TRUE(full.empty()) << "universe " << bits;
+    EXPECT_EQ(full.count(), 0u) << "universe " << bits;
+    EXPECT_EQ(full.find_first(), SvoBitset::kNoBit) << "universe " << bits;
+    EXPECT_FALSE(full.intersects(empty)) << "universe " << bits;
+    // And the reverse orientation: empty stays empty.
+    SvoBitset full2(bits, true);
+    SvoBitset empty2(bits);
+    empty2.intersect_with(full2);
+    EXPECT_TRUE(empty2.empty()) << "universe " << bits;
+  }
+}
+
 TEST(SvoBitsetTest, EqualityRequiresSameUniverse) {
   SvoBitset a(10);
   SvoBitset b(11);
