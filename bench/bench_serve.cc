@@ -1,0 +1,88 @@
+// Batched-evaluation-service comparison (DESIGN.md §8): Statistic::Matrix
+// over a feature bank through serve::EvalService vs the serial per-feature
+// sweep. Series compare (a) cold-cache sharded evaluation at 1/2/8 shards
+// against the unserved baseline, and (b) warm-cache reuse, where repeated
+// Matrix calls over equal database content reduce to digest + hash lookups
+// — the acceptance bar is warm ≥ 5× faster than cold.
+
+#include <cstddef>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/statistic.h"
+#include "cq/enumeration.h"
+#include "serve/eval_service.h"
+#include "workload/generators.h"
+
+namespace featsep {
+namespace {
+
+std::shared_ptr<Database> World(std::size_t nodes) {
+  auto db = bench::RandomGraphDatabase(nodes, nodes * 3, 2024);
+  RelationId eta = db->schema().entity_relation();
+  const std::vector<Value>& domain = db->domain();
+  for (std::size_t i = 0; i < domain.size(); i += 2) {
+    db->AddFact(eta, {domain[i]});
+  }
+  return db;
+}
+
+/// The CQ[2] feature bank over the graph schema — the same bank the
+/// DecideCqmSep and QBE sweeps evaluate.
+Statistic FeatureBank() {
+  EnumerationOptions options;
+  std::vector<ConjunctiveQuery> features =
+      EnumerateFeatureQueries(GraphWorkloadSchema(), 2, options);
+  return Statistic(std::move(features));
+}
+
+void BM_MatrixSerial(benchmark::State& state) {
+  auto db = World(static_cast<std::size_t>(state.range(0)));
+  Statistic statistic = FeatureBank();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(statistic.Matrix(*db).size());
+  }
+  state.counters["features"] = static_cast<double>(statistic.dimension());
+  state.counters["entities"] = static_cast<double>(db->Entities().size());
+}
+BENCHMARK(BM_MatrixSerial)->Arg(32)->Arg(64);
+
+void BM_MatrixServedCold(benchmark::State& state) {
+  auto db = World(static_cast<std::size_t>(state.range(0)));
+  Statistic statistic = FeatureBank();
+  serve::ServeOptions options;
+  options.num_shards = static_cast<std::size_t>(state.range(1));
+  serve::EvalService service(options);
+  for (auto _ : state) {
+    service.ClearCache();  // Every iteration pays the kernel cost.
+    benchmark::DoNotOptimize(statistic.Matrix(*db, &service).size());
+  }
+  state.counters["shards"] = static_cast<double>(options.num_shards);
+}
+BENCHMARK(BM_MatrixServedCold)
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({32, 8})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 8});
+
+void BM_MatrixServedWarm(benchmark::State& state) {
+  auto db = World(static_cast<std::size_t>(state.range(0)));
+  Statistic statistic = FeatureBank();
+  serve::ServeOptions options;
+  options.num_shards = static_cast<std::size_t>(state.range(1));
+  options.cache_capacity = statistic.dimension() + 1;
+  serve::EvalService service(options);
+  statistic.Matrix(*db, &service);  // Warm the cache once, outside timing.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(statistic.Matrix(*db, &service).size());
+  }
+  state.counters["hits"] = static_cast<double>(service.stats().cache_hits);
+}
+BENCHMARK(BM_MatrixServedWarm)->Args({32, 1})->Args({64, 1})->Args({64, 8});
+
+}  // namespace
+}  // namespace featsep

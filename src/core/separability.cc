@@ -1,5 +1,6 @@
 #include "core/separability.h"
 
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -18,15 +19,24 @@ CqSepResult DecideCqSep(const TrainingDatabase& training,
   std::vector<Value> positives = training.PositiveExamples();
   std::vector<Value> negatives = training.NegativeExamples();
 
-  // Warm the database's lazy domain caches before sharing it across the
-  // worker threads (they are read-only afterwards).
-  db.domain();
-  db.domain_index();
+  // Degenerate training sets: with no positives or no negatives there is no
+  // differently-labeled pair, so the database is trivially separable (this
+  // also keeps the index arithmetic below free of divisions by zero).
+  CqSepResult result;
+  if (positives.empty() || negatives.empty()) {
+    result.separable = true;
+    return result;
+  }
+  // The pair count drives the sweep's index math; make a silent wrap-around
+  // on astronomically large example sets a loud error instead.
+  FEATSEP_CHECK_LE(positives.size(),
+                   std::numeric_limits<std::size_t>::max() / negatives.size())
+      << "positive x negative pair count overflows std::size_t";
 
   // The pairwise hom-equivalence tests are independent; sweep them in
   // parallel, reporting the first conflicting pair in the same
-  // positive-major order the serial loop used.
-  CqSepResult result;
+  // positive-major order the serial loop used. The database's lazy domain
+  // caches are internally synchronized, so workers may hit them cold.
   std::size_t pairs = positives.size() * negatives.size();
   std::size_t hit = ParallelFindFirst(
       options.num_threads, pairs, [&](std::size_t index) {
@@ -45,18 +55,18 @@ CqSepResult DecideCqSep(const TrainingDatabase& training,
 }
 
 CqmSepResult DecideCqmSep(const TrainingDatabase& training, std::size_t m,
-                          std::size_t max_variable_occurrences) {
+                          const CqmSepOptions& options) {
   FEATSEP_CHECK(training.IsFullyLabeled());
-  EnumerationOptions options;
-  options.max_variable_occurrences = max_variable_occurrences;
+  EnumerationOptions enum_options;
+  enum_options.max_variable_occurrences = options.max_variable_occurrences;
   Statistic all_features(EnumerateFeatureQueries(
-      training.database().schema_ptr(), m, options));
+      training.database().schema_ptr(), m, enum_options));
 
   CqmSepResult result;
   result.features_enumerated = all_features.dimension();
 
   TrainingCollection collection =
-      MakeTrainingCollection(all_features, training);
+      MakeTrainingCollection(all_features, training, options.service);
   std::optional<LinearClassifier> classifier = FindSeparator(collection);
   if (!classifier.has_value()) {
     result.separable = false;
@@ -80,6 +90,13 @@ CqmSepResult DecideCqmSep(const TrainingDatabase& training, std::size_t m,
   result.separable = true;
   result.model = std::move(model);
   return result;
+}
+
+CqmSepResult DecideCqmSep(const TrainingDatabase& training, std::size_t m,
+                          std::size_t max_variable_occurrences) {
+  CqmSepOptions options;
+  options.max_variable_occurrences = max_variable_occurrences;
+  return DecideCqmSep(training, m, options);
 }
 
 }  // namespace featsep

@@ -10,6 +10,10 @@
 
 namespace featsep {
 
+namespace serve {
+class EvalService;
+}  // namespace serve
+
 /// Result of the general CQ-separability test (paper, Theorem 3.2 /
 /// Kimelfeld–Ré): (D, λ) is CQ-separable iff no two differently-labeled
 /// entities are homomorphically equivalent as pointed databases.
@@ -45,11 +49,28 @@ struct CqmSepResult {
   std::size_t features_enumerated = 0;
 };
 
+/// Options for the CQ[m]-SEP decision procedure.
+struct CqmSepOptions {
+  /// The paper's p parameter: restricts the enumerated features to CQ[m,p]
+  /// (Proposition 4.3); 0 = unrestricted.
+  std::size_t max_variable_occurrences = 0;
+  /// When non-null, the enumerated features are evaluated through the
+  /// batched serve layer — sharded over its thread pool and reused from
+  /// its cache on repeated (database, m) workloads — instead of the serial
+  /// per-feature sweep. The decision and model are bit-identical.
+  serve::EvalService* service = nullptr;
+};
+
 /// Decides CQ[m]-SEP and, when separable, generates a separating
 /// (statistic, classifier) pair — the constructive algorithm behind
-/// Proposition 4.1; `max_variable_occurrences` = p restricts to CQ[m,p]
-/// (Proposition 4.3). When separable, the returned model's statistic is
-/// pruned to the features the classifier actually uses (nonzero weight).
+/// Proposition 4.1; `options.max_variable_occurrences` = p restricts to
+/// CQ[m,p] (Proposition 4.3). When separable, the returned model's
+/// statistic is pruned to the features the classifier actually uses
+/// (nonzero weight).
+CqmSepResult DecideCqmSep(const TrainingDatabase& training, std::size_t m,
+                          const CqmSepOptions& options);
+
+/// Back-compat convenience overload.
 CqmSepResult DecideCqmSep(const TrainingDatabase& training, std::size_t m,
                           std::size_t max_variable_occurrences = 0);
 

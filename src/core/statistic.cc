@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "cq/evaluation.h"
+#include "serve/eval_service.h"
 #include "util/check.h"
 
 namespace featsep {
@@ -16,7 +17,9 @@ const ConjunctiveQuery& Statistic::feature(std::size_t i) const {
   return features_[i];
 }
 
-FeatureVector Statistic::Vector(const Database& db, Value entity) const {
+FeatureVector Statistic::Vector(const Database& db, Value entity,
+                                serve::EvalService* service) const {
+  if (service != nullptr) return service->Vector(features_, db, entity);
   FeatureVector vector;
   vector.reserve(features_.size());
   for (const ConjunctiveQuery& q : features_) {
@@ -25,7 +28,9 @@ FeatureVector Statistic::Vector(const Database& db, Value entity) const {
   return vector;
 }
 
-std::vector<FeatureVector> Statistic::Matrix(const Database& db) const {
+std::vector<FeatureVector> Statistic::Matrix(
+    const Database& db, serve::EvalService* service) const {
+  if (service != nullptr) return service->Matrix(features_, db);
   std::vector<Value> entities = db.Entities();
   std::vector<FeatureVector> matrix(entities.size());
   for (std::size_t i = 0; i < entities.size(); ++i) {
@@ -59,10 +64,11 @@ std::string Statistic::ToString() const {
   return out.str();
 }
 
-Labeling SeparatorModel::Apply(const Database& db) const {
+Labeling SeparatorModel::Apply(const Database& db,
+                               serve::EvalService* service) const {
   Labeling labeling;
   std::vector<Value> entities = db.Entities();
-  std::vector<FeatureVector> matrix = statistic.Matrix(db);
+  std::vector<FeatureVector> matrix = statistic.Matrix(db, service);
   for (std::size_t i = 0; i < entities.size(); ++i) {
     labeling.Set(entities[i], classifier.Classify(matrix[i]));
   }
@@ -80,10 +86,12 @@ std::size_t SeparatorModel::TrainingErrors(
 }
 
 TrainingCollection MakeTrainingCollection(const Statistic& statistic,
-                                          const TrainingDatabase& training) {
+                                          const TrainingDatabase& training,
+                                          serve::EvalService* service) {
   TrainingCollection collection;
   std::vector<Value> entities = training.Entities();
-  std::vector<FeatureVector> matrix = statistic.Matrix(training.database());
+  std::vector<FeatureVector> matrix =
+      statistic.Matrix(training.database(), service);
   for (std::size_t i = 0; i < entities.size(); ++i) {
     collection.emplace_back(std::move(matrix[i]),
                             training.label(entities[i]));

@@ -13,9 +13,19 @@
 
 namespace featsep {
 
+namespace serve {
+class EvalService;
+}  // namespace serve
+
 /// A statistic Π = (q₁, …, qₙ): a sequence of feature queries mapping each
 /// entity e of a database D to the vector Π^D(e) ∈ {1, -1}ⁿ of feature
 /// indicators (paper, Section 3).
+///
+/// The evaluation entry points take an optional serve::EvalService — the
+/// batched, caching, sharded evaluation path (DESIGN.md §8). With
+/// `service == nullptr` (the default) they evaluate serially in the calling
+/// thread, feature by feature, exactly as before; with a service they
+/// produce bit-identical results through its cache and thread pool.
 class Statistic {
  public:
   Statistic() = default;
@@ -25,11 +35,14 @@ class Statistic {
   const std::vector<ConjunctiveQuery>& features() const { return features_; }
   const ConjunctiveQuery& feature(std::size_t i) const;
 
-  /// Π^D(e) for one entity.
-  FeatureVector Vector(const Database& db, Value entity) const;
+  /// Π^D(e) for one entity. The serve path requires `entity` ∈ η(D).
+  FeatureVector Vector(const Database& db, Value entity,
+                       serve::EvalService* service = nullptr) const;
 
   /// Π^D(e) for all entities of D, in the order of db.Entities().
-  std::vector<FeatureVector> Matrix(const Database& db) const;
+  std::vector<FeatureVector> Matrix(const Database& db,
+                                    serve::EvalService* service = nullptr)
+      const;
 
   /// Total number of atoms across the feature queries (size measure used by
   /// the Theorem 5.7 / 6.7 blowup experiments).
@@ -49,7 +62,8 @@ struct SeparatorModel {
 
   /// Labels every entity of `db` by Λ(Π^D(e)) — the classification task
   /// (paper, Section 5.3 / L-CLS).
-  Labeling Apply(const Database& db) const;
+  Labeling Apply(const Database& db,
+                 serve::EvalService* service = nullptr) const;
 
   /// Number of entities of the training database the model mislabels.
   std::size_t TrainingErrors(const TrainingDatabase& training) const;
@@ -58,7 +72,9 @@ struct SeparatorModel {
 /// The training collection (Π^D(e), λ(e)) for all entities of the training
 /// database, in the order of Entities().
 TrainingCollection MakeTrainingCollection(const Statistic& statistic,
-                                          const TrainingDatabase& training);
+                                          const TrainingDatabase& training,
+                                          serve::EvalService* service =
+                                              nullptr);
 
 }  // namespace featsep
 

@@ -8,6 +8,7 @@
 #include "cq/evaluation.h"
 #include "cq/homomorphism.h"
 #include "cq/product.h"
+#include "serve/eval_service.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -40,13 +41,9 @@ QbeResult SolveCqQbe(const QbeInstance& instance, const QbeOptions& options) {
   QbeResult result;
   result.product_facts = product.db.size();
   result.exists = true;
-  // Warm the lazy domain caches shared by the worker threads.
-  product.db.domain();
-  product.db.domain_index();
-  instance.db->domain();
-  instance.db->domain_index();
   // The per-negative refutation checks are independent NP searches; fan
-  // them out and stop at the first negative the product maps into.
+  // them out and stop at the first negative the product maps into. (The
+  // databases' lazy caches are internally synchronized — no warm-up step.)
   std::size_t hit = ParallelFindFirst(
       options.num_threads, instance.negatives.size(), [&](std::size_t i) {
         return HomomorphismExists(product.db, *instance.db,
@@ -99,24 +96,44 @@ QbeResult SolveCqmQbe(const QbeInstance& instance, std::size_t m,
   std::vector<ConjunctiveQuery> candidates =
       EnumerateFeatureQueries(db.schema_ptr(), m, enum_options);
 
-  // Warm the lazy domain caches shared by the worker threads.
-  db.domain();
-  db.domain_index();
-
   // Each candidate query is screened independently; fan the screens out
-  // and return the first explanation in enumeration order.
+  // and return the first explanation in enumeration order. The serve path
+  // walks candidates serially but computes (and caches) each candidate's
+  // full answer set on the service's sharded pool — repeated sweeps over
+  // the same database content then screen from the cache alone.
   QbeResult result;
-  std::size_t hit = ParallelFindFirst(
-      options.num_threads, candidates.size(), [&](std::size_t index) {
-        CqEvaluator evaluator(candidates[index]);
+  std::size_t hit = candidates.size();
+  if (options.service != nullptr) {
+    for (std::size_t index = 0; index < candidates.size(); ++index) {
+      std::shared_ptr<const serve::FeatureAnswer> answer =
+          options.service->Answer(candidates[index], db);
+      auto screens = [&] {
         for (Value e : instance.positives) {
-          if (!evaluator.SelectsEntity(db, e)) return false;
+          if (!answer->Selects(db, e)) return false;
         }
         for (Value b : instance.negatives) {
-          if (evaluator.SelectsEntity(db, b)) return false;
+          if (answer->Selects(db, b)) return false;
         }
         return true;
-      });
+      };
+      if (screens()) {
+        hit = index;
+        break;
+      }
+    }
+  } else {
+    hit = ParallelFindFirst(
+        options.num_threads, candidates.size(), [&](std::size_t index) {
+          CqEvaluator evaluator(candidates[index]);
+          for (Value e : instance.positives) {
+            if (!evaluator.SelectsEntity(db, e)) return false;
+          }
+          for (Value b : instance.negatives) {
+            if (evaluator.SelectsEntity(db, b)) return false;
+          }
+          return true;
+        });
+  }
   if (hit < candidates.size()) {
     result.exists = true;
     result.explanation = std::move(candidates[hit]);

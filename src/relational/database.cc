@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace featsep {
 
@@ -24,6 +25,86 @@ Database::Database(std::shared_ptr<const Schema> schema)
   }
 }
 
+// The copy/move special members are spelled out because the cache mutex and
+// the atomic validity flags are neither copyable nor movable. Copying or
+// moving requires exclusive access to both operands (as mutation does), so
+// the cache fields can be transferred without holding the mutex.
+
+Database::Database(const Database& other)
+    : schema_(other.schema_),
+      value_names_(other.value_names_),
+      values_by_name_(other.values_by_name_),
+      facts_(other.facts_),
+      fact_set_(other.fact_set_),
+      facts_by_relation_(other.facts_by_relation_),
+      facts_by_value_(other.facts_by_value_),
+      facts_by_position_(other.facts_by_position_),
+      domain_cache_(other.domain_cache_),
+      domain_index_cache_(other.domain_index_cache_),
+      domain_cache_valid_(other.domain_cache_valid_.load()),
+      digest_cache_(other.digest_cache_),
+      digest_valid_(other.digest_valid_.load()),
+      in_domain_(other.in_domain_) {}
+
+Database& Database::operator=(const Database& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  value_names_ = other.value_names_;
+  values_by_name_ = other.values_by_name_;
+  facts_ = other.facts_;
+  fact_set_ = other.fact_set_;
+  facts_by_relation_ = other.facts_by_relation_;
+  facts_by_value_ = other.facts_by_value_;
+  facts_by_position_ = other.facts_by_position_;
+  domain_cache_ = other.domain_cache_;
+  domain_index_cache_ = other.domain_index_cache_;
+  domain_cache_valid_.store(other.domain_cache_valid_.load());
+  digest_cache_ = other.digest_cache_;
+  digest_valid_.store(other.digest_valid_.load());
+  in_domain_ = other.in_domain_;
+  return *this;
+}
+
+Database::Database(Database&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      value_names_(std::move(other.value_names_)),
+      values_by_name_(std::move(other.values_by_name_)),
+      facts_(std::move(other.facts_)),
+      fact_set_(std::move(other.fact_set_)),
+      facts_by_relation_(std::move(other.facts_by_relation_)),
+      facts_by_value_(std::move(other.facts_by_value_)),
+      facts_by_position_(std::move(other.facts_by_position_)),
+      domain_cache_(std::move(other.domain_cache_)),
+      domain_index_cache_(std::move(other.domain_index_cache_)),
+      domain_cache_valid_(other.domain_cache_valid_.load()),
+      digest_cache_(other.digest_cache_),
+      digest_valid_(other.digest_valid_.load()),
+      in_domain_(std::move(other.in_domain_)) {
+  other.domain_cache_valid_.store(false);
+  other.digest_valid_.store(false);
+}
+
+Database& Database::operator=(Database&& other) noexcept {
+  if (this == &other) return *this;
+  schema_ = std::move(other.schema_);
+  value_names_ = std::move(other.value_names_);
+  values_by_name_ = std::move(other.values_by_name_);
+  facts_ = std::move(other.facts_);
+  fact_set_ = std::move(other.fact_set_);
+  facts_by_relation_ = std::move(other.facts_by_relation_);
+  facts_by_value_ = std::move(other.facts_by_value_);
+  facts_by_position_ = std::move(other.facts_by_position_);
+  domain_cache_ = std::move(other.domain_cache_);
+  domain_index_cache_ = std::move(other.domain_index_cache_);
+  domain_cache_valid_.store(other.domain_cache_valid_.load());
+  digest_cache_ = other.digest_cache_;
+  digest_valid_.store(other.digest_valid_.load());
+  in_domain_ = std::move(other.in_domain_);
+  other.domain_cache_valid_.store(false);
+  other.digest_valid_.store(false);
+  return *this;
+}
+
 Value Database::Intern(std::string_view name) {
   auto it = values_by_name_.find(std::string(name));
   if (it != values_by_name_.end()) return it->second;
@@ -32,6 +113,8 @@ Value Database::Intern(std::string_view name) {
   values_by_name_.emplace(std::string(name), value);
   facts_by_value_.emplace_back();
   in_domain_.push_back(false);
+  // Keep the domain_index() length invariant (num_values() entries).
+  domain_cache_valid_.store(false, std::memory_order_relaxed);
   return value;
 }
 
@@ -69,7 +152,8 @@ bool Database::AddFact(RelationId relation, std::vector<Value> args) {
   }
   fact_set_.insert(fact);
   facts_.push_back(std::move(fact));
-  domain_cache_valid_ = false;
+  domain_cache_valid_.store(false, std::memory_order_relaxed);
+  digest_valid_.store(false, std::memory_order_relaxed);
   return true;
 }
 
@@ -114,17 +198,23 @@ const std::vector<FactIndex>& Database::FactsWith(RelationId relation,
 }
 
 const std::vector<Value>& Database::domain() const {
-  if (!domain_cache_valid_) {
-    domain_cache_.clear();
-    domain_index_cache_.assign(value_names_.size(), kNoDomainIndex);
-    for (Value v = 0; v < in_domain_.size(); ++v) {
-      if (in_domain_[v]) {
-        domain_index_cache_[v] =
-            static_cast<std::uint32_t>(domain_cache_.size());
-        domain_cache_.push_back(v);
+  // Double-checked locking: the release store below pairs with this acquire
+  // load, so a reader that observes `true` also observes the built caches;
+  // cold concurrent readers serialize on the mutex and build once.
+  if (!domain_cache_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (!domain_cache_valid_.load(std::memory_order_relaxed)) {
+      domain_cache_.clear();
+      domain_index_cache_.assign(value_names_.size(), kNoDomainIndex);
+      for (Value v = 0; v < in_domain_.size(); ++v) {
+        if (in_domain_[v]) {
+          domain_index_cache_[v] =
+              static_cast<std::uint32_t>(domain_cache_.size());
+          domain_cache_.push_back(v);
+        }
       }
+      domain_cache_valid_.store(true, std::memory_order_release);
     }
-    domain_cache_valid_ = true;
   }
   return domain_cache_;
 }
@@ -132,6 +222,45 @@ const std::vector<Value>& Database::domain() const {
 const std::vector<std::uint32_t>& Database::domain_index() const {
   domain();  // Rebuilds both caches when stale.
   return domain_index_cache_;
+}
+
+std::uint64_t Database::ContentDigest() const {
+  if (!digest_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (!digest_valid_.load(std::memory_order_relaxed)) {
+      std::hash<std::string> hash_string;
+      // Schema part: relation names and arities in id order, plus the
+      // entity designation (id order is semantic — Schema::operator==
+      // compares it).
+      std::size_t schema_hash = 0xcbf29ce484222325ULL;
+      for (RelationId r = 0; r < schema_->size(); ++r) {
+        HashCombine(schema_hash, hash_string(schema_->name(r)));
+        HashCombine(schema_hash, schema_->arity(r));
+      }
+      HashCombine(schema_hash, schema_->has_entity_relation()
+                                   ? schema_->entity_relation() + 1
+                                   : 0);
+      // Fact part: each fact hashed by relation id and argument *names*
+      // (value ids depend on interning order; names do not), combined by
+      // wrap-around addition so the digest is insensitive to insertion
+      // order. Facts are deduplicated, so the sum is over a set.
+      std::uint64_t facts_hash = 0;
+      for (const Fact& fact : facts_) {
+        std::size_t h = 0x100000001b3ULL;
+        HashCombine(h, fact.relation);
+        for (Value v : fact.args) {
+          HashCombine(h, hash_string(value_names_[v]));
+        }
+        facts_hash += static_cast<std::uint64_t>(h);
+      }
+      std::size_t digest = schema_hash;
+      HashCombine(digest, static_cast<std::size_t>(facts_hash));
+      HashCombine(digest, facts_.size());
+      digest_cache_ = static_cast<std::uint64_t>(digest);
+      digest_valid_.store(true, std::memory_order_release);
+    }
+  }
+  return digest_cache_;
 }
 
 std::uint32_t Database::DomainIndexOf(Value value) const {

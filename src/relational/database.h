@@ -1,7 +1,10 @@
 #ifndef FEATSEP_RELATIONAL_DATABASE_H_
 #define FEATSEP_RELATIONAL_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -21,9 +24,21 @@ namespace featsep {
 ///   - facts by contained value,
 ///   - facts by (relation, argument position, value).
 /// Fact insertion is deduplicating (a database is a *set* of facts).
+///
+/// Thread safety: mutation (Intern, AddFact) and copying/moving require
+/// exclusive access, like a standard container. All const accessors —
+/// including the lazily built `domain()`, `domain_index()`, and
+/// `ContentDigest()` caches — are safe to call concurrently from any number
+/// of threads with no warm-up step: lazy construction is internally
+/// synchronized (double-checked locking on a per-database mutex).
 class Database {
  public:
   explicit Database(std::shared_ptr<const Schema> schema);
+
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+  Database(Database&& other) noexcept;
+  Database& operator=(Database&& other) noexcept;
 
   const Schema& schema() const { return *schema_; }
   const std::shared_ptr<const Schema>& schema_ptr() const { return schema_; }
@@ -81,12 +96,19 @@ class Database {
   /// domain(), or kNoDomainIndex for values outside dom(D). Indexed by value
   /// id; the vector has num_values() entries. This is the bridge between
   /// Value ids and the 0..|dom(D)|-1 universe the bitset-domain homomorphism
-  /// engine operates over.
-  ///
-  /// Like domain(), the mapping is built lazily on first call after a
-  /// mutation; warm it (call it once) before sharing the database across
-  /// threads.
+  /// engine operates over. Like domain(), built lazily and safe to hit cold
+  /// from concurrent readers.
   const std::vector<std::uint32_t>& domain_index() const;
+
+  /// Content digest: a 64-bit hash of the schema and the *set* of facts,
+  /// insensitive to fact insertion order and to value interning order
+  /// (facts are hashed by relation and argument names, then combined
+  /// commutatively). Two databases with equal schemas and equal fact sets —
+  /// up to constant names — digest equally regardless of construction
+  /// order; interned-but-unused constants do not contribute. Memoized
+  /// thread-safely; serves as the database half of the serve-layer cache
+  /// key (serve/eval_service.h).
+  std::uint64_t ContentDigest() const;
 
   /// Position of `value` in domain(), or kNoDomainIndex if absent.
   std::uint32_t DomainIndexOf(Value value) const;
@@ -116,9 +138,17 @@ class Database {
   std::vector<std::vector<std::unordered_map<Value, std::vector<FactIndex>>>>
       facts_by_position_;
 
+  // Lazily built caches, guarded by `cache_mutex_` under double-checked
+  // locking: the `*_valid_` flag is read with acquire ordering outside the
+  // mutex and published with release ordering after the cache is built, so
+  // cold concurrent readers are safe. Mutators reset the flags (they
+  // already require exclusive access).
+  mutable std::mutex cache_mutex_;
   mutable std::vector<Value> domain_cache_;
   mutable std::vector<std::uint32_t> domain_index_cache_;
-  mutable bool domain_cache_valid_ = false;
+  mutable std::atomic<bool> domain_cache_valid_{false};
+  mutable std::uint64_t digest_cache_ = 0;
+  mutable std::atomic<bool> digest_valid_{false};
   std::vector<bool> in_domain_;
 };
 

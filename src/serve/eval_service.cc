@@ -1,0 +1,183 @@
+#include "serve/eval_service.h"
+
+#include <algorithm>
+
+#include "cq/evaluation.h"
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace featsep {
+namespace serve {
+
+std::size_t EvalService::CacheKeyHash::operator()(const CacheKey& key) const {
+  std::size_t seed = std::hash<std::uint64_t>()(key.first);
+  HashCombine(seed, std::hash<std::string>()(key.second));
+  return seed;
+}
+
+EvalService::EvalService(const ServeOptions& options)
+    : options_(options), pool_(options.num_shards) {}
+
+std::shared_ptr<const FeatureAnswer> EvalService::CacheGet(
+    const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++stats_.cache_misses;
+    return nullptr;
+  }
+  ++stats_.cache_hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // Move to front.
+  return it->second->answer;
+}
+
+void EvalService::CachePut(CacheKey key,
+                           std::shared_ptr<const FeatureAnswer> answer) {
+  if (options_.cache_capacity == 0) return;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    it->second->answer = std::move(answer);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(CacheEntry{key, std::move(answer)});
+  cache_.emplace(std::move(key), lru_.begin());
+  while (cache_.size() > options_.cache_capacity) {
+    cache_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.cache_evictions;
+  }
+}
+
+std::vector<std::shared_ptr<const FeatureAnswer>> EvalService::Resolve(
+    const std::vector<ConjunctiveQuery>& features, const Database& db) {
+  const std::uint64_t digest = db.ContentDigest();
+  const bool use_cache = options_.cache_capacity > 0;
+  std::vector<std::shared_ptr<const FeatureAnswer>> answers(features.size());
+
+  // Cache pass. Batch-internal duplicates (identical canonical strings)
+  // alias one evaluation slot so each distinct feature runs at most once.
+  struct Miss {
+    std::size_t feature_index;
+    CacheKey key;
+    std::unique_ptr<CqEvaluator> evaluator;
+    std::vector<char> flags;  // One per entity of db, in Entities() order.
+  };
+  std::vector<Miss> misses;
+  std::vector<std::size_t> alias(features.size(), 0);
+  std::unordered_map<CacheKey, std::size_t, CacheKeyHash> miss_of_key;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    CacheKey key{digest, features[i].ToString()};
+    if (use_cache) {
+      answers[i] = CacheGet(key);
+      if (answers[i] != nullptr) continue;
+    }
+    auto [it, inserted] = miss_of_key.try_emplace(key, misses.size());
+    alias[i] = it->second;
+    if (inserted) {
+      misses.push_back(Miss{i, std::move(key), nullptr, {}});
+    }
+  }
+  if (misses.empty()) return answers;
+
+  // Sharded evaluation of the misses: (feature × entity-block) work items
+  // on the persistent pool. Each item writes disjoint flag slots, so the
+  // result is bit-identical for every shard count.
+  const std::vector<Value> entities = db.Entities();
+  const std::size_t block = std::max<std::size_t>(1, options_.entity_block);
+  const std::size_t blocks_per_feature = (entities.size() + block - 1) / block;
+  for (Miss& miss : misses) {
+    miss.evaluator =
+        std::make_unique<CqEvaluator>(features[miss.feature_index]);
+    miss.flags.assign(entities.size(), 0);
+  }
+  pool_.ParallelFor(
+      misses.size() * blocks_per_feature, [&](std::size_t task) {
+        Miss& miss = misses[task / blocks_per_feature];
+        std::size_t begin = (task % blocks_per_feature) * block;
+        std::size_t end = std::min(begin + block, entities.size());
+        for (std::size_t e = begin; e < end; ++e) {
+          miss.flags[e] = miss.evaluator->SelectsEntity(db, entities[e]);
+        }
+      });
+
+  for (Miss& miss : misses) {
+    std::unordered_set<std::string> selected;
+    for (std::size_t e = 0; e < entities.size(); ++e) {
+      if (miss.flags[e] != 0) selected.insert(db.value_name(entities[e]));
+    }
+    auto answer = std::make_shared<const FeatureAnswer>(std::move(selected));
+    CachePut(miss.key, answer);
+    answers[miss.feature_index] = std::move(answer);
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    stats_.features_evaluated += misses.size();
+    stats_.entity_evaluations += misses.size() * entities.size();
+  }
+  // Fill the aliased (and, with the cache disabled, repeated) slots.
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (answers[i] == nullptr) {
+      answers[i] = answers[misses[alias[i]].feature_index];
+    }
+  }
+  return answers;
+}
+
+std::shared_ptr<const FeatureAnswer> EvalService::Answer(
+    const ConjunctiveQuery& feature, const Database& db) {
+  return Resolve({feature}, db)[0];
+}
+
+std::vector<FeatureVector> EvalService::Matrix(
+    const std::vector<ConjunctiveQuery>& features, const Database& db) {
+  std::vector<std::shared_ptr<const FeatureAnswer>> answers =
+      Resolve(features, db);
+  const std::vector<Value> entities = db.Entities();
+  std::vector<FeatureVector> matrix(entities.size());
+  for (std::size_t e = 0; e < entities.size(); ++e) {
+    matrix[e].reserve(features.size());
+    for (const auto& answer : answers) {
+      matrix[e].push_back(answer->Selects(db, entities[e]) ? 1 : -1);
+    }
+  }
+  return matrix;
+}
+
+FeatureVector EvalService::Vector(
+    const std::vector<ConjunctiveQuery>& features, const Database& db,
+    Value entity) {
+  // Answers are computed over η(D), so the probe must be an entity (the
+  // unserved Statistic::Vector accepts arbitrary values; the service's
+  // statistic contract is Π^D(e) for e ∈ η(D)).
+  FEATSEP_CHECK(db.IsEntity(entity))
+      << "EvalService::Vector probe is not an entity";
+  std::vector<std::shared_ptr<const FeatureAnswer>> answers =
+      Resolve(features, db);
+  FeatureVector vector;
+  vector.reserve(features.size());
+  for (const auto& answer : answers) {
+    vector.push_back(answer->Selects(db, entity) ? 1 : -1);
+  }
+  return vector;
+}
+
+ServeStats EvalService::stats() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return stats_;
+}
+
+std::size_t EvalService::cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
+}
+
+void EvalService::ClearCache() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.clear();
+  lru_.clear();
+}
+
+}  // namespace serve
+}  // namespace featsep

@@ -1,0 +1,145 @@
+#ifndef FEATSEP_SERVE_EVAL_SERVICE_H_
+#define FEATSEP_SERVE_EVAL_SERVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "cq/cq.h"
+#include "linsep/linear_classifier.h"
+#include "relational/database.h"
+#include "util/thread_pool.h"
+
+namespace featsep {
+namespace serve {
+
+/// Options for the batched evaluation service.
+struct ServeOptions {
+  /// Shards (total concurrency) for the (feature × entity-block) work
+  /// queue: 0 = hardware concurrency, 1 = serial in the calling thread.
+  /// Results are bit-identical for every setting.
+  std::size_t num_shards = 0;
+  /// Entities per work item. Small blocks load-balance hard features;
+  /// large blocks amortize dispatch. The default suits the NP-hard
+  /// per-entity kernel cost.
+  std::size_t entity_block = 64;
+  /// Capacity of the per-feature result cache, in entries (one entry per
+  /// distinct (database digest, feature) pair); 0 disables caching.
+  std::size_t cache_capacity = 1024;
+};
+
+/// Counters for observability and tests. Snapshot via EvalService::stats().
+struct ServeStats {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t features_evaluated = 0;  ///< Kernel-evaluated (cache misses).
+  std::uint64_t entity_evaluations = 0;  ///< Individual SelectsEntity calls.
+};
+
+/// The answer set q(D) ∩ η(D) of one feature query, content-addressed: the
+/// selected entities are stored by *name*, matching the digest's
+/// order-insensitivity, so the entry transfers between equal-content
+/// databases even when their interning orders (and hence value ids) differ.
+class FeatureAnswer {
+ public:
+  explicit FeatureAnswer(std::unordered_set<std::string> selected)
+      : selected_(std::move(selected)) {}
+
+  /// True iff `entity` of `db` is selected. `db` must have the digest the
+  /// entry was cached under.
+  bool Selects(const Database& db, Value entity) const {
+    return selected_.count(db.value_name(entity)) > 0;
+  }
+
+  std::size_t size() const { return selected_.size(); }
+
+ private:
+  std::unordered_set<std::string> selected_;
+};
+
+/// Batched CQ-feature evaluation over the bitset homomorphism kernel, for
+/// fitting-style pipelines that evaluate many candidate features over the
+/// same database(s) repeatedly (DESIGN.md §8):
+///
+///   - results are cached in an LRU keyed by (Database::ContentDigest(),
+///     feature canonical string), so a repeated (database, feature) pair
+///     costs hash lookups instead of NP-hard homomorphism searches;
+///   - cache misses are computed as (feature × entity-block) work items on
+///     a persistent thread pool, sharded `num_shards` wide, instead of
+///     spawning threads per call.
+///
+/// A service is safe to share between threads (the cache is
+/// mutex-protected; batches serialize on the pool), but do not call it from
+/// inside another service batch. Every query path has a serial fallback:
+/// `num_shards = 1` never touches a worker thread, `cache_capacity = 0`
+/// never caches, and all results are bit-identical to the unserved paths in
+/// core/statistic.h, core/separability.h, and qbe/qbe.h.
+class EvalService {
+ public:
+  explicit EvalService(const ServeOptions& options = {});
+
+  const ServeOptions& options() const { return options_; }
+
+  /// The full answer set of `feature` over `db`'s entities, from the cache
+  /// when warm. The feature must be a unary query over a schema equal to
+  /// `db`'s. Never returns nullptr.
+  std::shared_ptr<const FeatureAnswer> Answer(const ConjunctiveQuery& feature,
+                                              const Database& db);
+
+  /// Π^D(e) for all entities of D in the order of db.Entities(), with rows
+  /// indexed like core/statistic.h's Statistic::Matrix — one entry of ±1
+  /// per feature, in feature order.
+  std::vector<FeatureVector> Matrix(
+      const std::vector<ConjunctiveQuery>& features, const Database& db);
+
+  /// Π^D(e) for a single entity. Warm features are answered from the
+  /// cache; cold features are batch-evaluated (and cached) first, so a
+  /// Vector call on a fresh database pays one Matrix-shaped evaluation and
+  /// every subsequent call on equal content is pure lookup.
+  FeatureVector Vector(const std::vector<ConjunctiveQuery>& features,
+                       const Database& db, Value entity);
+
+  ServeStats stats() const;
+  std::size_t cache_size() const;
+  void ClearCache();
+
+ private:
+  using CacheKey = std::pair<std::uint64_t, std::string>;
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& key) const;
+  };
+  struct CacheEntry {
+    CacheKey key;
+    std::shared_ptr<const FeatureAnswer> answer;
+  };
+
+  /// Cache lookups + batched evaluation of the misses; the workhorse
+  /// behind Answer/Matrix/Vector. Returns one answer per feature.
+  std::vector<std::shared_ptr<const FeatureAnswer>> Resolve(
+      const std::vector<ConjunctiveQuery>& features, const Database& db);
+
+  std::shared_ptr<const FeatureAnswer> CacheGet(const CacheKey& key);
+  void CachePut(CacheKey key, std::shared_ptr<const FeatureAnswer> answer);
+
+  ServeOptions options_;
+  ThreadPool pool_;
+
+  mutable std::mutex cache_mutex_;
+  std::list<CacheEntry> lru_;  // Front = most recently used.
+  std::unordered_map<CacheKey, std::list<CacheEntry>::iterator, CacheKeyHash>
+      cache_;
+  ServeStats stats_;
+};
+
+}  // namespace serve
+}  // namespace featsep
+
+#endif  // FEATSEP_SERVE_EVAL_SERVICE_H_

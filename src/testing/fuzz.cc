@@ -93,9 +93,9 @@ std::optional<FuzzFailure> RunIteration(FuzzConfig config,
     constexpr FuzzConfig kAll[] = {FuzzConfig::kHom,  FuzzConfig::kEval,
                                    FuzzConfig::kContainment,
                                    FuzzConfig::kCore, FuzzConfig::kGhw,
-                                   FuzzConfig::kSep};
+                                   FuzzConfig::kSep,  FuzzConfig::kQbe};
     WorkloadRng selector(instance_seed);
-    config = kAll[selector.Below(6)];
+    config = kAll[selector.Below(7)];
   }
   // The generation stream depends only on (instance_seed, resolved config),
   // so `--config <resolved> --seed S --iters 1` replays an instance found
@@ -285,6 +285,53 @@ std::optional<FuzzFailure> RunIteration(FuzzConfig config,
       }
       break;
     }
+    case FuzzConfig::kQbe: {
+      // Tiny entity databases: the canonical product has |D|^|S⁺| facts and
+      // the CQ[m] check reference-evaluates the explanation, so |S⁺| ≤ 2,
+      // arity ≤ 2, and m ≤ 2 keep every oracle fuzz-sized.
+      auto schema = PickSchema(rng, 2, /*need_entity=*/true);
+      Database db = PickDatabase(schema, rng, 5, 10);
+      std::vector<Value> entities = db.Entities();
+      if (entities.empty()) break;  // Vacuous: QBE needs a nonempty S⁺.
+      for (std::size_t i = entities.size() - 1; i > 0; --i) {
+        std::swap(entities[i], entities[rng.Below(i + 1)]);
+      }
+      std::size_t num_positives =
+          (entities.size() > 1 && rng.Chance(0.4)) ? 2 : 1;
+      std::vector<Value> positives(entities.begin(),
+                                   entities.begin() + num_positives);
+      std::size_t num_negatives =
+          std::min(entities.size() - num_positives,
+                   static_cast<std::size_t>(rng.Below(3)));
+      std::vector<Value> negatives(
+          entities.begin() + num_positives,
+          entities.begin() + num_positives + num_negatives);
+      std::size_t m = rng.Chance(0.7) ? 1 : 2;
+      violation = CheckQbeProperties(db, positives, negatives, m);
+      if (violation.has_value() && shrink) {
+        // Value ids are stable under the removal edits; examples filter to
+        // the surviving entities (S⁺ must stay nonempty).
+        auto filter = [](const Database& d, const std::vector<Value>& vs) {
+          std::vector<Value> kept;
+          for (Value v : vs) {
+            if (v < d.num_values() && d.IsEntity(v)) kept.push_back(v);
+          }
+          return kept;
+        };
+        Database shrunk =
+            ShrinkDatabase(std::move(db), [&](const Database& d) {
+              std::vector<Value> p = filter(d, positives);
+              if (p.empty()) return false;
+              return CheckQbeProperties(d, p, filter(d, negatives), m)
+                  .has_value();
+            });
+        PropertyCheck again =
+            CheckQbeProperties(shrunk, filter(shrunk, positives),
+                               filter(shrunk, negatives), m);
+        if (again.has_value()) shrunk_report = again->detail;
+      }
+      break;
+    }
     case FuzzConfig::kMixed:
       FEATSEP_CHECK(false) << "mixed resolved above";
   }
@@ -310,6 +357,7 @@ const char* FuzzConfigName(FuzzConfig config) {
     case FuzzConfig::kCore: return "core";
     case FuzzConfig::kGhw: return "ghw";
     case FuzzConfig::kSep: return "sep";
+    case FuzzConfig::kQbe: return "qbe";
     case FuzzConfig::kMixed: return "mixed";
   }
   return "unknown";
@@ -319,7 +367,7 @@ std::optional<FuzzConfig> ParseFuzzConfig(std::string_view name) {
   for (FuzzConfig config :
        {FuzzConfig::kHom, FuzzConfig::kEval, FuzzConfig::kContainment,
         FuzzConfig::kCore, FuzzConfig::kGhw, FuzzConfig::kSep,
-        FuzzConfig::kMixed}) {
+        FuzzConfig::kQbe, FuzzConfig::kMixed}) {
     if (name == FuzzConfigName(config)) return config;
   }
   return std::nullopt;

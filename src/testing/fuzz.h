@@ -24,6 +24,8 @@ enum class FuzzConfig {
   kCore,         ///< CoreOf laws.
   kGhw,          ///< GHW witness/monotonicity laws.
   kSep,          ///< DecideCqSep determinism + Theorem 3.2 oracle.
+  kQbe,          ///< QBE solver laws (thread determinism, screening,
+                 ///< serve-vs-serial SolveCqmQbe agreement).
   kMixed,        ///< Per-iteration uniform choice among the above.
 };
 

@@ -13,6 +13,9 @@
 #include "hypertree/decomposition.h"
 #include "hypertree/ghw.h"
 #include "io/writer.h"
+#include "qbe/qbe.h"
+#include "serve/eval_service.h"
+#include "testing/reference_ghw.h"
 #include "testing/reference_hom.h"
 #include "testing/shrink.h"
 #include "util/check.h"
@@ -246,6 +249,24 @@ PropertyCheck CheckGhwProperties(const ConjunctiveQuery& query) {
       return Violation("ghw/witness-validity",
                        error + " for " + query.ToString());
     }
+    // Cross-check the validator itself against the brute-force reference:
+    // both must accept the witness at `width`, and (tightness permitting)
+    // both must reject it at `width - 1`.
+    std::string ref_error;
+    if (!RefValidateDecomposition(graph, *td, width, &ref_error)) {
+      return Violation("ghw/witness-validity-vs-reference",
+                       "ValidateDecomposition accepts but the reference "
+                       "rejects: " + ref_error + " for " + query.ToString());
+    }
+    if (width >= 2) {
+      bool fast_below = ValidateDecomposition(graph, *td, width - 1);
+      bool ref_below = RefValidateDecomposition(graph, *td, width - 1);
+      if (fast_below != ref_below) {
+        return Violation("ghw/validator-vs-reference",
+                         "validators disagree on the witness at width - 1 "
+                         "for " + query.ToString());
+      }
+    }
     if (width >= 2 && DecideGhwAtMost(graph, width - 1).has_value()) {
       return Violation("ghw/tightness",
                        "DecideGhwAtMost succeeded below Ghw for " +
@@ -347,6 +368,142 @@ PropertyCheck CheckSepThreadDeterminism(const TrainingDatabase& training) {
                        "reported conflict pair is not a differently-labeled "
                        "hom-equivalent pair\n" +
                            WriteTrainingDatabase(training));
+    }
+  }
+  return std::nullopt;
+}
+
+PropertyCheck CheckQbeProperties(const Database& db,
+                                 const std::vector<Value>& positives,
+                                 const std::vector<Value>& negatives,
+                                 std::size_t m) {
+  QbeInstance instance;
+  instance.db = &db;
+  instance.positives = positives;
+  instance.negatives = negatives;
+  auto describe = [&] {
+    std::ostringstream out;
+    out << "S+ = " << DescribeValues(db, positives)
+        << ", S- = " << DescribeValues(db, negatives) << ", m = " << m
+        << "\nD:\n" << WriteDatabase(db);
+    return out.str();
+  };
+
+  // SolveCqQbe: 1/2/8-thread determinism of decision and explanation.
+  QbeResult results[3];
+  const std::size_t thread_counts[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    QbeOptions options;
+    options.num_threads = thread_counts[i];
+    results[i] = SolveCqQbe(instance, options);
+  }
+  for (int i = 1; i < 3; ++i) {
+    if (results[i].exists != results[0].exists ||
+        results[i].explanation.has_value() !=
+            results[0].explanation.has_value() ||
+        (results[i].explanation.has_value() &&
+         results[i].explanation->ToString() !=
+             results[0].explanation->ToString())) {
+      return Violation("qbe/thread-determinism",
+                       "SolveCqQbe differs between 1 and " +
+                           std::to_string(thread_counts[i]) + " threads\n" +
+                           describe());
+    }
+  }
+  const QbeResult& cq = results[0];
+
+  // Screening law for the explanation, canonical and minimized alike:
+  // selects every positive, no negative.
+  QbeOptions minimize;
+  minimize.minimize_explanation = true;
+  QbeResult minimized = SolveCqQbe(instance, minimize);
+  if (minimized.exists != cq.exists) {
+    return Violation("qbe/minimize-decision",
+                     "minimize_explanation changed the decision\n" +
+                         describe());
+  }
+  for (const QbeResult* result :
+       {&cq, static_cast<const QbeResult*>(&minimized)}) {
+    if (!result->exists) continue;
+    if (!result->explanation.has_value()) {
+      return Violation("qbe/explanation-missing",
+                       "explanation exists but none returned\n" + describe());
+    }
+    CqEvaluator evaluator(*result->explanation);
+    for (Value e : positives) {
+      if (!evaluator.Selects(db, {e})) {
+        return Violation("qbe/explanation-screens",
+                         "explanation misses positive " + db.value_name(e) +
+                             "\n" + describe());
+      }
+    }
+    for (Value b : negatives) {
+      if (evaluator.Selects(db, {b})) {
+        return Violation("qbe/explanation-screens",
+                         "explanation selects negative " + db.value_name(b) +
+                             "\n" + describe());
+      }
+    }
+  }
+
+  // Without negatives the canonical product query always explains.
+  if (!cq.exists) {
+    QbeInstance unconstrained = instance;
+    unconstrained.negatives.clear();
+    if (!SolveCqQbe(unconstrained).exists) {
+      return Violation("qbe/negatives-removed",
+                       "no explanation even with S- empty\n" + describe());
+    }
+  }
+
+  // SolveCqmQbe: the serve path (cold cache, then warm) must reproduce the
+  // unserved sweep bit-for-bit.
+  QbeResult serial = SolveCqmQbe(instance, m);
+  serve::ServeOptions serve_options;
+  serve_options.num_shards = 2;
+  serve::EvalService service(serve_options);
+  QbeOptions with_service;
+  with_service.service = &service;
+  QbeResult served_cold = SolveCqmQbe(instance, m, 0, with_service);
+  QbeResult served_warm = SolveCqmQbe(instance, m, 0, with_service);
+  for (const auto& [label, served] :
+       {std::pair<const char*, const QbeResult*>{"cold", &served_cold},
+        std::pair<const char*, const QbeResult*>{"warm", &served_warm}}) {
+    if (served->exists != serial.exists ||
+        served->explanation.has_value() != serial.explanation.has_value() ||
+        (served->explanation.has_value() &&
+         served->explanation->ToString() !=
+             serial.explanation->ToString())) {
+      return Violation("qbe/serve-vs-serial",
+                       std::string("SolveCqmQbe via EvalService (") + label +
+                           " cache) differs from the unserved sweep\n" +
+                           describe());
+    }
+  }
+
+  if (serial.exists) {
+    // The CQ[m] explanation screens under the *reference* evaluator...
+    FEATSEP_CHECK(serial.explanation.has_value());
+    std::vector<Value> answer = RefEvaluateUnaryCq(*serial.explanation, db);
+    for (Value e : positives) {
+      if (std::find(answer.begin(), answer.end(), e) == answer.end()) {
+        return Violation("qbe/cqm-screens",
+                         "CQ[m] explanation misses positive " +
+                             db.value_name(e) + "\n" + describe());
+      }
+    }
+    for (Value b : negatives) {
+      if (std::find(answer.begin(), answer.end(), b) != answer.end()) {
+        return Violation("qbe/cqm-screens",
+                         "CQ[m] explanation selects negative " +
+                             db.value_name(b) + "\n" + describe());
+      }
+    }
+    // ... and CQ[m]-explainability implies CQ-explainability (CQ[m] ⊆ CQ).
+    if (!cq.exists) {
+      return Violation("qbe/cqm-implies-cq",
+                       "a CQ[m] explanation exists but SolveCqQbe says no "
+                       "CQ explanation does\n" + describe());
     }
   }
   return std::nullopt;

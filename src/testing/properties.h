@@ -72,6 +72,23 @@ PropertyCheck CheckGhwProperties(const ConjunctiveQuery& query);
 /// reference pairwise hom-equivalence criterion of Theorem 3.2.
 PropertyCheck CheckSepThreadDeterminism(const TrainingDatabase& training);
 
+/// QBE laws on (db, S⁺, S⁻) with S⁺ nonempty entities of an entity
+/// database:
+///   - SolveCqQbe decides identically at 1, 2, and 8 threads and with
+///     minimize_explanation on;
+///   - when an explanation exists it selects every positive and no
+///     negative (kernel evaluator), minimized or not;
+///   - when none exists, dropping S⁻ makes one exist (the canonical
+///     product query);
+///   - SolveCqmQbe through a serve::EvalService (cold and warm cache)
+///     returns the identical decision and explanation as the unserved
+///     sweep, the explanation screens correctly under the *reference*
+///     evaluator, and CQ[m]-explainability implies CQ-explainability.
+PropertyCheck CheckQbeProperties(const Database& db,
+                                 const std::vector<Value>& positives,
+                                 const std::vector<Value>& negatives,
+                                 std::size_t m);
+
 }  // namespace testing
 }  // namespace featsep
 

@@ -1,0 +1,175 @@
+#include "testing/reference_ghw.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace featsep {
+namespace testing {
+
+namespace {
+
+bool CoveredBy(const Hypergraph& graph, const std::vector<HVertex>& vertices,
+               const std::vector<HEdge>& edges) {
+  for (HVertex v : vertices) {
+    bool covered = false;
+    for (HEdge e : edges) {
+      const std::vector<HVertex>& edge = graph.edge(e);
+      if (std::find(edge.begin(), edge.end(), v) != edge.end()) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+/// Enumerates all size-`size` edge subsets starting from `first`; true if
+/// some completion of `chosen` covers `vertices`.
+bool AnyCoverOfSize(const Hypergraph& graph,
+                    const std::vector<HVertex>& vertices, std::size_t size,
+                    HEdge first, std::vector<HEdge>& chosen) {
+  if (chosen.size() == size) return CoveredBy(graph, vertices, chosen);
+  for (HEdge e = first; e < graph.num_edges(); ++e) {
+    chosen.push_back(e);
+    if (AnyCoverOfSize(graph, vertices, size, e + 1, chosen)) {
+      chosen.pop_back();
+      return true;
+    }
+    chosen.pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t RefEdgeCoverNumber(const Hypergraph& graph,
+                               const std::vector<HVertex>& vertices) {
+  FEATSEP_CHECK_LE(graph.num_edges(), 20u)
+      << "reference cover enumeration is exponential; instance too large";
+  for (std::size_t size = 0; size <= graph.num_edges(); ++size) {
+    std::vector<HEdge> chosen;
+    if (AnyCoverOfSize(graph, vertices, size, 0, chosen)) return size;
+  }
+  return graph.num_edges() + 1;
+}
+
+bool RefValidateDecomposition(const Hypergraph& graph,
+                              const TreeDecomposition& td, std::size_t k,
+                              std::string* error) {
+  auto fail = [&](const std::string& reason) {
+    if (error != nullptr) *error = "reference: " + reason;
+    return false;
+  };
+  if (td.empty()) {
+    // An empty decomposition only covers the edgeless hypergraph.
+    for (HEdge e = 0; e < graph.num_edges(); ++e) {
+      if (!graph.edge(e).empty()) {
+        return fail("empty decomposition for a hypergraph with edges");
+      }
+    }
+    return true;
+  }
+  if (td.root >= td.nodes.size()) return fail("root out of range");
+
+  // (1) Tree shape: every node reachable from the root exactly once via
+  // children links.
+  std::vector<int> seen(td.nodes.size(), 0);
+  std::deque<std::size_t> queue{td.root};
+  seen[td.root] = 1;
+  std::size_t reached = 0;
+  while (!queue.empty()) {
+    std::size_t node = queue.front();
+    queue.pop_front();
+    ++reached;
+    for (std::size_t child : td.nodes[node].children) {
+      if (child >= td.nodes.size()) return fail("child index out of range");
+      if (seen[child] != 0) {
+        return fail("node reached twice (not a tree)");
+      }
+      seen[child] = 1;
+      queue.push_back(child);
+    }
+  }
+  if (reached != td.nodes.size()) {
+    return fail("unreachable decomposition node");
+  }
+
+  // (2) Edge coverage: each edge's vertices inside one bag.
+  for (HEdge e = 0; e < graph.num_edges(); ++e) {
+    const std::vector<HVertex>& edge = graph.edge(e);
+    bool contained = false;
+    for (const TreeDecomposition::Node& node : td.nodes) {
+      if (std::includes(node.bag.begin(), node.bag.end(), edge.begin(),
+                        edge.end())) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) {
+      std::ostringstream out;
+      out << "edge " << e << " not contained in any bag";
+      return fail(out.str());
+    }
+  }
+
+  // (3) Connectedness: per vertex, BFS over the undirected tree restricted
+  // to nodes whose bags contain it.
+  std::vector<std::vector<std::size_t>> adjacent(td.nodes.size());
+  for (std::size_t node = 0; node < td.nodes.size(); ++node) {
+    for (std::size_t child : td.nodes[node].children) {
+      adjacent[node].push_back(child);
+      adjacent[child].push_back(node);
+    }
+  }
+  for (HVertex v = 0; v < graph.num_vertices(); ++v) {
+    std::vector<std::size_t> occurrences;
+    for (std::size_t node = 0; node < td.nodes.size(); ++node) {
+      const std::vector<HVertex>& bag = td.nodes[node].bag;
+      if (std::find(bag.begin(), bag.end(), v) != bag.end()) {
+        occurrences.push_back(node);
+      }
+    }
+    if (occurrences.size() <= 1) continue;
+    std::vector<int> visited(td.nodes.size(), 0);
+    std::deque<std::size_t> frontier{occurrences[0]};
+    visited[occurrences[0]] = 1;
+    while (!frontier.empty()) {
+      std::size_t node = frontier.front();
+      frontier.pop_front();
+      for (std::size_t next : adjacent[node]) {
+        const std::vector<HVertex>& bag = td.nodes[next].bag;
+        if (visited[next] == 0 &&
+            std::find(bag.begin(), bag.end(), v) != bag.end()) {
+          visited[next] = 1;
+          frontier.push_back(next);
+        }
+      }
+    }
+    for (std::size_t node : occurrences) {
+      if (visited[node] == 0) {
+        std::ostringstream out;
+        out << "vertex " << v << " occurrences are disconnected";
+        return fail(out.str());
+      }
+    }
+  }
+
+  // (4) Bag width: brute-force cover number per bag.
+  for (std::size_t node = 0; node < td.nodes.size(); ++node) {
+    std::size_t cover = RefEdgeCoverNumber(graph, td.nodes[node].bag);
+    if (cover > k) {
+      std::ostringstream out;
+      out << "bag of node " << node << " has cover number " << cover
+          << " > " << k;
+      return fail(out.str());
+    }
+  }
+  return true;
+}
+
+}  // namespace testing
+}  // namespace featsep

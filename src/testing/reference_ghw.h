@@ -1,0 +1,42 @@
+#ifndef FEATSEP_TESTING_REFERENCE_GHW_H_
+#define FEATSEP_TESTING_REFERENCE_GHW_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hypertree/decomposition.h"
+#include "hypertree/hypergraph.h"
+
+namespace featsep {
+namespace testing {
+
+/// Brute-force re-implementations of the tree-decomposition validity
+/// conditions, cross-checking hypertree/decomposition.h's
+/// ValidateDecomposition (ROADMAP: "the validator itself is cross-checked").
+/// Like reference_hom.h these share no logic with the checked code on
+/// purpose: covers are found by exhaustive subset enumeration rather than
+/// branch-and-bound, and connectivity by explicit per-vertex BFS over an
+/// adjacency list rebuilt from scratch. Exponential in the edge count; keep
+/// instances fuzz-sized (≤ ~20 edges).
+
+/// Minimum number of edges of `graph` covering `vertices`, by enumerating
+/// all edge subsets in increasing size order. Returns num_edges() + 1 when
+/// some vertex lies in no edge. Checked programmer error above 20 edges.
+std::size_t RefEdgeCoverNumber(const Hypergraph& graph,
+                               const std::vector<HVertex>& vertices);
+
+/// Independent validity check of `td` as a width-≤ k tree decomposition of
+/// `graph`: (1) the node/children arrays form a tree rooted at td.root,
+/// (2) every edge's vertex set is contained in some bag, (3) every
+/// vertex's occurrence set induces a connected subtree, (4) every bag has
+/// RefEdgeCoverNumber ≤ k. On failure, stores a reason in `error` when
+/// non-null.
+bool RefValidateDecomposition(const Hypergraph& graph,
+                              const TreeDecomposition& td, std::size_t k,
+                              std::string* error = nullptr);
+
+}  // namespace testing
+}  // namespace featsep
+
+#endif  // FEATSEP_TESTING_REFERENCE_GHW_H_

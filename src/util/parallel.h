@@ -28,9 +28,6 @@ inline std::size_t EffectiveThreads(std::size_t num_threads,
 /// at index i — the caller observes deterministic ordering regardless of the
 /// thread count. Blocks until all items finish. `fn` must be safe to call
 /// concurrently from distinct threads for distinct i.
-///
-/// Lazily-built caches shared by work items (e.g. Database::domain()) must
-/// be warmed before the parallel region: the pool provides no exclusion.
 template <typename Fn>
 void ParallelFor(std::size_t num_threads, std::size_t n, Fn&& fn) {
   if (n == 0) return;

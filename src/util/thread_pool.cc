@@ -1,0 +1,79 @@
+#include "util/thread_pool.h"
+
+namespace featsep {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
+  }
+  workers_.reserve(num_threads - 1);
+  for (std::size_t t = 0; t + 1 < num_threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Help(Batch& batch) {
+  for (;;) {
+    std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) return;
+    (*batch.fn)(i);
+    if (batch.finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch.n) {
+      // Last item: wake the dispatching thread. Taking the lock orders the
+      // notification after the dispatcher's predicate check.
+      std::lock_guard<std::mutex> lock(batch.done_mutex);
+      batch.done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      batch = current_;
+    }
+    if (batch != nullptr) Help(*batch);
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> serialize(batch_mutex_);
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = batch;
+    ++generation_;
+  }
+  wake_.notify_all();
+  Help(*batch);
+  std::unique_lock<std::mutex> lock(batch->done_mutex);
+  batch->done.wait(lock, [&] {
+    return batch->finished.load(std::memory_order_acquire) == batch->n;
+  });
+}
+
+}  // namespace featsep

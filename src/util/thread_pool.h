@@ -1,0 +1,79 @@
+#ifndef FEATSEP_UTIL_THREAD_POOL_H_
+#define FEATSEP_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace featsep {
+
+/// A persistent pool of worker threads executing index-range batches: the
+/// serve-layer alternative to util/parallel.h's spawn-per-call helpers.
+/// Construction starts the workers once; every `ParallelFor` call then
+/// reuses them, so steady-state batch dispatch costs two condition-variable
+/// signals instead of thread creation and teardown.
+///
+/// `num_threads` follows the repo-wide knob convention: 0 = hardware
+/// concurrency, 1 = serial (no workers; batches run entirely in the calling
+/// thread). The calling thread always participates in its own batch, so a
+/// pool at concurrency k owns k-1 worker threads.
+///
+/// Batches are serialized: concurrent `ParallelFor` calls queue behind one
+/// another on an internal mutex. Work items of one batch run concurrently
+/// and must be thread-safe for distinct indices. Calling `ParallelFor` from
+/// inside a work item deadlocks — fan out at one level only.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the calling thread); at least 1.
+  std::size_t concurrency() const { return workers_.size() + 1; }
+
+  /// Calls `fn(i)` exactly once for every i in [0, n), fanned out over the
+  /// pool. Items are claimed from an atomic counter (roughly increasing
+  /// order, arbitrary threads); write ordered results into a pre-sized
+  /// vector at index i. Blocks until every item finished.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  /// One dispatched batch. Heap-allocated and shared with the workers so a
+  /// late-waking worker can never touch a dead batch.
+  struct Batch {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> finished{0};
+    std::mutex done_mutex;
+    std::condition_variable done;
+  };
+
+  void WorkerLoop();
+  static void Help(Batch& batch);
+
+  std::vector<std::thread> workers_;
+
+  // Dispatch state: generation_ bumps once per batch; workers wake on the
+  // change and pick up current_.
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::shared_ptr<Batch> current_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  // Serializes ParallelFor callers.
+  std::mutex batch_mutex_;
+};
+
+}  // namespace featsep
+
+#endif  // FEATSEP_UTIL_THREAD_POOL_H_

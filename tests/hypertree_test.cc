@@ -5,6 +5,7 @@
 #include "hypertree/htw.h"
 #include "hypertree/hypergraph.h"
 #include "test_util.h"
+#include "testing/reference_ghw.h"
 
 namespace featsep {
 namespace {
@@ -145,6 +146,68 @@ TEST(ValidateDecompositionTest, RejectsBadDecompositions) {
   td3.nodes.push_back({{2}, {2}});
   td3.nodes.push_back({{1, 2}, {}});
   EXPECT_FALSE(ValidateDecomposition(g, td3, 1, &error));
+}
+
+TEST(ReferenceGhwTest, RefEdgeCoverNumberMatchesKnownAnswers) {
+  Hypergraph g;
+  for (int i = 0; i < 4; ++i) g.AddVertex();
+  g.AddEdge({0, 1});
+  g.AddEdge({2, 3});
+  g.AddEdge({1, 2});
+  EXPECT_EQ(testing::RefEdgeCoverNumber(g, {0, 1}), 1u);
+  EXPECT_EQ(testing::RefEdgeCoverNumber(g, {0, 1, 2, 3}), 2u);
+  EXPECT_EQ(testing::RefEdgeCoverNumber(g, {}), 0u);
+  EXPECT_EQ(testing::RefEdgeCoverNumber(g, {0, 3}), 2u);
+  // Agreement with the branch-and-bound implementation on the same bags.
+  for (const std::vector<HVertex>& bag :
+       {std::vector<HVertex>{0, 1}, {0, 1, 2, 3}, {}, {0, 3}, {1, 3}}) {
+    EXPECT_EQ(testing::RefEdgeCoverNumber(g, bag), g.EdgeCoverNumber(bag));
+  }
+  // Uncoverable vertex: one more than the edge count.
+  Hypergraph isolated;
+  isolated.AddVertex();
+  isolated.AddVertex();
+  isolated.AddEdge({0});
+  EXPECT_EQ(testing::RefEdgeCoverNumber(isolated, {1}),
+            isolated.num_edges() + 1);
+}
+
+TEST(ReferenceGhwTest, AgreesWithValidateDecomposition) {
+  Hypergraph g = PathHypergraph(2);  // Edges {0,1},{1,2}.
+  std::string error;
+  // Missing edge coverage: both validators reject.
+  TreeDecomposition td;
+  td.nodes.push_back({{0, 1}, {}});
+  EXPECT_FALSE(testing::RefValidateDecomposition(g, td, 1, &error));
+  EXPECT_FALSE(ValidateDecomposition(g, td, 1));
+  // A correct width-1 decomposition: both accept at 1, reject at 0.
+  TreeDecomposition td2;
+  td2.nodes.push_back({{0, 1}, {1}});
+  td2.nodes.push_back({{1, 2}, {}});
+  EXPECT_TRUE(testing::RefValidateDecomposition(g, td2, 1, &error)) << error;
+  EXPECT_TRUE(ValidateDecomposition(g, td2, 1));
+  EXPECT_FALSE(testing::RefValidateDecomposition(g, td2, 0, &error));
+  EXPECT_FALSE(ValidateDecomposition(g, td2, 0));
+  // Broken connectedness: both reject.
+  TreeDecomposition td3;
+  td3.nodes.push_back({{0, 1}, {1}});
+  td3.nodes.push_back({{2}, {2}});
+  td3.nodes.push_back({{1, 2}, {}});
+  EXPECT_FALSE(testing::RefValidateDecomposition(g, td3, 1, &error));
+  EXPECT_FALSE(ValidateDecomposition(g, td3, 1));
+  // Malformed tree (unreachable node): the reference rejects it outright.
+  TreeDecomposition td4;
+  td4.nodes.push_back({{0, 1}, {}});
+  td4.nodes.push_back({{1, 2}, {}});  // Not a child of anything.
+  EXPECT_FALSE(testing::RefValidateDecomposition(g, td4, 1, &error));
+  // Solver witnesses cross-validate on cycles.
+  for (std::size_t n : {4u, 5u, 6u}) {
+    Hypergraph cycle = CycleHypergraph(n);
+    auto witness = DecideGhwAtMost(cycle, 2);
+    ASSERT_TRUE(witness.has_value());
+    EXPECT_TRUE(testing::RefValidateDecomposition(cycle, *witness, 2, &error))
+        << error;
+  }
 }
 
 TEST(HtwTest, AcyclicHypergraphsHaveWidthOne) {

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/thread_pool.h"
+
 namespace featsep {
 namespace {
 
@@ -113,6 +115,42 @@ TEST(ParallelTest, FindFirstMoreThreadsThanItems) {
   // All-match and no-match extremes under oversubscription.
   EXPECT_EQ(ParallelFindFirst(16, 2, [](std::size_t) { return true; }), 0u);
   EXPECT_EQ(ParallelFindFirst(16, 2, [](std::size_t) { return false; }), 2u);
+}
+
+TEST(ThreadPoolTest, VisitsEveryIndexAcrossReusedBatches) {
+  for (std::size_t threads : {1ul, 2ul, 8ul}) {
+    ThreadPool pool(threads);
+    EXPECT_GE(pool.concurrency(), 1u);
+    // Several batches through the same persistent pool: the workers must
+    // pick up each new generation, not just the first.
+    for (int batch = 0; batch < 3; ++batch) {
+      constexpr std::size_t kItems = 500;
+      std::vector<std::atomic<int>> visits(kItems);
+      pool.ParallelFor(kItems, [&](std::size_t i) {
+        visits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (std::size_t i = 0; i < kItems; ++i) {
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokes) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, FewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(2);
+  pool.ParallelFor(2, [&](std::size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(visits[0].load(), 1);
+  EXPECT_EQ(visits[1].load(), 1);
 }
 
 TEST(ParallelTest, FindFirstSerialStopsAtTheMatch) {

@@ -1,4 +1,6 @@
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -7,6 +9,7 @@
 #include "relational/schema.h"
 #include "relational/training_database.h"
 #include "test_util.h"
+#include "util/parallel.h"
 
 namespace featsep {
 namespace {
@@ -187,5 +190,76 @@ TEST(DatabaseOpsTest, CopyPreservesEverything) {
   EXPECT_TRUE(copy.IsEntity(copy.FindValue("e")));
 }
 
+TEST(DatabaseDigestTest, OrderAndInterningInsensitive) {
+  Database a(GraphSchema());
+  AddEntity(a, "e");
+  a.AddFact("E", {"e", "f"});
+  a.AddFact("E", {"f", "g"});
+
+  Database b(GraphSchema());
+  b.Intern("unused");  // Interned-but-factless values are not content.
+  b.AddFact("E", {"f", "g"});
+  b.AddFact("E", {"e", "f"});
+  AddEntity(b, "e");
+
+  EXPECT_EQ(a.ContentDigest(), b.ContentDigest());
+  EXPECT_NE(a.FindValue("e"), b.FindValue("e"));  // Ids genuinely differ.
+}
+
+TEST(DatabaseDigestTest, DistinguishesContentAndTracksMutation) {
+  Database a(GraphSchema());
+  a.AddFact("E", {"x", "y"});
+  Database b(GraphSchema());
+  b.AddFact("E", {"x", "z"});
+  EXPECT_NE(a.ContentDigest(), b.ContentDigest());
+
+  std::uint64_t before = a.ContentDigest();
+  a.AddFact("E", {"y", "x"});
+  EXPECT_NE(a.ContentDigest(), before);  // AddFact invalidates the memo.
+  EXPECT_EQ(Copy(a).ContentDigest(), a.ContentDigest());
+}
+
+TEST(DatabaseDigestTest, SchemaShapeIsPartOfTheDigest) {
+  // Same fact spelling over structurally different schemas must not
+  // collide: the digest covers relation names, arities, and the entity
+  // designation.
+  Database graph(GraphSchema());
+  AddEntity(graph, "e");
+  Database unary(testing::UnarySchema());
+  AddEntity(unary, "e");
+  EXPECT_NE(graph.ContentDigest(), unary.ContentDigest());
+}
+
+TEST(DatabaseConcurrencyTest, ColdLazyCachesBuildSafelyUnderParallelFor) {
+  // Regression for the removed "warm caches before the parallel region"
+  // caveat: the first domain()/domain_index()/ContentDigest() calls may now
+  // happen concurrently from pool workers on a cold database. Run under
+  // TSan/ASan to make a data race loud.
+  for (int round = 0; round < 4; ++round) {
+    Database db(GraphSchema());
+    AddEntity(db, "e0");
+    AddEntity(db, "e1");
+    testing::AddEdge(db, "e0", "m");
+    testing::AddEdge(db, "m", "e1");
+
+    std::vector<std::size_t> domain_sizes(16, 0);
+    std::vector<std::uint64_t> digests(16, 0);
+    ParallelFor(8, 16, [&](std::size_t i) {
+      domain_sizes[i] = db.domain().size();
+      digests[i] = db.ContentDigest();
+      // domain_index() must be consistent with the domain it indexes.
+      for (Value v : db.domain()) {
+        (void)db.domain_index()[v];
+      }
+    });
+    for (std::size_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(domain_sizes[i], domain_sizes[0]);
+      EXPECT_EQ(digests[i], digests[0]);
+    }
+    EXPECT_EQ(domain_sizes[0], db.domain().size());
+  }
+}
+
 }  // namespace
 }  // namespace featsep
+

@@ -137,6 +137,43 @@ TEST(CqSepTest, ParallelConflictIsTheFirstInPairOrder) {
   }
 }
 
+TEST(CqSepTest, DegenerateLabelingsAreSeparable) {
+  // With one class empty there is no differently-labeled pair, so the
+  // criterion of Theorem 3.2 holds vacuously — and the implementation must
+  // not divide by, or iterate over, the empty side.
+  auto db = std::make_shared<Database>(GraphSchema());
+  Value e1 = AddEntity(*db, "e1");
+  Value e2 = AddEntity(*db, "e2");
+  testing::AddEdge(*db, "e1", "t");
+
+  TrainingDatabase all_positive(db);
+  all_positive.SetLabel(e1, kPositive);
+  all_positive.SetLabel(e2, kPositive);
+  TrainingDatabase all_negative(db);
+  all_negative.SetLabel(e1, kNegative);
+  all_negative.SetLabel(e2, kNegative);
+
+  for (std::size_t threads : {1ul, 4ul}) {
+    CqSepOptions options{.num_threads = threads};
+    CqSepResult positives_only = DecideCqSep(all_positive, options);
+    EXPECT_TRUE(positives_only.separable);
+    EXPECT_FALSE(positives_only.conflict.has_value());
+    CqSepResult negatives_only = DecideCqSep(all_negative, options);
+    EXPECT_TRUE(negatives_only.separable);
+    EXPECT_FALSE(negatives_only.conflict.has_value());
+  }
+}
+
+TEST(CqSepTest, EntitylessTrainingDatabaseIsSeparable) {
+  // Both example sets empty: vacuously separable, no conflict.
+  auto db = std::make_shared<Database>(GraphSchema());
+  testing::AddEdge(*db, "a", "b");  // Facts but no entities.
+  TrainingDatabase training(db);
+  CqSepResult result = DecideCqSep(training);
+  EXPECT_TRUE(result.separable);
+  EXPECT_FALSE(result.conflict.has_value());
+}
+
 TEST(CqmSepTest, Example62SeparableWithOneAtomFeatures) {
   CqmSepResult result = DecideCqmSep(*Example62(), 1);
   ASSERT_TRUE(result.separable);

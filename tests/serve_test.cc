@@ -1,0 +1,278 @@
+#include "serve/eval_service.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/separability.h"
+#include "core/statistic.h"
+#include "cq/evaluation.h"
+#include "qbe/qbe.h"
+#include "relational/training_database.h"
+#include "test_util.h"
+
+namespace featsep {
+namespace {
+
+using ::featsep::testing::AddEdge;
+using ::featsep::testing::AddEntity;
+using ::featsep::testing::GraphSchema;
+using serve::EvalService;
+using serve::ServeOptions;
+using serve::ServeStats;
+
+/// Out-edge and in-edge feature queries over GraphSchema.
+std::vector<ConjunctiveQuery> OutInFeatures() {
+  auto schema = GraphSchema();
+  ConjunctiveQuery out = ConjunctiveQuery::MakeFeatureQuery(schema);
+  out.AddAtom(schema->FindRelation("E"),
+              {out.free_variable(), out.NewVariable("y")});
+  ConjunctiveQuery in = ConjunctiveQuery::MakeFeatureQuery(schema);
+  in.AddAtom(schema->FindRelation("E"),
+             {in.NewVariable("z"), in.free_variable()});
+  return {out, in};
+}
+
+Database MakeWorld() {
+  Database db(GraphSchema());
+  AddEntity(db, "both");
+  AddEntity(db, "none");
+  AddEntity(db, "out");
+  AddEdge(db, "both", "t");
+  AddEdge(db, "u", "both");
+  AddEdge(db, "out", "t");
+  return db;
+}
+
+/// Same facts as MakeWorld() inserted in a different order with extra
+/// interning, so value ids and entity order differ but content is equal.
+Database MakeWorldReordered() {
+  Database db(GraphSchema());
+  db.Intern("zzz");  // Interned but never in a fact: not content.
+  AddEdge(db, "out", "t");
+  AddEdge(db, "u", "both");
+  AddEntity(db, "out");
+  AddEntity(db, "none");
+  AddEdge(db, "both", "t");
+  AddEntity(db, "both");
+  return db;
+}
+
+TEST(EvalServiceTest, AnswerMatchesKernelEvaluator) {
+  Database db = MakeWorld();
+  std::vector<ConjunctiveQuery> features = OutInFeatures();
+  EvalService service;
+  for (const ConjunctiveQuery& feature : features) {
+    auto answer = service.Answer(feature, db);
+    ASSERT_NE(answer, nullptr);
+    CqEvaluator evaluator(feature);
+    for (Value e : db.Entities()) {
+      EXPECT_EQ(answer->Selects(db, e), evaluator.SelectsEntity(db, e))
+          << feature.ToString() << " on " << db.value_name(e);
+    }
+  }
+}
+
+TEST(EvalServiceTest, MatrixBitIdenticalAcrossShardCounts) {
+  Database db = MakeWorld();
+  Statistic statistic(OutInFeatures());
+  std::vector<FeatureVector> serial = statistic.Matrix(db);
+  for (std::size_t shards : {1ul, 2ul, 8ul}) {
+    ServeOptions options;
+    options.num_shards = shards;
+    options.entity_block = 1;  // Force one work item per entity.
+    EvalService service(options);
+    EXPECT_EQ(service.Matrix(statistic.features(), db), serial)
+        << "shards = " << shards;
+    EXPECT_EQ(statistic.Matrix(db, &service), serial)
+        << "shards = " << shards;
+  }
+}
+
+TEST(EvalServiceTest, VectorMatchesSerialStatistic) {
+  Database db = MakeWorld();
+  Statistic statistic(OutInFeatures());
+  EvalService service;
+  for (Value e : db.Entities()) {
+    EXPECT_EQ(service.Vector(statistic.features(), db, e),
+              statistic.Vector(db, e));
+    EXPECT_EQ(statistic.Vector(db, e, &service), statistic.Vector(db, e));
+  }
+}
+
+TEST(EvalServiceTest, WarmCallsHitTheCache) {
+  Database db = MakeWorld();
+  std::vector<ConjunctiveQuery> features = OutInFeatures();
+  EvalService service;
+  std::vector<FeatureVector> cold = service.Matrix(features, db);
+  ServeStats after_cold = service.stats();
+  EXPECT_EQ(after_cold.cache_misses, features.size());
+  EXPECT_EQ(after_cold.cache_hits, 0u);
+  EXPECT_EQ(after_cold.features_evaluated, features.size());
+  EXPECT_EQ(service.cache_size(), features.size());
+
+  std::vector<FeatureVector> warm = service.Matrix(features, db);
+  ServeStats after_warm = service.stats();
+  EXPECT_EQ(warm, cold);
+  EXPECT_EQ(after_warm.cache_hits, features.size());
+  // No new kernel work on the warm call.
+  EXPECT_EQ(after_warm.features_evaluated, features.size());
+  EXPECT_EQ(after_warm.entity_evaluations, after_cold.entity_evaluations);
+}
+
+TEST(EvalServiceTest, CacheTransfersBetweenEqualContentDatabases) {
+  Database db1 = MakeWorld();
+  Database db2 = MakeWorldReordered();
+  ASSERT_EQ(db1.ContentDigest(), db2.ContentDigest());
+  ASSERT_NE(db1.FindValue("both"), db2.FindValue("both"));  // Ids differ.
+
+  Statistic statistic(OutInFeatures());
+  EvalService service;
+  service.Matrix(statistic.features(), db1);  // Warm on db1's content.
+  std::vector<FeatureVector> served = service.Matrix(statistic.features(), db2);
+  ServeStats stats = service.stats();
+  // db2 was answered purely from db1's entries...
+  EXPECT_EQ(stats.cache_hits, statistic.dimension());
+  EXPECT_EQ(stats.features_evaluated, statistic.dimension());
+  // ...and still in db2's own entity order and value ids.
+  EXPECT_EQ(served, statistic.Matrix(db2));
+}
+
+TEST(EvalServiceTest, LruEvictsAtCapacity) {
+  Database db = MakeWorld();
+  std::vector<ConjunctiveQuery> features = OutInFeatures();
+  ServeOptions options;
+  options.cache_capacity = 1;
+  EvalService service(options);
+  service.Matrix(features, db);  // Two features through a one-entry cache.
+  ServeStats stats = service.stats();
+  EXPECT_GE(stats.cache_evictions, 1u);
+  EXPECT_EQ(service.cache_size(), 1u);
+  // Results stay correct regardless of eviction pressure.
+  EXPECT_EQ(service.Matrix(features, db), Statistic(features).Matrix(db));
+}
+
+TEST(EvalServiceTest, ZeroCapacityDisablesCaching) {
+  Database db = MakeWorld();
+  std::vector<ConjunctiveQuery> features = OutInFeatures();
+  ServeOptions options;
+  options.cache_capacity = 0;
+  EvalService service(options);
+  std::vector<FeatureVector> first = service.Matrix(features, db);
+  std::vector<FeatureVector> second = service.Matrix(features, db);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(service.cache_size(), 0u);
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+  EXPECT_EQ(service.stats().features_evaluated, 2 * features.size());
+}
+
+TEST(EvalServiceTest, ClearCacheForcesReevaluation) {
+  Database db = MakeWorld();
+  std::vector<ConjunctiveQuery> features = OutInFeatures();
+  EvalService service;
+  service.Matrix(features, db);
+  service.ClearCache();
+  EXPECT_EQ(service.cache_size(), 0u);
+  service.Matrix(features, db);
+  EXPECT_EQ(service.stats().features_evaluated, 2 * features.size());
+}
+
+TEST(EvalServiceTest, SeparatorModelAppliesThroughService) {
+  auto db = std::make_shared<Database>(MakeWorld());
+  SeparatorModel model{Statistic({OutInFeatures()[0]}),
+                       LinearClassifier(Rational(1), {Rational(1)})};
+  EvalService service;
+  Labeling serial = model.Apply(*db);
+  Labeling served = model.Apply(*db, &service);
+  for (Value e : db->Entities()) {
+    EXPECT_EQ(served.Get(e), serial.Get(e));
+  }
+
+  TrainingDatabase training(db);
+  for (Value e : db->Entities()) training.SetLabel(e, serial.Get(e));
+  EXPECT_EQ(MakeTrainingCollection(model.statistic, training, &service),
+            MakeTrainingCollection(model.statistic, training));
+}
+
+TEST(EvalServiceTest, DecideCqmSepMatchesSerialPath) {
+  auto db = std::make_shared<Database>(GraphSchema());
+  Value pos = AddEntity(*db, "pos");
+  Value neg = AddEntity(*db, "neg");
+  AddEdge(*db, "pos", "t");
+  TrainingDatabase training(db);
+  training.SetLabel(pos, kPositive);
+  training.SetLabel(neg, kNegative);
+
+  CqmSepResult serial = DecideCqmSep(training, 1);
+  EvalService service;
+  CqmSepOptions options;
+  options.service = &service;
+  for (int round = 0; round < 2; ++round) {  // Cold cache, then warm.
+    CqmSepResult served = DecideCqmSep(training, 1, options);
+    EXPECT_EQ(served.separable, serial.separable);
+    EXPECT_EQ(served.features_enumerated, serial.features_enumerated);
+    ASSERT_EQ(served.model.has_value(), serial.model.has_value());
+    if (served.model.has_value()) {
+      EXPECT_EQ(served.model->statistic.ToString(),
+                serial.model->statistic.ToString());
+      EXPECT_EQ(served.model->TrainingErrors(training),
+                serial.model->TrainingErrors(training));
+    }
+  }
+  EXPECT_GT(service.stats().cache_hits, 0u);  // Round two reused round one.
+}
+
+TEST(EvalServiceTest, SolveCqmQbeMatchesSerialPath) {
+  Database db(GraphSchema());
+  Value pos = AddEntity(db, "pos");
+  Value neg = AddEntity(db, "neg");
+  AddEdge(db, "pos", "t");
+
+  QbeInstance instance;
+  instance.db = &db;
+  instance.positives = {pos};
+  instance.negatives = {neg};
+
+  QbeResult serial = SolveCqmQbe(instance, 1);
+  ASSERT_TRUE(serial.exists);
+  EvalService service;
+  QbeOptions options;
+  options.service = &service;
+  for (int round = 0; round < 2; ++round) {  // Cold cache, then warm.
+    QbeResult served = SolveCqmQbe(instance, 1, 0, options);
+    EXPECT_EQ(served.exists, serial.exists);
+    ASSERT_TRUE(served.explanation.has_value());
+    EXPECT_EQ(served.explanation->ToString(), serial.explanation->ToString());
+  }
+  EXPECT_GT(service.stats().cache_hits, 0u);
+}
+
+TEST(CqEvaluatorReuseTest, OneEvaluatorAcrossCollidingDatabases) {
+  // Satellite audit: a CqEvaluator holds only query-derived state, so one
+  // instance must answer correctly across databases whose value ids collide
+  // (same numeric ids naming different constants), interleaved.
+  std::vector<ConjunctiveQuery> features = OutInFeatures();
+  CqEvaluator evaluator(features[0]);  // "Has an out-edge".
+
+  Database db1(GraphSchema());
+  Value a1 = AddEntity(db1, "a");
+  Value b1 = AddEntity(db1, "b");
+  AddEdge(db1, "a", "b");  // a has an out-edge, b does not.
+
+  Database db2(GraphSchema());
+  Value b2 = AddEntity(db2, "b");  // db2 ids: "b" and "a" swapped vs db1.
+  Value a2 = AddEntity(db2, "a");
+  AddEdge(db2, "b", "a");  // Here b has the out-edge.
+
+  ASSERT_EQ(a1, b2);  // The collision the audit is about.
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(evaluator.SelectsEntity(db1, a1));
+    EXPECT_TRUE(evaluator.SelectsEntity(db2, b2));
+    EXPECT_FALSE(evaluator.SelectsEntity(db1, b1));
+    EXPECT_FALSE(evaluator.SelectsEntity(db2, a2));
+  }
+}
+
+}  // namespace
+}  // namespace featsep

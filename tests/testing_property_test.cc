@@ -160,7 +160,7 @@ TEST(FuzzTest, ParseFuzzConfigRoundTrips) {
   for (FuzzConfig config :
        {FuzzConfig::kHom, FuzzConfig::kEval, FuzzConfig::kContainment,
         FuzzConfig::kCore, FuzzConfig::kGhw, FuzzConfig::kSep,
-        FuzzConfig::kMixed}) {
+        FuzzConfig::kQbe, FuzzConfig::kMixed}) {
     auto parsed = ParseFuzzConfig(featsep::testing::FuzzConfigName(config));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, config);
@@ -171,7 +171,8 @@ TEST(FuzzTest, ParseFuzzConfigRoundTrips) {
 TEST(FuzzTest, AllConfigsCleanOnSeedSweep) {
   for (FuzzConfig config :
        {FuzzConfig::kHom, FuzzConfig::kEval, FuzzConfig::kContainment,
-        FuzzConfig::kCore, FuzzConfig::kGhw, FuzzConfig::kSep}) {
+        FuzzConfig::kCore, FuzzConfig::kGhw, FuzzConfig::kSep,
+        FuzzConfig::kQbe}) {
     FuzzOptions options;
     options.config = config;
     options.seed = 1000;

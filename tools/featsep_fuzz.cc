@@ -7,7 +7,7 @@
 //
 // Usage:
 //   featsep_fuzz [--iters N] [--seed S] [--config NAME] [--no-shrink]
-// Configs: hom, eval, containment, core, ghw, sep, mixed (default).
+// Configs: hom, eval, containment, core, ghw, sep, qbe, mixed (default).
 
 #include <cstdint>
 #include <cstdlib>
@@ -22,7 +22,7 @@ namespace {
 void Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--iters N] [--seed S] [--config "
-               "hom|eval|containment|core|ghw|sep|mixed] [--no-shrink]\n";
+               "hom|eval|containment|core|ghw|sep|qbe|mixed] [--no-shrink]\n";
 }
 
 }  // namespace
