@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "testing/coverage.h"
 #include "util/check.h"
 #include "util/hash.h"
 
@@ -73,6 +74,7 @@ void CoverGameSolver::EnumeratePositions() {
     }
     position.covered_facts.assign(covered.begin(), covered.end());
     std::sort(position.covered_facts.begin(), position.covered_facts.end());
+    FEATSEP_COVERAGE(kCoverPosition);
     positions_.push_back(std::move(position));
   };
 
@@ -121,7 +123,10 @@ void CoverGameSolver::EnumerateMaps(Position* position) {
   auto recurse = [&](auto&& self, std::size_t fact_pos) -> void {
     if (fact_pos == position->covered_facts.size()) {
       // All elements are determined (every element is in a covered fact).
-      if (dedup.insert(image).second) position->maps.push_back(image);
+      if (dedup.insert(image).second) {
+        FEATSEP_COVERAGE(kCoverMap);
+        position->maps.push_back(image);
+      }
       return;
     }
     const Fact& fact = from_.fact(position->covered_facts[fact_pos]);
@@ -164,7 +169,10 @@ bool CoverGameSolver::Decide(const std::vector<Value>& a_tuple,
   std::unordered_map<Value, Value> base;
   for (std::size_t i = 0; i < a_tuple.size(); ++i) {
     auto [it, inserted] = base.emplace(a_tuple[i], b_tuple[i]);
-    if (!inserted && it->second != b_tuple[i]) return false;
+    if (!inserted && it->second != b_tuple[i]) {
+      FEATSEP_COVERAGE(kCoverBaseReject);
+      return false;
+    }
   }
 
   // Facts touching ā (candidates for the mixed / pure-ā checks).
@@ -191,6 +199,7 @@ bool CoverGameSolver::Decide(const std::vector<Value>& a_tuple,
       args.push_back(it->second);
     }
     if (pure && !to_.ContainsFact(Fact{fact.relation, std::move(args)})) {
+      FEATSEP_COVERAGE(kCoverBaseReject);
       return false;
     }
   }
@@ -248,13 +257,17 @@ bool CoverGameSolver::Decide(const std::vector<Value>& a_tuple,
       }
       if (ok) live[p].push_back(map);
     }
-    if (live[p].empty()) return false;
+    if (live[p].empty()) {
+      FEATSEP_COVERAGE(kCoverPositionDead);
+      return false;
+    }
   }
 
   // Greatest fixpoint: delete h ∈ live[i] unless, for every position j,
   // some h' ∈ live[j] agrees with h on S_i ∩ S_j.
   bool changed = true;
   while (changed) {
+    FEATSEP_COVERAGE(kCoverFixpointRound);
     changed = false;
     for (std::size_t i = 0; i < positions_.size(); ++i) {
       for (std::size_t j = 0; j < positions_.size(); ++j) {
@@ -284,12 +297,17 @@ bool CoverGameSolver::Decide(const std::vector<Value>& a_tuple,
           return keys.count(key) == 0;
         });
         if (live[i].size() != before) {
+          FEATSEP_COVERAGE(kCoverStrategyDeleted);
           changed = true;
-          if (live[i].empty()) return false;
+          if (live[i].empty()) {
+            FEATSEP_COVERAGE(kCoverLose);
+            return false;
+          }
         }
       }
     }
   }
+  FEATSEP_COVERAGE(kCoverWin);
   return true;
 }
 

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "testing/coverage.h"
 #include "util/check.h"
 #include "util/svo_bitset.h"
 
@@ -148,6 +149,7 @@ HomResult HomSearch::Run(const std::vector<std::pair<Value, Value>>& seed) {
   BuildStructures();
 
   if (!ApplyUnaryConstraints()) {
+    FEATSEP_COVERAGE(kHomUnaryWipeout);
     result.status = HomStatus::kNone;
     result.nodes = nodes_;
     return result;
@@ -171,6 +173,7 @@ HomResult HomSearch::Run(const std::vector<std::pair<Value, Value>>& seed) {
     }
     if (assigned_value_[var] != kNoValue) {
       if (assigned_value_[var] != image) {
+        FEATSEP_COVERAGE(kHomSeedReject);
         result.status = HomStatus::kNone;
         result.nodes = nodes_;
         return result;
@@ -181,6 +184,7 @@ HomResult HomSearch::Run(const std::vector<std::pair<Value, Value>>& seed) {
         image < to_index_->size() ? (*to_index_)[image] : kNoDomIndex;
     if (index == kNoDomIndex || !domains_[var].test(index) ||
         !Assign(var, index)) {
+      FEATSEP_COVERAGE(kHomSeedReject);
       result.status = HomStatus::kNone;
       result.nodes = nodes_;
       return result;
@@ -310,7 +314,10 @@ HomSearch::VarIndex HomSearch::SelectVar() const {
 }
 
 HomStatus HomSearch::Search() {
-  if (unassigned_ == 0) return HomStatus::kFound;
+  if (unassigned_ == 0) {
+    FEATSEP_COVERAGE(kHomFound);
+    return HomStatus::kFound;
+  }
 
   // Iterative backtracking with an explicit frame stack: sources can have
   // tens of thousands of variables (e.g., QBE products), far beyond safe
@@ -350,15 +357,18 @@ HomStatus HomSearch::Search() {
       frame.assigned = false;
     }
     if (options_.max_nodes != 0 && nodes_ >= options_.max_nodes) {
+      FEATSEP_COVERAGE(kHomExhausted);
       return HomStatus::kExhausted;
     }
     DomIndex image;
     if (frame.pref != kNoDomIndex) {
+      FEATSEP_COVERAGE(kHomPreferHit);
       image = frame.pref;
       frame.pref = kNoDomIndex;
     } else {
       std::size_t bit = frame.candidates.find_next(frame.cursor);
       if (bit == SvoBitset::kNoBit) {
+        FEATSEP_COVERAGE(kHomBacktrack);
         stack.pop_back();
         continue;
       }
@@ -366,14 +376,19 @@ HomStatus HomSearch::Search() {
       frame.cursor = bit + 1;
     }
     ++nodes_;
+    FEATSEP_COVERAGE(kHomNode);
     frame.mark = trail_.size();
     frame.assigned = true;
     if (Assign(frame.var, image)) {
-      if (unassigned_ == 0) return HomStatus::kFound;
+      if (unassigned_ == 0) {
+        FEATSEP_COVERAGE(kHomFound);
+        return HomStatus::kFound;
+      }
       stack.push_back(make_frame(SelectVar()));
     }
     // On Assign failure the loop retries this frame (undo happens above).
   }
+  FEATSEP_COVERAGE(kHomNone);
   return HomStatus::kNone;
 }
 
@@ -414,7 +429,11 @@ bool HomSearch::CheckFact(FactIndex fact_index) {
   // supports are exactly the precomputed support bitsets — forward checking
   // degenerates to one word-wise AND per unassigned position.
   if (assigned_count == 1 && info.rep_pairs.empty()) {
-    if (pivot_size == 0) return false;
+    FEATSEP_COVERAGE(kHomFastCheck);
+    if (pivot_size == 0) {
+      FEATSEP_COVERAGE(kHomDeadFact);
+      return false;
+    }
     if (!options_.forward_checking) return true;
     VarIndex pivot_var = info.vars[pivot];
     const std::vector<SvoBitset>& support =
@@ -431,6 +450,7 @@ bool HomSearch::CheckFact(FactIndex fact_index) {
   // target fact must agree with *all* assigned positions simultaneously
   // (pairwise support is not enough at arity ≥ 3), so scan the pivot's
   // candidate list and accumulate per-position supports in scratch bitsets.
+  FEATSEP_COVERAGE(kHomGeneralCheck);
   const std::vector<FactIndex>& candidates =
       pivot == static_cast<std::size_t>(-1)
           ? to_.FactsOf(fact.relation)
@@ -474,7 +494,10 @@ bool HomSearch::CheckFact(FactIndex fact_index) {
       scratch_[pos].set((*to_index_)[target.args[pos]]);
     }
   }
-  if (!any_compatible) return false;
+  if (!any_compatible) {
+    FEATSEP_COVERAGE(kHomDeadFact);
+    return false;
+  }
 
   // Prune the domains of unassigned variables of this fact.
   for (std::size_t pos = 0; pos < arity; ++pos) {
@@ -491,10 +514,15 @@ bool HomSearch::PruneDomain(VarIndex var, const SvoBitset& mask) {
   std::uint32_t count = static_cast<std::uint32_t>(tmp_.count());
   // Intersections only shrink, so an equal popcount means an equal set.
   if (count == domain_size_[var]) return true;
+  FEATSEP_COVERAGE(kHomPrune);
   SaveDomain(var);
   std::swap(domains_[var], tmp_);
   domain_size_[var] = count;
-  return count != 0;
+  if (count == 0) {
+    FEATSEP_COVERAGE(kHomWipeout);
+    return false;
+  }
+  return true;
 }
 
 void HomSearch::SaveDomain(VarIndex var) {

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "testing/coverage.h"
 #include "util/check.h"
 #include "util/hash.h"
 
@@ -101,7 +102,10 @@ void GhwSearch::EnumerateBags(const GhwOptions& options) {
 
 bool GhwSearch::Solve(const SubproblemKey& key) {
   auto it = memo_.find(key);
-  if (it != memo_.end()) return it->second.has_value();
+  if (it != memo_.end()) {
+    FEATSEP_COVERAGE(kGhwMemoHit);
+    return it->second.has_value();
+  }
   // Mark as unsolvable while in flight; components strictly shrink so no
   // true recursion on the same key occurs, but this keeps lookups total.
   memo_.emplace(key, std::nullopt);
@@ -110,6 +114,7 @@ bool GhwSearch::Solve(const SubproblemKey& key) {
     // Connector must be inside the bag (connectedness with the parent).
     if (!std::includes(bag.begin(), bag.end(), key.connector.begin(),
                        key.connector.end())) {
+      FEATSEP_COVERAGE(kGhwBagConnectorReject);
       continue;
     }
     // Edges of the component fully inside the bag are covered here.
@@ -125,6 +130,7 @@ bool GhwSearch::Solve(const SubproblemKey& key) {
     // Progress requirement (termination): every child must be strictly
     // smaller than the current component.
     if (remaining.size() == key.component.size() && components.size() == 1) {
+      FEATSEP_COVERAGE(kGhwBagProgressReject);
       continue;
     }
 
@@ -137,16 +143,19 @@ bool GhwSearch::Solve(const SubproblemKey& key) {
                             std::back_inserter(connector));
       SubproblemKey child{std::move(component), std::move(connector)};
       if (!Solve(child)) {
+        FEATSEP_COVERAGE(kGhwChildUnsolved);
         all_solved = false;
         break;
       }
       children.push_back(std::move(child));
     }
     if (all_solved) {
+      FEATSEP_COVERAGE(kGhwSubproblemSolved);
       memo_[key] = Choice{bag, std::move(children)};
       return true;
     }
   }
+  FEATSEP_COVERAGE(kGhwSubproblemFailed);
   return false;
 }
 

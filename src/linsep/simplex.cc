@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <utility>
 
+#include "testing/coverage.h"
 #include "util/check.h"
 
 namespace featsep {
@@ -79,6 +80,7 @@ class Tableau {
   }
 
   void Pivot(std::size_t pivot_row, std::size_t pivot_col) {
+    FEATSEP_COVERAGE(kSimplexPivot);
     Rational pivot = rows_[pivot_row][pivot_col];
     FEATSEP_CHECK(pivot.sign() != 0);
     for (std::size_t j = 0; j < num_cols_; ++j) {
@@ -159,12 +161,14 @@ LpSolution SolveLp(const LpProblem& problem) {
 
   // Phase 1: maximize -(sum of artificials).
   if (num_artificials > 0) {
+    FEATSEP_COVERAGE(kSimplexPhase1);
     std::vector<Rational> phase1(cols);
     for (std::size_t col : artificial_columns) phase1[col] = -1;
     tableau.SetObjective(phase1);
     bool bounded = tableau.Optimize();
     FEATSEP_CHECK(bounded) << "phase-1 LP cannot be unbounded";
     if (tableau.objective_value().sign() < 0) {
+      FEATSEP_COVERAGE(kSimplexInfeasible);
       LpSolution solution;
       solution.status = LpStatus::kInfeasible;
       return solution;
@@ -183,6 +187,8 @@ LpSolution SolveLp(const LpProblem& problem) {
       }
       if (pivot_col != cols) {
         tableau.Pivot(i, pivot_col);
+      } else {
+        FEATSEP_COVERAGE(kSimplexDegenerate);
       }
       // Otherwise the row is redundant (all-zero over real columns with
       // zero rhs); leaving the artificial basic at level 0 is harmless as
@@ -207,11 +213,13 @@ LpSolution SolveLp(const LpProblem& problem) {
   tableau.SetObjective(phase2);
 
   if (!tableau.Optimize()) {
+    FEATSEP_COVERAGE(kSimplexUnbounded);
     LpSolution solution;
     solution.status = LpStatus::kUnbounded;
     return solution;
   }
 
+  FEATSEP_COVERAGE(kSimplexOptimal);
   LpSolution solution;
   solution.status = LpStatus::kOptimal;
   solution.objective = tableau.objective_value();

@@ -1,19 +1,18 @@
 #include "testing/fuzz.h"
 
 #include <algorithm>
-#include <cmath>
-#include <memory>
+#include <cstdint>
+#include <fstream>
 #include <ostream>
 #include <sstream>
+#include <string>
 #include <utility>
 #include <vector>
 
-#include "io/writer.h"
-#include "relational/database_ops.h"
-#include "relational/training_database.h"
-#include "testing/properties.h"
-#include "testing/random_instance.h"
-#include "testing/shrink.h"
+#include "testing/corpus.h"
+#include "testing/coverage.h"
+#include "testing/instance.h"
+#include "testing/mutate.h"
 #include "util/check.h"
 #include "workload/generators.h"
 
@@ -22,61 +21,6 @@ namespace testing {
 
 namespace {
 
-/// Cap on |dom(to)|^|dom(from)| (resp. |dom(D)|^|vars(q)|): the reference
-/// oracle is brute force, so instance sizes are chosen to keep its search
-/// space bounded regardless of how unlucky a seed is.
-constexpr double kOracleBudget = 2e5;
-
-/// Largest value count in [2, hi] whose `exponent`-th power stays within
-/// the oracle budget.
-std::size_t BoundedValues(std::size_t exponent, std::size_t hi) {
-  std::size_t v = hi;
-  while (v > 2 &&
-         std::pow(static_cast<double>(v), static_cast<double>(exponent)) >
-             kOracleBudget) {
-    --v;
-  }
-  return v;
-}
-
-/// Largest exponent in [2, hi] with base^exponent within the oracle budget.
-std::size_t BoundedExponent(std::size_t base, std::size_t hi) {
-  std::size_t e = hi;
-  while (e > 2 &&
-         std::pow(static_cast<double>(base), static_cast<double>(e)) >
-             kOracleBudget) {
-    --e;
-  }
-  return e;
-}
-
-std::shared_ptr<const Schema> PickSchema(WorkloadRng& rng,
-                                         std::size_t max_arity,
-                                         bool need_entity) {
-  if (!need_entity && rng.Chance(0.25)) {
-    RandomSchemaParams params;
-    params.num_relations = rng.Range(1, 3);
-    params.max_arity = max_arity;
-    params.entity_schema = false;
-    return RandomSchema(params, rng);
-  }
-  if (rng.Chance(0.5)) return GraphWorkloadSchema();
-  RandomSchemaParams params;
-  params.num_relations = rng.Range(1, 3);
-  params.max_arity = max_arity;
-  params.entity_schema = true;
-  return RandomSchema(params, rng);
-}
-
-Database PickDatabase(std::shared_ptr<const Schema> schema, WorkloadRng& rng,
-                      std::size_t max_values, std::size_t max_facts) {
-  RandomDatabaseParams params;
-  params.num_values = rng.Range(2, max_values);
-  params.num_facts = rng.Range(max_facts / 2, max_facts);
-  params.entity_fraction = 0.2 + 0.4 * rng.Uniform();
-  return RandomDatabase(std::move(schema), params, rng);
-}
-
 std::string Reproduce(FuzzConfig config, std::uint64_t instance_seed) {
   std::ostringstream out;
   out << "featsep_fuzz --config " << FuzzConfigName(config) << " --seed "
@@ -84,267 +28,130 @@ std::string Reproduce(FuzzConfig config, std::uint64_t instance_seed) {
   return out.str();
 }
 
-/// One fuzz iteration: generate per `config`, check, shrink on failure.
-/// Returns nullopt when all properties hold.
-std::optional<FuzzFailure> RunIteration(FuzzConfig config,
-                                        std::uint64_t instance_seed,
-                                        bool shrink) {
-  if (config == FuzzConfig::kMixed) {
-    constexpr FuzzConfig kAll[] = {FuzzConfig::kHom,  FuzzConfig::kEval,
-                                   FuzzConfig::kContainment,
-                                   FuzzConfig::kCore, FuzzConfig::kGhw,
-                                   FuzzConfig::kSep,  FuzzConfig::kQbe};
-    WorkloadRng selector(instance_seed);
-    config = kAll[selector.Below(7)];
-  }
-  // The generation stream depends only on (instance_seed, resolved config),
-  // so `--config <resolved> --seed S --iters 1` replays an instance found
-  // under `--config mixed` exactly.
-  WorkloadRng rng(instance_seed ^
-                  (0x9e3779b97f4a7c15ULL *
-                   (static_cast<std::uint64_t>(config) + 1)));
+std::string ReproduceReplay(const std::string& path) {
+  return "featsep_fuzz --replay " + path;
+}
 
-  PropertyCheck violation;
-  std::string shrunk_report;
+constexpr std::size_t kEdgeSpace =
+    coverage_internal::kNumCoverageSites *
+    coverage_internal::kBucketsPerSite;
 
-  switch (config) {
-    case FuzzConfig::kHom: {
-      auto schema = PickSchema(rng, 3, /*need_entity=*/false);
-      Database to = PickDatabase(schema, rng, 5, 12);
-      std::size_t from_values = BoundedExponent(
-          std::max<std::size_t>(to.domain().size(), 2), 7);
-      Database from = PickDatabase(schema, rng, from_values, 12);
-      std::vector<std::pair<Value, Value>> seed;
-      if (rng.Chance(0.3) && !from.domain().empty() && !to.domain().empty()) {
-        // Mostly well-formed seed pairs, sometimes stale ids to exercise
-        // the free-seed and out-of-domain paths.
-        Value source = rng.Chance(0.8)
-                           ? from.domain()[rng.Below(from.domain().size())]
-                           : static_cast<Value>(from.num_values() +
-                                                rng.Below(3));
-        Value image = rng.Chance(0.8)
-                          ? to.domain()[rng.Below(to.domain().size())]
-                          : static_cast<Value>(to.num_values() + rng.Below(3));
-        seed.emplace_back(source, image);
-      }
-      violation = CheckHomAgainstReference(from, to, seed);
-      if (!violation.has_value() && rng.Chance(0.25)) {
-        Database third = PickDatabase(schema, rng, 5, 10);
-        violation = CheckHomComposition(from, to, third);
-        if (violation.has_value()) shrink = false;  // Triple; report as-is.
-      }
-      if (violation.has_value() && shrink) {
-        auto [sf, st] = ShrinkHomPair(
-            std::move(from), std::move(to),
-            [&](const Database& f, const Database& t) {
-              return CheckHomAgainstReference(f, t, seed).has_value();
-            });
-        PropertyCheck again = CheckHomAgainstReference(sf, st, seed);
-        if (again.has_value()) shrunk_report = again->detail;
-      }
-      break;
-    }
-    case FuzzConfig::kEval: {
-      auto schema = PickSchema(rng, 2, /*need_entity=*/false);
-      RandomCqParams cq_params;
-      cq_params.num_atoms = rng.Range(1, 4);
-      ConjunctiveQuery query = RandomUnaryCq(schema, cq_params, rng);
-      std::size_t max_values = BoundedValues(query.num_variables(), 6);
-      Database db = PickDatabase(schema, rng, max_values, 12);
-      violation = CheckEvaluationAgainstReference(query, db);
-      if (violation.has_value() && shrink) {
-        auto [sq, sdb] = ShrinkCqInstance(
-            std::move(query), std::move(db),
-            [](const ConjunctiveQuery& q, const Database& d) {
-              return CheckEvaluationAgainstReference(q, d).has_value();
-            });
-        PropertyCheck again = CheckEvaluationAgainstReference(sq, sdb);
-        if (again.has_value()) shrunk_report = again->detail;
-      }
-      break;
-    }
-    case FuzzConfig::kContainment: {
-      auto schema = PickSchema(rng, 2, /*need_entity=*/false);
-      RandomCqParams cq_params;
-      cq_params.num_atoms = rng.Range(1, 3);
-      ConjunctiveQuery q1 = RandomUnaryCq(schema, cq_params, rng);
-      cq_params.num_atoms = rng.Range(1, 3);
-      ConjunctiveQuery q2 = RandomUnaryCq(schema, cq_params, rng);
-      std::size_t max_values = BoundedValues(
-          std::max(q1.num_variables(), q2.num_variables()), 5);
-      Database db = PickDatabase(schema, rng, max_values, 10);
-      violation = CheckContainmentAgainstReference(q1, q2, db);
-      if (violation.has_value() && shrink) {
-        // Alternate single-atom removals on either query, then shrink the
-        // data, as long as the discrepancy persists.
-        bool changed = true;
-        while (changed) {
-          changed = false;
-          for (std::size_t i = 0; i < q1.atoms().size(); ++i) {
-            ConjunctiveQuery candidate = WithoutAtom(q1, i);
-            if (CheckContainmentAgainstReference(candidate, q2, db)
-                    .has_value()) {
-              q1 = std::move(candidate);
-              changed = true;
-              break;
-            }
-          }
-          if (changed) continue;
-          for (std::size_t i = 0; i < q2.atoms().size(); ++i) {
-            ConjunctiveQuery candidate = WithoutAtom(q2, i);
-            if (CheckContainmentAgainstReference(q1, candidate, db)
-                    .has_value()) {
-              q2 = std::move(candidate);
-              changed = true;
-              break;
-            }
-          }
-          if (changed) continue;
-          std::size_t before = db.size();
-          db = ShrinkDatabase(std::move(db), [&](const Database& d) {
-            return CheckContainmentAgainstReference(q1, q2, d).has_value();
-          });
-          changed = db.size() != before;
-        }
-        PropertyCheck again = CheckContainmentAgainstReference(q1, q2, db);
-        if (again.has_value()) shrunk_report = again->detail;
-      }
-      break;
-    }
-    case FuzzConfig::kCore: {
-      auto schema = PickSchema(rng, 3, /*need_entity=*/false);
-      Database db = PickDatabase(schema, rng, 6, 10);
-      std::vector<Value> frozen;
-      if (!db.domain().empty()) {
-        for (std::size_t i = rng.Below(3); i > 0; --i) {
-          frozen.push_back(db.domain()[rng.Below(db.domain().size())]);
-        }
-      }
-      violation = CheckCoreProperties(db, frozen);
-      if (violation.has_value() && shrink) {
-        Database shrunk =
-            ShrinkDatabase(std::move(db), [&](const Database& d) {
-              return CheckCoreProperties(d, frozen).has_value();
-            });
-        PropertyCheck again = CheckCoreProperties(shrunk, frozen);
-        if (again.has_value()) shrunk_report = again->detail;
-      }
-      break;
-    }
-    case FuzzConfig::kGhw: {
-      auto schema = PickSchema(rng, 3, /*need_entity=*/false);
-      RandomCqParams cq_params;
-      cq_params.num_atoms = rng.Range(2, 5);
-      ConjunctiveQuery query = RandomUnaryCq(schema, cq_params, rng);
-      violation = CheckGhwProperties(query);
-      if (violation.has_value() && shrink) {
-        bool changed = true;
-        while (changed) {
-          changed = false;
-          for (std::size_t i = 0; i < query.atoms().size(); ++i) {
-            ConjunctiveQuery candidate = WithoutAtom(query, i);
-            if (CheckGhwProperties(candidate).has_value()) {
-              query = std::move(candidate);
-              changed = true;
-              break;
-            }
-          }
-        }
-        PropertyCheck again = CheckGhwProperties(query);
-        if (again.has_value()) shrunk_report = again->detail;
-      }
-      break;
-    }
-    case FuzzConfig::kSep: {
-      auto schema = PickSchema(rng, 3, /*need_entity=*/true);
-      RandomDatabaseParams params;
-      params.num_values = rng.Range(3, 6);
-      params.num_facts = rng.Range(5, 12);
-      params.entity_fraction = 0.3 + 0.4 * rng.Uniform();
-      std::shared_ptr<TrainingDatabase> training =
-          RandomTrainingDatabase(schema, params, rng);
-      violation = CheckSepThreadDeterminism(*training);
-      if (violation.has_value() && shrink) {
-        // Shrink the underlying database; surviving entities keep their
-        // original labels (label ids are stable under the removal edits).
-        const Labeling labels = training->labeling();
-        auto rebuild = [&](const Database& d) {
-          auto shrunk_db = std::make_shared<Database>(Copy(d));
-          TrainingDatabase t(shrunk_db);
-          for (Value e : shrunk_db->Entities()) {
-            t.SetLabel(e, labels.Get(e));
-          }
-          return t;
-        };
-        Database shrunk = ShrinkDatabase(
-            Copy(training->database()), [&](const Database& d) {
-              return CheckSepThreadDeterminism(rebuild(d)).has_value();
-            });
-        PropertyCheck again = CheckSepThreadDeterminism(rebuild(shrunk));
-        if (again.has_value()) shrunk_report = again->detail;
-      }
-      break;
-    }
-    case FuzzConfig::kQbe: {
-      // Tiny entity databases: the canonical product has |D|^|S⁺| facts and
-      // the CQ[m] check reference-evaluates the explanation, so |S⁺| ≤ 2,
-      // arity ≤ 2, and m ≤ 2 keep every oracle fuzz-sized.
-      auto schema = PickSchema(rng, 2, /*need_entity=*/true);
-      Database db = PickDatabase(schema, rng, 5, 10);
-      std::vector<Value> entities = db.Entities();
-      if (entities.empty()) break;  // Vacuous: QBE needs a nonempty S⁺.
-      for (std::size_t i = entities.size() - 1; i > 0; --i) {
-        std::swap(entities[i], entities[rng.Below(i + 1)]);
-      }
-      std::size_t num_positives =
-          (entities.size() > 1 && rng.Chance(0.4)) ? 2 : 1;
-      std::vector<Value> positives(entities.begin(),
-                                   entities.begin() + num_positives);
-      std::size_t num_negatives =
-          std::min(entities.size() - num_positives,
-                   static_cast<std::size_t>(rng.Below(3)));
-      std::vector<Value> negatives(
-          entities.begin() + num_positives,
-          entities.begin() + num_positives + num_negatives);
-      std::size_t m = rng.Chance(0.7) ? 1 : 2;
-      violation = CheckQbeProperties(db, positives, negatives, m);
-      if (violation.has_value() && shrink) {
-        // Value ids are stable under the removal edits; examples filter to
-        // the surviving entities (S⁺ must stay nonempty).
-        auto filter = [](const Database& d, const std::vector<Value>& vs) {
-          std::vector<Value> kept;
-          for (Value v : vs) {
-            if (v < d.num_values() && d.IsEntity(v)) kept.push_back(v);
-          }
-          return kept;
-        };
-        Database shrunk =
-            ShrinkDatabase(std::move(db), [&](const Database& d) {
-              std::vector<Value> p = filter(d, positives);
-              if (p.empty()) return false;
-              return CheckQbeProperties(d, p, filter(d, negatives), m)
-                  .has_value();
-            });
-        PropertyCheck again =
-            CheckQbeProperties(shrunk, filter(shrunk, positives),
-                               filter(shrunk, negatives), m);
-        if (again.has_value()) shrunk_report = again->detail;
-      }
-      break;
-    }
-    case FuzzConfig::kMixed:
-      FEATSEP_CHECK(false) << "mixed resolved above";
+/// Shared state of one coverage-guided run.
+struct Scheduler {
+  CoverageMap map;
+  /// Inputs (not probe hits) that produced each edge; the energy
+  /// denominator.
+  std::vector<std::uint64_t> edge_freq = std::vector<std::uint64_t>(
+      kEdgeSpace, 0);
+  /// The edges each corpus entry produced when admitted or loaded.
+  std::vector<std::vector<CoverageEdge>> entry_edges;
+
+  void Observe(const std::vector<CoverageEdge>& edges) {
+    for (CoverageEdge edge : edges) ++edge_freq[edge];
   }
 
-  if (!violation.has_value()) return std::nullopt;
-  FuzzFailure failure;
-  failure.instance_seed = instance_seed;
-  failure.config = FuzzConfigName(config);
-  failure.property = violation->property;
-  failure.detail = violation->detail;
-  failure.shrunk = shrunk_report;
-  failure.reproduce = Reproduce(config, instance_seed);
-  return failure;
+  /// Energy-weighted corpus pick: an entry's weight is the summed rarity
+  /// (1 / input frequency) of its edges, so inputs reaching rare behavior
+  /// get mutated more.
+  std::size_t PickEntry(const std::vector<std::size_t>& pool,
+                        WorkloadRng& rng) const {
+    FEATSEP_CHECK(!pool.empty());
+    std::vector<double> weights;
+    double total = 0;
+    for (std::size_t index : pool) {
+      double weight = 1e-6;
+      for (CoverageEdge edge : entry_edges[index]) {
+        weight += 1.0 / static_cast<double>(
+                            std::max<std::uint64_t>(edge_freq[edge], 1));
+      }
+      weights.push_back(weight);
+      total += weight;
+    }
+    double target = rng.Uniform() * total;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      target -= weights[i];
+      if (target <= 0) return pool[i];
+    }
+    return pool.back();
+  }
+};
+
+/// Runs the property check with the coverage probes bracketed around it
+/// (when wanted) and returns the violation plus the input's edge set.
+std::pair<PropertyCheck, std::vector<CoverageEdge>> CheckWithCoverage(
+    const FuzzInstance& instance, bool want_coverage) {
+  if (!want_coverage) return {CheckFuzzInstance(instance), {}};
+  ResetCoverage();
+  SetCoverageEnabled(true);
+  PropertyCheck violation = CheckFuzzInstance(instance);
+  SetCoverageEnabled(false);
+  return {std::move(violation), CoverageEdges(SnapshotCoverage())};
+}
+
+/// Shrinks a failing instance (coverage off — only the failure matters)
+/// and restates the discrepancy on the result.
+std::pair<FuzzInstance, std::string> ShrinkFailure(FuzzInstance instance) {
+  FuzzInstance shrunk = ShrinkFuzzInstance(
+      std::move(instance), [](const FuzzInstance& candidate) {
+        return CheckFuzzInstance(candidate).has_value();
+      });
+  PropertyCheck again = CheckFuzzInstance(shrunk);
+  std::string report;
+  if (again.has_value()) report = again->detail;
+  return {std::move(shrunk), std::move(report)};
+}
+
+void StreamFailure(const FuzzFailure& failure, std::ostream* progress) {
+  if (progress == nullptr) return;
+  *progress << "FAIL [" << failure.config << "/" << failure.property
+            << "] iteration " << failure.iteration << "\n"
+            << failure.detail << "\n";
+  if (!failure.shrunk.empty()) {
+    *progress << "shrunk counterexample:\n" << failure.shrunk << "\n";
+  }
+  *progress << "reproduce: " << failure.reproduce << "\n";
+}
+
+FuzzReport RunReplay(const FuzzOptions& options, std::ostream* progress) {
+  FuzzReport report;
+  for (const std::string& path : options.replay_paths) {
+    ++report.iterations;
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    FuzzFailure failure;
+    failure.iteration = report.iterations - 1;
+    failure.reproduce = ReproduceReplay(path);
+    if (!in.good() && text.str().empty()) {
+      failure.config = "replay";
+      failure.property = "corpus/unreadable";
+      failure.detail = "cannot read " + path;
+      StreamFailure(failure, progress);
+      report.failures.push_back(std::move(failure));
+      continue;
+    }
+    Result<FuzzInstance> instance = DeserializeFuzzInstance(text.str());
+    if (!instance.ok()) {
+      failure.config = "replay";
+      failure.property = "corpus/unparseable";
+      failure.detail = path + ": " + instance.error().message();
+      StreamFailure(failure, progress);
+      report.failures.push_back(std::move(failure));
+      continue;
+    }
+    auto [violation, edges] =
+        CheckWithCoverage(instance.value(), options.coverage_stats);
+    if (!violation.has_value()) continue;
+    failure.config = FuzzConfigName(instance.value().config);
+    failure.property = violation->property;
+    failure.detail = violation->detail;
+    if (options.shrink) {
+      failure.shrunk = ShrinkFailure(std::move(instance.value())).second;
+    }
+    StreamFailure(failure, progress);
+    report.failures.push_back(std::move(failure));
+  }
+  return report;
 }
 
 }  // namespace
@@ -358,6 +165,9 @@ const char* FuzzConfigName(FuzzConfig config) {
     case FuzzConfig::kGhw: return "ghw";
     case FuzzConfig::kSep: return "sep";
     case FuzzConfig::kQbe: return "qbe";
+    case FuzzConfig::kCoverGame: return "covergame";
+    case FuzzConfig::kDimension: return "dimension";
+    case FuzzConfig::kLinsep: return "linsep";
     case FuzzConfig::kMixed: return "mixed";
   }
   return "unknown";
@@ -367,31 +177,161 @@ std::optional<FuzzConfig> ParseFuzzConfig(std::string_view name) {
   for (FuzzConfig config :
        {FuzzConfig::kHom, FuzzConfig::kEval, FuzzConfig::kContainment,
         FuzzConfig::kCore, FuzzConfig::kGhw, FuzzConfig::kSep,
-        FuzzConfig::kQbe, FuzzConfig::kMixed}) {
+        FuzzConfig::kQbe, FuzzConfig::kCoverGame, FuzzConfig::kDimension,
+        FuzzConfig::kLinsep, FuzzConfig::kMixed}) {
     if (name == FuzzConfigName(config)) return config;
   }
   return std::nullopt;
 }
 
 FuzzReport RunFuzz(const FuzzOptions& options, std::ostream* progress) {
+  if (!options.replay_paths.empty()) return RunReplay(options, progress);
+
   FuzzReport report;
+  const bool guided = options.mutate || !options.corpus_dir.empty();
+  const bool want_coverage = guided || options.coverage_stats;
+  Scheduler scheduler;
+  Corpus corpus(options.corpus_dir);
+  /// Corpus indexes eligible for mutation under the requested config.
+  std::vector<std::size_t> pool;
+  /// Scheduler decisions (fresh-vs-mutate, entry picks, mutations) draw
+  /// from their own stream so fresh-instance generation stays a pure
+  /// function of (config, options.seed + i).
+  WorkloadRng scheduler_rng(options.seed ^ 0xc0ffee5eedf00dULL);
+
+  auto admissible = [&](const FuzzInstance& instance) {
+    return options.config == FuzzConfig::kMixed ||
+           instance.config == options.config;
+  };
+
+  if (guided) {
+    std::vector<std::string> load_errors;
+    corpus.Load(&load_errors);
+    if (progress != nullptr) {
+      for (const std::string& error : load_errors) {
+        *progress << "corpus: skipping " << error << "\n";
+      }
+    }
+    // Seed coverage by replaying the corpus; a regressed entry is a
+    // failure, reproducible straight from its file.
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      auto [violation, edges] =
+          CheckWithCoverage(corpus.instance(i), /*want_coverage=*/true);
+      scheduler.map.MergeNew(SnapshotCoverage());
+      scheduler.Observe(edges);
+      scheduler.entry_edges.push_back(std::move(edges));
+      if (admissible(corpus.instance(i))) pool.push_back(i);
+      if (violation.has_value()) {
+        FuzzFailure failure;
+        failure.config = FuzzConfigName(corpus.instance(i).config);
+        failure.property = violation->property;
+        failure.detail = violation->detail;
+        failure.reproduce = corpus.path(i).empty()
+                                ? "corpus entry " + std::to_string(i)
+                                : ReproduceReplay(corpus.path(i));
+        StreamFailure(failure, progress);
+        report.failures.push_back(std::move(failure));
+      }
+    }
+  }
+
   for (std::size_t i = 0; i < options.iterations; ++i) {
     std::uint64_t instance_seed = options.seed + i;
-    std::optional<FuzzFailure> failure =
-        RunIteration(options.config, instance_seed, options.shrink);
+    bool mutated = guided && !pool.empty() && !scheduler_rng.Chance(0.3);
+    FuzzInstance instance =
+        mutated
+            ? MutateFuzzInstance(
+                  corpus.instance(scheduler.PickEntry(pool, scheduler_rng)),
+                  scheduler_rng)
+            : GenerateFuzzInstance(options.config, instance_seed);
+
+    auto [violation, edges] = CheckWithCoverage(instance, want_coverage);
+    CoverageSnapshot snapshot = want_coverage ? SnapshotCoverage()
+                                              : CoverageSnapshot{};
     ++report.iterations;
-    if (!failure.has_value()) continue;
-    failure->iteration = i;
-    if (progress != nullptr) {
-      *progress << "FAIL [" << failure->config << "/" << failure->property
-                << "] iteration " << i << "\n"
-                << failure->detail << "\n";
-      if (!failure->shrunk.empty()) {
-        *progress << "shrunk counterexample:\n" << failure->shrunk << "\n";
+    scheduler.Observe(edges);
+
+    if (violation.has_value()) {
+      FuzzFailure failure;
+      failure.iteration = i;
+      failure.config = FuzzConfigName(instance.config);
+      failure.property = violation->property;
+      failure.detail = violation->detail;
+      FuzzInstance reported = instance;
+      if (options.shrink) {
+        auto [shrunk, shrunk_report] = ShrinkFailure(std::move(instance));
+        failure.shrunk = std::move(shrunk_report);
+        if (!failure.shrunk.empty()) reported = std::move(shrunk);
       }
-      *progress << "reproduce: " << failure->reproduce << "\n";
+      if (mutated) {
+        // Mutation chains are not replayable from a seed; persist the
+        // (shrunk) crasher next to the corpus instead.
+        if (!options.corpus_dir.empty()) {
+          Result<std::string> path = WriteFuzzInstanceFile(
+              options.corpus_dir + "/crashes", reported);
+          failure.reproduce = path.ok()
+                                  ? ReproduceReplay(path.value())
+                                  : "crash write failed: " +
+                                        path.error().message();
+        } else {
+          failure.reproduce =
+              "serialized crasher:\n" + SerializeFuzzInstance(reported);
+        }
+      } else {
+        failure.instance_seed = instance_seed;
+        failure.reproduce = Reproduce(reported.config, instance_seed);
+      }
+      StreamFailure(failure, progress);
+      report.failures.push_back(std::move(failure));
+      continue;
     }
-    report.failures.push_back(std::move(*failure));
+
+    if (!want_coverage) continue;
+    std::vector<CoverageEdge> fresh = scheduler.map.MergeNew(snapshot);
+    if (!guided || fresh.empty()) continue;
+    // New coverage: minimize while the instance still passes AND still
+    // reaches every newly discovered edge, then admit to the corpus.
+    FuzzInstance minimized = ShrinkFuzzInstance(
+        std::move(instance), [&](const FuzzInstance& candidate) {
+          auto [candidate_violation, candidate_edges] =
+              CheckWithCoverage(candidate, /*want_coverage=*/true);
+          return !candidate_violation.has_value() &&
+                 std::includes(candidate_edges.begin(),
+                               candidate_edges.end(), fresh.begin(),
+                               fresh.end());
+        });
+    auto [final_violation, final_edges] =
+        CheckWithCoverage(minimized, /*want_coverage=*/true);
+    if (final_violation.has_value() ||
+        !std::includes(final_edges.begin(), final_edges.end(),
+                       fresh.begin(), fresh.end())) {
+      // Nondeterministic coverage (parallel sweeps) pulled the edges out
+      // from under the minimizer; keep the original admission candidate
+      // out rather than corrupt the corpus.
+      continue;
+    }
+    Result<std::size_t> index = corpus.Add(minimized);
+    if (!index.ok()) {
+      if (progress != nullptr) {
+        *progress << "corpus: " << index.error().message() << "\n";
+      }
+      continue;
+    }
+    scheduler.entry_edges.push_back(final_edges);
+    scheduler.Observe(final_edges);
+    if (admissible(minimized)) pool.push_back(index.value());
+    ++report.corpus_added;
+  }
+
+  report.corpus_size = corpus.size();
+  report.coverage_edges = scheduler.map.num_edges();
+  if (options.coverage_stats) {
+    for (CoverageEdge edge = 0; edge < kEdgeSpace; ++edge) {
+      if (scheduler.edge_freq[edge] == 0) continue;
+      report.coverage_lines.push_back(
+          CoverageEdgeName(edge) + " " +
+          std::to_string(scheduler.edge_freq[edge]));
+    }
   }
   return report;
 }

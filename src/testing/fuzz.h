@@ -16,16 +16,28 @@ namespace testing {
 /// driver rejects. Deterministic: iteration i uses instance seed
 /// `options.seed + i`, so every failure prints a `--seed S --iters 1`
 /// command that regenerates the identical instance.
+///
+/// Two search modes share the loop:
+///   - blind: every iteration generates a fresh instance from its seed;
+///   - coverage-guided (corpus_dir set or mutate on): the instrumented
+///     kernels (coverage.h) are bracketed around each check, instances
+///     whose edge signature adds to the accumulated CoverageMap are
+///     minimized and admitted to the corpus, and most iterations mutate a
+///     corpus entry (mutate.h) picked with energy proportional to how rare
+///     its edges are, instead of generating from scratch.
 
 enum class FuzzConfig {
   kHom,          ///< FindHomomorphism vs reference (+ composition closure).
   kEval,         ///< CqEvaluator / DecomposedEvaluator vs reference.
   kContainment,  ///< IsContainedIn vs canonical-database criterion.
-  kCore,         ///< CoreOf laws.
+  kCore,         ///< CoreOf laws + MinimizeCq oracle laws.
   kGhw,          ///< GHW witness/monotonicity laws.
   kSep,          ///< DecideCqSep determinism + Theorem 3.2 oracle.
   kQbe,          ///< QBE solver laws (thread determinism, screening,
                  ///< serve-vs-serial SolveCqmQbe agreement).
+  kCoverGame,    ///< Existential k-cover game metamorphic laws.
+  kDimension,    ///< Sep[ℓ] monotonicity + Theorem 3.2 agreement + witness.
+  kLinsep,       ///< Simplex / separability LP vs Fourier–Motzkin reference.
   kMixed,        ///< Per-iteration uniform choice among the above.
 };
 
@@ -38,12 +50,25 @@ struct FuzzOptions {
   FuzzConfig config = FuzzConfig::kMixed;
   /// Greedily minimize failing instances before reporting.
   bool shrink = true;
+  /// Corpus directory: entries are loaded (and replayed) up front and new
+  /// coverage-earning inputs are persisted back. Empty: in-memory corpus
+  /// only (still coverage-guided when `mutate` is set).
+  std::string corpus_dir;
+  /// Mutate corpus entries instead of always generating fresh instances.
+  /// Implied on when corpus_dir is set.
+  bool mutate = false;
+  /// Collect per-edge statistics into FuzzReport::coverage_lines.
+  bool coverage_stats = false;
+  /// Replay-only mode: check exactly these serialized instances (no
+  /// generation, no mutation). Used by the corpus regression test.
+  std::vector<std::string> replay_paths;
 };
 
 struct FuzzFailure {
   std::size_t iteration = 0;
   /// Reproduce with `featsep_fuzz --config <config> --seed <instance_seed>
-  /// --iters 1` (also spelled out in `reproduce`).
+  /// --iters 1` (also spelled out in `reproduce`). Zero for failures found
+  /// by mutation or replay, which reproduce from a serialized file instead.
   std::uint64_t instance_seed = 0;
   std::string config;
   std::string property;
@@ -57,6 +82,13 @@ struct FuzzFailure {
 struct FuzzReport {
   std::size_t iterations = 0;
   std::vector<FuzzFailure> failures;
+  /// Coverage-guided runs: corpus size after the run, how many entries this
+  /// run added, and the number of distinct (site, bucket) edges seen.
+  std::size_t corpus_size = 0;
+  std::size_t corpus_added = 0;
+  std::size_t coverage_edges = 0;
+  /// "edge-name count" lines when FuzzOptions::coverage_stats is set.
+  std::vector<std::string> coverage_lines;
   bool ok() const { return failures.empty(); }
 };
 

@@ -1,0 +1,818 @@
+#include "testing/instance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "relational/database_ops.h"
+#include "relational/training_database.h"
+#include "testing/random_instance.h"
+#include "testing/shrink.h"
+#include "util/check.h"
+#include "workload/generators.h"
+
+namespace featsep {
+namespace testing {
+
+namespace {
+
+/// Cap on |dom(to)|^|dom(from)| (resp. |dom(D)|^|vars(q)|): the reference
+/// oracle is brute force, so instance sizes are chosen to keep its search
+/// space bounded regardless of how unlucky a seed or a mutation chain is.
+constexpr double kOracleBudget = 2e5;
+
+/// Largest value count in [2, hi] whose `exponent`-th power stays within
+/// the oracle budget.
+std::size_t BoundedValues(std::size_t exponent, std::size_t hi) {
+  std::size_t v = hi;
+  while (v > 2 &&
+         std::pow(static_cast<double>(v), static_cast<double>(exponent)) >
+             kOracleBudget) {
+    --v;
+  }
+  return v;
+}
+
+/// Largest exponent in [2, hi] with base^exponent within the oracle budget.
+std::size_t BoundedExponent(std::size_t base, std::size_t hi) {
+  std::size_t e = hi;
+  while (e > 2 &&
+         std::pow(static_cast<double>(base), static_cast<double>(e)) >
+             kOracleBudget) {
+    --e;
+  }
+  return e;
+}
+
+std::shared_ptr<const Schema> PickSchema(WorkloadRng& rng,
+                                         std::size_t max_arity,
+                                         bool need_entity) {
+  if (!need_entity && rng.Chance(0.25)) {
+    RandomSchemaParams params;
+    params.num_relations = rng.Range(1, 3);
+    params.max_arity = max_arity;
+    params.entity_schema = false;
+    return RandomSchema(params, rng);
+  }
+  if (rng.Chance(0.5)) return GraphWorkloadSchema();
+  RandomSchemaParams params;
+  params.num_relations = rng.Range(1, 3);
+  params.max_arity = max_arity;
+  params.entity_schema = true;
+  return RandomSchema(params, rng);
+}
+
+Database PickDatabase(std::shared_ptr<const Schema> schema, WorkloadRng& rng,
+                      std::size_t max_values, std::size_t max_facts) {
+  RandomDatabaseParams params;
+  params.num_values = rng.Range(2, max_values);
+  params.num_facts = rng.Range(max_facts / 2, max_facts);
+  params.entity_fraction = 0.2 + 0.4 * rng.Uniform();
+  return RandomDatabase(std::move(schema), params, rng);
+}
+
+/// Rebuilds `db` keeping only facts that satisfy `keep`, at most
+/// `max_facts` of them (insertion order). Every original constant name is
+/// re-interned first, so value ids carry over and references held by the
+/// instance (labels, seeds, frozen sets) stay valid.
+template <typename KeepFact>
+Database FilterFacts(const Database& db, KeepFact keep,
+                     std::size_t max_facts) {
+  Database out(db.schema_ptr());
+  for (Value v = 0; v < db.num_values(); ++v) out.Intern(db.value_name(v));
+  std::size_t added = 0;
+  for (const Fact& fact : db.facts()) {
+    if (added >= max_facts) break;
+    if (!keep(fact)) continue;
+    out.AddFact(fact.relation, fact.args);
+    ++added;
+  }
+  return out;
+}
+
+/// Trims to at most `max_values` domain values (the lowest ids survive) and
+/// `max_facts` facts. Id-stable; dropped values become isolated.
+Database TrimDatabase(const Database& db, std::size_t max_values,
+                      std::size_t max_facts) {
+  if (db.domain().size() <= max_values && db.size() <= max_facts) {
+    return db;
+  }
+  std::vector<bool> kept(db.num_values(), false);
+  std::size_t taken = 0;
+  for (Value v : db.domain()) {
+    if (taken >= max_values) break;
+    kept[v] = true;
+    ++taken;
+  }
+  return FilterFacts(
+      db,
+      [&](const Fact& fact) {
+        for (Value v : fact.args) {
+          if (!kept[v]) return false;
+        }
+        return true;
+      },
+      max_facts);
+}
+
+/// Caps η(D) at `max_entities` by dropping the entity facts of every
+/// further entity (the entity's other facts survive; it just stops being a
+/// labeled example).
+Database TrimEntities(const Database& db, std::size_t max_entities) {
+  if (!db.schema().has_entity_relation()) return db;
+  std::vector<Value> entities = db.Entities();
+  if (entities.size() <= max_entities) return db;
+  std::vector<bool> kept(db.num_values(), false);
+  for (std::size_t i = 0; i < max_entities; ++i) kept[entities[i]] = true;
+  RelationId eta = db.schema().entity_relation();
+  return FilterFacts(
+      db,
+      [&](const Fact& fact) {
+        return fact.relation != eta || kept[fact.args[0]];
+      },
+      db.size());
+}
+
+/// Keeps only label pairs naming current entities (first occurrence wins)
+/// and drops the entity facts of entities with no label, so the rebuilt
+/// TrainingDatabase is totally labeled.
+void ReconcileLabels(FuzzInstance* instance) {
+  if (!instance->db_a.has_value() ||
+      !instance->db_a->schema().has_entity_relation()) {
+    instance->labels.clear();
+    return;
+  }
+  const Database& db = *instance->db_a;
+  std::vector<bool> labeled(db.num_values(), false);
+  std::vector<std::pair<Value, Label>> kept;
+  for (auto& [value, label] : instance->labels) {
+    if (value >= db.num_values() || !db.IsEntity(value) || labeled[value]) {
+      continue;
+    }
+    labeled[value] = true;
+    kept.emplace_back(value, label > 0 ? kPositive : kNegative);
+  }
+  instance->labels = std::move(kept);
+  RelationId eta = db.schema().entity_relation();
+  bool orphaned = false;
+  for (Value e : db.Entities()) {
+    if (!labeled[e]) {
+      orphaned = true;
+      break;
+    }
+  }
+  if (orphaned) {
+    instance->db_a = FilterFacts(
+        db,
+        [&](const Fact& fact) {
+          return fact.relation != eta || labeled[fact.args[0]];
+        },
+        db.size());
+  }
+}
+
+TrainingDatabase RebuildTraining(const FuzzInstance& instance) {
+  auto db = std::make_shared<Database>(*instance.db_a);
+  TrainingDatabase training(db);
+  for (const auto& [value, label] : instance.labels) {
+    if (value < db->num_values() && db->IsEntity(value)) {
+      training.SetLabel(value, label);
+    }
+  }
+  return training;
+}
+
+/// Drops trailing atoms down to `max_atoms`, then nulls the query if it
+/// went unsafe (the config turns vacuous rather than feeding the engines a
+/// non-range-restricted query).
+void ClampQuery(std::optional<ConjunctiveQuery>* query,
+                std::size_t max_atoms) {
+  if (!query->has_value()) return;
+  while ((*query)->atoms().size() > max_atoms) {
+    **query = WithoutAtom(**query, (*query)->atoms().size() - 1);
+  }
+  if (!QueryIsSafe(**query)) query->reset();
+}
+
+/// Keeps values that exist in `db`, at most `max_size` of them.
+void PruneValues(const Database& db, std::size_t max_size,
+                 std::vector<Value>* values) {
+  std::vector<Value> kept;
+  for (Value v : *values) {
+    if (kept.size() >= max_size) break;
+    if (v < db.num_values() && db.InDomain(v)) kept.push_back(v);
+  }
+  *values = std::move(kept);
+}
+
+void PruneEntities(const Database& db, std::size_t max_size,
+                   std::vector<Value>* values) {
+  std::vector<Value> kept;
+  for (Value v : *values) {
+    if (kept.size() >= max_size) break;
+    if (v < db.num_values() && db.IsEntity(v)) kept.push_back(v);
+  }
+  *values = std::move(kept);
+}
+
+Rational ClampRational(const Rational& value, std::int64_t magnitude) {
+  if (Rational(magnitude) < value) return Rational(magnitude);
+  if (value < Rational(-magnitude)) return Rational(-magnitude);
+  return value;
+}
+
+int64_t SmallCoefficient(WorkloadRng& rng) {
+  return static_cast<std::int64_t>(rng.Below(7)) - 3;
+}
+
+}  // namespace
+
+bool QueryIsSafe(const ConjunctiveQuery& query) {
+  if (query.atoms().empty()) return false;
+  for (Variable v : query.free_variables()) {
+    bool occurs = false;
+    for (const CqAtom& atom : query.atoms()) {
+      if (std::find(atom.args.begin(), atom.args.end(), v) !=
+          atom.args.end()) {
+        occurs = true;
+        break;
+      }
+    }
+    if (!occurs) return false;
+  }
+  return true;
+}
+
+FuzzInstance GenerateFuzzInstance(FuzzConfig config,
+                                  std::uint64_t instance_seed) {
+  if (config == FuzzConfig::kMixed) {
+    constexpr FuzzConfig kAll[] = {
+        FuzzConfig::kHom,       FuzzConfig::kEval, FuzzConfig::kContainment,
+        FuzzConfig::kCore,      FuzzConfig::kGhw,  FuzzConfig::kSep,
+        FuzzConfig::kQbe,       FuzzConfig::kCoverGame,
+        FuzzConfig::kDimension, FuzzConfig::kLinsep};
+    WorkloadRng selector(instance_seed);
+    config = kAll[selector.Below(10)];
+  }
+  // The generation stream depends only on (instance_seed, resolved config),
+  // so `--config <resolved> --seed S --iters 1` replays an instance found
+  // under `--config mixed` exactly.
+  WorkloadRng rng(instance_seed ^
+                  (0x9e3779b97f4a7c15ULL *
+                   (static_cast<std::uint64_t>(config) + 1)));
+
+  FuzzInstance instance;
+  instance.config = config;
+
+  switch (config) {
+    case FuzzConfig::kHom: {
+      instance.schema = PickSchema(rng, 3, /*need_entity=*/false);
+      Database to = PickDatabase(instance.schema, rng, 5, 12);
+      std::size_t from_values = BoundedExponent(
+          std::max<std::size_t>(to.domain().size(), 2), 7);
+      Database from = PickDatabase(instance.schema, rng, from_values, 12);
+      if (rng.Chance(0.3) && !from.domain().empty() && !to.domain().empty()) {
+        // Mostly well-formed seed pairs, sometimes stale ids to exercise
+        // the free-seed and out-of-domain paths.
+        Value source = rng.Chance(0.8)
+                           ? from.domain()[rng.Below(from.domain().size())]
+                           : static_cast<Value>(from.num_values() +
+                                                rng.Below(3));
+        Value image = rng.Chance(0.8)
+                          ? to.domain()[rng.Below(to.domain().size())]
+                          : static_cast<Value>(to.num_values() + rng.Below(3));
+        instance.hom_seed.emplace_back(source, image);
+      }
+      if (rng.Chance(0.25)) {
+        instance.db_c = PickDatabase(instance.schema, rng, 5, 10);
+      }
+      instance.db_a = std::move(from);
+      instance.db_b = std::move(to);
+      break;
+    }
+    case FuzzConfig::kEval: {
+      instance.schema = PickSchema(rng, 2, /*need_entity=*/false);
+      RandomCqParams cq_params;
+      cq_params.num_atoms = rng.Range(1, 4);
+      instance.query = RandomUnaryCq(instance.schema, cq_params, rng);
+      std::size_t max_values =
+          BoundedValues(instance.query->num_variables(), 6);
+      instance.db_a = PickDatabase(instance.schema, rng, max_values, 12);
+      break;
+    }
+    case FuzzConfig::kContainment: {
+      instance.schema = PickSchema(rng, 2, /*need_entity=*/false);
+      RandomCqParams cq_params;
+      cq_params.num_atoms = rng.Range(1, 3);
+      instance.query = RandomUnaryCq(instance.schema, cq_params, rng);
+      cq_params.num_atoms = rng.Range(1, 3);
+      instance.query2 = RandomUnaryCq(instance.schema, cq_params, rng);
+      std::size_t max_values = BoundedValues(
+          std::max(instance.query->num_variables(),
+                   instance.query2->num_variables()),
+          5);
+      instance.db_a = PickDatabase(instance.schema, rng, max_values, 10);
+      break;
+    }
+    case FuzzConfig::kCore: {
+      instance.schema = PickSchema(rng, 3, /*need_entity=*/false);
+      instance.db_a = PickDatabase(instance.schema, rng, 6, 10);
+      if (!instance.db_a->domain().empty()) {
+        const std::vector<Value>& domain = instance.db_a->domain();
+        for (std::size_t i = rng.Below(3); i > 0; --i) {
+          instance.frozen.push_back(domain[rng.Below(domain.size())]);
+        }
+      }
+      // Rides along: a small query for the MinimizeCq oracle laws. Kept at
+      // ≤ 3 atoms so the reference Chandra–Merlin checks stay brute-force
+      // sized.
+      RandomCqParams cq_params;
+      cq_params.num_atoms = rng.Range(1, 3);
+      instance.query = RandomUnaryCq(instance.schema, cq_params, rng);
+      break;
+    }
+    case FuzzConfig::kGhw: {
+      instance.schema = PickSchema(rng, 3, /*need_entity=*/false);
+      RandomCqParams cq_params;
+      cq_params.num_atoms = rng.Range(2, 5);
+      instance.query = RandomUnaryCq(instance.schema, cq_params, rng);
+      // An empty database carries the schema through serialization.
+      instance.db_a.emplace(instance.schema);
+      break;
+    }
+    case FuzzConfig::kSep: {
+      instance.schema = PickSchema(rng, 3, /*need_entity=*/true);
+      RandomDatabaseParams params;
+      params.num_values = rng.Range(3, 6);
+      params.num_facts = rng.Range(5, 12);
+      params.entity_fraction = 0.3 + 0.4 * rng.Uniform();
+      std::shared_ptr<TrainingDatabase> training =
+          RandomTrainingDatabase(instance.schema, params, rng);
+      instance.db_a = training->database();
+      instance.labels = training->labeling().Items();
+      break;
+    }
+    case FuzzConfig::kQbe: {
+      // Tiny entity databases: the canonical product has |D|^|S⁺| facts and
+      // the CQ[m] check reference-evaluates the explanation, so |S⁺| ≤ 2,
+      // arity ≤ 2, and m ≤ 2 keep every oracle fuzz-sized.
+      instance.schema = PickSchema(rng, 2, /*need_entity=*/true);
+      instance.db_a = PickDatabase(instance.schema, rng, 5, 10);
+      std::vector<Value> entities = instance.db_a->Entities();
+      if (entities.empty()) break;  // Vacuous: QBE needs a nonempty S⁺.
+      for (std::size_t i = entities.size() - 1; i > 0; --i) {
+        std::swap(entities[i], entities[rng.Below(i + 1)]);
+      }
+      std::size_t num_positives =
+          (entities.size() > 1 && rng.Chance(0.4)) ? 2 : 1;
+      instance.positives.assign(entities.begin(),
+                                entities.begin() + num_positives);
+      std::size_t num_negatives =
+          std::min(entities.size() - num_positives,
+                   static_cast<std::size_t>(rng.Below(3)));
+      instance.negatives.assign(
+          entities.begin() + num_positives,
+          entities.begin() + num_positives + num_negatives);
+      instance.m = rng.Chance(0.7) ? 1 : 2;
+      break;
+    }
+    case FuzzConfig::kCoverGame: {
+      // The solver's position set is |dom(from)|^k × |dom(to)|^k and the
+      // completeness check plays at k = |from|, so both sides stay tiny.
+      instance.schema = PickSchema(rng, 2, /*need_entity=*/false);
+      instance.db_a = PickDatabase(instance.schema, rng, 4, 6);
+      instance.db_b = PickDatabase(instance.schema, rng, 4, 6);
+      instance.k = rng.Range(1, 2);
+      break;
+    }
+    case FuzzConfig::kDimension: {
+      // η(D) ≤ 3 keeps ℓ_max = 2^{|η(D)|−1} ≤ 4 subsets, so the Sep[ℓ_max]
+      // vs DecideCqSep agreement law always runs.
+      instance.schema = PickSchema(rng, 2, /*need_entity=*/true);
+      Database db = PickDatabase(instance.schema, rng, 5, 8);
+      db = TrimEntities(db, 3);
+      std::vector<Value> entities = db.Entities();
+      for (Value e : entities) {
+        instance.labels.emplace_back(
+            e, rng.Chance(0.5) ? kPositive : kNegative);
+      }
+      instance.db_a = std::move(db);
+      instance.ell = rng.Range(1, 2);
+      break;
+    }
+    case FuzzConfig::kLinsep: {
+      std::size_t num_features = rng.Range(1, 3);
+      std::size_t num_examples = rng.Range(1, 6);
+      for (std::size_t i = 0; i < num_examples; ++i) {
+        FeatureVector features;
+        for (std::size_t j = 0; j < num_features; ++j) {
+          features.push_back(rng.Chance(0.5) ? 1 : -1);
+        }
+        instance.features.push_back(std::move(features));
+        instance.feature_labels.push_back(rng.Chance(0.5) ? kPositive
+                                                          : kNegative);
+      }
+      std::size_t lp_vars = rng.Range(1, 3);
+      std::size_t lp_rows = rng.Range(1, 4);
+      for (std::size_t i = 0; i < lp_rows; ++i) {
+        std::vector<Rational> row;
+        for (std::size_t j = 0; j < lp_vars; ++j) {
+          row.emplace_back(SmallCoefficient(rng));
+        }
+        instance.lp.a.push_back(std::move(row));
+        instance.lp.b.emplace_back(static_cast<std::int64_t>(rng.Below(7)) -
+                                   2);
+      }
+      for (std::size_t j = 0; j < lp_vars; ++j) {
+        instance.lp.c.emplace_back(SmallCoefficient(rng));
+      }
+      break;
+    }
+    case FuzzConfig::kMixed:
+      FEATSEP_CHECK(false) << "mixed resolved above";
+  }
+  return instance;
+}
+
+PropertyCheck CheckFuzzInstance(const FuzzInstance& instance) {
+  switch (instance.config) {
+    case FuzzConfig::kHom: {
+      if (!instance.db_a.has_value() || !instance.db_b.has_value()) {
+        return std::nullopt;
+      }
+      PropertyCheck violation = CheckHomAgainstReference(
+          *instance.db_a, *instance.db_b, instance.hom_seed);
+      if (!violation.has_value() && instance.db_c.has_value()) {
+        violation = CheckHomComposition(*instance.db_a, *instance.db_b,
+                                        *instance.db_c);
+      }
+      return violation;
+    }
+    case FuzzConfig::kEval:
+      if (!instance.query.has_value() || !instance.db_a.has_value()) {
+        return std::nullopt;
+      }
+      return CheckEvaluationAgainstReference(*instance.query,
+                                             *instance.db_a);
+    case FuzzConfig::kContainment:
+      if (!instance.query.has_value() || !instance.query2.has_value() ||
+          !instance.db_a.has_value()) {
+        return std::nullopt;
+      }
+      return CheckContainmentAgainstReference(*instance.query,
+                                              *instance.query2,
+                                              *instance.db_a);
+    case FuzzConfig::kCore: {
+      if (!instance.db_a.has_value()) return std::nullopt;
+      PropertyCheck violation =
+          CheckCoreProperties(*instance.db_a, instance.frozen);
+      if (!violation.has_value() && instance.query.has_value()) {
+        violation = CheckMinimizeCq(*instance.query);
+      }
+      return violation;
+    }
+    case FuzzConfig::kGhw:
+      if (!instance.query.has_value()) return std::nullopt;
+      return CheckGhwProperties(*instance.query);
+    case FuzzConfig::kSep:
+      if (!instance.db_a.has_value() ||
+          !instance.db_a->schema().has_entity_relation()) {
+        return std::nullopt;
+      }
+      return CheckSepThreadDeterminism(RebuildTraining(instance));
+    case FuzzConfig::kQbe:
+      if (!instance.db_a.has_value() || instance.positives.empty()) {
+        return std::nullopt;
+      }
+      return CheckQbeProperties(*instance.db_a, instance.positives,
+                                instance.negatives, instance.m);
+    case FuzzConfig::kCoverGame:
+      if (!instance.db_a.has_value() || !instance.db_b.has_value() ||
+          instance.k == 0) {
+        return std::nullopt;
+      }
+      return CheckCoverGameProperties(*instance.db_a, *instance.db_b,
+                                      instance.k);
+    case FuzzConfig::kDimension:
+      if (!instance.db_a.has_value() ||
+          !instance.db_a->schema().has_entity_relation() ||
+          instance.ell == 0) {
+        return std::nullopt;
+      }
+      return CheckSepDimProperties(RebuildTraining(instance), instance.ell);
+    case FuzzConfig::kLinsep: {
+      TrainingCollection examples;
+      for (std::size_t i = 0; i < instance.features.size(); ++i) {
+        examples.emplace_back(instance.features[i],
+                              instance.feature_labels[i]);
+      }
+      return CheckLinsepProperties(examples, instance.lp);
+    }
+    case FuzzConfig::kMixed:
+      FEATSEP_CHECK(false) << "instances never carry kMixed";
+  }
+  return std::nullopt;
+}
+
+void SanitizeFuzzInstance(FuzzInstance* instance) {
+  switch (instance->config) {
+    case FuzzConfig::kHom: {
+      if (instance->db_b.has_value()) {
+        *instance->db_b = TrimDatabase(*instance->db_b, 5, 12);
+      }
+      if (instance->db_a.has_value()) {
+        std::size_t dom_to = instance->db_b.has_value()
+                                 ? instance->db_b->domain().size()
+                                 : 2;
+        std::size_t from_cap =
+            BoundedExponent(std::max<std::size_t>(dom_to, 2), 7);
+        *instance->db_a = TrimDatabase(*instance->db_a, from_cap, 12);
+      }
+      if (instance->db_c.has_value()) {
+        *instance->db_c = TrimDatabase(*instance->db_c, 5, 10);
+      }
+      if (instance->hom_seed.size() > 2) instance->hom_seed.resize(2);
+      if (instance->db_a.has_value() && instance->db_b.has_value()) {
+        // Stale seed ids are a feature, but keep them within the window the
+        // generator uses (num_values + 3) so shrinking stays meaningful.
+        std::vector<std::pair<Value, Value>> kept;
+        for (auto& [source, image] : instance->hom_seed) {
+          if (source < instance->db_a->num_values() + 3 &&
+              image < instance->db_b->num_values() + 3) {
+            kept.emplace_back(source, image);
+          }
+        }
+        instance->hom_seed = std::move(kept);
+      } else {
+        instance->hom_seed.clear();
+      }
+      break;
+    }
+    case FuzzConfig::kEval: {
+      ClampQuery(&instance->query, 4);
+      if (instance->db_a.has_value()) {
+        std::size_t vars =
+            instance->query.has_value() ? instance->query->num_variables()
+                                        : 2;
+        *instance->db_a =
+            TrimDatabase(*instance->db_a, BoundedValues(vars, 6), 12);
+      }
+      break;
+    }
+    case FuzzConfig::kContainment: {
+      ClampQuery(&instance->query, 3);
+      ClampQuery(&instance->query2, 3);
+      if (instance->db_a.has_value()) {
+        std::size_t vars = 2;
+        if (instance->query.has_value()) {
+          vars = std::max(vars, instance->query->num_variables());
+        }
+        if (instance->query2.has_value()) {
+          vars = std::max(vars, instance->query2->num_variables());
+        }
+        *instance->db_a =
+            TrimDatabase(*instance->db_a, BoundedValues(vars, 5), 10);
+      }
+      break;
+    }
+    case FuzzConfig::kCore: {
+      if (instance->db_a.has_value()) {
+        *instance->db_a = TrimDatabase(*instance->db_a, 6, 10);
+        PruneValues(*instance->db_a, 2, &instance->frozen);
+      } else {
+        instance->frozen.clear();
+      }
+      ClampQuery(&instance->query, 3);
+      break;
+    }
+    case FuzzConfig::kGhw:
+      ClampQuery(&instance->query, 5);
+      break;
+    case FuzzConfig::kSep: {
+      if (instance->db_a.has_value()) {
+        *instance->db_a = TrimDatabase(*instance->db_a, 6, 12);
+      }
+      ReconcileLabels(instance);
+      break;
+    }
+    case FuzzConfig::kQbe: {
+      if (instance->db_a.has_value()) {
+        *instance->db_a = TrimDatabase(*instance->db_a, 5, 10);
+        PruneEntities(*instance->db_a, 2, &instance->positives);
+        PruneEntities(*instance->db_a, 2, &instance->negatives);
+        // Disjoint example sets: a value can't be both S⁺ and S⁻.
+        std::vector<Value> negatives;
+        for (Value v : instance->negatives) {
+          if (std::find(instance->positives.begin(),
+                        instance->positives.end(),
+                        v) == instance->positives.end()) {
+            negatives.push_back(v);
+          }
+        }
+        instance->negatives = std::move(negatives);
+      } else {
+        instance->positives.clear();
+        instance->negatives.clear();
+      }
+      instance->m = std::clamp<std::size_t>(instance->m, 1, 2);
+      break;
+    }
+    case FuzzConfig::kCoverGame:
+      if (instance->db_a.has_value()) {
+        *instance->db_a = TrimDatabase(*instance->db_a, 4, 6);
+      }
+      if (instance->db_b.has_value()) {
+        *instance->db_b = TrimDatabase(*instance->db_b, 4, 6);
+      }
+      instance->k = std::clamp<std::size_t>(instance->k, 1, 2);
+      break;
+    case FuzzConfig::kDimension:
+      if (instance->db_a.has_value()) {
+        *instance->db_a = TrimDatabase(*instance->db_a, 5, 8);
+        *instance->db_a = TrimEntities(*instance->db_a, 3);
+      }
+      ReconcileLabels(instance);
+      instance->ell = std::clamp<std::size_t>(instance->ell, 1, 2);
+      break;
+    case FuzzConfig::kLinsep: {
+      if (instance->features.size() > 6) instance->features.resize(6);
+      std::size_t num_features =
+          instance->features.empty() ? 0 : instance->features[0].size();
+      num_features = std::min<std::size_t>(num_features, 3);
+      for (FeatureVector& features : instance->features) {
+        features.resize(num_features, 1);
+        for (int& f : features) f = f > 0 ? 1 : -1;
+      }
+      instance->feature_labels.resize(instance->features.size(), kPositive);
+      for (Label& label : instance->feature_labels) {
+        label = label > 0 ? kPositive : kNegative;
+      }
+      if (instance->lp.c.size() > 3) instance->lp.c.resize(3);
+      if (instance->lp.a.size() > 4) instance->lp.a.resize(4);
+      instance->lp.b.resize(instance->lp.a.size());
+      for (Rational& c : instance->lp.c) c = ClampRational(c, 8);
+      for (Rational& b : instance->lp.b) b = ClampRational(b, 8);
+      for (std::vector<Rational>& row : instance->lp.a) {
+        row.resize(instance->lp.c.size());
+        for (Rational& c : row) c = ClampRational(c, 8);
+      }
+      break;
+    }
+    case FuzzConfig::kMixed:
+      FEATSEP_CHECK(false) << "instances never carry kMixed";
+  }
+}
+
+FuzzInstance ShrinkFuzzInstance(
+    FuzzInstance instance,
+    const std::function<bool(const FuzzInstance&)>& still_failing) {
+  auto candidate_fails = [&](FuzzInstance candidate) {
+    SanitizeFuzzInstance(&candidate);
+    return still_failing(candidate);
+  };
+
+  // Database fields shrink through the structural shrinkers, with the
+  // candidate substituted into a copy of the *current* instance so already
+  // accepted shrinks of other fields stay in effect.
+  auto shrink_db =
+      [&](std::optional<Database> FuzzInstance::*field) {
+        if (!(instance.*field).has_value()) return;
+        Database shrunk = ShrinkDatabase(
+            *(instance.*field), [&](const Database& d) {
+              FuzzInstance candidate = instance;
+              candidate.*field = d;
+              return candidate_fails(std::move(candidate));
+            });
+        instance.*field = std::move(shrunk);
+      };
+
+  // Query fields shrink by greedy atom removal.
+  auto shrink_query =
+      [&](std::optional<ConjunctiveQuery> FuzzInstance::*field) {
+        if (!(instance.*field).has_value()) return;
+        bool changed = true;
+        while (changed) {
+          changed = false;
+          for (std::size_t i = 0; i < (instance.*field)->atoms().size();
+               ++i) {
+            ConjunctiveQuery smaller = WithoutAtom(*(instance.*field), i);
+            if (!QueryIsSafe(smaller)) continue;
+            FuzzInstance candidate = instance;
+            candidate.*field = smaller;
+            if (candidate_fails(std::move(candidate))) {
+              instance.*field = std::move(smaller);
+              changed = true;
+              break;
+            }
+          }
+        }
+      };
+
+  switch (instance.config) {
+    case FuzzConfig::kHom:
+    case FuzzConfig::kCoverGame: {
+      if (!instance.db_a.has_value() || !instance.db_b.has_value()) break;
+      auto [from, to] = ShrinkHomPair(
+          *instance.db_a, *instance.db_b,
+          [&](const Database& f, const Database& t) {
+            FuzzInstance candidate = instance;
+            candidate.db_a = f;
+            candidate.db_b = t;
+            return candidate_fails(std::move(candidate));
+          });
+      instance.db_a = std::move(from);
+      instance.db_b = std::move(to);
+      if (instance.config == FuzzConfig::kHom) {
+        shrink_db(&FuzzInstance::db_c);
+      } else if (instance.k > 1) {
+        FuzzInstance candidate = instance;
+        candidate.k = instance.k - 1;
+        if (candidate_fails(std::move(candidate))) --instance.k;
+      }
+      break;
+    }
+    case FuzzConfig::kEval: {
+      if (!instance.query.has_value() || !instance.db_a.has_value()) break;
+      auto [query, db] = ShrinkCqInstance(
+          *instance.query, *instance.db_a,
+          [&](const ConjunctiveQuery& q, const Database& d) {
+            FuzzInstance candidate = instance;
+            candidate.query = q;
+            candidate.db_a = d;
+            return candidate_fails(std::move(candidate));
+          });
+      instance.query = std::move(query);
+      instance.db_a = std::move(db);
+      break;
+    }
+    case FuzzConfig::kContainment: {
+      if (!instance.query.has_value() || !instance.query2.has_value() ||
+          !instance.db_a.has_value()) {
+        break;
+      }
+      // Alternate single-atom removals on either query, then shrink the
+      // data, as long as the discrepancy persists.
+      bool changed = true;
+      while (changed) {
+        std::size_t atoms_before = instance.query->atoms().size() +
+                                   instance.query2->atoms().size();
+        shrink_query(&FuzzInstance::query);
+        shrink_query(&FuzzInstance::query2);
+        std::size_t facts_before = instance.db_a->size();
+        shrink_db(&FuzzInstance::db_a);
+        changed = instance.query->atoms().size() +
+                          instance.query2->atoms().size() !=
+                      atoms_before ||
+                  instance.db_a->size() != facts_before;
+      }
+      break;
+    }
+    case FuzzConfig::kCore:
+      shrink_db(&FuzzInstance::db_a);
+      shrink_query(&FuzzInstance::query);
+      break;
+    case FuzzConfig::kGhw:
+      shrink_query(&FuzzInstance::query);
+      break;
+    case FuzzConfig::kSep:
+    case FuzzConfig::kDimension:
+    case FuzzConfig::kQbe:
+      shrink_db(&FuzzInstance::db_a);
+      break;
+    case FuzzConfig::kLinsep: {
+      // Drop whole examples, then whole LP rows, then zero coefficients.
+      for (std::size_t i = instance.features.size(); i > 0; --i) {
+        FuzzInstance candidate = instance;
+        candidate.features.erase(candidate.features.begin() + (i - 1));
+        candidate.feature_labels.erase(candidate.feature_labels.begin() +
+                                       (i - 1));
+        if (candidate_fails(candidate)) instance = std::move(candidate);
+      }
+      for (std::size_t i = instance.lp.a.size(); i > 0; --i) {
+        FuzzInstance candidate = instance;
+        candidate.lp.a.erase(candidate.lp.a.begin() + (i - 1));
+        candidate.lp.b.erase(candidate.lp.b.begin() + (i - 1));
+        if (candidate_fails(candidate)) instance = std::move(candidate);
+      }
+      for (std::size_t i = 0; i < instance.lp.a.size(); ++i) {
+        for (std::size_t j = 0; j < instance.lp.a[i].size(); ++j) {
+          if (instance.lp.a[i][j].is_zero()) continue;
+          FuzzInstance candidate = instance;
+          candidate.lp.a[i][j] = Rational(0);
+          if (candidate_fails(candidate)) instance = std::move(candidate);
+        }
+      }
+      break;
+    }
+    case FuzzConfig::kMixed:
+      FEATSEP_CHECK(false) << "instances never carry kMixed";
+  }
+  SanitizeFuzzInstance(&instance);
+  return instance;
+}
+
+}  // namespace testing
+}  // namespace featsep

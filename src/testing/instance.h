@@ -1,0 +1,93 @@
+#ifndef FEATSEP_TESTING_INSTANCE_H_
+#define FEATSEP_TESTING_INSTANCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "cq/cq.h"
+#include "linsep/simplex.h"
+#include "relational/database.h"
+#include "testing/fuzz.h"
+#include "testing/properties.h"
+
+namespace featsep {
+namespace testing {
+
+/// A materialized fuzz input: the instance a property driver runs on,
+/// decoupled from the seed stream that generated it so it can also be
+/// mutated (mutate.h) and persisted to a corpus (corpus.h).
+///
+/// Which fields are meaningful depends on `config`:
+///   kHom          db_a → db_b (+ optional hom_seed, optional db_c for the
+///                 composition law)
+///   kEval         query over db_a
+///   kContainment  query vs query2, semantic check on db_a
+///   kCore         db_a with `frozen`, plus MinimizeCq laws on `query`
+///   kGhw          query (db_a carries the schema and is otherwise empty)
+///   kSep          db_a labeled by `labels`
+///   kQbe          db_a with positives/negatives and CQ[m] bound `m`
+///   kCoverGame    db_a → db_b at pebble count `k`
+///   kDimension    db_a labeled by `labels`, dimension bound `ell`
+///   kLinsep       `features`/`feature_labels` training collection and
+///                 LP `lp` (db-free; schema/db_a unused)
+///
+/// `config` is never kMixed — mixed resolves to a concrete config before an
+/// instance exists.
+struct FuzzInstance {
+  FuzzConfig config = FuzzConfig::kHom;
+  std::shared_ptr<const Schema> schema;
+  std::optional<Database> db_a;
+  std::optional<Database> db_b;
+  std::optional<Database> db_c;
+  std::optional<ConjunctiveQuery> query;
+  std::optional<ConjunctiveQuery> query2;
+  std::vector<std::pair<Value, Value>> hom_seed;
+  std::vector<Value> frozen;
+  std::vector<Value> positives;
+  std::vector<Value> negatives;
+  std::vector<std::pair<Value, Label>> labels;
+  std::size_t m = 1;
+  std::size_t k = 1;
+  std::size_t ell = 1;
+  std::vector<FeatureVector> features;
+  std::vector<Label> feature_labels;
+  LpProblem lp;
+};
+
+/// Generates the instance for (config, instance_seed). Deterministic: the
+/// stream depends only on the two arguments, so a failure replays with
+/// `--config <config> --seed <instance_seed> --iters 1`. kMixed resolves to
+/// a concrete config by the seed first.
+FuzzInstance GenerateFuzzInstance(FuzzConfig config,
+                                  std::uint64_t instance_seed);
+
+/// Runs the property drivers matching `instance.config`. nullopt when every
+/// law holds (including on vacuous instances, e.g. QBE with no entities).
+PropertyCheck CheckFuzzInstance(const FuzzInstance& instance);
+
+/// True when the query is range-restricted: nonempty, with every free
+/// variable occurring in some atom. The engines assume safe queries;
+/// sanitize drops queries that mutation made unsafe.
+bool QueryIsSafe(const ConjunctiveQuery& query);
+
+/// Clamps a (possibly mutated or deserialized) instance back into the
+/// reference-oracle budget: trims databases, prunes dangling value
+/// references, and caps k/m/ell and the LP dimensions. Generation always
+/// produces sanitized instances; mutation and corpus loading call this.
+void SanitizeFuzzInstance(FuzzInstance* instance);
+
+/// Greedily minimizes `instance` while `still_failing` holds, reusing the
+/// structural shrinkers (shrink.h) on whichever fields the config reads.
+/// Candidates are sanitized before the predicate sees them.
+FuzzInstance ShrinkFuzzInstance(
+    FuzzInstance instance,
+    const std::function<bool(const FuzzInstance&)>& still_failing);
+
+}  // namespace testing
+}  // namespace featsep
+
+#endif  // FEATSEP_TESTING_INSTANCE_H_

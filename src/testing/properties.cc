@@ -4,7 +4,9 @@
 #include <cstddef>
 #include <sstream>
 
+#include "core/dimension_bounded.h"
 #include "core/separability.h"
+#include "covergame/cover_game.h"
 #include "cq/containment.h"
 #include "cq/core.h"
 #include "cq/decomposed_evaluation.h"
@@ -17,6 +19,7 @@
 #include "serve/eval_service.h"
 #include "testing/reference_ghw.h"
 #include "testing/reference_hom.h"
+#include "testing/reference_lp.h"
 #include "testing/shrink.h"
 #include "util/check.h"
 
@@ -504,6 +507,337 @@ PropertyCheck CheckQbeProperties(const Database& db,
       return Violation("qbe/cqm-implies-cq",
                        "a CQ[m] explanation exists but SolveCqQbe says no "
                        "CQ explanation does\n" + describe());
+    }
+  }
+  return std::nullopt;
+}
+
+PropertyCheck CheckCoverGameProperties(const Database& from,
+                                       const Database& to, std::size_t k) {
+  FEATSEP_CHECK_GE(k, 1u);
+  auto describe = [&](Value a, Value b) {
+    std::ostringstream out;
+    out << "pebbles " << from.value_name(a) << " -> " << to.value_name(b)
+        << " at k=" << k << "\n" << DescribeHomPair(from, to);
+    return out.str();
+  };
+
+  CoverGameSolver solver_k(from, to, k);
+  CoverGameSolver solver_k1(from, to, k + 1);
+  // Completeness check only when the position set of k = |from| stays tiny.
+  std::optional<CoverGameSolver> solver_full;
+  if (from.size() >= 1 && from.size() <= 3) {
+    solver_full.emplace(from, to, from.size());
+  }
+
+  std::vector<Value> a_sample = from.domain();
+  if (a_sample.size() > 3) a_sample.resize(3);
+  std::vector<Value> b_sample = to.domain();
+  if (b_sample.size() > 3) b_sample.resize(3);
+
+  for (Value a : a_sample) {
+    for (Value b : b_sample) {
+      bool wins = solver_k.Decide({a}, {b});
+      if (solver_k.Decide({a}, {b}) != wins) {
+        return Violation("covergame/idempotent",
+                         "Decide changed its answer on a second call\n" +
+                             describe(a, b));
+      }
+      if (CoverGameWins(from, {a}, to, {b}, k) != wins) {
+        return Violation("covergame/solver-reuse",
+                         "a fresh solver disagrees with the shared one\n" +
+                             describe(a, b));
+      }
+      if (solver_k1.Decide({a}, {b}) && !wins) {
+        return Violation(
+            "covergame/monotone-k",
+            "(from, a) ->_{k+1} (to, b) holds but ->_k fails\n" +
+                describe(a, b));
+      }
+      bool hom = RefHomomorphismExists(from, to, {{a, b}});
+      if (hom && !wins) {
+        return Violation(
+            "covergame/hom-implies-win",
+            "a full homomorphism extends the pebbles but Duplicator "
+            "loses\n" + describe(a, b));
+      }
+      if (solver_full.has_value() && solver_full->Decide({a}, {b}) != hom) {
+        return Violation(
+            "covergame/full-k-is-hom",
+            "->_{|from|} disagrees with pointed homomorphism existence\n" +
+                describe(a, b));
+      }
+    }
+  }
+
+  // Two-pebble soundness: repeated or paired pebbles behave like a seed.
+  if (a_sample.size() >= 2 && b_sample.size() >= 2) {
+    std::vector<Value> a2 = {a_sample[0], a_sample[1]};
+    std::vector<Value> b2 = {b_sample[0], b_sample[1]};
+    if (RefHomomorphismExists(from, to, {{a2[0], b2[0]}, {a2[1], b2[1]}}) &&
+        !solver_k.Decide(a2, b2)) {
+      return Violation("covergame/hom-implies-win",
+                       "a full homomorphism extends a pebble pair but "
+                       "Duplicator loses\n" + DescribeHomPair(from, to));
+    }
+  }
+
+  // Preorder laws over `from` alone.
+  std::vector<Value> elements = from.domain();
+  if (elements.size() > 4) elements.resize(4);
+  if (!elements.empty()) {
+    std::vector<std::vector<bool>> preorder =
+        CoverPreorder(from, elements, k);
+    std::size_t n = elements.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!preorder[i][i]) {
+        return Violation("covergame/preorder-reflexive",
+                         "element " + from.value_name(elements[i]) +
+                             " does not cover itself\n" +
+                             WriteDatabase(from));
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t l = 0; l < n; ++l) {
+          if (preorder[i][j] && preorder[j][l] && !preorder[i][l]) {
+            return Violation(
+                "covergame/preorder-transitive",
+                "->_k fails to compose through " +
+                    from.value_name(elements[j]) + "\n" +
+                    WriteDatabase(from));
+          }
+        }
+      }
+    }
+    if (n >= 2 &&
+        preorder[0][1] != CoverGameWins(from, {elements[0]}, from,
+                                        {elements[1]}, k)) {
+      return Violation("covergame/preorder-agrees",
+                       "CoverPreorder disagrees with CoverGameWins\n" +
+                           WriteDatabase(from));
+    }
+  }
+  return std::nullopt;
+}
+
+PropertyCheck CheckSepDimProperties(const TrainingDatabase& training,
+                                    std::size_t ell) {
+  FEATSEP_CHECK_GE(ell, 1u);
+  QbeOracle oracle = MakeCqQbeOracle();
+  std::vector<Value> entities = training.Entities();
+  auto describe = [&]() {
+    std::ostringstream out;
+    out << "ell=" << ell << "\n" << WriteTrainingDatabase(training);
+    return out.str();
+  };
+
+  SepDimResult at_ell = DecideSepDim(training, ell, oracle);
+  SepDimResult at_ell1 = DecideSepDim(training, ell + 1, oracle);
+  if (at_ell.separable && !at_ell1.separable) {
+    return Violation("dimension/monotone-ell",
+                     "Sep[ell] holds but Sep[ell+1] fails\n" + describe());
+  }
+
+  if (!entities.empty() && entities.size() <= 4) {
+    std::size_t ell_max = static_cast<std::size_t>(1)
+                          << (entities.size() - 1);
+    SepDimResult at_max = DecideSepDim(training, ell_max, oracle);
+    bool cq_sep = DecideCqSep(training).separable;
+    if (at_max.separable != cq_sep) {
+      return Violation(
+          "dimension/full-ell-is-cqsep",
+          "Sep[2^{n-1}] disagrees with DecideCqSep (Theorem 3.2)\n" +
+              describe());
+    }
+  }
+
+  if (at_ell.separable) {
+    if (at_ell.feature_positive_sets.size() > ell) {
+      return Violation("dimension/witness-size",
+                       "witness uses more than ell feature columns\n" +
+                           describe());
+    }
+    std::vector<std::pair<FeatureVector, Label>> induced;
+    for (Value e : entities) {
+      FeatureVector features;
+      for (const std::vector<Value>& positive_set :
+           at_ell.feature_positive_sets) {
+        bool in = std::find(positive_set.begin(), positive_set.end(), e) !=
+                  positive_set.end();
+        features.push_back(in ? 1 : -1);
+      }
+      induced.emplace_back(std::move(features), training.label(e));
+    }
+    if (!RefIsLinearlySeparable(induced)) {
+      return Violation("dimension/witness-separates",
+                       "the witness columns' induced vectors are not "
+                       "linearly separable (FM reference)\n" + describe());
+    }
+    for (const std::vector<Value>& positive_set :
+         at_ell.feature_positive_sets) {
+      std::vector<Value> negatives;
+      for (Value e : entities) {
+        if (std::find(positive_set.begin(), positive_set.end(), e) ==
+            positive_set.end()) {
+          negatives.push_back(e);
+        }
+      }
+      if (positive_set.empty()) continue;  // Constant column: no QBE query.
+      QbeInstance instance;
+      instance.db = &training.database();
+      instance.positives = positive_set;
+      instance.negatives = std::move(negatives);
+      if (!oracle(instance)) {
+        return Violation("dimension/witness-explainable",
+                         "a witness bipartition fails the QBE oracle\n" +
+                             describe());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+PropertyCheck CheckLinsepProperties(
+    const std::vector<std::pair<FeatureVector, Label>>& examples,
+    const LpProblem& lp) {
+  auto describe_examples = [&]() {
+    std::ostringstream out;
+    for (const auto& [features, label] : examples) {
+      for (int f : features) out << (f > 0 ? "+1 " : "-1 ");
+      out << ": " << (label > 0 ? "+1" : "-1") << "\n";
+    }
+    return out.str();
+  };
+
+  bool ref_separable = RefIsLinearlySeparable(examples);
+  std::optional<LinearClassifier> separator = FindSeparator(examples);
+  if (separator.has_value() != ref_separable) {
+    return Violation("linsep/separable-vs-fm",
+                     std::string("FindSeparator says ") +
+                         (separator.has_value() ? "separable" :
+                                                  "inseparable") +
+                         ", Fourier-Motzkin says the opposite\n" +
+                         describe_examples());
+  }
+  if (IsLinearlySeparable(examples) != ref_separable) {
+    return Violation("linsep/decide-vs-fm",
+                     "IsLinearlySeparable disagrees with Fourier-Motzkin\n" +
+                         describe_examples());
+  }
+  if (separator.has_value() && separator->CountErrors(examples) != 0) {
+    return Violation("linsep/separator-errors",
+                     "returned classifier misclassifies a training "
+                     "example\n" + describe_examples());
+  }
+
+  auto describe_lp = [&]() {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < lp.a.size(); ++i) {
+      for (const Rational& c : lp.a[i]) out << c << " ";
+      out << "<= " << lp.b[i] << "\n";
+    }
+    out << "max:";
+    for (const Rational& c : lp.c) out << " " << c;
+    out << "\n";
+    return out.str();
+  };
+
+  if (!lp.c.empty()) {
+    LpSolution solution = SolveLp(lp);
+    RefLpOutcome reference = RefSolveLpValue(lp);
+    if (solution.status != reference.status) {
+      return Violation("linsep/lp-status", "SolveLp status disagrees with "
+                       "the Fourier-Motzkin reference\n" + describe_lp());
+    }
+    if (solution.status == LpStatus::kOptimal) {
+      if (solution.objective != reference.objective) {
+        std::ostringstream out;
+        out << "objectives differ: simplex " << solution.objective
+            << " vs reference " << reference.objective << "\n"
+            << describe_lp();
+        return Violation("linsep/lp-objective", out.str());
+      }
+      Rational attained;
+      for (std::size_t j = 0; j < lp.c.size(); ++j) {
+        if (solution.x[j].sign() < 0) {
+          return Violation("linsep/lp-feasible",
+                           "optimal point has a negative coordinate\n" +
+                               describe_lp());
+        }
+        attained += lp.c[j] * solution.x[j];
+      }
+      if (attained != solution.objective) {
+        return Violation("linsep/lp-attains",
+                         "c.x does not equal the reported objective\n" +
+                             describe_lp());
+      }
+      for (std::size_t i = 0; i < lp.a.size(); ++i) {
+        Rational row;
+        for (std::size_t j = 0; j < lp.c.size(); ++j) {
+          row += lp.a[i][j] * solution.x[j];
+        }
+        if (lp.b[i] < row) {
+          return Violation("linsep/lp-feasible",
+                           "optimal point violates a constraint\n" +
+                               describe_lp());
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+PropertyCheck CheckMinimizeCq(const ConjunctiveQuery& query) {
+  ConjunctiveQuery minimized = MinimizeCq(query);
+  auto describe = [&]() {
+    return "query: " + query.ToString() +
+           "\nminimized: " + minimized.ToString() + "\n";
+  };
+
+  if (minimized.atoms().size() > query.atoms().size()) {
+    return Violation("minimize-cq/no-growth",
+                     "minimization added atoms\n" + describe());
+  }
+  if (minimized.free_variables().size() != query.free_variables().size()) {
+    return Violation("minimize-cq/free-tuple",
+                     "minimization changed the free tuple length\n" +
+                         describe());
+  }
+  if (!RefIsContainedIn(query, minimized) ||
+      !RefIsContainedIn(minimized, query)) {
+    return Violation("minimize-cq/equivalent",
+                     "MinimizeCq(q) is not equivalent to q\n" + describe());
+  }
+
+  // Minimality: dropping any atom must strictly weaken the query. Removing
+  // atoms only enlarges answers, so candidate ⊆ minimized is the whole
+  // equivalence; skip candidates whose free variables no longer occur
+  // (unsafe queries are outside the law's domain).
+  for (std::size_t i = 0; i < minimized.atoms().size(); ++i) {
+    ConjunctiveQuery candidate = WithoutAtom(minimized, i);
+    if (candidate.atoms().empty()) continue;
+    bool free_used = true;
+    for (Variable v : candidate.free_variables()) {
+      bool occurs = false;
+      for (const CqAtom& atom : candidate.atoms()) {
+        if (std::find(atom.args.begin(), atom.args.end(), v) !=
+            atom.args.end()) {
+          occurs = true;
+          break;
+        }
+      }
+      if (!occurs) {
+        free_used = false;
+        break;
+      }
+    }
+    if (!free_used) continue;
+    if (RefIsContainedIn(candidate, minimized)) {
+      std::ostringstream out;
+      out << "atom " << i << " of the minimized query is removable\n"
+          << describe();
+      return Violation("minimize-cq/minimal", out.str());
     }
   }
   return std::nullopt;

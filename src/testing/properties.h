@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "cq/cq.h"
+#include "linsep/separability_lp.h"
+#include "linsep/simplex.h"
 #include "relational/database.h"
 #include "relational/training_database.h"
 
@@ -88,6 +90,49 @@ PropertyCheck CheckQbeProperties(const Database& db,
                                  const std::vector<Value>& positives,
                                  const std::vector<Value>& negatives,
                                  std::size_t m);
+
+/// Existential k-cover game laws on (from, to, k), over a bounded sample of
+/// pebble pairs from dom(from) × dom(to):
+///   - decide-twice idempotence and fresh-vs-shared-solver agreement;
+///   - monotonicity: (from, ā) →_{k+1} (to, b̄) implies →_k (more GHW(k)
+///     queries to satisfy at higher k);
+///   - soundness: a full homomorphism extending ā → b̄ implies →_k for
+///     every k (per the reference oracle);
+///   - completeness at k = |from|: →_{|from|} coincides with pointed
+///     homomorphism (checked only when |from| ≤ 3 — the position set is
+///     exponential in k);
+///   - CoverPreorder reflexivity, transitivity, and agreement with
+///     per-pair CoverGameWins calls.
+PropertyCheck CheckCoverGameProperties(const Database& from,
+                                       const Database& to, std::size_t k);
+
+/// Dimension-bounded separability laws (Lemma 6.3) on (training, ℓ) with
+/// the CQ-QBE oracle:
+///   - monotonicity: Sep[ℓ] implies Sep[ℓ+1];
+///   - at ℓ_max = 2^{|η(D)|−1} (checked when |η(D)| ≤ 4), Sep[ℓ_max]
+///     coincides with DecideCqSep (Theorem 3.2);
+///   - a positive answer's witness is well-formed: at most ℓ feature
+///     columns, each passing the QBE oracle, whose induced ±1 vectors
+///     linearly separate the labeling per the Fourier–Motzkin reference.
+PropertyCheck CheckSepDimProperties(const TrainingDatabase& training,
+                                    std::size_t ell);
+
+/// LP-layer differentials against the Fourier–Motzkin reference
+/// (reference_lp.h):
+///   - FindSeparator/IsLinearlySeparable agree with RefIsLinearlySeparable
+///     on `examples`, and a returned classifier commits zero errors;
+///   - SolveLp agrees with RefSolveLpValue on `lp` in status and (when
+///     optimal) objective, and the returned point is feasible and attains
+///     the objective.
+PropertyCheck CheckLinsepProperties(
+    const std::vector<std::pair<FeatureVector, Label>>& examples,
+    const LpProblem& lp);
+
+/// MinimizeCq laws: the minimized query has no more atoms, preserves the
+/// free tuple, is hom-equivalent to the input (reference Chandra–Merlin
+/// containment both ways), and is minimal — no single atom can be removed
+/// without losing equivalence.
+PropertyCheck CheckMinimizeCq(const ConjunctiveQuery& query);
 
 }  // namespace testing
 }  // namespace featsep

@@ -1,0 +1,208 @@
+#include "testing/reference_lp.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace featsep {
+namespace testing {
+
+namespace {
+
+/// One inequality Σⱼ coefs[j]·xⱼ ≤ bound.
+struct Inequality {
+  std::vector<Rational> coefs;
+  Rational bound;
+};
+
+bool SameInequality(const Inequality& a, const Inequality& b) {
+  return a.bound == b.bound && a.coefs == b.coefs;
+}
+
+/// Scales so the first nonzero coefficient is ±1 (canonical form for
+/// deduplication; scaling by a positive factor preserves the inequality).
+void Normalize(Inequality* ineq) {
+  for (const Rational& c : ineq->coefs) {
+    if (c.sign() != 0) {
+      Rational scale = c.sign() > 0 ? c : -c;
+      for (Rational& d : ineq->coefs) d /= scale;
+      ineq->bound /= scale;
+      return;
+    }
+  }
+}
+
+/// Eliminates variable `var` from the system. Returns false if a constant
+/// contradiction (0 ≤ negative) surfaces, which proves infeasibility of the
+/// projected — hence the original — system.
+bool Eliminate(std::vector<Inequality>* system, std::size_t var) {
+  std::vector<Inequality> zero, pos, neg;
+  for (Inequality& ineq : *system) {
+    int sign = ineq.coefs[var].sign();
+    if (sign == 0) {
+      zero.push_back(std::move(ineq));
+    } else if (sign > 0) {
+      pos.push_back(std::move(ineq));
+    } else {
+      neg.push_back(std::move(ineq));
+    }
+  }
+
+  std::vector<Inequality> next = std::move(zero);
+  for (const Inequality& p : pos) {
+    for (const Inequality& n : neg) {
+      // p/p_var gives xⱼ ≤ …, n/(-n_var) gives xⱼ ≥ …; their sum drops xⱼ.
+      Rational ps = p.coefs[var];
+      Rational ns = -n.coefs[var];
+      Inequality combined;
+      combined.coefs.resize(p.coefs.size());
+      for (std::size_t j = 0; j < p.coefs.size(); ++j) {
+        combined.coefs[j] = p.coefs[j] / ps + n.coefs[j] / ns;
+      }
+      combined.coefs[var] = Rational(0);
+      combined.bound = p.bound / ps + n.bound / ns;
+      Normalize(&combined);
+      bool constant = true;
+      for (const Rational& c : combined.coefs) {
+        if (c.sign() != 0) {
+          constant = false;
+          break;
+        }
+      }
+      if (constant) {
+        if (combined.bound.sign() < 0) return false;
+        continue;  // 0 ≤ nonneg: vacuous.
+      }
+      bool duplicate = false;
+      for (const Inequality& seen : next) {
+        if (SameInequality(seen, combined)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) next.push_back(std::move(combined));
+    }
+  }
+  *system = std::move(next);
+  return true;
+}
+
+/// Feasibility of the system by eliminating every variable.
+bool Feasible(std::vector<Inequality> system, std::size_t num_vars) {
+  for (Inequality& ineq : system) Normalize(&ineq);
+  for (std::size_t var = 0; var < num_vars; ++var) {
+    if (!Eliminate(&system, var)) return false;
+  }
+  for (const Inequality& ineq : system) {
+    if (ineq.bound.sign() < 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RefLpOutcome RefSolveLpValue(const LpProblem& problem) {
+  std::size_t m = problem.a.size();
+  std::size_t n = problem.c.size();
+  FEATSEP_CHECK_EQ(problem.b.size(), m);
+
+  // Variables x₀..x_{n-1} and z at index n; constraints Ax ≤ b, −x ≤ 0,
+  // z − c·x ≤ 0. The projection of the system onto z is exactly
+  // {z : ∃ feasible x with z ≤ c·x} = (−∞, sup c·x], so after eliminating
+  // x the surviving upper bounds on z carry the optimum. z's coefficient
+  // starts at +1 in its single row and pairwise combinations use positive
+  // multipliers, so no lower bound on z can ever appear.
+  std::vector<Inequality> system;
+  for (std::size_t i = 0; i < m; ++i) {
+    Inequality ineq;
+    ineq.coefs.assign(problem.a[i].begin(), problem.a[i].end());
+    ineq.coefs.push_back(Rational(0));
+    ineq.bound = problem.b[i];
+    system.push_back(std::move(ineq));
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    Inequality ineq;
+    ineq.coefs.assign(n + 1, Rational(0));
+    ineq.coefs[j] = Rational(-1);
+    ineq.bound = Rational(0);
+    system.push_back(std::move(ineq));
+  }
+  {
+    Inequality ineq;
+    ineq.coefs.assign(n + 1, Rational(0));
+    for (std::size_t j = 0; j < n; ++j) ineq.coefs[j] = -problem.c[j];
+    ineq.coefs[n] = Rational(1);
+    ineq.bound = Rational(0);
+    system.push_back(std::move(ineq));
+  }
+
+  for (Inequality& ineq : system) Normalize(&ineq);
+  RefLpOutcome outcome;
+  for (std::size_t var = 0; var < n; ++var) {
+    if (!Eliminate(&system, var)) {
+      outcome.status = LpStatus::kInfeasible;
+      return outcome;
+    }
+  }
+
+  bool has_upper = false;
+  Rational best;
+  for (const Inequality& ineq : system) {
+    int sign = ineq.coefs[n].sign();
+    if (sign == 0) {
+      if (ineq.bound.sign() < 0) {
+        outcome.status = LpStatus::kInfeasible;
+        return outcome;
+      }
+      continue;
+    }
+    FEATSEP_CHECK_GT(sign, 0) << "lower bound on the objective variable";
+    Rational upper = ineq.bound / ineq.coefs[n];
+    if (!has_upper || upper < best) {
+      has_upper = true;
+      best = upper;
+    }
+  }
+  if (!has_upper) {
+    outcome.status = LpStatus::kUnbounded;
+    return outcome;
+  }
+  outcome.status = LpStatus::kOptimal;
+  outcome.objective = best;
+  return outcome;
+}
+
+bool RefIsLinearlySeparable(const TrainingCollection& examples) {
+  if (examples.empty()) return true;
+  std::size_t n = examples[0].first.size();
+  // Variables: w₀ (index 0) and w₁..wₙ, all free.
+  std::vector<Inequality> system;
+  for (const auto& [features, label] : examples) {
+    FEATSEP_CHECK_EQ(features.size(), n);
+    Inequality ineq;
+    ineq.coefs.assign(n + 1, Rational(0));
+    if (label > 0) {
+      // Σ wⱼbⱼ − w₀ ≥ 0  ⇔  w₀ − Σ wⱼbⱼ ≤ 0.
+      ineq.coefs[0] = Rational(1);
+      for (std::size_t j = 0; j < n; ++j) {
+        ineq.coefs[j + 1] = Rational(-features[j]);
+      }
+      ineq.bound = Rational(0);
+    } else {
+      // Σ wⱼbⱼ − w₀ ≤ −1.
+      ineq.coefs[0] = Rational(-1);
+      for (std::size_t j = 0; j < n; ++j) {
+        ineq.coefs[j + 1] = Rational(features[j]);
+      }
+      ineq.bound = Rational(-1);
+    }
+    system.push_back(std::move(ineq));
+  }
+  return Feasible(std::move(system), n + 1);
+}
+
+}  // namespace testing
+}  // namespace featsep

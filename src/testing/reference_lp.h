@@ -1,0 +1,39 @@
+#ifndef FEATSEP_TESTING_REFERENCE_LP_H_
+#define FEATSEP_TESTING_REFERENCE_LP_H_
+
+#include "linsep/separability_lp.h"
+#include "linsep/simplex.h"
+
+namespace featsep {
+namespace testing {
+
+/// Deliberately naive reference implementations of the LP layer, built on
+/// Fourier–Motzkin elimination over exact rationals: project variables out
+/// one by one by combining every (positive, negative) coefficient pair.
+/// Doubly exponential in the number of variables, but completely
+/// independent of the simplex under test — no pivoting, no tableau, no
+/// basis bookkeeping. DO NOT optimize or share code with src/linsep;
+/// slowness and independence are the point. Keep instances tiny (≤ 4
+/// variables, ≤ 8 constraints).
+
+/// The optimal value of `problem` (max c·x s.t. Ax ≤ b, x ≥ 0) without a
+/// witness point: eliminate x from {Ax ≤ b, x ≥ 0, z ≤ c·x} and read the
+/// bounds left on z. `objective` is valid only for kOptimal.
+struct RefLpOutcome {
+  LpStatus status = LpStatus::kInfeasible;
+  Rational objective;
+};
+
+RefLpOutcome RefSolveLpValue(const LpProblem& problem);
+
+/// Reference linear separability of a ±1 training collection: feasibility
+/// (by Fourier–Motzkin, with the weights as free variables) of the same
+/// margin-rescaled system FindSeparator solves,
+///   Σⱼ wⱼ·bᵢⱼ − w₀ ≥ 0   for yᵢ = +1,
+///   Σⱼ wⱼ·bᵢⱼ − w₀ ≤ −1  for yᵢ = −1.
+bool RefIsLinearlySeparable(const TrainingCollection& examples);
+
+}  // namespace testing
+}  // namespace featsep
+
+#endif  // FEATSEP_TESTING_REFERENCE_LP_H_

@@ -5,9 +5,20 @@
 // laws (see src/testing/). Every failure prints a `--seed S --iters 1`
 // command line that regenerates the identical instance.
 //
+// With --corpus and/or --mutate the loop turns coverage-guided: the
+// instrumented kernels (src/testing/coverage.h) are bracketed around every
+// check, inputs producing new (site, hit-bucket) edges are minimized and
+// admitted to the corpus, and most iterations mutate a corpus entry picked
+// with energy proportional to how rare its edges are. Failures found by
+// mutation are persisted under <corpus>/crashes/ and reproduce with
+// --replay.
+//
 // Usage:
 //   featsep_fuzz [--iters N] [--seed S] [--config NAME] [--no-shrink]
-// Configs: hom, eval, containment, core, ghw, sep, qbe, mixed (default).
+//                [--corpus DIR] [--mutate] [--coverage-stats]
+//                [--replay FILE]...
+// Configs: hom, eval, containment, core, ghw, sep, qbe, covergame,
+// dimension, linsep, mixed (default).
 
 #include <cstdint>
 #include <cstdlib>
@@ -20,9 +31,12 @@
 namespace {
 
 void Usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--iters N] [--seed S] [--config "
-               "hom|eval|containment|core|ghw|sep|qbe|mixed] [--no-shrink]\n";
+  std::cerr
+      << "usage: " << argv0
+      << " [--iters N] [--seed S] [--config hom|eval|containment|core|ghw|"
+         "sep|qbe|covergame|dimension|linsep|mixed] [--no-shrink]\n"
+         "       [--corpus DIR] [--mutate] [--coverage-stats] "
+         "[--replay FILE]...\n";
 }
 
 }  // namespace
@@ -54,6 +68,14 @@ int main(int argc, char** argv) {
       options.config = *config;
     } else if (arg == "--no-shrink") {
       options.shrink = false;
+    } else if (arg == "--corpus") {
+      options.corpus_dir = next();
+    } else if (arg == "--mutate") {
+      options.mutate = true;
+    } else if (arg == "--coverage-stats") {
+      options.coverage_stats = true;
+    } else if (arg == "--replay") {
+      options.replay_paths.emplace_back(next());
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -64,13 +86,34 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "featsep_fuzz: config="
-            << featsep::testing::FuzzConfigName(options.config)
-            << " seed=" << options.seed << " iters=" << options.iterations
-            << (options.shrink ? "" : " (no shrink)") << std::endl;
+  if (!options.replay_paths.empty()) {
+    std::cout << "featsep_fuzz: replaying " << options.replay_paths.size()
+              << " instance(s)" << (options.shrink ? "" : " (no shrink)")
+              << std::endl;
+  } else {
+    std::cout << "featsep_fuzz: config="
+              << featsep::testing::FuzzConfigName(options.config)
+              << " seed=" << options.seed << " iters=" << options.iterations
+              << (options.mutate || !options.corpus_dir.empty()
+                      ? " (coverage-guided)"
+                      : "")
+              << (options.corpus_dir.empty() ? ""
+                                             : " corpus=" +
+                                                   options.corpus_dir)
+              << (options.shrink ? "" : " (no shrink)") << std::endl;
+  }
 
   featsep::testing::FuzzReport report =
       featsep::testing::RunFuzz(options, &std::cerr);
+
+  if (report.coverage_edges > 0 || report.corpus_size > 0) {
+    std::cout << "coverage: " << report.coverage_edges
+              << " edges; corpus: " << report.corpus_size << " entries (+"
+              << report.corpus_added << " this run)" << std::endl;
+  }
+  for (const auto& line : report.coverage_lines) {
+    std::cout << "  " << line << std::endl;
+  }
 
   if (report.ok()) {
     std::cout << "OK: " << report.iterations
