@@ -5,6 +5,7 @@
 // Matrix calls over equal database content reduce to digest + hash lookups
 // — the acceptance bar is warm ≥ 5× faster than cold.
 
+#include <chrono>
 #include <cstddef>
 #include <vector>
 
@@ -14,10 +15,25 @@
 #include "core/statistic.h"
 #include "cq/enumeration.h"
 #include "serve/eval_service.h"
+#include "util/budget.h"
 #include "workload/generators.h"
 
 namespace featsep {
 namespace {
+
+/// Publishes the service's full counter set on the benchmark row, so a
+/// bench run doubles as an observability check on the serve path.
+void ExportServeStats(benchmark::State& state,
+                      const serve::EvalService& service) {
+  serve::ServeStats stats = service.stats();
+  state.counters["hits"] = static_cast<double>(stats.cache_hits);
+  state.counters["misses"] = static_cast<double>(stats.cache_misses);
+  state.counters["evictions"] = static_cast<double>(stats.cache_evictions);
+  state.counters["feat_eval"] = static_cast<double>(stats.features_evaluated);
+  state.counters["ent_eval"] = static_cast<double>(stats.entity_evaluations);
+  state.counters["cancelled"] = static_cast<double>(stats.cancelled_shards);
+  state.counters["retries"] = static_cast<double>(stats.evaluation_retries);
+}
 
 std::shared_ptr<Database> World(std::size_t nodes) {
   auto db = bench::RandomGraphDatabase(nodes, nodes * 3, 2024);
@@ -60,6 +76,7 @@ void BM_MatrixServedCold(benchmark::State& state) {
     benchmark::DoNotOptimize(statistic.Matrix(*db, &service).size());
   }
   state.counters["shards"] = static_cast<double>(options.num_shards);
+  ExportServeStats(state, service);
 }
 BENCHMARK(BM_MatrixServedCold)
     ->Args({32, 1})
@@ -80,9 +97,30 @@ void BM_MatrixServedWarm(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(statistic.Matrix(*db, &service).size());
   }
-  state.counters["hits"] = static_cast<double>(service.stats().cache_hits);
+  ExportServeStats(state, service);
 }
 BENCHMARK(BM_MatrixServedWarm)->Args({32, 1})->Args({64, 1})->Args({64, 8});
+
+void BM_TryResolveDeadline(benchmark::State& state) {
+  // Per-request deadline on a cold service: measures how quickly an
+  // abandoned batch drains. The cancelled/retries counters on the row show
+  // the interruption machinery actually engaging (and the cache never
+  // absorbing an aborted shard — retries only, no wrong answers).
+  auto db = World(static_cast<std::size_t>(state.range(0)));
+  Statistic statistic = FeatureBank();
+  serve::ServeOptions options;
+  options.num_shards = 2;
+  serve::EvalService service(options);
+  for (auto _ : state) {
+    service.ClearCache();
+    ExecutionBudget budget =
+        ExecutionBudget::WithTimeout(std::chrono::milliseconds(1));
+    benchmark::DoNotOptimize(
+        service.TryResolve(statistic.features(), *db, &budget).size());
+  }
+  ExportServeStats(state, service);
+}
+BENCHMARK(BM_TryResolveDeadline)->Arg(32)->Arg(64);
 
 }  // namespace
 }  // namespace featsep

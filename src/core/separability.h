@@ -7,6 +7,7 @@
 
 #include "core/statistic.h"
 #include "relational/training_database.h"
+#include "util/budget.h"
 
 namespace featsep {
 
@@ -21,6 +22,15 @@ struct CqSepResult {
   bool separable = false;
   /// When inseparable: a differently-labeled hom-equivalent entity pair.
   std::optional<std::pair<Value, Value>> conflict;
+  /// kCompleted: `separable` (and the conflict's first-in-scan-order
+  /// position) is definitive. Otherwise the sweep was interrupted: a
+  /// present `conflict` is still a *sound* inseparability witness (both
+  /// hom directions were verified before the interruption, though it may
+  /// not be the first pair in scan order); with no conflict the run is
+  /// UNDECIDED and `separable == false` must not be read as an answer.
+  BudgetOutcome outcome = BudgetOutcome::kCompleted;
+  /// Pairs whose hom-equivalence test ran to a definitive answer.
+  std::size_t pairs_checked = 0;
 };
 
 /// Options for the CQ-SEP decision procedure.
@@ -31,6 +41,11 @@ struct CqSepOptions {
   /// for every setting — the sweep always reports the first conflicting
   /// pair in (positive-major) scan order.
   std::size_t num_threads = 0;
+  /// Cooperative budget threaded into every pairwise hom search; nullptr =
+  /// unbounded. Checked at entry (a zero/expired deadline returns
+  /// immediately) and per search-tree node, so cancellation latency is
+  /// bounded by a constant amount of kernel work.
+  ExecutionBudget* budget = nullptr;
 };
 
 /// Decides CQ-SEP. coNP-complete (Theorem 3.2): each pairwise test is an
@@ -47,6 +62,10 @@ struct CqmSepResult {
   /// Number of feature queries enumerated (the r^m·2^{p(k)} bound of
   /// Prop 4.1 in action).
   std::size_t features_enumerated = 0;
+  /// kCompleted: `separable`/`model` are definitive. Otherwise the run was
+  /// interrupted (during feature evaluation or the simplex) and is
+  /// UNDECIDED: `separable == false` carries no information.
+  BudgetOutcome outcome = BudgetOutcome::kCompleted;
 };
 
 /// Options for the CQ[m]-SEP decision procedure.
@@ -59,6 +78,9 @@ struct CqmSepOptions {
   /// its cache on repeated (database, m) workloads — instead of the serial
   /// per-feature sweep. The decision and model are bit-identical.
   serve::EvalService* service = nullptr;
+  /// Cooperative budget threaded through feature evaluation (serial or
+  /// served) and the simplex; nullptr = unbounded.
+  ExecutionBudget* budget = nullptr;
 };
 
 /// Decides CQ[m]-SEP and, when separable, generates a separating

@@ -1,5 +1,7 @@
 #include "core/statistic.h"
 
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -45,6 +47,51 @@ std::vector<FeatureVector> Statistic::Matrix(
     }
   }
   return matrix;
+}
+
+PartialMatrix Statistic::TryMatrix(const Database& db, ExecutionBudget* budget,
+                                   serve::EvalService* service) const {
+  std::vector<Value> entities = db.Entities();
+  PartialMatrix partial;
+  partial.rows.assign(entities.size(), FeatureVector(features_.size(), -1));
+  partial.valid.assign(entities.size(),
+                       std::vector<char>(features_.size(), 0));
+  // A zero/expired/cancelled budget at entry: all cells invalid, no kernel
+  // work at all.
+  if (!RecheckBudget(budget)) {
+    partial.outcome = budget->outcome();
+    return partial;
+  }
+  if (service != nullptr) {
+    std::vector<std::shared_ptr<const serve::FeatureAnswer>> answers =
+        service->TryResolve(features_, db, budget);
+    for (std::size_t j = 0; j < features_.size(); ++j) {
+      if (answers[j] == nullptr) continue;  // Aborted column stays invalid.
+      for (std::size_t i = 0; i < entities.size(); ++i) {
+        partial.rows[i][j] = answers[j]->Selects(db, entities[i]) ? 1 : -1;
+        partial.valid[i][j] = 1;
+      }
+    }
+    partial.outcome = OutcomeOf(budget);
+    return partial;
+  }
+  for (std::size_t j = 0; j < features_.size(); ++j) {
+    CqEvaluator evaluator(features_[j]);
+    for (std::size_t i = 0; i < entities.size(); ++i) {
+      std::optional<bool> selects =
+          evaluator.TrySelectsEntity(db, entities[i], budget);
+      if (!selects.has_value()) {
+        // The budget outcome is sticky, so every remaining cell would be
+        // interrupted too; stop here and leave them invalid.
+        partial.outcome = OutcomeOf(budget);
+        return partial;
+      }
+      partial.rows[i][j] = *selects ? 1 : -1;
+      partial.valid[i][j] = 1;
+    }
+  }
+  partial.outcome = OutcomeOf(budget);
+  return partial;
 }
 
 std::size_t Statistic::TotalAtoms() const {

@@ -10,12 +10,29 @@
 #include "linsep/separability_lp.h"
 #include "relational/database.h"
 #include "relational/training_database.h"
+#include "util/budget.h"
 
 namespace featsep {
 
 namespace serve {
 class EvalService;
 }  // namespace serve
+
+/// A feature matrix whose computation may have been interrupted by an
+/// ExecutionBudget: the shape is always complete, but only cells whose
+/// validity bit is set carry definitive answers.
+struct PartialMatrix {
+  /// kCompleted iff the computation ran to the end; then every cell is
+  /// valid and `rows` equals Statistic::Matrix bit for bit.
+  BudgetOutcome outcome = BudgetOutcome::kCompleted;
+  /// Entity-major rows (db.Entities() order), dimension() columns. Invalid
+  /// cells hold the placeholder -1 and must not be read as answers.
+  std::vector<FeatureVector> rows;
+  /// valid[i][j] != 0 iff rows[i][j] is the definitive Π^D(eᵢ)[j].
+  std::vector<std::vector<char>> valid;
+
+  bool complete() const { return outcome == BudgetOutcome::kCompleted; }
+};
 
 /// A statistic Π = (q₁, …, qₙ): a sequence of feature queries mapping each
 /// entity e of a database D to the vector Π^D(e) ∈ {1, -1}ⁿ of feature
@@ -43,6 +60,15 @@ class Statistic {
   std::vector<FeatureVector> Matrix(const Database& db,
                                     serve::EvalService* service = nullptr)
       const;
+
+  /// Budgeted Matrix: `budget` (nullptr = unbounded) is threaded into every
+  /// per-cell homomorphism search and an interrupted computation returns the
+  /// best-so-far partial matrix instead of blocking until done. Validity
+  /// granularity is per cell on the serial path and per feature column on
+  /// the serve path (the service's cached answer sets are all-or-nothing).
+  /// A completed call returns exactly Matrix()'s values, all valid.
+  PartialMatrix TryMatrix(const Database& db, ExecutionBudget* budget,
+                          serve::EvalService* service = nullptr) const;
 
   /// Total number of atoms across the feature queries (size measure used by
   /// the Theorem 5.7 / 6.7 blowup experiments).

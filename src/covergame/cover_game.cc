@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "testing/coverage.h"
+#include "testing/faults.h"
+#include "util/budget.h"
 #include "util/check.h"
 #include "util/hash.h"
 
@@ -38,13 +40,20 @@ std::vector<std::size_t> IndicesIn(const std::vector<Value>& subset,
 }  // namespace
 
 CoverGameSolver::CoverGameSolver(const Database& from, const Database& to,
-                                 std::size_t k)
-    : from_(from), to_(to), k_(k) {
+                                 std::size_t k, ExecutionBudget* budget)
+    : from_(from), to_(to), k_(k), budget_(budget) {
   FEATSEP_CHECK_GE(k, 1u) << "cover game requires k >= 1";
   FEATSEP_CHECK(from.schema() == to.schema())
       << "cover game requires equal schemas";
+  if (!RecheckBudget(budget_)) {
+    interrupted_ = true;
+    return;
+  }
   EnumeratePositions();
-  for (Position& position : positions_) EnumerateMaps(&position);
+  for (Position& position : positions_) {
+    if (interrupted_) return;
+    EnumerateMaps(&position);
+  }
 }
 
 void CoverGameSolver::EnumeratePositions() {
@@ -53,6 +62,11 @@ void CoverGameSolver::EnumeratePositions() {
   std::vector<FactIndex> chosen;
 
   auto add_position = [&](const std::vector<Value>& elements) {
+    if (interrupted_) return;
+    if (!ChargeBudget(budget_)) {
+      interrupted_ = true;
+      return;
+    }
     if (!seen.insert(elements).second) return;
     Position position;
     position.elements = elements;
@@ -83,6 +97,7 @@ void CoverGameSolver::EnumeratePositions() {
 
   // Recursive enumeration of fact subsets of size 1..k.
   auto recurse = [&](auto&& self, FactIndex next) -> void {
+    if (interrupted_) return;
     if (!chosen.empty()) {
       std::vector<Value> elements;
       for (FactIndex fi : chosen) {
@@ -121,6 +136,11 @@ void CoverGameSolver::EnumerateMaps(Position* position) {
   std::unordered_set<std::vector<Value>, VectorHash<Value>> dedup;
 
   auto recurse = [&](auto&& self, std::size_t fact_pos) -> void {
+    if (interrupted_) return;
+    if (!ChargeBudget(budget_)) {
+      interrupted_ = true;
+      return;
+    }
     if (fact_pos == position->covered_facts.size()) {
       // All elements are determined (every element is in a covered fact).
       if (dedup.insert(image).second) {
@@ -163,7 +183,24 @@ std::size_t CoverGameSolver::num_candidate_strategies() const {
 
 bool CoverGameSolver::Decide(const std::vector<Value>& a_tuple,
                              const std::vector<Value>& b_tuple) const {
+  Budgeted<bool> result = TryDecide(a_tuple, b_tuple);
+  FEATSEP_CHECK(result.ok())
+      << "unbudgeted cover-game entry point interrupted; use TryDecide";
+  return result.value;
+}
+
+Budgeted<bool> CoverGameSolver::TryDecide(
+    const std::vector<Value>& a_tuple,
+    const std::vector<Value>& b_tuple) const {
   FEATSEP_CHECK_EQ(a_tuple.size(), b_tuple.size());
+  Budgeted<bool> result;
+  result.value = false;
+  // A solver whose tables were truncated by the budget, or a budget already
+  // tripped at entry, cannot decide anything.
+  if (interrupted_ || !RecheckBudget(budget_)) {
+    result.outcome = OutcomeOf(budget_);
+    return result;
+  }
 
   // Base map ā → b̄; must be functional.
   std::unordered_map<Value, Value> base;
@@ -171,7 +208,7 @@ bool CoverGameSolver::Decide(const std::vector<Value>& a_tuple,
     auto [it, inserted] = base.emplace(a_tuple[i], b_tuple[i]);
     if (!inserted && it->second != b_tuple[i]) {
       FEATSEP_COVERAGE(kCoverBaseReject);
-      return false;
+      return result;
     }
   }
 
@@ -200,7 +237,7 @@ bool CoverGameSolver::Decide(const std::vector<Value>& a_tuple,
     }
     if (pure && !to_.ContainsFact(Fact{fact.relation, std::move(args)})) {
       FEATSEP_COVERAGE(kCoverBaseReject);
-      return false;
+      return result;
     }
   }
 
@@ -230,6 +267,10 @@ bool CoverGameSolver::Decide(const std::vector<Value>& a_tuple,
     }
 
     for (const std::vector<Value>& map : position.maps) {
+      if (!ChargeBudget(budget_)) {
+        result.outcome = OutcomeOf(budget_);
+        return result;
+      }
       // (a) Agreement with the base map on S ∩ set(ā).
       bool ok = true;
       for (std::size_t i = 0; ok && i < elements.size(); ++i) {
@@ -259,7 +300,7 @@ bool CoverGameSolver::Decide(const std::vector<Value>& a_tuple,
     }
     if (live[p].empty()) {
       FEATSEP_COVERAGE(kCoverPositionDead);
-      return false;
+      return result;
     }
   }
 
@@ -268,10 +309,15 @@ bool CoverGameSolver::Decide(const std::vector<Value>& a_tuple,
   bool changed = true;
   while (changed) {
     FEATSEP_COVERAGE(kCoverFixpointRound);
+    FEATSEP_FAULT_POINT(kCoverFixpointRound);
     changed = false;
     for (std::size_t i = 0; i < positions_.size(); ++i) {
       for (std::size_t j = 0; j < positions_.size(); ++j) {
         if (i == j) continue;
+        if (!ChargeBudget(budget_)) {
+          result.outcome = OutcomeOf(budget_);
+          return result;
+        }
         std::vector<Value> overlap =
             Intersect(positions_[i].elements, positions_[j].elements);
         if (overlap.empty()) continue;  // live[j] nonempty suffices.
@@ -301,14 +347,15 @@ bool CoverGameSolver::Decide(const std::vector<Value>& a_tuple,
           changed = true;
           if (live[i].empty()) {
             FEATSEP_COVERAGE(kCoverLose);
-            return false;
+            return result;
           }
         }
       }
     }
   }
   FEATSEP_COVERAGE(kCoverWin);
-  return true;
+  result.value = true;
+  return result;
 }
 
 bool CoverGameWins(const Database& from, const std::vector<Value>& a_tuple,

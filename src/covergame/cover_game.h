@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "relational/database.h"
+#include "util/budget.h"
 
 namespace featsep {
 
@@ -37,14 +38,25 @@ class CoverGameSolver {
  public:
   /// Prepares positions and candidate strategies for games from `from` to
   /// `to` with cover bound `k` (k ≥ 1). Both databases must outlive the
-  /// solver and share a schema.
-  CoverGameSolver(const Database& from, const Database& to, std::size_t k);
+  /// solver and share a schema. `budget` (nullptr = unbounded) must outlive
+  /// the solver too; it is charged per enumerated position/strategy during
+  /// construction and per filter/fixpoint step in TryDecide. A budget that
+  /// trips during construction leaves the solver permanently interrupted —
+  /// every TryDecide then reports the budget outcome.
+  CoverGameSolver(const Database& from, const Database& to, std::size_t k,
+                  ExecutionBudget* budget = nullptr);
 
   /// Decides (from, ā) →_k (to, b̄). The tuples must have equal length;
   /// repeated values in ā must pair with equal values in b̄ (otherwise the
   /// pebbled tuples admit no partial homomorphism and the answer is false).
+  /// CHECK-fails if the budget trips; use TryDecide for interruptible runs.
   bool Decide(const std::vector<Value>& a_tuple,
               const std::vector<Value>& b_tuple) const;
+
+  /// Budgeted Decide: `value` is meaningful only when ok() — an interrupted
+  /// fixpoint is UNDECIDED, not a loss.
+  Budgeted<bool> TryDecide(const std::vector<Value>& a_tuple,
+                           const std::vector<Value>& b_tuple) const;
 
   /// Number of game positions (distinct ≤k-fact-coverable element sets).
   std::size_t num_positions() const { return positions_.size(); }
@@ -70,6 +82,10 @@ class CoverGameSolver {
   const Database& from_;
   const Database& to_;
   std::size_t k_;
+  ExecutionBudget* budget_;
+  /// Set when the budget trips during construction: the position/strategy
+  /// tables are incomplete and no game can be decided from them.
+  bool interrupted_ = false;
   std::vector<Position> positions_;
 };
 

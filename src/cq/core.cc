@@ -29,6 +29,13 @@ Database CoreOf(const Database& db, const std::vector<Value>& frozen) {
       seed.reserve(frozen.size());
       for (Value f : frozen) seed.emplace_back(f, f);
       HomResult hom = FindHomomorphism(current, target, seed);
+      // Audit guard: an interrupted search must never be read as "this
+      // retraction is impossible" — skipping a retraction on kExhausted
+      // would silently return a non-core database as the core. CoreOf runs
+      // unbudgeted, so this cannot trip today; it fails loudly if a budget
+      // is ever threaded in without restructuring this loop.
+      FEATSEP_CHECK(hom.status != HomStatus::kExhausted)
+          << "CoreOf cannot tolerate an interrupted homomorphism search";
       if (hom.status != HomStatus::kFound) continue;
       // Fold `current` along the retraction: facts become their images.
       current = MapDatabase(current, hom.mapping);

@@ -44,6 +44,20 @@ bool CqEvaluator::SelectsEntity(const Database& db, Value entity,
   return Selects(db, {entity}, options);
 }
 
+std::optional<bool> CqEvaluator::TrySelectsEntity(
+    const Database& db, Value entity, ExecutionBudget* budget) const {
+  FEATSEP_CHECK(query_.IsUnary());
+  FEATSEP_CHECK(query_.schema() == db.schema())
+      << "query and database schemas differ";
+  std::vector<std::pair<Value, Value>> seed;
+  seed.emplace_back(free_tuple_[0], entity);
+  HomOptions options;
+  options.budget = budget;
+  HomResult result = FindHomomorphism(canonical_, db, seed, options);
+  if (result.status == HomStatus::kExhausted) return std::nullopt;
+  return result.status == HomStatus::kFound;
+}
+
 std::vector<Value> CqEvaluator::Evaluate(const Database& db,
                                          const HomOptions& options) const {
   FEATSEP_CHECK(query_.IsUnary())

@@ -1,11 +1,13 @@
 #ifndef FEATSEP_CQ_EVALUATION_H_
 #define FEATSEP_CQ_EVALUATION_H_
 
+#include <optional>
 #include <vector>
 
 #include "cq/cq.h"
 #include "cq/homomorphism.h"
 #include "relational/database.h"
+#include "util/budget.h"
 
 namespace featsep {
 
@@ -27,6 +29,12 @@ class CqEvaluator {
   /// For unary queries: true iff e ∈ q(D).
   bool SelectsEntity(const Database& db, Value entity,
                      const HomOptions& options = {}) const;
+
+  /// Budgeted probe: nullopt when `budget` interrupted the underlying hom
+  /// search before it decided (never read nullopt as "not selected");
+  /// otherwise the definitive membership answer. nullptr = unbounded.
+  std::optional<bool> TrySelectsEntity(const Database& db, Value entity,
+                                       ExecutionBudget* budget) const;
 
   /// For unary queries: q(D) as a set of entities, in the order of
   /// db.Entities(). If the query lacks an η(x) atom, candidates are all of

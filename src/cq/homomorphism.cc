@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "testing/coverage.h"
+#include "testing/faults.h"
+#include "util/budget.h"
 #include "util/check.h"
 #include "util/svo_bitset.h"
 
@@ -129,6 +131,14 @@ class HomSearch {
 HomResult HomSearch::Run(const std::vector<std::pair<Value, Value>>& seed) {
   HomResult result;
 
+  // A zero/expired/cancelled budget at entry: return undecided before any
+  // setup work, so abandoned requests cost nothing.
+  if (!RecheckBudget(options_.budget)) {
+    result.status = HomStatus::kExhausted;
+    result.outcome = options_.budget->outcome();
+    return result;
+  }
+
   // Variables are the domain elements of `from_`.
   vars_ = from_.domain();
   var_of_.assign(from_.num_values(), kNoVar);
@@ -193,6 +203,12 @@ HomResult HomSearch::Run(const std::vector<std::pair<Value, Value>>& seed) {
 
   result.status = Search();
   result.nodes = nodes_;
+  if (result.status == HomStatus::kExhausted) {
+    result.outcome =
+        options_.budget != nullptr && options_.budget->Interrupted()
+            ? options_.budget->outcome()
+            : BudgetOutcome::kBudgetExhausted;  // Legacy max_nodes knob.
+  }
   if (result.status == HomStatus::kFound) {
     // Mapping indexed by value id over all interned values of `from_`.
     result.mapping.assign(from_.num_values(), kNoValue);
@@ -369,6 +385,7 @@ HomStatus HomSearch::Search() {
       std::size_t bit = frame.candidates.find_next(frame.cursor);
       if (bit == SvoBitset::kNoBit) {
         FEATSEP_COVERAGE(kHomBacktrack);
+        FEATSEP_FAULT_POINT(kHomBacktrack);
         stack.pop_back();
         continue;
       }
@@ -377,6 +394,11 @@ HomStatus HomSearch::Search() {
     }
     ++nodes_;
     FEATSEP_COVERAGE(kHomNode);
+    FEATSEP_FAULT_POINT(kHomNode);
+    if (!ChargeBudget(options_.budget)) {
+      FEATSEP_COVERAGE(kHomExhausted);
+      return HomStatus::kExhausted;
+    }
     frame.mark = trail_.size();
     frame.assigned = true;
     if (Assign(frame.var, image)) {
@@ -560,6 +582,17 @@ bool HomomorphismExists(const Database& from, const Database& to,
 
 bool HomEquivalent(const Database& from, const std::vector<Value>& from_tuple,
                    const Database& to, const std::vector<Value>& to_tuple) {
+  std::optional<bool> result =
+      TryHomEquivalent(from, from_tuple, to, to_tuple, nullptr);
+  FEATSEP_CHECK(result.has_value());  // No budget, so never interrupted.
+  return *result;
+}
+
+std::optional<bool> TryHomEquivalent(const Database& from,
+                                     const std::vector<Value>& from_tuple,
+                                     const Database& to,
+                                     const std::vector<Value>& to_tuple,
+                                     ExecutionBudget* budget) {
   FEATSEP_CHECK_EQ(from_tuple.size(), to_tuple.size());
   std::vector<std::pair<Value, Value>> forward;
   std::vector<std::pair<Value, Value>> backward;
@@ -567,19 +600,23 @@ bool HomEquivalent(const Database& from, const std::vector<Value>& from_tuple,
     forward.emplace_back(from_tuple[i], to_tuple[i]);
     backward.emplace_back(to_tuple[i], from_tuple[i]);
   }
-  HomResult fwd = FindHomomorphism(from, to, forward);
-  FEATSEP_CHECK(fwd.status != HomStatus::kExhausted)
-      << "homomorphism search budget exhausted";
+  HomOptions forward_options;
+  forward_options.budget = budget;
+  HomResult fwd = FindHomomorphism(from, to, forward, forward_options);
+  if (fwd.status == HomStatus::kExhausted) return std::nullopt;
   if (fwd.status != HomStatus::kFound) return false;
   // Replay the forward witness as the backward search's value ordering: if
   // h maps v to w, try w -> v first. When h is close to invertible this
   // lets the backward search walk straight to a witness.
   HomOptions backward_options;
+  backward_options.budget = budget;
   for (Value v : from.domain()) {
     Value w = fwd.mapping[v];
     if (w != kNoValue) backward_options.prefer.emplace_back(w, v);
   }
-  return HomomorphismExists(to, from, backward, backward_options);
+  HomResult bwd = FindHomomorphism(to, from, backward, backward_options);
+  if (bwd.status == HomStatus::kExhausted) return std::nullopt;
+  return bwd.status == HomStatus::kFound;
 }
 
 }  // namespace featsep

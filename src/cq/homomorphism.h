@@ -2,10 +2,12 @@
 #define FEATSEP_CQ_HOMOMORPHISM_H_
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "relational/database.h"
+#include "util/budget.h"
 
 namespace featsep {
 
@@ -15,6 +17,11 @@ struct HomOptions {
   /// 0 means unbounded. Deciding homomorphism existence is NP-complete, so
   /// callers probing hard instances should set a budget.
   std::uint64_t max_nodes = 0;
+  /// Cooperative execution budget (deadline / step limit / cancellation),
+  /// charged one step per search-tree node; nullptr = unbounded. An
+  /// interrupted search returns kExhausted with the budget's outcome —
+  /// never a definitive kNone.
+  ExecutionBudget* budget = nullptr;
   /// Prune neighbor domains on every assignment (forward checking). With
   /// this off, the search only verifies that each touched fact still has a
   /// compatible target fact — an ablation knob for bench_ablation; leave on
@@ -32,7 +39,7 @@ struct HomOptions {
 enum class HomStatus {
   kFound,      ///< A homomorphism exists; `mapping` is a witness.
   kNone,       ///< No homomorphism exists.
-  kExhausted,  ///< The node budget was exhausted before deciding.
+  kExhausted,  ///< Interrupted (node budget or ExecutionBudget) — undecided.
 };
 
 /// Result of a homomorphism search.
@@ -43,6 +50,10 @@ struct HomResult {
   std::vector<Value> mapping;
   /// Search-tree nodes explored.
   std::uint64_t nodes = 0;
+  /// Why the search stopped. kCompleted iff `status` is definitive
+  /// (kFound/kNone); any other value accompanies kExhausted and names the
+  /// tripped limit (kBudgetExhausted for the legacy max_nodes knob).
+  BudgetOutcome outcome = BudgetOutcome::kCompleted;
 };
 
 /// Searches for a homomorphism h from `from` to `to` — a map on dom(from)
@@ -71,6 +82,16 @@ bool HomomorphismExists(const Database& from, const Database& to,
 /// indistinguishability test for entities (Kimelfeld–Ré; see Theorem 3.2).
 bool HomEquivalent(const Database& from, const std::vector<Value>& from_tuple,
                    const Database& to, const std::vector<Value>& to_tuple);
+
+/// Budgeted HomEquivalent: nullopt when `budget` interrupted either
+/// direction before it was decided (the caller must not read nullopt as
+/// "not equivalent"); otherwise the definitive answer. `budget` may be
+/// nullptr (then the result is always engaged).
+std::optional<bool> TryHomEquivalent(const Database& from,
+                                     const std::vector<Value>& from_tuple,
+                                     const Database& to,
+                                     const std::vector<Value>& to_tuple,
+                                     ExecutionBudget* budget);
 
 }  // namespace featsep
 

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "testing/coverage.h"
+#include "testing/faults.h"
+#include "util/budget.h"
 #include "util/check.h"
 #include "util/hash.h"
 
@@ -36,11 +38,13 @@ struct SubproblemKeyHash {
 class GhwSearch {
  public:
   GhwSearch(const Hypergraph& graph, std::size_t k, const GhwOptions& options)
-      : graph_(graph), k_(k) {
+      : graph_(graph), k_(k), budget_(options.budget) {
     EnumerateBags(options);
   }
 
   std::optional<TreeDecomposition> Run();
+
+  bool interrupted() const { return interrupted_; }
 
  private:
   /// Result of a solved subproblem: the chosen bag and child subproblems,
@@ -58,6 +62,10 @@ class GhwSearch {
 
   const Hypergraph& graph_;
   std::size_t k_;
+  ExecutionBudget* budget_;
+  /// Once set, any "unsolvable" answer below is tainted and the whole run
+  /// must be reported as undecided (the memo may hold in-flight nullopts).
+  bool interrupted_ = false;
   std::vector<std::vector<HVertex>> bags_;  // Sorted vertex sets; deduped.
   std::unordered_map<SubproblemKey, std::optional<Choice>, SubproblemKeyHash>
       memo_;
@@ -75,6 +83,10 @@ void GhwSearch::EnumerateBags(const GhwOptions& options) {
     FEATSEP_CHECK_LE(base.size(), 63u) << "bag union too large to enumerate";
     std::uint64_t limit = 1ULL << base.size();
     for (std::uint64_t mask = 0; mask < limit; ++mask) {
+      if (!ChargeBudget(budget_)) {
+        interrupted_ = true;
+        return;
+      }
       std::vector<HVertex> subset;
       for (std::size_t i = 0; i < base.size(); ++i) {
         if ((mask >> i) & 1) subset.push_back(base[i]);
@@ -88,8 +100,9 @@ void GhwSearch::EnumerateBags(const GhwOptions& options) {
   };
 
   auto recurse = [&](auto&& self, HEdge next) -> void {
+    if (interrupted_) return;
     if (!chosen.empty()) add_subsets(graph_.VerticesOf(chosen));
-    if (chosen.size() == k_) return;
+    if (chosen.size() == k_ || interrupted_) return;
     for (HEdge e = next; e < graph_.num_edges(); ++e) {
       chosen.push_back(e);
       self(self, e + 1);
@@ -111,6 +124,11 @@ bool GhwSearch::Solve(const SubproblemKey& key) {
   memo_.emplace(key, std::nullopt);
 
   for (const std::vector<HVertex>& bag : bags_) {
+    if (interrupted_) return false;
+    if (!ChargeBudget(budget_)) {
+      interrupted_ = true;
+      return false;
+    }
     // Connector must be inside the bag (connectedness with the parent).
     if (!std::includes(bag.begin(), bag.end(), key.connector.begin(),
                        key.connector.end())) {
@@ -151,6 +169,7 @@ bool GhwSearch::Solve(const SubproblemKey& key) {
     }
     if (all_solved) {
       FEATSEP_COVERAGE(kGhwSubproblemSolved);
+      FEATSEP_FAULT_POINT(kGhwSubproblemSolved);
       memo_[key] = Choice{bag, std::move(children)};
       return true;
     }
@@ -206,11 +225,37 @@ std::optional<TreeDecomposition> GhwSearch::Run() {
 
 }  // namespace
 
+GhwDecision TryDecideGhwAtMost(const Hypergraph& graph, std::size_t k,
+                               const GhwOptions& options) {
+  GhwDecision decision;
+  // A zero/expired/cancelled budget at entry: no bag enumeration at all.
+  if (!RecheckBudget(options.budget)) {
+    decision.outcome = options.budget->outcome();
+    return decision;
+  }
+  GhwSearch search(graph, k, options);
+  if (search.interrupted()) {
+    decision.outcome = OutcomeOf(options.budget);
+    return decision;
+  }
+  std::optional<TreeDecomposition> td = search.Run();
+  if (search.interrupted()) {
+    // An interrupted search may have recorded tainted "unsolvable" memo
+    // entries; its answer carries no information.
+    decision.outcome = OutcomeOf(options.budget);
+    return decision;
+  }
+  decision.decomposition = std::move(td);
+  return decision;
+}
+
 std::optional<TreeDecomposition> DecideGhwAtMost(const Hypergraph& graph,
                                                  std::size_t k,
                                                  const GhwOptions& options) {
-  GhwSearch search(graph, k, options);
-  return search.Run();
+  GhwDecision decision = TryDecideGhwAtMost(graph, k, options);
+  FEATSEP_CHECK(decision.outcome == BudgetOutcome::kCompleted)
+      << "unbudgeted ghw entry point interrupted; use TryDecideGhwAtMost";
+  return std::move(decision.decomposition);
 }
 
 std::size_t Ghw(const Hypergraph& graph, const GhwOptions& options) {

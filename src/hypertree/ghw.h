@@ -8,6 +8,7 @@
 #include "cq/cq.h"
 #include "hypertree/decomposition.h"
 #include "hypertree/hypergraph.h"
+#include "util/budget.h"
 
 namespace featsep {
 
@@ -17,7 +18,25 @@ struct GhwOptions {
   /// beyond it (deciding ghw ≤ k is NP-hard for fixed k ≥ 2 — Gottlob et
   /// al. — so blowup on large inputs is inherent; this guard makes it loud).
   std::size_t max_bags = 2000000;
+  /// Cooperative budget (nullptr = unbounded), charged per enumerated bag
+  /// candidate and per bag tried in the subproblem search. Only
+  /// TryDecideGhwAtMost tolerates interruption; the unbudgeted entry points
+  /// CHECK-fail if a budget trips mid-decision.
+  ExecutionBudget* budget = nullptr;
 };
+
+/// Outcome of a budgeted ghw decision.
+struct GhwDecision {
+  /// kCompleted: `decomposition` is definitive (nullopt = ghw > k).
+  /// Otherwise the search was interrupted and the question is UNDECIDED.
+  BudgetOutcome outcome = BudgetOutcome::kCompleted;
+  std::optional<TreeDecomposition> decomposition;
+};
+
+/// Budgeted variant of DecideGhwAtMost: an interrupted search reports the
+/// budget outcome instead of an answer.
+GhwDecision TryDecideGhwAtMost(const Hypergraph& graph, std::size_t k,
+                               const GhwOptions& options = {});
 
 /// Decides whether ghw(graph) ≤ k and, if so, returns a witness tree
 /// decomposition of width ≤ k (validated by ValidateDecomposition).

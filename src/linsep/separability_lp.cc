@@ -1,5 +1,7 @@
 #include "linsep/separability_lp.h"
 
+#include <utility>
+
 #include "linsep/simplex.h"
 #include "util/check.h"
 
@@ -7,8 +9,17 @@ namespace featsep {
 
 std::optional<LinearClassifier> FindSeparator(
     const TrainingCollection& examples) {
+  SeparatorSearch search = TryFindSeparator(examples, nullptr);
+  FEATSEP_CHECK(search.outcome == BudgetOutcome::kCompleted);
+  return std::move(search.classifier);
+}
+
+SeparatorSearch TryFindSeparator(const TrainingCollection& examples,
+                                 ExecutionBudget* budget) {
+  SeparatorSearch search;
   if (examples.empty()) {
-    return LinearClassifier(Rational(0), {});
+    search.classifier = LinearClassifier(Rational(0), {});
+    return search;
   }
   std::size_t n = examples[0].first.size();
   for (const auto& [features, label] : examples) {
@@ -42,8 +53,12 @@ std::optional<LinearClassifier> FindSeparator(
     problem.b.push_back(label == kPositive ? Rational(0) : Rational(-1));
   }
 
-  LpSolution solution = SolveLp(problem);
-  if (solution.status == LpStatus::kInfeasible) return std::nullopt;
+  LpSolution solution = SolveLp(problem, budget);
+  if (solution.status == LpStatus::kInterrupted) {
+    search.outcome = solution.outcome;
+    return search;
+  }
+  if (solution.status == LpStatus::kInfeasible) return search;
   FEATSEP_CHECK(solution.status == LpStatus::kOptimal);
 
   Rational threshold = solution.x[wp(0)] - solution.x[wn(0)];
@@ -55,7 +70,8 @@ std::optional<LinearClassifier> FindSeparator(
   LinearClassifier classifier(threshold, std::move(weights));
   FEATSEP_CHECK_EQ(classifier.CountErrors(examples), 0u)
       << "separator returned by LP misclassifies an example";
-  return classifier;
+  search.classifier = std::move(classifier);
+  return search;
 }
 
 bool IsLinearlySeparable(const TrainingCollection& examples) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "linsep/linear_classifier.h"
+#include "util/budget.h"
 
 namespace featsep {
 
@@ -25,6 +26,20 @@ using TrainingCollection = std::vector<std::pair<FeatureVector, Label>>;
 /// simplex with free variables split into nonnegative pairs.
 std::optional<LinearClassifier> FindSeparator(
     const TrainingCollection& examples);
+
+/// Outcome of a budgeted separator search.
+struct SeparatorSearch {
+  /// kCompleted: `classifier` is definitive (nullopt = not separable).
+  /// Otherwise the simplex was interrupted and separability is UNDECIDED.
+  BudgetOutcome outcome = BudgetOutcome::kCompleted;
+  std::optional<LinearClassifier> classifier;
+};
+
+/// Budgeted FindSeparator: `budget` (nullptr = unbounded) is charged one
+/// step per simplex pivot; an interrupted solve reports the budget outcome
+/// and no classifier.
+SeparatorSearch TryFindSeparator(const TrainingCollection& examples,
+                                 ExecutionBudget* budget);
 
 /// True iff the collection is linearly separable.
 bool IsLinearlySeparable(const TrainingCollection& examples);

@@ -4,11 +4,16 @@
 #include <utility>
 
 #include "testing/coverage.h"
+#include "testing/faults.h"
+#include "util/budget.h"
 #include "util/check.h"
 
 namespace featsep {
 
 namespace {
+
+/// Outcome of one Optimize() run.
+enum class OptimizeResult { kOptimal, kUnbounded, kInterrupted };
 
 /// Dense simplex tableau with explicit objective row; all entries exact.
 class Tableau {
@@ -48,9 +53,9 @@ class Tableau {
     }
   }
 
-  /// Runs simplex pivots (maximization) with Bland's rule until optimal or
-  /// unbounded. Returns false iff unbounded.
-  bool Optimize() {
+  /// Runs simplex pivots (maximization) with Bland's rule until optimal,
+  /// unbounded, or the budget trips (one charge per pivot).
+  OptimizeResult Optimize(ExecutionBudget* budget) {
     while (true) {
       // Entering column: smallest index with negative reduced cost.
       std::size_t entering = num_cols_;
@@ -60,7 +65,7 @@ class Tableau {
           break;
         }
       }
-      if (entering == num_cols_) return true;  // Optimal.
+      if (entering == num_cols_) return OptimizeResult::kOptimal;
 
       // Leaving row: minimum ratio; Bland ties by smallest basis index.
       std::size_t leaving = num_rows_;
@@ -74,13 +79,15 @@ class Tableau {
           best_ratio = ratio;
         }
       }
-      if (leaving == num_rows_) return false;  // Unbounded.
+      if (leaving == num_rows_) return OptimizeResult::kUnbounded;
+      if (!ChargeBudget(budget)) return OptimizeResult::kInterrupted;
       Pivot(leaving, entering);
     }
   }
 
   void Pivot(std::size_t pivot_row, std::size_t pivot_col) {
     FEATSEP_COVERAGE(kSimplexPivot);
+    FEATSEP_FAULT_POINT(kSimplexPivot);
     Rational pivot = rows_[pivot_row][pivot_col];
     FEATSEP_CHECK(pivot.sign() != 0);
     for (std::size_t j = 0; j < num_cols_; ++j) {
@@ -117,13 +124,23 @@ class Tableau {
 
 }  // namespace
 
-LpSolution SolveLp(const LpProblem& problem) {
+LpSolution SolveLp(const LpProblem& problem, ExecutionBudget* budget) {
   std::size_t m = problem.a.size();
   std::size_t n = problem.c.size();
   FEATSEP_CHECK_EQ(problem.b.size(), m);
   for (const std::vector<Rational>& row : problem.a) {
     FEATSEP_CHECK_EQ(row.size(), n);
   }
+
+  auto interrupted = [&]() {
+    LpSolution solution;
+    solution.status = LpStatus::kInterrupted;
+    solution.outcome = OutcomeOf(budget);
+    return solution;
+  };
+  // A zero/expired/cancelled budget at entry: bail before building the
+  // tableau.
+  if (!RecheckBudget(budget)) return interrupted();
 
   // Columns: n original, m slacks, up to m artificials.
   // Determine which rows need an artificial (those with negative rhs whose
@@ -165,8 +182,10 @@ LpSolution SolveLp(const LpProblem& problem) {
     std::vector<Rational> phase1(cols);
     for (std::size_t col : artificial_columns) phase1[col] = -1;
     tableau.SetObjective(phase1);
-    bool bounded = tableau.Optimize();
-    FEATSEP_CHECK(bounded) << "phase-1 LP cannot be unbounded";
+    OptimizeResult phase1_result = tableau.Optimize(budget);
+    if (phase1_result == OptimizeResult::kInterrupted) return interrupted();
+    FEATSEP_CHECK(phase1_result != OptimizeResult::kUnbounded)
+        << "phase-1 LP cannot be unbounded";
     if (tableau.objective_value().sign() < 0) {
       FEATSEP_COVERAGE(kSimplexInfeasible);
       LpSolution solution;
@@ -212,7 +231,9 @@ LpSolution SolveLp(const LpProblem& problem) {
   for (std::size_t j = 0; j < n; ++j) phase2[j] = problem.c[j];
   tableau.SetObjective(phase2);
 
-  if (!tableau.Optimize()) {
+  OptimizeResult phase2_result = tableau.Optimize(budget);
+  if (phase2_result == OptimizeResult::kInterrupted) return interrupted();
+  if (phase2_result == OptimizeResult::kUnbounded) {
     FEATSEP_COVERAGE(kSimplexUnbounded);
     LpSolution solution;
     solution.status = LpStatus::kUnbounded;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "numeric/rational.h"
+#include "util/budget.h"
 
 namespace featsep {
 
@@ -16,15 +17,19 @@ struct LpProblem {
 };
 
 enum class LpStatus {
-  kOptimal,     ///< Finite optimum found.
-  kInfeasible,  ///< The constraint set is empty.
-  kUnbounded,   ///< The objective is unbounded above.
+  kOptimal,      ///< Finite optimum found.
+  kInfeasible,   ///< The constraint set is empty.
+  kUnbounded,    ///< The objective is unbounded above.
+  kInterrupted,  ///< The execution budget tripped mid-solve — undecided.
 };
 
 struct LpSolution {
   LpStatus status = LpStatus::kInfeasible;
   Rational objective;
   std::vector<Rational> x;  ///< Optimal point (valid for kOptimal).
+  /// kCompleted iff `status` is definitive; otherwise the budget outcome
+  /// accompanying kInterrupted.
+  BudgetOutcome outcome = BudgetOutcome::kCompleted;
 };
 
 /// Solves the LP with a dense two-phase primal simplex over exact rational
@@ -32,7 +37,12 @@ struct LpSolution {
 /// Exactness matters here: linear separability of training collections
 /// (paper, Section 2 / Proposition 4.1 / [19, 21]) must be decided without
 /// floating-point tolerance artifacts at the separating hyperplane.
-LpSolution SolveLp(const LpProblem& problem);
+///
+/// `budget` (nullptr = unbounded) is checked at entry and charged one step
+/// per pivot; an interrupted solve returns kInterrupted, never a definitive
+/// status.
+LpSolution SolveLp(const LpProblem& problem,
+                   ExecutionBudget* budget = nullptr);
 
 }  // namespace featsep
 

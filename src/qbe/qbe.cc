@@ -1,5 +1,7 @@
 #include "qbe/qbe.h"
 
+#include <atomic>
+#include <optional>
 #include <utility>
 
 #include "covergame/cover_game.h"
@@ -9,6 +11,7 @@
 #include "cq/homomorphism.h"
 #include "cq/product.h"
 #include "serve/eval_service.h"
+#include "util/budget.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -37,20 +40,37 @@ ProductResult BuildPositiveProduct(const QbeInstance& instance,
 }  // namespace
 
 QbeResult SolveCqQbe(const QbeInstance& instance, const QbeOptions& options) {
-  ProductResult product = BuildPositiveProduct(instance, options);
   QbeResult result;
+  if (!RecheckBudget(options.budget)) {
+    result.outcome = options.budget->outcome();
+    return result;
+  }
+  ProductResult product = BuildPositiveProduct(instance, options);
   result.product_facts = product.db.size();
   result.exists = true;
   // The per-negative refutation checks are independent NP searches; fan
   // them out and stop at the first negative the product maps into. (The
   // databases' lazy caches are internally synchronized — no warm-up step.)
+  // An interrupted search contributes "no refutation found here"; the
+  // outcome recorded below marks such an all-clear as undecided.
   std::size_t hit = ParallelFindFirst(
       options.num_threads, instance.negatives.size(), [&](std::size_t i) {
-        return HomomorphismExists(product.db, *instance.db,
-                                  {{product.tuple[0], instance.negatives[i]}});
+        HomOptions hom_options;
+        hom_options.budget = options.budget;
+        HomResult hom = FindHomomorphism(
+            product.db, *instance.db,
+            {{product.tuple[0], instance.negatives[i]}}, hom_options);
+        return hom.status == HomStatus::kFound;
       });
+  result.outcome = OutcomeOf(options.budget);
   if (hit < instance.negatives.size()) {
+    // The refuting homomorphism was fully verified, so "no explanation" is
+    // sound even when the sweep was interrupted elsewhere.
     result.exists = false;
+    return result;
+  }
+  if (result.outcome != BudgetOutcome::kCompleted) {
+    result.exists = false;  // Undecided; see result.outcome.
     return result;
   }
   // The canonical product query is itself an explanation: it selects every
@@ -65,13 +85,25 @@ QbeResult SolveCqQbe(const QbeInstance& instance, const QbeOptions& options) {
 
 QbeResult SolveGhwQbe(const QbeInstance& instance, std::size_t k,
                       const QbeOptions& options) {
-  ProductResult product = BuildPositiveProduct(instance, options);
   QbeResult result;
+  if (!RecheckBudget(options.budget)) {
+    result.outcome = options.budget->outcome();
+    return result;
+  }
+  ProductResult product = BuildPositiveProduct(instance, options);
   result.product_facts = product.db.size();
   result.exists = true;
-  CoverGameSolver solver(product.db, *instance.db, k);
+  CoverGameSolver solver(product.db, *instance.db, k, options.budget);
   for (Value b : instance.negatives) {
-    if (solver.Decide({product.tuple[0]}, {b})) {
+    Budgeted<bool> win = solver.TryDecide({product.tuple[0]}, {b});
+    if (!win.ok()) {
+      result.exists = false;  // Undecided; see result.outcome.
+      result.outcome = win.outcome;
+      return result;
+    }
+    if (win.value) {
+      // A verified Duplicator win onto a negative soundly refutes every
+      // GHW(k) explanation.
       result.exists = false;
       return result;
     }
@@ -96,17 +128,39 @@ QbeResult SolveCqmQbe(const QbeInstance& instance, std::size_t m,
   std::vector<ConjunctiveQuery> candidates =
       EnumerateFeatureQueries(db.schema_ptr(), m, enum_options);
 
-  // Each candidate query is screened independently; fan the screens out
-  // and return the first explanation in enumeration order. The serve path
-  // walks candidates serially but computes (and caches) each candidate's
-  // full answer set on the service's sharded pool — repeated sweeps over
-  // the same database content then screen from the cache alone.
   QbeResult result;
+  FEATSEP_CHECK_LE(options.first_candidate, candidates.size())
+      << "QBE resume point past the candidate family";
+  result.candidates_screened = options.first_candidate;
+  if (!RecheckBudget(options.budget)) {
+    result.outcome = options.budget->outcome();
+    return result;
+  }
+
+  // Each candidate query is screened independently; fan the screens out
+  // and return the first explanation in enumeration order (among indices ≥
+  // first_candidate). The serve path walks candidates serially but
+  // computes (and caches) each candidate's full answer set on the
+  // service's sharded pool — repeated sweeps over the same database
+  // content then screen from the cache alone.
+  //
+  // candidates_screened tracking makes interrupted sweeps resumable: it
+  // counts the longest prefix of *definitively rejected* candidates, so a
+  // re-run starting there re-screens nothing that was already decided and
+  // the resumed answer matches the uninterrupted one.
+  const std::size_t first = options.first_candidate;
+  const std::size_t pending = candidates.size() - first;
   std::size_t hit = candidates.size();
   if (options.service != nullptr) {
-    for (std::size_t index = 0; index < candidates.size(); ++index) {
+    for (std::size_t index = first; index < candidates.size(); ++index) {
       std::shared_ptr<const serve::FeatureAnswer> answer =
-          options.service->Answer(candidates[index], db);
+          options.service->TryResolve({candidates[index]}, db,
+                                      options.budget)[0];
+      if (answer == nullptr) {
+        // Interrupted mid-candidate: the prefix ends here.
+        result.outcome = OutcomeOf(options.budget);
+        return result;
+      }
       auto screens = [&] {
         for (Value e : instance.positives) {
           if (!answer->Selects(db, e)) return false;
@@ -120,24 +174,55 @@ QbeResult SolveCqmQbe(const QbeInstance& instance, std::size_t m,
         hit = index;
         break;
       }
+      result.candidates_screened = index + 1;
     }
   } else {
-    hit = ParallelFindFirst(
-        options.num_threads, candidates.size(), [&](std::size_t index) {
+    // Parallel sweep: per-candidate "definitively rejected" flags let us
+    // recover the rejected prefix even when some screens were interrupted
+    // out of order. C++20 value-initializes the atomics.
+    std::vector<std::atomic<char>> rejected(pending);
+    std::size_t relative = ParallelFindFirst(
+        options.num_threads, pending, [&](std::size_t i) {
+          const std::size_t index = first + i;
           CqEvaluator evaluator(candidates[index]);
           for (Value e : instance.positives) {
-            if (!evaluator.SelectsEntity(db, e)) return false;
+            std::optional<bool> selects =
+                evaluator.TrySelectsEntity(db, e, options.budget);
+            if (!selects.has_value()) return false;  // Undecided.
+            if (!*selects) {
+              rejected[i].store(1, std::memory_order_relaxed);
+              return false;
+            }
           }
           for (Value b : instance.negatives) {
-            if (evaluator.SelectsEntity(db, b)) return false;
+            std::optional<bool> selects =
+                evaluator.TrySelectsEntity(db, b, options.budget);
+            if (!selects.has_value()) return false;  // Undecided.
+            if (*selects) {
+              rejected[i].store(1, std::memory_order_relaxed);
+              return false;
+            }
           }
           return true;
         });
+    hit = relative < pending ? first + relative : candidates.size();
+    for (std::size_t i = 0; first + i < hit; ++i) {
+      if (rejected[i].load(std::memory_order_relaxed) == 0) break;
+      result.candidates_screened = first + i + 1;
+    }
   }
+  result.outcome = OutcomeOf(options.budget);
   if (hit < candidates.size()) {
+    // The accepted candidate's screen ran to completion, so the
+    // explanation is sound even if other screens were interrupted (though
+    // only a completed sweep guarantees it is the first in enumeration
+    // order).
     result.exists = true;
     result.explanation = std::move(candidates[hit]);
     return result;
+  }
+  if (result.outcome == BudgetOutcome::kCompleted) {
+    result.candidates_screened = candidates.size();
   }
   result.exists = false;
   return result;

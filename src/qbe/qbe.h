@@ -7,6 +7,7 @@
 
 #include "cq/cq.h"
 #include "relational/database.h"
+#include "util/budget.h"
 
 namespace featsep {
 
@@ -45,6 +46,16 @@ struct QbeOptions {
   /// kernel. The returned explanation is identical (first in enumeration
   /// order); `num_threads` is ignored on this path (the service shards).
   serve::EvalService* service = nullptr;
+  /// Cooperative budget threaded into every homomorphism search, cover
+  /// game, and candidate screen; nullptr = unbounded. Interrupted runs
+  /// report their outcome in QbeResult::outcome.
+  ExecutionBudget* budget = nullptr;
+  /// SolveCqmQbe resume point: screening starts at this candidate index,
+  /// treating all earlier candidates as definitively rejected by a previous
+  /// (interrupted) run — pass the prior result's `candidates_screened`.
+  /// Resuming an interrupted sweep to completion yields the same answer as
+  /// one uninterrupted run.
+  std::size_t first_candidate = 0;
 };
 
 /// Result of a QBE solver call.
@@ -55,6 +66,17 @@ struct QbeResult {
   /// Facts in the materialized canonical product (diagnostics; drives the
   /// Theorem 6.7 blowup measurements).
   std::size_t product_facts = 0;
+  /// kCompleted: `exists`/`explanation` are definitive. When interrupted, a
+  /// *negative* answer backed by a verified witness (a homomorphism or a
+  /// Duplicator win onto some b ∈ S⁻) is still sound, as is a returned
+  /// explanation that screened clean; `exists == false` with no such
+  /// witness is UNDECIDED.
+  BudgetOutcome outcome = BudgetOutcome::kCompleted;
+  /// SolveCqmQbe only: length of the definitively-rejected candidate
+  /// prefix (in enumeration order, counting from 0 and including any
+  /// `first_candidate` head start). Feed back as
+  /// QbeOptions::first_candidate to resume an interrupted sweep.
+  std::size_t candidates_screened = 0;
 };
 
 /// CQ-QBE via the product homomorphism method (ten Cate–Dalmau): the

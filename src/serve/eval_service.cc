@@ -1,6 +1,8 @@
 #include "serve/eval_service.h"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
 
 #include "cq/evaluation.h"
 #include "util/check.h"
@@ -51,10 +53,15 @@ void EvalService::CachePut(CacheKey key,
 }
 
 std::vector<std::shared_ptr<const FeatureAnswer>> EvalService::Resolve(
-    const std::vector<ConjunctiveQuery>& features, const Database& db) {
-  const std::uint64_t digest = db.ContentDigest();
+    const std::vector<ConjunctiveQuery>& features, const Database& db,
+    ExecutionBudget* budget) {
   const bool use_cache = options_.cache_capacity > 0;
   std::vector<std::shared_ptr<const FeatureAnswer>> answers(features.size());
+
+  // A budget already expired/cancelled at entry: the request is abandoned
+  // before any cache or kernel work; every answer is "incomplete".
+  if (!RecheckBudget(budget)) return answers;
+  const std::uint64_t digest = db.ContentDigest();
 
   // Cache pass. Batch-internal duplicates (identical canonical strings)
   // alias one evaluation slot so each distinct feature runs at most once.
@@ -76,6 +83,15 @@ std::vector<std::shared_ptr<const FeatureAnswer>> EvalService::Resolve(
     auto [it, inserted] = miss_of_key.try_emplace(key, misses.size());
     alias[i] = it->second;
     if (inserted) {
+      {
+        // A key whose previous evaluation was aborted is being retried.
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        auto aborted = aborted_keys_.find(key);
+        if (aborted != aborted_keys_.end()) {
+          ++stats_.evaluation_retries;
+          aborted_keys_.erase(aborted);
+        }
+      }
       misses.push_back(Miss{i, std::move(key), nullptr, {}});
     }
   }
@@ -92,17 +108,46 @@ std::vector<std::shared_ptr<const FeatureAnswer>> EvalService::Resolve(
         std::make_unique<CqEvaluator>(features[miss.feature_index]);
     miss.flags.assign(entities.size(), 0);
   }
+  // Per-miss "this feature's answer is incomplete" flags: several shards of
+  // one feature may trip concurrently. C++20 value-initializes the atomics.
+  std::vector<std::atomic<bool>> incomplete(misses.size());
+  std::atomic<std::uint64_t> cancelled{0};
   pool_.ParallelFor(
       misses.size() * blocks_per_feature, [&](std::size_t task) {
-        Miss& miss = misses[task / blocks_per_feature];
+        const std::size_t m = task / blocks_per_feature;
+        Miss& miss = misses[m];
+        // Queued shards of an abandoned request bail at dispatch — this is
+        // what bounds cancellation latency to one in-flight kernel step per
+        // worker.
+        if (budget != nullptr && budget->Interrupted()) {
+          incomplete[m].store(true, std::memory_order_relaxed);
+          cancelled.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
         std::size_t begin = (task % blocks_per_feature) * block;
         std::size_t end = std::min(begin + block, entities.size());
         for (std::size_t e = begin; e < end; ++e) {
-          miss.flags[e] = miss.evaluator->SelectsEntity(db, entities[e]);
+          std::optional<bool> selects =
+              miss.evaluator->TrySelectsEntity(db, entities[e], budget);
+          if (!selects.has_value()) {
+            incomplete[m].store(true, std::memory_order_relaxed);
+            cancelled.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          miss.flags[e] = *selects ? 1 : 0;
         }
       });
 
-  for (Miss& miss : misses) {
+  std::uint64_t evaluated = 0;
+  for (std::size_t m = 0; m < misses.size(); ++m) {
+    Miss& miss = misses[m];
+    if (incomplete[m].load(std::memory_order_relaxed)) {
+      // Aborted: the flags are partial, so the answer must NEVER reach the
+      // cache. Remember the key so a later re-request counts as a retry.
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      aborted_keys_.insert(miss.key);
+      continue;  // answers[miss.feature_index] stays nullptr.
+    }
     std::unordered_set<std::string> selected;
     for (std::size_t e = 0; e < entities.size(); ++e) {
       if (miss.flags[e] != 0) selected.insert(db.value_name(entities[e]));
@@ -110,13 +155,16 @@ std::vector<std::shared_ptr<const FeatureAnswer>> EvalService::Resolve(
     auto answer = std::make_shared<const FeatureAnswer>(std::move(selected));
     CachePut(miss.key, answer);
     answers[miss.feature_index] = std::move(answer);
+    ++evaluated;
   }
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
-    stats_.features_evaluated += misses.size();
-    stats_.entity_evaluations += misses.size() * entities.size();
+    stats_.features_evaluated += evaluated;
+    stats_.entity_evaluations += evaluated * entities.size();
+    stats_.cancelled_shards += cancelled.load(std::memory_order_relaxed);
   }
-  // Fill the aliased (and, with the cache disabled, repeated) slots.
+  // Fill the aliased (and, with the cache disabled, repeated) slots; slots
+  // aliasing an aborted miss stay nullptr.
   for (std::size_t i = 0; i < features.size(); ++i) {
     if (answers[i] == nullptr) {
       answers[i] = answers[misses[alias[i]].feature_index];
@@ -125,15 +173,21 @@ std::vector<std::shared_ptr<const FeatureAnswer>> EvalService::Resolve(
   return answers;
 }
 
+std::vector<std::shared_ptr<const FeatureAnswer>> EvalService::TryResolve(
+    const std::vector<ConjunctiveQuery>& features, const Database& db,
+    ExecutionBudget* budget) {
+  return Resolve(features, db, budget);
+}
+
 std::shared_ptr<const FeatureAnswer> EvalService::Answer(
     const ConjunctiveQuery& feature, const Database& db) {
-  return Resolve({feature}, db)[0];
+  return Resolve({feature}, db, nullptr)[0];
 }
 
 std::vector<FeatureVector> EvalService::Matrix(
     const std::vector<ConjunctiveQuery>& features, const Database& db) {
   std::vector<std::shared_ptr<const FeatureAnswer>> answers =
-      Resolve(features, db);
+      Resolve(features, db, nullptr);
   const std::vector<Value> entities = db.Entities();
   std::vector<FeatureVector> matrix(entities.size());
   for (std::size_t e = 0; e < entities.size(); ++e) {
@@ -154,7 +208,7 @@ FeatureVector EvalService::Vector(
   FEATSEP_CHECK(db.IsEntity(entity))
       << "EvalService::Vector probe is not an entity";
   std::vector<std::shared_ptr<const FeatureAnswer>> answers =
-      Resolve(features, db);
+      Resolve(features, db, nullptr);
   FeatureVector vector;
   vector.reserve(features.size());
   for (const auto& answer : answers) {
@@ -177,6 +231,7 @@ void EvalService::ClearCache() {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   cache_.clear();
   lru_.clear();
+  aborted_keys_.clear();
 }
 
 }  // namespace serve

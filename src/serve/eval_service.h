@@ -15,6 +15,7 @@
 #include "cq/cq.h"
 #include "linsep/linear_classifier.h"
 #include "relational/database.h"
+#include "util/budget.h"
 #include "util/thread_pool.h"
 
 namespace featsep {
@@ -42,6 +43,12 @@ struct ServeStats {
   std::uint64_t cache_evictions = 0;
   std::uint64_t features_evaluated = 0;  ///< Kernel-evaluated (cache misses).
   std::uint64_t entity_evaluations = 0;  ///< Individual SelectsEntity calls.
+  /// Work items (feature × entity-block shards) abandoned because the
+  /// request's ExecutionBudget tripped mid-batch.
+  std::uint64_t cancelled_shards = 0;
+  /// Features re-requested after an earlier evaluation of the same
+  /// (database, feature) key was aborted before completing.
+  std::uint64_t evaluation_retries = 0;
 };
 
 /// The answer set q(D) ∩ η(D) of one feature query, content-addressed: the
@@ -107,6 +114,18 @@ class EvalService {
   FeatureVector Vector(const std::vector<ConjunctiveQuery>& features,
                        const Database& db, Value entity);
 
+  /// Budgeted Resolve for per-request deadlines/cancellation. Features
+  /// whose evaluation was interrupted come back as nullptr; non-null
+  /// answers are always complete and definitive. An interrupted feature is
+  /// NEVER cached, so an aborted request can't poison later ones; a budget
+  /// already expired at entry returns all-nullptr without touching the
+  /// kernel. Cancellation is cooperative: queued shards of an abandoned
+  /// request notice the tripped budget at dispatch and return immediately
+  /// (counted in stats().cancelled_shards).
+  std::vector<std::shared_ptr<const FeatureAnswer>> TryResolve(
+      const std::vector<ConjunctiveQuery>& features, const Database& db,
+      ExecutionBudget* budget);
+
   ServeStats stats() const;
   std::size_t cache_size() const;
   void ClearCache();
@@ -122,9 +141,11 @@ class EvalService {
   };
 
   /// Cache lookups + batched evaluation of the misses; the workhorse
-  /// behind Answer/Matrix/Vector. Returns one answer per feature.
+  /// behind Answer/Matrix/Vector/TryResolve. Returns one answer per
+  /// feature; with a non-null budget, interrupted features are nullptr.
   std::vector<std::shared_ptr<const FeatureAnswer>> Resolve(
-      const std::vector<ConjunctiveQuery>& features, const Database& db);
+      const std::vector<ConjunctiveQuery>& features, const Database& db,
+      ExecutionBudget* budget);
 
   std::shared_ptr<const FeatureAnswer> CacheGet(const CacheKey& key);
   void CachePut(CacheKey key, std::shared_ptr<const FeatureAnswer> answer);
@@ -136,6 +157,9 @@ class EvalService {
   std::list<CacheEntry> lru_;  // Front = most recently used.
   std::unordered_map<CacheKey, std::list<CacheEntry>::iterator, CacheKeyHash>
       cache_;
+  /// Keys whose evaluation was aborted mid-batch; a later re-request of
+  /// such a key counts as an evaluation retry. Guarded by cache_mutex_.
+  std::unordered_set<CacheKey, CacheKeyHash> aborted_keys_;
   ServeStats stats_;
 };
 

@@ -134,6 +134,11 @@ std::string SerializeFuzzInstance(const FuzzInstance& instance) {
   if (instance.config == FuzzConfig::kDimension) {
     out << "ell " << instance.ell << "\n";
   }
+  if (instance.config == FuzzConfig::kFaults) {
+    out << "fault " << instance.fault_site << " "
+        << static_cast<unsigned>(instance.fault_kind) << " "
+        << instance.fault_visit << "\n";
+  }
   if (instance.db_a.has_value()) WriteDbSection("db_a", *instance.db_a, out);
   if (instance.db_b.has_value()) WriteDbSection("db_b", *instance.db_b, out);
   if (instance.db_c.has_value()) WriteDbSection("db_c", *instance.db_c, out);
@@ -316,6 +321,20 @@ Result<FuzzInstance> DeserializeFuzzInstance(std::string_view text) {
         Result<Rational> c = ParseRational(parser, token);
         if (!c.ok()) return c.error();
         instance.lp.c.push_back(c.value());
+      }
+    } else if (starts("fault ")) {
+      std::vector<std::string> tokens = Tokens(line.substr(6));
+      if (tokens.size() != 3) {
+        return parser.At("fault wants '<site> <kind> <visit>'");
+      }
+      try {
+        instance.fault_site =
+            static_cast<std::uint16_t>(std::stoul(tokens[0]));
+        instance.fault_kind =
+            static_cast<std::uint8_t>(std::stoul(tokens[1]));
+        instance.fault_visit = std::stoull(tokens[2]);
+      } catch (const std::exception&) {
+        return parser.At("bad fault spec '" + line + "'");
       }
     } else if (starts("k ") || starts("m ") || starts("ell ")) {
       std::vector<std::string> tokens = Tokens(line);

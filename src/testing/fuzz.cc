@@ -13,6 +13,7 @@
 #include "testing/coverage.h"
 #include "testing/instance.h"
 #include "testing/mutate.h"
+#include "util/budget.h"
 #include "util/check.h"
 #include "workload/generators.h"
 
@@ -115,6 +116,7 @@ void StreamFailure(const FuzzFailure& failure, std::ostream* progress) {
 FuzzReport RunReplay(const FuzzOptions& options, std::ostream* progress) {
   FuzzReport report;
   for (const std::string& path : options.replay_paths) {
+    if (!RecheckBudget(options.budget)) break;
     ++report.iterations;
     std::ifstream in(path);
     std::ostringstream text;
@@ -168,6 +170,7 @@ const char* FuzzConfigName(FuzzConfig config) {
     case FuzzConfig::kCoverGame: return "covergame";
     case FuzzConfig::kDimension: return "dimension";
     case FuzzConfig::kLinsep: return "linsep";
+    case FuzzConfig::kFaults: return "faults";
     case FuzzConfig::kMixed: return "mixed";
   }
   return "unknown";
@@ -178,7 +181,7 @@ std::optional<FuzzConfig> ParseFuzzConfig(std::string_view name) {
        {FuzzConfig::kHom, FuzzConfig::kEval, FuzzConfig::kContainment,
         FuzzConfig::kCore, FuzzConfig::kGhw, FuzzConfig::kSep,
         FuzzConfig::kQbe, FuzzConfig::kCoverGame, FuzzConfig::kDimension,
-        FuzzConfig::kLinsep, FuzzConfig::kMixed}) {
+        FuzzConfig::kLinsep, FuzzConfig::kFaults, FuzzConfig::kMixed}) {
     if (name == FuzzConfigName(config)) return config;
   }
   return std::nullopt;
@@ -215,6 +218,7 @@ FuzzReport RunFuzz(const FuzzOptions& options, std::ostream* progress) {
     // Seed coverage by replaying the corpus; a regressed entry is a
     // failure, reproducible straight from its file.
     for (std::size_t i = 0; i < corpus.size(); ++i) {
+      if (!RecheckBudget(options.budget)) break;
       auto [violation, edges] =
           CheckWithCoverage(corpus.instance(i), /*want_coverage=*/true);
       scheduler.map.MergeNew(SnapshotCoverage());
@@ -236,6 +240,7 @@ FuzzReport RunFuzz(const FuzzOptions& options, std::ostream* progress) {
   }
 
   for (std::size_t i = 0; i < options.iterations; ++i) {
+    if (!RecheckBudget(options.budget)) break;
     std::uint64_t instance_seed = options.seed + i;
     bool mutated = guided && !pool.empty() && !scheduler_rng.Chance(0.3);
     FuzzInstance instance =

@@ -9,6 +9,9 @@
 #include <vector>
 
 namespace featsep {
+
+class ExecutionBudget;
+
 namespace testing {
 
 /// Differential fuzz loop: generate a random instance, run the matching
@@ -38,7 +41,12 @@ enum class FuzzConfig {
   kCoverGame,    ///< Existential k-cover game metamorphic laws.
   kDimension,    ///< Sep[ℓ] monotonicity + Theorem 3.2 agreement + witness.
   kLinsep,       ///< Simplex / separability LP vs Fourier–Motzkin reference.
-  kMixed,        ///< Per-iteration uniform choice among the above.
+  kFaults,       ///< Fault-injection robustness: cancellation/timeout/OOM at
+                 ///< a chosen kernel event must never poison a cache or change
+                 ///< the answer of a completed or resumed run.
+  kMixed,        ///< Per-iteration uniform choice among the above (kFaults
+                 ///< excluded — it re-runs the engines several times per
+                 ///< instance and is smoke-tested separately).
 };
 
 const char* FuzzConfigName(FuzzConfig config);
@@ -62,6 +70,12 @@ struct FuzzOptions {
   /// Replay-only mode: check exactly these serialized instances (no
   /// generation, no mutation). Used by the corpus regression test.
   std::vector<std::string> replay_paths;
+  /// Cooperative budget on the whole run (nullptr = unbounded): checked
+  /// between iterations and between corpus-replay entries, so a caller can
+  /// deadline or cancel a long campaign; the in-flight property check
+  /// finishes first (individual checks are not budget-threaded — they time
+  /// the engines' own budget handling).
+  ExecutionBudget* budget = nullptr;
 };
 
 struct FuzzFailure {

@@ -9,6 +9,7 @@
 
 #include "relational/database_ops.h"
 #include "relational/training_database.h"
+#include "testing/faults.h"
 #include "testing/random_instance.h"
 #include "testing/shrink.h"
 #include "util/check.h"
@@ -403,6 +404,31 @@ FuzzInstance GenerateFuzzInstance(FuzzConfig config,
       instance.ell = rng.Range(1, 2);
       break;
     }
+    case FuzzConfig::kFaults: {
+      // A sep-shaped training instance plus a fault spec. Sites are the
+      // FEATSEP_FAULT_POINT carriers; the hom and simplex sites are the ones
+      // the sep drivers actually visit — the others exercise the
+      // armed-but-never-fired path.
+      instance.schema = PickSchema(rng, 3, /*need_entity=*/true);
+      RandomDatabaseParams params;
+      params.num_values = rng.Range(3, 6);
+      params.num_facts = rng.Range(5, 12);
+      params.entity_fraction = 0.3 + 0.4 * rng.Uniform();
+      std::shared_ptr<TrainingDatabase> training =
+          RandomTrainingDatabase(instance.schema, params, rng);
+      instance.db_a = training->database();
+      instance.labels = training->labeling().Items();
+      constexpr CoverageSite kFaultSites[] = {
+          CoverageSite::kHomNode, CoverageSite::kHomNode,
+          CoverageSite::kHomBacktrack, CoverageSite::kSimplexPivot,
+          CoverageSite::kGhwSubproblemSolved,
+          CoverageSite::kCoverFixpointRound};
+      instance.fault_site = static_cast<std::uint16_t>(
+          kFaultSites[rng.Below(6)]);
+      instance.fault_kind = static_cast<std::uint8_t>(rng.Below(3));
+      instance.fault_visit = 1 + rng.Below(40);
+      break;
+    }
     case FuzzConfig::kLinsep: {
       std::size_t num_features = rng.Range(1, 3);
       std::size_t num_examples = rng.Range(1, 6);
@@ -503,6 +529,15 @@ PropertyCheck CheckFuzzInstance(const FuzzInstance& instance) {
         return std::nullopt;
       }
       return CheckSepDimProperties(RebuildTraining(instance), instance.ell);
+    case FuzzConfig::kFaults:
+      if (!instance.db_a.has_value() ||
+          !instance.db_a->schema().has_entity_relation()) {
+        return std::nullopt;
+      }
+      return CheckFaultInjectionProperties(
+          RebuildTraining(instance),
+          static_cast<CoverageSite>(instance.fault_site),
+          static_cast<FaultKind>(instance.fault_kind), instance.fault_visit);
     case FuzzConfig::kLinsep: {
       TrainingCollection examples;
       for (std::size_t i = 0; i < instance.features.size(); ++i) {
@@ -596,6 +631,21 @@ void SanitizeFuzzInstance(FuzzInstance* instance) {
         *instance->db_a = TrimDatabase(*instance->db_a, 6, 12);
       }
       ReconcileLabels(instance);
+      break;
+    }
+    case FuzzConfig::kFaults: {
+      if (instance->db_a.has_value()) {
+        *instance->db_a = TrimDatabase(*instance->db_a, 6, 12);
+      }
+      ReconcileLabels(instance);
+      if (instance->fault_site >=
+          static_cast<std::uint16_t>(CoverageSite::kNumSites)) {
+        instance->fault_site =
+            static_cast<std::uint16_t>(CoverageSite::kHomNode);
+      }
+      instance->fault_kind = static_cast<std::uint8_t>(
+          instance->fault_kind % 3);
+      if (instance->fault_visit == 0) instance->fault_visit = 1;
       break;
     }
     case FuzzConfig::kQbe: {
@@ -781,6 +831,17 @@ FuzzInstance ShrinkFuzzInstance(
     case FuzzConfig::kDimension:
     case FuzzConfig::kQbe:
       shrink_db(&FuzzInstance::db_a);
+      break;
+    case FuzzConfig::kFaults:
+      shrink_db(&FuzzInstance::db_a);
+      // Earlier trigger visits make smaller repros; halve while it still
+      // fails.
+      while (instance.fault_visit > 1) {
+        FuzzInstance candidate = instance;
+        candidate.fault_visit /= 2;
+        if (!candidate_fails(candidate)) break;
+        instance.fault_visit /= 2;
+      }
       break;
     case FuzzConfig::kLinsep: {
       // Drop whole examples, then whole LP rows, then zero coefficients.

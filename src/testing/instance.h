@@ -34,6 +34,9 @@ namespace testing {
 ///   kDimension    db_a labeled by `labels`, dimension bound `ell`
 ///   kLinsep       `features`/`feature_labels` training collection and
 ///                 LP `lp` (db-free; schema/db_a unused)
+///   kFaults       db_a labeled by `labels` plus a fault spec
+///                 (`fault_site`/`fault_kind`/`fault_visit`) injected into
+///                 the budgeted decision procedures
 ///
 /// `config` is never kMixed — mixed resolves to a concrete config before an
 /// instance exists.
@@ -56,6 +59,12 @@ struct FuzzInstance {
   std::vector<FeatureVector> features;
   std::vector<Label> feature_labels;
   LpProblem lp;
+  /// kFaults only: which FEATSEP_FAULT_POINT site to trip (CoverageSite
+  /// value), what to inject there (FaultKind value), and on which 1-based
+  /// probe visit.
+  std::uint16_t fault_site = 0;
+  std::uint8_t fault_kind = 0;
+  std::uint64_t fault_visit = 1;
 };
 
 /// Generates the instance for (config, instance_seed). Deterministic: the

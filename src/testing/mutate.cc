@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "relational/schema.h"
+#include "testing/coverage.h"
 #include "testing/shrink.h"
 
 namespace featsep {
@@ -294,6 +295,26 @@ FuzzInstance MutateFuzzInstance(const FuzzInstance& original,
     }
     if (instance.config == FuzzConfig::kCoverGame) {
       ops.push_back([&] { instance.k = instance.k == 1 ? 2 : 1; });
+    }
+    if (instance.config == FuzzConfig::kFaults) {
+      ops.push_back([&] {
+        constexpr CoverageSite kFaultSites[] = {
+            CoverageSite::kHomNode, CoverageSite::kHomBacktrack,
+            CoverageSite::kSimplexPivot, CoverageSite::kGhwSubproblemSolved,
+            CoverageSite::kCoverFixpointRound};
+        instance.fault_site =
+            static_cast<std::uint16_t>(kFaultSites[rng.Below(5)]);
+      });
+      ops.push_back([&] {
+        instance.fault_kind =
+            static_cast<std::uint8_t>((instance.fault_kind + 1) % 3);
+      });
+      ops.push_back([&] {
+        instance.fault_visit =
+            rng.Chance(0.5) ? instance.fault_visit + 1 + rng.Below(8)
+                            : std::max<std::uint64_t>(
+                                  instance.fault_visit / 2, 1);
+      });
     }
     if (instance.config == FuzzConfig::kDimension) {
       ops.push_back([&] { instance.ell = instance.ell == 1 ? 2 : 1; });

@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <new>
 #include <sstream>
 
 #include "core/dimension_bounded.h"
 #include "core/separability.h"
+#include "core/statistic.h"
 #include "covergame/cover_game.h"
 #include "cq/containment.h"
 #include "cq/core.h"
 #include "cq/decomposed_evaluation.h"
+#include "cq/enumeration.h"
 #include "cq/evaluation.h"
 #include "cq/homomorphism.h"
 #include "hypertree/decomposition.h"
@@ -838,6 +841,209 @@ PropertyCheck CheckMinimizeCq(const ConjunctiveQuery& query) {
       out << "atom " << i << " of the minimized query is removable\n"
           << describe();
       return Violation("minimize-cq/minimal", out.str());
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// The budget outcome an injected fault must latch when it interrupts a run.
+/// kBadAlloc never trips the budget — it unwinds as an exception instead.
+BudgetOutcome ExpectedFaultOutcome(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCancel: return BudgetOutcome::kCancelled;
+    case FaultKind::kTimeout: return BudgetOutcome::kTimedOut;
+    case FaultKind::kBadAlloc: return BudgetOutcome::kCompleted;
+  }
+  return BudgetOutcome::kCompleted;
+}
+
+std::string DescribeFault(const TrainingDatabase& training, CoverageSite site,
+                          FaultKind kind, std::uint64_t trigger_visit) {
+  std::ostringstream out;
+  out << "fault: " << FaultKindName(kind) << " at "
+      << CoverageSiteName(site) << " visit " << trigger_visit << "\n"
+      << "training database:\n" << WriteDatabase(training.database());
+  return out.str();
+}
+
+}  // namespace
+
+PropertyCheck CheckFaultInjectionProperties(const TrainingDatabase& training,
+                                            CoverageSite site, FaultKind kind,
+                                            std::uint64_t trigger_visit) {
+  const Database& db = training.database();
+  auto describe = [&] {
+    return DescribeFault(training, site, kind, trigger_visit);
+  };
+  FaultSpec spec;
+  spec.site = site;
+  spec.kind = kind;
+  spec.trigger_visit = trigger_visit;
+
+  // --- CQ-SEP under fault -------------------------------------------------
+  // Ground truth first: decision and conflict pair are deterministic across
+  // thread counts (pairs_checked is not — parallel early exit).
+  CqSepResult baseline = DecideCqSep(training);
+  {
+    ExecutionBudget budget;  // Unbounded: only the fault can trip it.
+    CqSepOptions options;
+    options.budget = &budget;
+    bool bad_alloc = false;
+    CqSepResult armed;
+    {
+      ScopedFault fault(spec, &budget);
+      try {
+        armed = DecideCqSep(training, options);
+      } catch (const std::bad_alloc&) {
+        bad_alloc = true;
+      }
+    }
+    if (bad_alloc && kind != FaultKind::kBadAlloc) {
+      return Violation("faults/sep-spurious-bad-alloc",
+                       "std::bad_alloc escaped without a bad-alloc fault\n" +
+                           describe());
+    }
+    if (!bad_alloc) {
+      if (armed.outcome == BudgetOutcome::kCompleted) {
+        // Completed with a fired timeout/bad-alloc is impossible (they latch
+        // or unwind immediately); a fired cancel can be outrun when it lands
+        // on the final kernel event, in which case the run is simply the
+        // full uninterrupted computation. Either way the answer must match
+        // the baseline bit for bit.
+        if (kind != FaultKind::kCancel && FaultFireCount() != 0) {
+          return Violation("faults/sep-fired-but-completed",
+                           "fault fired yet the run reported kCompleted\n" +
+                               describe());
+        }
+        if (armed.separable != baseline.separable ||
+            armed.conflict != baseline.conflict) {
+          return Violation("faults/sep-completed-mismatch",
+                           "completed faulted run differs from baseline\n" +
+                               describe());
+        }
+      } else {
+        if (armed.outcome != ExpectedFaultOutcome(kind)) {
+          std::ostringstream out;
+          out << "interrupted outcome " << BudgetOutcomeName(armed.outcome)
+              << " does not match the injected fault\n" << describe();
+          return Violation("faults/sep-outcome-kind", out.str());
+        }
+        if (armed.separable) {
+          return Violation("faults/sep-interrupted-separable",
+                           "interrupted run claimed separable == true\n" +
+                               describe());
+        }
+        if (armed.conflict.has_value()) {
+          // An interrupted run may report a conflict only when it is a sound
+          // inseparability witness.
+          auto [a, b] = *armed.conflict;
+          if (training.label(a) == training.label(b) ||
+              !HomEquivalent(db, {a}, db, {b})) {
+            return Violation("faults/sep-unsound-conflict",
+                             "interrupted run reported an unsound conflict "
+                             "pair\n" + describe());
+          }
+        }
+      }
+    }
+    // Interrupt-then-resume determinism: with the fault disarmed, a fresh
+    // run must be bit-identical to the baseline — the injection left no
+    // residual state anywhere.
+    CqSepResult rerun = DecideCqSep(training);
+    if (rerun.separable != baseline.separable ||
+        rerun.conflict != baseline.conflict ||
+        rerun.outcome != BudgetOutcome::kCompleted) {
+      return Violation("faults/sep-resume",
+                       "disarmed rerun differs from the uninterrupted "
+                       "baseline\n" + describe());
+    }
+  }
+
+  // --- Served CQ[m]-SEP: a faulted batch must never poison the cache ------
+  CqmSepResult m_baseline = DecideCqmSep(training, 1);
+  {
+    serve::ServeOptions serve_options;
+    serve_options.num_shards = 2;
+    serve::EvalService service(serve_options);
+    ExecutionBudget budget;
+    CqmSepOptions options;
+    options.service = &service;
+    options.budget = &budget;
+    bool bad_alloc = false;
+    CqmSepResult armed;
+    {
+      ScopedFault fault(spec, &budget);
+      try {
+        armed = DecideCqmSep(training, 1, options);
+      } catch (const std::bad_alloc&) {
+        bad_alloc = true;
+      }
+    }
+    if (bad_alloc && kind != FaultKind::kBadAlloc) {
+      return Violation("faults/cqm-spurious-bad-alloc",
+                       "std::bad_alloc escaped without a bad-alloc fault\n" +
+                           describe());
+    }
+    if (!bad_alloc && armed.outcome == BudgetOutcome::kCompleted &&
+        armed.separable != m_baseline.separable) {
+      return Violation("faults/cqm-completed-mismatch",
+                       "completed faulted CQ[m] run differs from baseline\n" +
+                           describe());
+    }
+    // Same service, disarmed: any cache entries the faulted batch left
+    // behind must be complete and correct, so the warm run reproduces the
+    // serial truth exactly.
+    CqmSepOptions served;
+    served.service = &service;
+    CqmSepResult warm = DecideCqmSep(training, 1, served);
+    if (warm.outcome != BudgetOutcome::kCompleted ||
+        warm.separable != m_baseline.separable ||
+        warm.features_enumerated != m_baseline.features_enumerated) {
+      return Violation("faults/cache-poisoned",
+                       "post-fault warm run through the same service "
+                       "differs from the serial truth\n" + describe());
+    }
+  }
+
+  // --- Partial-matrix validity --------------------------------------------
+  // Every cell an interrupted TryMatrix marks valid must equal the
+  // uninterrupted truth; a completed TryMatrix must equal it everywhere.
+  {
+    std::vector<ConjunctiveQuery> features =
+        EnumerateFeatureQueries(db.schema_ptr(), 1);
+    Statistic statistic(std::move(features));
+    std::vector<FeatureVector> truth = statistic.Matrix(db);
+    ExecutionBudget budget;
+    bool bad_alloc = false;
+    PartialMatrix partial;
+    {
+      ScopedFault fault(spec, &budget);
+      try {
+        partial = statistic.TryMatrix(db, &budget);
+      } catch (const std::bad_alloc&) {
+        bad_alloc = true;
+      }
+    }
+    if (!bad_alloc) {
+      if (partial.complete() &&
+          (partial.rows != truth ||
+           (kind != FaultKind::kCancel && FaultFireCount() != 0))) {
+        return Violation("faults/matrix-completed-mismatch",
+                         "completed TryMatrix differs from Matrix\n" +
+                             describe());
+      }
+      for (std::size_t i = 0; i < partial.rows.size(); ++i) {
+        for (std::size_t j = 0; j < partial.rows[i].size(); ++j) {
+          if (partial.valid[i][j] && partial.rows[i][j] != truth[i][j]) {
+            std::ostringstream out;
+            out << "TryMatrix cell (" << i << ", " << j
+                << ") is marked valid but wrong\n" << describe();
+            return Violation("faults/matrix-invalid-cell", out.str());
+          }
+        }
+      }
     }
   }
   return std::nullopt;

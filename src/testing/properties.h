@@ -1,6 +1,7 @@
 #ifndef FEATSEP_TESTING_PROPERTIES_H_
 #define FEATSEP_TESTING_PROPERTIES_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "linsep/simplex.h"
 #include "relational/database.h"
 #include "relational/training_database.h"
+#include "testing/faults.h"
 
 namespace featsep {
 namespace testing {
@@ -127,6 +129,25 @@ PropertyCheck CheckSepDimProperties(const TrainingDatabase& training,
 PropertyCheck CheckLinsepProperties(
     const std::vector<std::pair<FeatureVector, Label>>& examples,
     const LpProblem& lp);
+
+/// Fault-injection robustness laws on a labeled training database, with a
+/// cancellation/timeout/bad-alloc fault armed at the `trigger_visit`-th
+/// visit of FEATSEP_FAULT_POINT(`site`):
+///   - a faulted DecideCqSep either completes with the bit-identical
+///     uninterrupted answer (the fault never fired), reports the outcome
+///     matching the injected kind with any conflict pair verified sound
+///     (differently labeled and hom-equivalent), or — kBadAlloc only —
+///     propagates std::bad_alloc;
+///   - a disarmed rerun after the faulted call is bit-identical to the
+///     uninterrupted baseline (interrupt-then-resume determinism);
+///   - a faulted served DecideCqmSep never poisons the EvalService cache:
+///     re-running through the same service, disarmed, matches the serial
+///     truth, and no cache entry was added for an aborted evaluation;
+///   - every cell an interrupted Statistic::TryMatrix marks valid equals
+///     the uninterrupted Matrix truth.
+PropertyCheck CheckFaultInjectionProperties(const TrainingDatabase& training,
+                                            CoverageSite site, FaultKind kind,
+                                            std::uint64_t trigger_visit);
 
 /// MinimizeCq laws: the minimized query has no more atoms, preserves the
 /// free tuple, is hom-equivalent to the input (reference Chandra–Merlin

@@ -1,0 +1,19 @@
+#include "util/budget.h"
+
+namespace featsep {
+
+const char* BudgetOutcomeName(BudgetOutcome outcome) {
+  switch (outcome) {
+    case BudgetOutcome::kCompleted:
+      return "completed";
+    case BudgetOutcome::kTimedOut:
+      return "timed-out";
+    case BudgetOutcome::kCancelled:
+      return "cancelled";
+    case BudgetOutcome::kBudgetExhausted:
+      return "budget-exhausted";
+  }
+  return "unknown";
+}
+
+}  // namespace featsep

@@ -1,0 +1,197 @@
+#ifndef FEATSEP_UTIL_BUDGET_H_
+#define FEATSEP_UTIL_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace featsep {
+
+/// Why a budgeted computation stopped. `kCompleted` means the procedure ran
+/// to its natural end; every other value means it was interrupted and its
+/// result (if any) is partial — callers must never read an interrupted run
+/// as a definitive answer.
+enum class BudgetOutcome : std::uint8_t {
+  kCompleted = 0,
+  kTimedOut,          ///< The steady-clock deadline passed.
+  kCancelled,         ///< Cancel() was called (request abandoned).
+  kBudgetExhausted,   ///< The step budget ran out.
+};
+
+/// Short stable name ("completed", "timed-out", ...).
+const char* BudgetOutcomeName(BudgetOutcome outcome);
+
+/// Cooperative execution budget shared by every decision procedure: a
+/// steady-clock deadline, a step budget, and a cancellation flag, checked
+/// cheaply from the kernels' inner loops (the same event sites that carry
+/// FEATSEP_COVERAGE probes — node expansions, bag candidates, fixpoint
+/// pairs, pivots).
+///
+/// Usage: the request owner constructs one budget, passes a pointer down
+/// through the options structs (nullptr everywhere means "unbounded", the
+/// default), and may call Cancel() from any thread to abandon the request.
+/// Kernels call Charge() per unit of work; once any limit trips, the first
+/// violation is latched as the sticky outcome() and every later Charge()
+/// returns false immediately, so a budget threaded through parallel shards
+/// stops all of them.
+///
+/// Cost model: Charge() is one relaxed fetch-add plus two relaxed loads;
+/// the clock is only read every kClockStride steps, so deadlines add no
+/// per-node syscall pressure. Cancellation latency is therefore bounded by
+/// one unit of kernel work plus at most kClockStride steps.
+///
+/// Limits (deadline, step limit) are set before the budget is shared and
+/// are immutable afterwards; Cancel()/Charge()/Recheck() are thread-safe.
+class ExecutionBudget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Steps between deadline clock reads. Small enough that a 10 ms deadline
+  /// overshoots by microseconds, large enough to keep Clock::now() off the
+  /// per-node hot path.
+  static constexpr std::uint64_t kClockStride = 64;
+
+  /// Unbounded: never trips unless Cancel() is called.
+  ExecutionBudget() = default;
+
+  ExecutionBudget(const ExecutionBudget&) = delete;
+  ExecutionBudget& operator=(const ExecutionBudget&) = delete;
+
+  static ExecutionBudget WithDeadline(Clock::time_point deadline) {
+    return ExecutionBudget(true, deadline, 0);
+  }
+  static ExecutionBudget WithTimeout(Clock::duration timeout) {
+    return ExecutionBudget(true, Clock::now() + timeout, 0);
+  }
+  /// `limit` total Charge() steps are allowed; the limit-plus-first step
+  /// trips. Step limits are deterministic across runs and thread counts
+  /// when the charged work is, which the interruption tests rely on.
+  static ExecutionBudget WithStepLimit(std::uint64_t limit) {
+    return ExecutionBudget(false, Clock::time_point(), limit);
+  }
+  static ExecutionBudget WithDeadlineAndStepLimit(Clock::time_point deadline,
+                                                  std::uint64_t limit) {
+    return ExecutionBudget(true, deadline, limit);
+  }
+
+  /// Requests cancellation. Thread-safe; the next Charge()/Recheck() on any
+  /// thread latches kCancelled (unless another violation already latched).
+  void Cancel() { cancel_.store(true, std::memory_order_release); }
+
+  /// Charges `steps` units of work and reports whether the computation may
+  /// continue. False means stop: unwind, return best-so-far, and report
+  /// outcome().
+  bool Charge(std::uint64_t steps = 1) {
+    if (outcome_.load(std::memory_order_acquire) != 0) return false;
+    std::uint64_t before = steps_.fetch_add(steps, std::memory_order_relaxed);
+    std::uint64_t after = before + steps;
+    if (step_limit_ != 0 && after > step_limit_) {
+      return Fail(BudgetOutcome::kBudgetExhausted);
+    }
+    if (cancel_.load(std::memory_order_relaxed)) {
+      return Fail(BudgetOutcome::kCancelled);
+    }
+    if (has_deadline_ && before / kClockStride != after / kClockStride &&
+        Clock::now() >= deadline_) {
+      return Fail(BudgetOutcome::kTimedOut);
+    }
+    return true;
+  }
+
+  /// Full check without charging — always reads the clock. Procedures call
+  /// this once at entry so a zero or already-expired deadline is detected
+  /// before any work happens, and periodically from coarse-grained loops.
+  bool Recheck() {
+    if (outcome_.load(std::memory_order_acquire) != 0) return false;
+    if (cancel_.load(std::memory_order_relaxed)) {
+      return Fail(BudgetOutcome::kCancelled);
+    }
+    if (step_limit_ != 0 && steps_.load(std::memory_order_relaxed) > step_limit_) {
+      return Fail(BudgetOutcome::kBudgetExhausted);
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      return Fail(BudgetOutcome::kTimedOut);
+    }
+    return true;
+  }
+
+  /// True once any limit has tripped. Cheap (one relaxed load); does not
+  /// itself detect a newly-passed deadline — use Charge()/Recheck() for
+  /// that.
+  bool Interrupted() const {
+    return outcome_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// The sticky first violation, or kCompleted while none has tripped.
+  BudgetOutcome outcome() const {
+    return static_cast<BudgetOutcome>(outcome_.load(std::memory_order_acquire));
+  }
+
+  /// Units of work charged so far.
+  std::uint64_t steps() const { return steps_.load(std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_acquire);
+  }
+
+  /// Latches `forced` as the outcome if nothing tripped yet (first violation
+  /// wins, like any other trip). Used by the fault-injection harness to
+  /// simulate a deadline expiring at an exact kernel event.
+  void ForceOutcome(BudgetOutcome forced) {
+    if (forced != BudgetOutcome::kCompleted) Fail(forced);
+  }
+
+ private:
+  ExecutionBudget(bool has_deadline, Clock::time_point deadline,
+                  std::uint64_t step_limit)
+      : has_deadline_(has_deadline),
+        deadline_(deadline),
+        step_limit_(step_limit) {}
+
+  /// Latches the first violation; always returns false.
+  bool Fail(BudgetOutcome o) {
+    std::uint8_t expected = 0;
+    outcome_.compare_exchange_strong(expected, static_cast<std::uint8_t>(o),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire);
+    return false;
+  }
+
+  std::atomic<std::uint64_t> steps_{0};
+  std::atomic<std::uint8_t> outcome_{0};  // BudgetOutcome; 0 = kCompleted.
+  std::atomic<bool> cancel_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  std::uint64_t step_limit_ = 0;  // 0 = unlimited.
+};
+
+/// nullptr-tolerant helpers: every budgeted API takes `ExecutionBudget*`
+/// where nullptr means unbounded, so kernels guard with these instead of
+/// sprinkling null checks.
+inline bool ChargeBudget(ExecutionBudget* budget, std::uint64_t steps = 1) {
+  return budget == nullptr || budget->Charge(steps);
+}
+inline bool RecheckBudget(ExecutionBudget* budget) {
+  return budget == nullptr || budget->Recheck();
+}
+inline bool BudgetOk(const ExecutionBudget* budget) {
+  return budget == nullptr || !budget->Interrupted();
+}
+inline BudgetOutcome OutcomeOf(const ExecutionBudget* budget) {
+  return budget == nullptr ? BudgetOutcome::kCompleted : budget->outcome();
+}
+
+/// A boundary result that may be partial: `value` is definitive iff
+/// `outcome == kCompleted`; otherwise it carries best-so-far state whose
+/// meaning the producing API documents.
+template <typename T>
+struct Budgeted {
+  BudgetOutcome outcome = BudgetOutcome::kCompleted;
+  T value{};
+
+  bool ok() const { return outcome == BudgetOutcome::kCompleted; }
+};
+
+}  // namespace featsep
+
+#endif  // FEATSEP_UTIL_BUDGET_H_

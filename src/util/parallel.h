@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstddef>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -28,6 +30,12 @@ inline std::size_t EffectiveThreads(std::size_t num_threads,
 /// at index i — the caller observes deterministic ordering regardless of the
 /// thread count. Blocks until all items finish. `fn` must be safe to call
 /// concurrently from distinct threads for distinct i.
+///
+/// An exception thrown by `fn` does not terminate the process: the first
+/// one (by completion order) is captured, sibling workers stop claiming new
+/// items, and the exception is rethrown in the calling thread after every
+/// worker has joined. Items already in flight on other threads still run to
+/// completion; items never claimed are skipped.
 template <typename Fn>
 void ParallelFor(std::size_t num_threads, std::size_t n, Fn&& fn) {
   if (n == 0) return;
@@ -37,11 +45,24 @@ void ParallelFor(std::size_t num_threads, std::size_t n, Fn&& fn) {
     return;
   }
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
   auto worker = [&]() {
     for (;;) {
+      if (abort.load(std::memory_order_acquire)) return;
       std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
-      fn(i);
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_release);
+        return;
+      }
     }
   };
   std::vector<std::thread> pool;
@@ -49,6 +70,7 @@ void ParallelFor(std::size_t num_threads, std::size_t n, Fn&& fn) {
   for (std::size_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
   worker();
   for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
 }
 
 /// Returns the smallest i in [0, n) with `pred(i)` true, or n if none —
@@ -58,6 +80,10 @@ void ParallelFor(std::size_t num_threads, std::size_t n, Fn&& fn) {
 /// best (the early-exit flag), so work beyond the first match is bounded.
 /// Indices below the returned value are always fully evaluated, which is
 /// what makes the result deterministic under threading.
+///
+/// An exception thrown by `pred` is captured (first by completion order),
+/// siblings stop claiming, and the exception is rethrown in the calling
+/// thread after the join — the return value is never produced.
 template <typename Pred>
 std::size_t ParallelFindFirst(std::size_t num_threads, std::size_t n,
                               Pred&& pred) {
@@ -71,13 +97,28 @@ std::size_t ParallelFindFirst(std::size_t num_threads, std::size_t n,
   }
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> best{n};
+  std::atomic<bool> abort{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
   auto worker = [&]() {
     for (;;) {
+      if (abort.load(std::memory_order_acquire)) return;
       std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       // Early exit: every index below the current best has been claimed by
       // some worker, so indexes at or above it can no longer win.
       if (i >= best.load(std::memory_order_acquire)) return;
-      if (!pred(i)) continue;
+      bool hit;
+      try {
+        hit = pred(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_release);
+        return;
+      }
+      if (!hit) continue;
       std::size_t current = best.load(std::memory_order_acquire);
       while (i < current &&
              !best.compare_exchange_weak(current, i,
@@ -90,6 +131,7 @@ std::size_t ParallelFindFirst(std::size_t num_threads, std::size_t n,
   for (std::size_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
   worker();
   for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
   return best.load(std::memory_order_acquire);
 }
 

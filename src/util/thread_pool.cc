@@ -26,7 +26,19 @@ void ThreadPool::Help(Batch& batch) {
   for (;;) {
     std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch.n) return;
-    (*batch.fn)(i);
+    if (!batch.abort.load(std::memory_order_acquire)) {
+      try {
+        (*batch.fn)(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(batch.error_mutex);
+          if (!batch.error) batch.error = std::current_exception();
+        }
+        batch.abort.store(true, std::memory_order_release);
+      }
+    }
+    // Claimed items count as finished even when skipped after an abort;
+    // the dispatcher's wait is on the claimed-and-finished total.
     if (batch.finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         batch.n) {
       // Last item: wake the dispatching thread. Taking the lock orders the
@@ -70,10 +82,13 @@ void ThreadPool::ParallelFor(std::size_t n,
   }
   wake_.notify_all();
   Help(*batch);
-  std::unique_lock<std::mutex> lock(batch->done_mutex);
-  batch->done.wait(lock, [&] {
-    return batch->finished.load(std::memory_order_acquire) == batch->n;
-  });
+  {
+    std::unique_lock<std::mutex> lock(batch->done_mutex);
+    batch->done.wait(lock, [&] {
+      return batch->finished.load(std::memory_order_acquire) == batch->n;
+    });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
 }
 
 }  // namespace featsep

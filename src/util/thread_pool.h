@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -43,6 +44,11 @@ class ThreadPool {
   /// pool. Items are claimed from an atomic counter (roughly increasing
   /// order, arbitrary threads); write ordered results into a pre-sized
   /// vector at index i. Blocks until every item finished.
+  ///
+  /// An exception thrown by `fn` does not terminate the process: the first
+  /// one is captured, the batch's remaining unclaimed items are skipped, and
+  /// the exception is rethrown in the calling thread once the batch drains.
+  /// The pool itself stays usable for later batches.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
@@ -53,6 +59,12 @@ class ThreadPool {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> finished{0};
+    // First exception thrown by an item; siblings stop running items once
+    // `abort` is set but still count claimed items as finished so the
+    // dispatcher's wait always completes.
+    std::atomic<bool> abort{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
     std::mutex done_mutex;
     std::condition_variable done;
   };

@@ -1,0 +1,174 @@
+#include "util/budget.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace featsep {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(BudgetTest, DefaultBudgetIsUnbounded) {
+  ExecutionBudget budget;
+  for (int i = 0; i < 10000; ++i) EXPECT_TRUE(budget.Charge());
+  EXPECT_TRUE(budget.Recheck());
+  EXPECT_FALSE(budget.Interrupted());
+  EXPECT_EQ(budget.outcome(), BudgetOutcome::kCompleted);
+  EXPECT_EQ(budget.steps(), 10000u);
+}
+
+TEST(BudgetTest, StepLimitTripsOnLimitPlusFirstStep) {
+  ExecutionBudget budget = ExecutionBudget::WithStepLimit(5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(budget.Charge()) << "step " << i;
+  }
+  EXPECT_FALSE(budget.Interrupted());
+  EXPECT_FALSE(budget.Charge());  // 6th step trips.
+  EXPECT_TRUE(budget.Interrupted());
+  EXPECT_EQ(budget.outcome(), BudgetOutcome::kBudgetExhausted);
+}
+
+TEST(BudgetTest, MultiStepChargeCountsAllUnits) {
+  ExecutionBudget budget = ExecutionBudget::WithStepLimit(10);
+  EXPECT_TRUE(budget.Charge(4));
+  EXPECT_TRUE(budget.Charge(6));  // Exactly at the limit: still fine.
+  EXPECT_FALSE(budget.Charge(1));
+  EXPECT_EQ(budget.outcome(), BudgetOutcome::kBudgetExhausted);
+}
+
+TEST(BudgetTest, ExpiredDeadlineDetectedByRecheckWithoutCharging) {
+  ExecutionBudget budget =
+      ExecutionBudget::WithDeadline(ExecutionBudget::Clock::now());
+  EXPECT_FALSE(budget.Recheck());
+  EXPECT_EQ(budget.outcome(), BudgetOutcome::kTimedOut);
+  EXPECT_EQ(budget.steps(), 0u);
+}
+
+TEST(BudgetTest, DeadlineTripsWithinClockStride) {
+  // Charge() only reads the clock every kClockStride steps, so an expired
+  // deadline is observed at most one stride late — never unboundedly late.
+  ExecutionBudget budget = ExecutionBudget::WithTimeout(milliseconds(0));
+  std::uint64_t charged = 0;
+  while (budget.Charge()) {
+    ++charged;
+    ASSERT_LT(charged, 2 * ExecutionBudget::kClockStride)
+        << "deadline never observed";
+  }
+  EXPECT_EQ(budget.outcome(), BudgetOutcome::kTimedOut);
+}
+
+TEST(BudgetTest, CancelLatchesOnNextCharge) {
+  ExecutionBudget budget;
+  EXPECT_TRUE(budget.Charge());
+  budget.Cancel();
+  EXPECT_TRUE(budget.cancel_requested());
+  // Cancel() only raises the flag; the outcome latches at the next check.
+  EXPECT_FALSE(budget.Interrupted());
+  EXPECT_FALSE(budget.Charge());
+  EXPECT_EQ(budget.outcome(), BudgetOutcome::kCancelled);
+}
+
+TEST(BudgetTest, CancelLatchesOnNextRecheck) {
+  ExecutionBudget budget;
+  budget.Cancel();
+  EXPECT_FALSE(budget.Recheck());
+  EXPECT_EQ(budget.outcome(), BudgetOutcome::kCancelled);
+}
+
+TEST(BudgetTest, FirstViolationIsSticky) {
+  // Step limit trips first; a later cancel must not overwrite the outcome.
+  ExecutionBudget budget = ExecutionBudget::WithStepLimit(1);
+  EXPECT_TRUE(budget.Charge());
+  EXPECT_FALSE(budget.Charge());
+  EXPECT_EQ(budget.outcome(), BudgetOutcome::kBudgetExhausted);
+  budget.Cancel();
+  EXPECT_FALSE(budget.Recheck());
+  EXPECT_EQ(budget.outcome(), BudgetOutcome::kBudgetExhausted);
+}
+
+TEST(BudgetTest, ForceOutcomeLatchesImmediately) {
+  ExecutionBudget budget;
+  budget.ForceOutcome(BudgetOutcome::kTimedOut);
+  EXPECT_TRUE(budget.Interrupted());
+  EXPECT_EQ(budget.outcome(), BudgetOutcome::kTimedOut);
+  EXPECT_FALSE(budget.Charge());
+  // Forcing kCompleted is a no-op, and a second force cannot overwrite.
+  ExecutionBudget fresh;
+  fresh.ForceOutcome(BudgetOutcome::kCompleted);
+  EXPECT_FALSE(fresh.Interrupted());
+  budget.ForceOutcome(BudgetOutcome::kCancelled);
+  EXPECT_EQ(budget.outcome(), BudgetOutcome::kTimedOut);
+}
+
+TEST(BudgetTest, ChargeAfterTripFailsFast) {
+  ExecutionBudget budget = ExecutionBudget::WithStepLimit(1);
+  budget.Charge();
+  budget.Charge();
+  std::uint64_t steps_at_trip = budget.steps();
+  // Once tripped, Charge() returns false without charging further steps —
+  // the fast path a parallel shard spins on while unwinding.
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(budget.Charge());
+  EXPECT_EQ(budget.steps(), steps_at_trip);
+}
+
+TEST(BudgetTest, CancelFromAnotherThreadStopsAllChargers) {
+  ExecutionBudget budget;
+  std::atomic<int> stopped{0};
+  std::vector<std::thread> chargers;
+  for (int t = 0; t < 4; ++t) {
+    chargers.emplace_back([&]() {
+      while (budget.Charge()) {
+      }
+      stopped.fetch_add(1);
+    });
+  }
+  budget.Cancel();
+  for (std::thread& t : chargers) t.join();
+  EXPECT_EQ(stopped.load(), 4);
+  EXPECT_EQ(budget.outcome(), BudgetOutcome::kCancelled);
+}
+
+TEST(BudgetTest, NullptrHelpersTreatNullAsUnbounded) {
+  EXPECT_TRUE(ChargeBudget(nullptr));
+  EXPECT_TRUE(ChargeBudget(nullptr, 1000));
+  EXPECT_TRUE(RecheckBudget(nullptr));
+  EXPECT_TRUE(BudgetOk(nullptr));
+  EXPECT_EQ(OutcomeOf(nullptr), BudgetOutcome::kCompleted);
+
+  ExecutionBudget budget = ExecutionBudget::WithStepLimit(2);
+  EXPECT_TRUE(ChargeBudget(&budget, 2));
+  EXPECT_TRUE(BudgetOk(&budget));
+  EXPECT_FALSE(ChargeBudget(&budget));
+  EXPECT_FALSE(RecheckBudget(&budget));
+  EXPECT_FALSE(BudgetOk(&budget));
+  EXPECT_EQ(OutcomeOf(&budget), BudgetOutcome::kBudgetExhausted);
+}
+
+TEST(BudgetTest, OutcomeNamesAreStable) {
+  EXPECT_EQ(std::string(BudgetOutcomeName(BudgetOutcome::kCompleted)),
+            "completed");
+  EXPECT_EQ(std::string(BudgetOutcomeName(BudgetOutcome::kTimedOut)),
+            "timed-out");
+  EXPECT_EQ(std::string(BudgetOutcomeName(BudgetOutcome::kCancelled)),
+            "cancelled");
+  EXPECT_EQ(std::string(BudgetOutcomeName(BudgetOutcome::kBudgetExhausted)),
+            "budget-exhausted");
+}
+
+TEST(BudgetTest, BudgetedWrapperReportsOk) {
+  Budgeted<int> done;
+  done.value = 7;
+  EXPECT_TRUE(done.ok());
+  Budgeted<int> partial;
+  partial.outcome = BudgetOutcome::kTimedOut;
+  EXPECT_FALSE(partial.ok());
+}
+
+}  // namespace
+}  // namespace featsep

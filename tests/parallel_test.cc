@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <new>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -162,6 +165,143 @@ TEST(ParallelTest, FindFirstSerialStopsAtTheMatch) {
   });
   EXPECT_EQ(hit, 17u);
   EXPECT_EQ(evaluated, 18u);
+}
+
+// --- Exception propagation ------------------------------------------------
+//
+// Worker exceptions must surface in the calling thread (not std::terminate),
+// sibling workers must stop claiming new items, and the first exception (by
+// completion order) wins when several items throw.
+
+struct ItemError : std::runtime_error {
+  explicit ItemError(std::size_t i)
+      : std::runtime_error("item " + std::to_string(i)), index(i) {}
+  std::size_t index;
+};
+
+TEST(ParallelTest, ForRethrowsWorkerException) {
+  for (std::size_t threads : {1ul, 2ul, 8ul}) {
+    EXPECT_THROW(ParallelFor(threads, 100,
+                             [](std::size_t i) {
+                               if (i == 13) throw ItemError(i);
+                             }),
+                 ItemError);
+  }
+}
+
+TEST(ParallelTest, ForExceptionCancelsSiblings) {
+  // An early throw must stop the sweep well short of the full range: with
+  // the abort flag honoured, visits stay far below n even though thousands
+  // of items remain unclaimed at throw time.
+  constexpr std::size_t kItems = 100000;
+  std::atomic<std::size_t> visits{0};
+  try {
+    ParallelFor(4, kItems, [&](std::size_t i) {
+      visits.fetch_add(1, std::memory_order_relaxed);
+      if (i == 0) throw ItemError(i);
+    });
+    FAIL() << "expected ItemError";
+  } catch (const ItemError& e) {
+    EXPECT_EQ(e.index, 0u);
+  }
+  EXPECT_LT(visits.load(), kItems / 2) << "siblings kept claiming after throw";
+}
+
+TEST(ParallelTest, ForFirstExceptionWinsWhenAllThrow) {
+  // Every item throws; exactly one exception must come out, carrying some
+  // valid index — and nothing may leak or double-rethrow.
+  for (int round = 0; round < 20; ++round) {
+    try {
+      ParallelFor(8, 64, [](std::size_t i) { throw ItemError(i); });
+      FAIL() << "expected ItemError";
+    } catch (const ItemError& e) {
+      EXPECT_LT(e.index, 64u);
+    }
+  }
+}
+
+TEST(ParallelTest, ForBadAllocPropagates) {
+  // Allocation failure is the fault-injection case: it must unwind through
+  // the fan-out like any other exception.
+  EXPECT_THROW(ParallelFor(4, 50,
+                           [](std::size_t i) {
+                             if (i == 7) throw std::bad_alloc();
+                           }),
+               std::bad_alloc);
+}
+
+TEST(ParallelTest, FindFirstRethrowsWorkerException) {
+  for (std::size_t threads : {1ul, 2ul, 8ul}) {
+    EXPECT_THROW(ParallelFindFirst(threads, 100,
+                                   [](std::size_t i) -> bool {
+                                     if (i == 23) throw ItemError(i);
+                                     return false;
+                                   }),
+                 ItemError);
+  }
+}
+
+TEST(ParallelTest, FindFirstExceptionCancelsSiblings) {
+  constexpr std::size_t kItems = 100000;
+  std::atomic<std::size_t> visits{0};
+  EXPECT_THROW(ParallelFindFirst(4, kItems,
+                                 [&](std::size_t i) -> bool {
+                                   visits.fetch_add(1,
+                                                    std::memory_order_relaxed);
+                                   if (i == 0) throw ItemError(i);
+                                   return false;
+                                 }),
+               ItemError);
+  EXPECT_LT(visits.load(), kItems / 2) << "siblings kept claiming after throw";
+}
+
+TEST(ThreadPoolTest, RethrowsWorkerExceptionAndStaysUsable) {
+  for (std::size_t threads : {1ul, 2ul, 8ul}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(pool.ParallelFor(100,
+                                  [](std::size_t i) {
+                                    if (i == 13) throw ItemError(i);
+                                  }),
+                 ItemError);
+    // The pool survives the throw: a clean batch afterwards still visits
+    // every index exactly once.
+    constexpr std::size_t kItems = 300;
+    std::vector<std::atomic<int>> visits(kItems);
+    pool.ParallelFor(kItems, [&](std::size_t i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kItems; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionSkipsRemainingItems) {
+  ThreadPool pool(4);
+  constexpr std::size_t kItems = 100000;
+  std::atomic<std::size_t> visits{0};
+  EXPECT_THROW(pool.ParallelFor(kItems,
+                                [&](std::size_t i) {
+                                  visits.fetch_add(1,
+                                                   std::memory_order_relaxed);
+                                  if (i == 0) throw ItemError(i);
+                                }),
+                ItemError);
+  EXPECT_LT(visits.load(), kItems / 2) << "batch kept running after throw";
+}
+
+TEST(ThreadPoolTest, BadAllocPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.ParallelFor(50,
+                                  [](std::size_t i) {
+                                    if (i == 7) throw std::bad_alloc();
+                                  }),
+                 std::bad_alloc);
+  }
+  bool ran = false;
+  pool.ParallelFor(1, [&](std::size_t) { ran = true; });
+  EXPECT_TRUE(ran);
 }
 
 }  // namespace

@@ -18,7 +18,10 @@
 //                [--corpus DIR] [--mutate] [--coverage-stats]
 //                [--replay FILE]...
 // Configs: hom, eval, containment, core, ghw, sep, qbe, covergame,
-// dimension, linsep, mixed (default).
+// dimension, linsep, faults, mixed (default). The faults config injects
+// deterministic cancellations/timeouts/allocation failures into the
+// budgeted decision procedures and checks the robustness invariants
+// (no cache poisoning, interrupt-then-resume determinism).
 
 #include <cstdint>
 #include <cstdlib>
@@ -34,7 +37,7 @@ void Usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " [--iters N] [--seed S] [--config hom|eval|containment|core|ghw|"
-         "sep|qbe|covergame|dimension|linsep|mixed] [--no-shrink]\n"
+         "sep|qbe|covergame|dimension|linsep|faults|mixed] [--no-shrink]\n"
          "       [--corpus DIR] [--mutate] [--coverage-stats] "
          "[--replay FILE]...\n";
 }
