@@ -1,0 +1,73 @@
+// Shared main for every featsep bench binary (replacing google benchmark's
+// stock benchmark_main), so the committed JSON snapshots record the context
+// needed to judge whether the numbers are trustworthy:
+//
+//   - featsep_build_type: "release" or "debug" from the *library's* NDEBUG,
+//     not the generic "library_build_type" field, which reports how google
+//     benchmark itself was compiled and has misleadingly read "debug" in
+//     snapshots taken from perfectly fine Release builds of featsep.
+//   - featsep_native: whether the build targets the host CPU
+//     (-march=native via -DFEATSEP_NATIVE=ON).
+//   - load_avg_at_start: /proc/loadavg at launch. Committed snapshots are
+//     only comparable when taken on a quiet machine, so a high 1-minute
+//     load additionally prints a loud stderr warning instead of silently
+//     producing garbage numbers.
+
+#include <cstdio>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+std::string ReadLoadAvg() {
+  std::FILE* f = std::fopen("/proc/loadavg", "r");
+  if (f == nullptr) return "unavailable";
+  char buffer[128];
+  std::size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, f);
+  std::fclose(f);
+  buffer[n] = '\0';
+  std::string line(buffer);
+  std::size_t end = line.find_last_not_of(" \n");
+  return end == std::string::npos ? line : line.substr(0, end + 1);
+}
+
+void WarnIfLoaded(const std::string& loadavg) {
+  double one_minute = 0.0;
+  if (std::sscanf(loadavg.c_str(), "%lf", &one_minute) != 1) return;
+  if (one_minute > 1.0) {
+    std::fprintf(stderr,
+                 "WARNING: 1-minute load average is %.2f - this machine is "
+                 "busy, and the measured times will be noisy. Do not commit "
+                 "this run as a BENCH_*.json snapshot.\n",
+                 one_minute);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("featsep_build_type", "release");
+#else
+  benchmark::AddCustomContext("featsep_build_type", "debug");
+  std::fprintf(stderr,
+               "WARNING: featsep was compiled without NDEBUG (a debug "
+               "build). Bench numbers from this binary are meaningless; "
+               "rebuild with --preset release.\n");
+#endif
+#ifdef FEATSEP_NATIVE
+  benchmark::AddCustomContext("featsep_native", "true");
+#else
+  benchmark::AddCustomContext("featsep_native", "false");
+#endif
+  std::string loadavg = ReadLoadAvg();
+  benchmark::AddCustomContext("load_avg_at_start", loadavg);
+  WarnIfLoaded(loadavg);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "cq/hom_nogoods.h"
+
+namespace featsep {
+
+std::uint64_t Luby(std::uint64_t i) {
+  // luby(i) = 2^(k-1) when i = 2^k - 1; otherwise recurse on i - (2^k - 1)
+  // for the largest k with 2^k - 1 <= i.
+  for (;;) {
+    std::uint64_t k = 1;
+    while (((std::uint64_t{1} << (k + 1)) - 1) <= i) ++k;
+    if (i == (std::uint64_t{1} << k) - 1) return std::uint64_t{1} << (k - 1);
+    i -= (std::uint64_t{1} << k) - 1;
+  }
+}
+
+bool NogoodStore::Record(const std::vector<NogoodPair>& pairs) {
+  if (pairs.empty() || pairs.size() > kMaxPairs) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (num_pairs_ + pairs.size() > capacity_) return false;
+  const NogoodPair& last = pairs.back();
+  std::vector<NogoodPair> context(pairs.begin(), pairs.end() - 1);
+  buckets_[Key(last.var, last.image)].push_back(std::move(context));
+  ++num_nogoods_;
+  num_pairs_ += pairs.size();
+  return true;
+}
+
+bool NogoodStore::Forbidden(
+    std::uint32_t var, std::uint32_t image,
+    const std::vector<std::uint32_t>& assignment) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(Key(var, image));
+  if (it == buckets_.end()) return false;
+  for (const std::vector<NogoodPair>& context : it->second) {
+    bool satisfied = true;
+    for (const NogoodPair& pair : context) {
+      if (assignment[pair.var] != pair.image) {
+        satisfied = false;
+        break;
+      }
+    }
+    if (satisfied) return true;
+  }
+  return false;
+}
+
+std::size_t NogoodStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_nogoods_;
+}
+
+std::size_t NogoodStore::total_pairs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_pairs_;
+}
+
+}  // namespace featsep

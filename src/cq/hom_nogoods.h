@@ -1,0 +1,100 @@
+#ifndef FEATSEP_CQ_HOM_NOGOODS_H_
+#define FEATSEP_CQ_HOM_NOGOODS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace featsep {
+
+/// The Luby restart sequence 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …
+/// (1-indexed). Restart worker w's k-th run explores at most
+/// Luby(k) * restart_base search nodes before restarting; the sequence's
+/// unbounded growth is what makes restart search complete in the limit.
+std::uint64_t Luby(std::uint64_t i);
+
+/// One (variable, image) pair of a nogood, both as dense indices of the
+/// homomorphism CSP: `var` indexes dom(from), `image` indexes dom(to).
+struct NogoodPair {
+  std::uint32_t var;
+  std::uint32_t image;
+
+  friend bool operator==(const NogoodPair& a, const NogoodPair& b) {
+    return a.var == b.var && a.image == b.image;
+  }
+};
+
+/// Thread-safe store of restart nogoods for one FindHomomorphism call.
+///
+/// A nogood is a set of (var, image) pairs with the semantics "no
+/// homomorphism maps every listed var to its listed image simultaneously".
+/// The parallel restart workers record negative-last-decision nogoods when
+/// they restart: for a decision prefix d₁…d₍ᵢ₋₁₎ and a value u whose subtree
+/// at level i was exhausted, the set {d₁, …, d₍ᵢ₋₁₎, (varᵢ, u)} is a valid
+/// nogood — the subtree search *proved* no solution extends it. Such sets
+/// are statements about solutions, not about any worker's search order, so
+/// they are sound to share across workers with different value orders and
+/// remain sound for proving non-existence (skipping a forbidden value never
+/// hides a homomorphism).
+///
+/// Lookup is keyed by the final (deepest-decision) pair: Forbidden(var, v,
+/// assignment) scans the bucket of (var, v) and reports whether some stored
+/// nogood has all its *other* pairs satisfied by the current assignment.
+/// Buckets stay short because only nogoods of at most kMaxPairs pairs are
+/// retained (long nogoods almost never fire and bloat the scan), and the
+/// store drops new nogoods beyond `capacity` pairs total (soundness is
+/// unaffected — a dropped nogood only costs re-exploration).
+///
+/// Thread safety: Record and Forbidden are safe from any thread; a plain
+/// mutex suffices because lookups happen once per candidate value at a
+/// search node, not inside the word-level bit loops.
+class NogoodStore {
+ public:
+  /// Longest nogood retained (in pairs, including the final one).
+  static constexpr std::size_t kMaxPairs = 8;
+  /// Default total-pair capacity.
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit NogoodStore(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  NogoodStore(const NogoodStore&) = delete;
+  NogoodStore& operator=(const NogoodStore&) = delete;
+
+  /// Records {pairs[0..n-2], pairs[n-1]} keyed by the final pair. Returns
+  /// false when dropped: empty, longer than kMaxPairs, or over capacity.
+  bool Record(const std::vector<NogoodPair>& pairs);
+
+  /// True iff some recorded nogood keyed (var, image) has every other pair
+  /// (w, u) satisfied by the current assignment (`assignment[w] == u`).
+  /// `assignment` maps var index -> assigned image index, with
+  /// `kUnassigned` for unassigned variables.
+  bool Forbidden(std::uint32_t var, std::uint32_t image,
+                 const std::vector<std::uint32_t>& assignment) const;
+
+  static constexpr std::uint32_t kUnassigned = static_cast<std::uint32_t>(-1);
+
+  /// Number of recorded nogoods.
+  std::size_t size() const;
+  /// Total pairs stored (the capacity unit).
+  std::size_t total_pairs() const;
+
+ private:
+  static std::uint64_t Key(std::uint32_t var, std::uint32_t image) {
+    return (static_cast<std::uint64_t>(var) << 32) | image;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Bucket per final pair: each entry is the nogood's context (the pairs
+  /// other than the key pair; possibly empty = unconditional prune).
+  std::unordered_map<std::uint64_t, std::vector<std::vector<NogoodPair>>>
+      buckets_;
+  std::size_t num_nogoods_ = 0;
+  std::size_t num_pairs_ = 0;
+};
+
+}  // namespace featsep
+
+#endif  // FEATSEP_CQ_HOM_NOGOODS_H_

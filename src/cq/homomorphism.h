@@ -33,6 +33,32 @@ struct HomOptions {
   /// never the decision. HomEquivalent uses this to replay the forward
   /// witness mapping as the candidate ordering of the backward search.
   std::vector<std::pair<Value, Value>> prefer;
+  /// Intra-instance search workers: 1 = the classic sequential search (the
+  /// default — node counts and exploration order are exactly the historical
+  /// ones), 0 = hardware concurrency, n > 1 = n workers. With several
+  /// workers, worker 0 runs the deterministic sequential order while the
+  /// rest run Luby-restart searches over randomized value orders, sharing
+  /// restart nogoods; the first definitive answer wins. The *decision*
+  /// (kFound/kNone) is identical to the sequential search for every thread
+  /// count, and any returned witness is verified before it is reported;
+  /// `HomResult::nodes` and which witness is found become schedule-dependent.
+  /// With a budget or max_nodes, which runs end kExhausted may also vary —
+  /// but a definitive answer found before the limit always wins.
+  std::size_t num_threads = 1;
+  /// Record and consume restart nogoods in the parallel / restart workers.
+  /// Off is an ablation knob (restarts then re-explore refuted prefixes).
+  bool use_nogoods = true;
+  /// Run the single-threaded search as one Luby-restart worker (randomized
+  /// value order, nogood recording) instead of the classic static order.
+  /// Fully deterministic given `rng_seed` — the restart/nogood machinery's
+  /// unit-test and fuzzing mode. Ignored when num_threads resolves > 1.
+  bool sequential_restarts = false;
+  /// Search nodes per Luby unit: restart worker runs are capped at
+  /// Luby(k) * restart_base nodes for k = 1, 2, ….
+  std::uint64_t restart_base = 128;
+  /// Seed for the restart workers' value-order randomization. Two runs with
+  /// equal options and sequential execution explore identically.
+  std::uint64_t rng_seed = 0;
 };
 
 /// Outcome of a homomorphism search.
@@ -48,8 +74,12 @@ struct HomResult {
   /// For kFound: image of every value of `from`, indexed by value id
   /// (kNoValue for values outside dom(from)).
   std::vector<Value> mapping;
-  /// Search-tree nodes explored.
+  /// Search-tree nodes explored (summed over workers when num_threads > 1).
   std::uint64_t nodes = 0;
+  /// Restarts taken by Luby-restart workers (0 on the sequential path).
+  std::uint64_t restarts = 0;
+  /// Nogoods recorded into the per-call store (0 when nogoods are off).
+  std::uint64_t nogoods_recorded = 0;
   /// Why the search stopped. kCompleted iff `status` is definitive
   /// (kFound/kNone); any other value accompanies kExhausted and names the
   /// tripped limit (kBudgetExhausted for the legacy max_nodes knob).
@@ -77,6 +107,15 @@ bool HomomorphismExists(const Database& from, const Database& to,
                         const std::vector<std::pair<Value, Value>>& seed = {},
                         const HomOptions& options = {});
 
+/// True iff `mapping` (indexed by value id of `from`, kNoValue = undefined)
+/// is a homomorphism from → to: every value of dom(from) has an image and
+/// every fact maps to a fact of `to`. O(|from| · arity) via the target's
+/// fact-set index. The parallel search verifies every candidate witness
+/// through this before reporting kFound (any-time soundness); exposed for
+/// tests and callers that persist witnesses.
+bool VerifyHomomorphism(const Database& from, const Database& to,
+                        const std::vector<Value>& mapping);
+
 /// True iff (from, ā) → (to, b̄) and (to, b̄) → (from, ā): the two pointed
 /// databases are homomorphically equivalent. This is the paper's CQ
 /// indistinguishability test for entities (Kimelfeld–Ré; see Theorem 3.2).
@@ -86,12 +125,15 @@ bool HomEquivalent(const Database& from, const std::vector<Value>& from_tuple,
 /// Budgeted HomEquivalent: nullopt when `budget` interrupted either
 /// direction before it was decided (the caller must not read nullopt as
 /// "not equivalent"); otherwise the definitive answer. `budget` may be
-/// nullptr (then the result is always engaged).
+/// nullptr (then the result is always engaged). `base` carries search knobs
+/// (num_threads, nogoods, restart tuning) applied to both directions; its
+/// budget/seed-related fields are overridden internally.
 std::optional<bool> TryHomEquivalent(const Database& from,
                                      const std::vector<Value>& from_tuple,
                                      const Database& to,
                                      const std::vector<Value>& to_tuple,
-                                     ExecutionBudget* budget);
+                                     ExecutionBudget* budget,
+                                     const HomOptions& base = {});
 
 }  // namespace featsep
 

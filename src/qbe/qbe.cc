@@ -57,6 +57,7 @@ QbeResult SolveCqQbe(const QbeInstance& instance, const QbeOptions& options) {
       options.num_threads, instance.negatives.size(), [&](std::size_t i) {
         HomOptions hom_options;
         hom_options.budget = options.budget;
+        hom_options.num_threads = options.hom_threads;
         HomResult hom = FindHomomorphism(
             product.db, *instance.db,
             {{product.tuple[0], instance.negatives[i]}}, hom_options);

@@ -190,11 +190,17 @@ const std::vector<FactIndex>& Database::FactsContaining(Value value) const {
 const std::vector<FactIndex>& Database::FactsWith(RelationId relation,
                                                   std::size_t pos,
                                                   Value value) const {
+  const PositionIndex& index = PositionIndexOf(relation, pos);
+  auto it = index.find(value);
+  if (it == index.end()) return EmptyIndexList();
+  return it->second;
+}
+
+const Database::PositionIndex& Database::PositionIndexOf(
+    RelationId relation, std::size_t pos) const {
   FEATSEP_CHECK_LT(relation, facts_by_position_.size());
   FEATSEP_CHECK_LT(pos, facts_by_position_[relation].size());
-  auto it = facts_by_position_[relation][pos].find(value);
-  if (it == facts_by_position_[relation][pos].end()) return EmptyIndexList();
-  return it->second;
+  return facts_by_position_[relation][pos];
 }
 
 const std::vector<Value>& Database::domain() const {

@@ -85,6 +85,14 @@ class Database {
   const std::vector<FactIndex>& FactsWith(RelationId relation,
                                           std::size_t pos, Value value) const;
 
+  /// The index FactsWith consults for one (relation, pos): value -> indexes
+  /// of facts of `relation` carrying it at `pos`. Exposed so hot callers
+  /// (e.g., homomorphism pivot selection) can cache the map pointer at setup
+  /// and skip the relation/pos navigation on every probe.
+  using PositionIndex = std::unordered_map<Value, std::vector<FactIndex>>;
+  const PositionIndex& PositionIndexOf(RelationId relation,
+                                       std::size_t pos) const;
+
   /// dom(D): the values occurring in facts, in increasing value order.
   const std::vector<Value>& domain() const;
 
@@ -135,8 +143,7 @@ class Database {
   std::vector<std::vector<FactIndex>> facts_by_relation_;
   std::vector<std::vector<FactIndex>> facts_by_value_;
   // Keyed by (relation, pos) -> value -> fact indexes.
-  std::vector<std::vector<std::unordered_map<Value, std::vector<FactIndex>>>>
-      facts_by_position_;
+  std::vector<std::vector<PositionIndex>> facts_by_position_;
 
   // Lazily built caches, guarded by `cache_mutex_` under double-checked
   // locking: the `*_valid_` flag is read with acquire ordering outside the

@@ -18,6 +18,7 @@ const char* CoverageSiteName(CoverageSite site) {
     case CoverageSite::kHomBacktrack: return "hom/backtrack";
     case CoverageSite::kHomFastCheck: return "hom/fast-check";
     case CoverageSite::kHomGeneralCheck: return "hom/general-check";
+    case CoverageSite::kHomClosedCheck: return "hom/closed-check";
     case CoverageSite::kHomDeadFact: return "hom/dead-fact";
     case CoverageSite::kHomPrune: return "hom/prune";
     case CoverageSite::kHomWipeout: return "hom/wipeout";

@@ -40,6 +40,7 @@ enum class CoverageSite : std::uint16_t {
   kHomBacktrack,       ///< A frame exhausted its candidates and popped.
   kHomFastCheck,       ///< CheckFact took the single-assigned fast path.
   kHomGeneralCheck,    ///< CheckFact scanned a candidate list.
+  kHomClosedCheck,     ///< CheckFact resolved an all-assigned fact by lookup.
   kHomDeadFact,        ///< CheckFact found no compatible target fact.
   kHomPrune,           ///< PruneDomain strictly shrank a domain.
   kHomWipeout,         ///< PruneDomain emptied a domain.

@@ -115,6 +115,63 @@ PropertyCheck CheckHomAgainstReference(
                            DescribeHomPair(from, to));
     }
   }
+
+  // The deterministic single-worker restart mode: same decision, and two
+  // identically-seeded runs must reproduce each other bit for bit.
+  HomOptions restarting;
+  restarting.sequential_restarts = true;
+  restarting.restart_base = 8;  // Small, so real searches actually restart.
+  restarting.rng_seed = 1;
+  HomResult restarted = FindHomomorphism(from, to, seed, restarting);
+  if ((restarted.status == HomStatus::kFound) != fast_found) {
+    return Violation("hom-vs-reference/restarts",
+                     "decision differs under sequential restart search\n" +
+                         DescribeHomPair(from, to));
+  }
+  if (restarted.status == HomStatus::kFound &&
+      !RefIsHomomorphism(from, to, restarted.mapping)) {
+    return Violation("hom-vs-reference/restarts",
+                     "restart search produced an invalid witness\n" +
+                         DescribeHomPair(from, to));
+  }
+  HomResult replayed = FindHomomorphism(from, to, seed, restarting);
+  if (replayed.status != restarted.status ||
+      replayed.nodes != restarted.nodes ||
+      replayed.restarts != restarted.restarts ||
+      replayed.nogoods_recorded != restarted.nogoods_recorded) {
+    return Violation("hom-vs-reference/restart-determinism",
+                     "two identically-seeded restart runs diverged\n" +
+                         DescribeHomPair(from, to));
+  }
+
+  // Parallel workers with and without nogood sharing: the decision is
+  // schedule-independent and every witness must verify (the witness itself
+  // may legitimately differ between runs).
+  for (std::size_t threads : {2u, 8u}) {
+    for (bool nogoods : {true, false}) {
+      HomOptions parallel;
+      parallel.num_threads = threads;
+      parallel.use_nogoods = nogoods;
+      parallel.restart_base = 8;
+      parallel.rng_seed = 3;
+      HomResult result = FindHomomorphism(from, to, seed, parallel);
+      if ((result.status == HomStatus::kFound) != fast_found) {
+        std::ostringstream detail;
+        detail << "decision differs at " << threads << " threads (nogoods "
+               << (nogoods ? "on" : "off") << ")\n"
+               << DescribeHomPair(from, to);
+        return Violation("hom-vs-reference/parallel", detail.str());
+      }
+      if (result.status == HomStatus::kFound &&
+          !RefIsHomomorphism(from, to, result.mapping)) {
+        std::ostringstream detail;
+        detail << "invalid parallel witness at " << threads
+               << " threads (nogoods " << (nogoods ? "on" : "off") << ")\n"
+               << DescribeHomPair(from, to);
+        return Violation("hom-vs-reference/parallel", detail.str());
+      }
+    }
+  }
   return std::nullopt;
 }
 

@@ -1,0 +1,296 @@
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cq/hom_nogoods.h"
+#include "cq/homomorphism.h"
+#include "relational/database.h"
+#include "relational/schema.h"
+#include "test_util.h"
+#include "util/budget.h"
+
+namespace featsep {
+namespace {
+
+using ::featsep::testing::AddCycle;
+using ::featsep::testing::AddPath;
+using ::featsep::testing::GraphSchema;
+
+TEST(LubyTest, StandardSequencePrefix) {
+  const std::uint64_t expected[] = {1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1,
+                                    1, 2, 4, 8, 1, 1, 2, 1, 1, 2, 4};
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(Luby(i + 1), expected[i]) << "Luby(" << i + 1 << ")";
+  }
+  EXPECT_EQ(Luby((std::uint64_t{1} << 20) - 1), std::uint64_t{1} << 19);
+}
+
+TEST(NogoodStoreTest, RecordAndForbidden) {
+  NogoodStore store;
+  // {(0, 3), (2, 5)} keyed by its final pair (2, 5).
+  EXPECT_TRUE(store.Record({{0, 3}, {2, 5}}));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.total_pairs(), 2u);
+
+  std::vector<std::uint32_t> assignment(4, NogoodStore::kUnassigned);
+  // Context (0 -> 3) not satisfied: not forbidden.
+  EXPECT_FALSE(store.Forbidden(2, 5, assignment));
+  assignment[0] = 3;
+  EXPECT_TRUE(store.Forbidden(2, 5, assignment));
+  // Keyed lookups are by the final pair only.
+  EXPECT_FALSE(store.Forbidden(0, 3, assignment));
+  EXPECT_FALSE(store.Forbidden(2, 4, assignment));
+  assignment[0] = 7;
+  EXPECT_FALSE(store.Forbidden(2, 5, assignment));
+}
+
+TEST(NogoodStoreTest, UnconditionalNogoodAlwaysFires) {
+  NogoodStore store;
+  EXPECT_TRUE(store.Record({{1, 9}}));  // Empty context.
+  std::vector<std::uint32_t> assignment(2, NogoodStore::kUnassigned);
+  EXPECT_TRUE(store.Forbidden(1, 9, assignment));
+  EXPECT_FALSE(store.Forbidden(1, 8, assignment));
+}
+
+TEST(NogoodStoreTest, DropsEmptyLongAndOverCapacity) {
+  NogoodStore store(/*capacity=*/3);
+  EXPECT_FALSE(store.Record({}));
+  std::vector<NogoodPair> long_nogood;
+  for (std::uint32_t i = 0; i <= NogoodStore::kMaxPairs; ++i) {
+    long_nogood.push_back({i, 0});
+  }
+  EXPECT_FALSE(store.Record(long_nogood));
+  EXPECT_TRUE(store.Record({{0, 1}, {1, 2}}));   // 2 pairs: fits.
+  EXPECT_FALSE(store.Record({{2, 3}, {3, 4}}));  // Would exceed 3 pairs.
+  EXPECT_TRUE(store.Record({{2, 3}}));           // 1 pair: exactly fills.
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.total_pairs(), 3u);
+}
+
+/// A pseudo-random digraph over `nodes` values with edge probability ~1/3.
+Database RandomGraph(std::size_t nodes, std::uint32_t seed) {
+  Database db(GraphSchema());
+  std::mt19937 rng(seed);
+  std::vector<Value> values;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    values.push_back(db.Intern("v" + std::to_string(i)));
+  }
+  RelationId e = db.schema().FindRelation("E");
+  for (Value a : values) {
+    for (Value b : values) {
+      if (rng() % 3 == 0) db.AddFact(e, {a, b});
+    }
+  }
+  return db;
+}
+
+/// Runs the sequential kernel and every parallel/restart configuration on
+/// (from, to) and checks that all decisions agree and all witnesses verify.
+void CheckAllConfigsAgree(const Database& from, const Database& to) {
+  HomResult sequential = FindHomomorphism(from, to);
+  ASSERT_NE(sequential.status, HomStatus::kExhausted);
+  if (sequential.status == HomStatus::kFound) {
+    EXPECT_TRUE(VerifyHomomorphism(from, to, sequential.mapping));
+  }
+  for (std::size_t threads : {2u, 8u}) {
+    for (bool nogoods : {true, false}) {
+      HomOptions options;
+      options.num_threads = threads;
+      options.use_nogoods = nogoods;
+      options.restart_base = 16;  // Small: force restarts on real searches.
+      options.rng_seed = 42;
+      HomResult parallel = FindHomomorphism(from, to, {}, options);
+      EXPECT_EQ(parallel.status, sequential.status)
+          << threads << " threads, nogoods " << nogoods;
+      if (parallel.status == HomStatus::kFound) {
+        EXPECT_TRUE(VerifyHomomorphism(from, to, parallel.mapping));
+      }
+    }
+  }
+}
+
+TEST(HomParallelTest, DecisionsMatchSequentialOnStructuredInstances) {
+  // C_m -> C_n iff n | m: a mix of kFound and kNone instances.
+  for (std::size_t m : {6u, 9u}) {
+    for (std::size_t n : {3u, 4u}) {
+      Database a(GraphSchema());
+      AddCycle(a, "a", m);
+      Database b(GraphSchema());
+      AddCycle(b, "b", n);
+      CheckAllConfigsAgree(a, b);
+    }
+  }
+  Database path(GraphSchema());
+  AddPath(path, "p", 6);
+  Database shorter(GraphSchema());
+  AddPath(shorter, "q", 3);
+  CheckAllConfigsAgree(path, shorter);  // kNone.
+  CheckAllConfigsAgree(shorter, path);  // kFound.
+}
+
+TEST(HomParallelTest, DecisionsMatchSequentialOnRandomInstances) {
+  for (std::uint32_t seed = 0; seed < 6; ++seed) {
+    Database from = RandomGraph(5, seed);
+    Database to = RandomGraph(7, seed + 100);
+    CheckAllConfigsAgree(from, to);
+  }
+}
+
+TEST(HomParallelTest, SeedsRespectedUnderParallelSearch) {
+  Database a(GraphSchema());
+  auto p = AddPath(a, "p", 1);
+  Database b(GraphSchema());
+  auto q = AddPath(b, "q", 2);
+  HomOptions options;
+  options.num_threads = 4;
+  HomResult ok = FindHomomorphism(a, b, {{p[0], q[0]}}, options);
+  ASSERT_EQ(ok.status, HomStatus::kFound);
+  EXPECT_EQ(ok.mapping[p[0]], q[0]);
+  HomResult bad = FindHomomorphism(a, b, {{p[0], q[2]}}, options);
+  EXPECT_EQ(bad.status, HomStatus::kNone);
+}
+
+TEST(HomParallelTest, SequentialRestartsAreDeterministic) {
+  Database a(GraphSchema());
+  AddCycle(a, "a", 9);
+  Database b(GraphSchema());
+  AddCycle(b, "b", 4);  // 4 does not divide 9: a real kNone search.
+  HomOptions options;
+  options.sequential_restarts = true;
+  options.restart_base = 8;
+  options.rng_seed = 7;
+  HomResult first = FindHomomorphism(a, b, {}, options);
+  HomResult second = FindHomomorphism(a, b, {}, options);
+  EXPECT_EQ(first.status, HomStatus::kNone);
+  EXPECT_EQ(second.status, first.status);
+  // Bit-identical reproduction: same nodes, restarts, and recorded nogoods.
+  EXPECT_EQ(second.nodes, first.nodes);
+  EXPECT_EQ(second.restarts, first.restarts);
+  EXPECT_EQ(second.nogoods_recorded, first.nogoods_recorded);
+  EXPECT_GT(first.restarts, 0u) << "restart_base 8 should force restarts";
+
+  // A different seed still decides identically.
+  options.rng_seed = 8;
+  HomResult reseeded = FindHomomorphism(a, b, {}, options);
+  EXPECT_EQ(reseeded.status, HomStatus::kNone);
+}
+
+TEST(HomParallelTest, NogoodsReduceRestartReexploration) {
+  Database a(GraphSchema());
+  AddCycle(a, "a", 9);
+  Database b(GraphSchema());
+  AddCycle(b, "b", 4);
+  HomOptions options;
+  options.sequential_restarts = true;
+  options.restart_base = 8;
+  HomResult with = FindHomomorphism(a, b, {}, options);
+  options.use_nogoods = false;
+  HomResult without = FindHomomorphism(a, b, {}, options);
+  EXPECT_EQ(with.status, HomStatus::kNone);
+  EXPECT_EQ(without.status, HomStatus::kNone);
+  EXPECT_GT(with.nogoods_recorded, 0u);
+  EXPECT_EQ(without.nogoods_recorded, 0u);
+  // Same schedule and value orders, so nogood pruning can only save nodes.
+  EXPECT_LE(with.nodes, without.nodes);
+}
+
+TEST(HomParallelTest, CancelledBudgetStopsAllWorkers) {
+  Database a(GraphSchema());
+  AddCycle(a, "a", 9);
+  Database b(GraphSchema());
+  AddCycle(b, "b", 4);
+  ExecutionBudget budget;
+  budget.Cancel();
+  HomOptions options;
+  options.num_threads = 4;
+  options.budget = &budget;
+  HomResult result = FindHomomorphism(a, b, {}, options);
+  EXPECT_EQ(result.status, HomStatus::kExhausted);
+  EXPECT_EQ(result.outcome, BudgetOutcome::kCancelled);
+  // No cross-call state: the same inputs decide fine on a fresh call.
+  HomOptions clean;
+  clean.num_threads = 4;
+  EXPECT_EQ(FindHomomorphism(a, b, {}, clean).status, HomStatus::kNone);
+}
+
+TEST(HomParallelTest, StepLimitReportsExhaustedNotAnAnswer) {
+  Database a(GraphSchema());
+  AddCycle(a, "a", 9);
+  Database b(GraphSchema());
+  AddCycle(b, "b", 6);
+  AddCycle(b, "c", 4);
+  ExecutionBudget budget = ExecutionBudget::WithStepLimit(3);
+  HomOptions options;
+  options.num_threads = 4;
+  options.budget = &budget;
+  HomResult result = FindHomomorphism(a, b, {}, options);
+  EXPECT_EQ(result.status, HomStatus::kExhausted);
+  EXPECT_EQ(result.outcome, BudgetOutcome::kBudgetExhausted);
+}
+
+TEST(HomParallelTest, MaxNodesCapsTheGlobalNodeCount) {
+  Database a(GraphSchema());
+  AddCycle(a, "a", 9);
+  Database b(GraphSchema());
+  AddCycle(b, "b", 4);
+  HomOptions options;
+  options.num_threads = 4;
+  options.max_nodes = 10;
+  HomResult result = FindHomomorphism(a, b, {}, options);
+  EXPECT_EQ(result.status, HomStatus::kExhausted);
+  // Workers check the shared counter before expanding, so the overshoot is
+  // bounded by one node per worker.
+  EXPECT_LE(result.nodes, 10u + 4u);
+}
+
+TEST(HomParallelTest, ZeroThreadsResolvesToHardwareConcurrency) {
+  Database a(GraphSchema());
+  AddCycle(a, "a", 6);
+  Database b(GraphSchema());
+  AddCycle(b, "b", 3);
+  HomOptions options;
+  options.num_threads = 0;
+  HomResult result = FindHomomorphism(a, b, {}, options);
+  ASSERT_EQ(result.status, HomStatus::kFound);
+  EXPECT_TRUE(VerifyHomomorphism(a, b, result.mapping));
+}
+
+TEST(HomParallelTest, TryHomEquivalentHonorsBaseOptions) {
+  Database db(GraphSchema());
+  auto a_nodes = AddCycle(db, "a", 6);
+  auto b_nodes = AddCycle(db, "b", 3);
+  HomOptions base;
+  base.num_threads = 2;
+  std::optional<bool> parallel = TryHomEquivalent(
+      db, {a_nodes[0]}, db, {b_nodes[0]}, nullptr, base);
+  std::optional<bool> sequential =
+      TryHomEquivalent(db, {a_nodes[0]}, db, {b_nodes[0]}, nullptr);
+  ASSERT_TRUE(parallel.has_value());
+  ASSERT_TRUE(sequential.has_value());
+  EXPECT_EQ(*parallel, *sequential);
+}
+
+TEST(HomParallelTest, VerifyHomomorphismRejectsBadMappings) {
+  Database a(GraphSchema());
+  auto p = AddPath(a, "p", 1);
+  Database b(GraphSchema());
+  auto q = AddPath(b, "q", 2);
+  std::vector<Value> good(a.num_values(), kNoValue);
+  good[p[0]] = q[0];
+  good[p[1]] = q[1];
+  EXPECT_TRUE(VerifyHomomorphism(a, b, good));
+  std::vector<Value> broken = good;
+  broken[p[1]] = q[0];  // E(q0, q0) is not a fact of b.
+  EXPECT_FALSE(VerifyHomomorphism(a, b, broken));
+  std::vector<Value> partial = good;
+  partial[p[1]] = kNoValue;  // Undefined on a domain value.
+  EXPECT_FALSE(VerifyHomomorphism(a, b, partial));
+}
+
+}  // namespace
+}  // namespace featsep

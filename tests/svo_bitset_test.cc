@@ -175,5 +175,82 @@ TEST(SvoBitsetTest, EqualityRequiresSameUniverse) {
   EXPECT_NE(a, c);
 }
 
+// Deterministic pseudo-random pattern: bit i of a set iff the mixed hash of
+// (seed, i) has its low bit set. Exercises the unrolled 4-word kernels on
+// non-trivial word contents at every boundary size.
+SvoBitset PatternBitset(std::size_t size, std::uint64_t seed) {
+  SvoBitset bits(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    std::uint64_t h = (seed + i) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    if (h & 1) bits.set(i);
+  }
+  return bits;
+}
+
+TEST(SvoBitsetTest, AndCountMatchesScalarAcrossBoundaries) {
+  for (std::size_t size : kBoundarySizes) {
+    SvoBitset a = PatternBitset(size, 1);
+    SvoBitset b = PatternBitset(size, 2);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      if (a.test(i) && b.test(i)) ++expected;
+    }
+    EXPECT_EQ(a.and_count(b), expected) << "universe " << size;
+    // The read-only probe must not modify either operand.
+    EXPECT_EQ(a, PatternBitset(size, 1));
+    EXPECT_EQ(b, PatternBitset(size, 2));
+    EXPECT_EQ(a.intersects(b), expected != 0);
+  }
+}
+
+TEST(SvoBitsetTest, IntersectWithCountFusesAndAndPopcount) {
+  for (std::size_t size : kBoundarySizes) {
+    SvoBitset a = PatternBitset(size, 3);
+    SvoBitset b = PatternBitset(size, 4);
+    SvoBitset reference = a;
+    reference.intersect_with(b);
+    std::size_t count = a.intersect_with_count(b);
+    EXPECT_EQ(a, reference) << "universe " << size;
+    EXPECT_EQ(count, reference.count()) << "universe " << size;
+  }
+}
+
+TEST(SvoBitsetTest, AndNotWithMatchesScalarAcrossBoundaries) {
+  for (std::size_t size : kBoundarySizes) {
+    SvoBitset a = PatternBitset(size, 5);
+    SvoBitset b = PatternBitset(size, 6);
+    SvoBitset result = a;
+    result.and_not_with(b);
+    for (std::size_t i = 0; i < size; ++i) {
+      EXPECT_EQ(result.test(i), a.test(i) && !b.test(i))
+          << "universe " << size << " bit " << i;
+    }
+    // a \ a is empty; a \ empty is a.
+    SvoBitset self = a;
+    self.and_not_with(a);
+    EXPECT_TRUE(self.empty());
+    SvoBitset minus_empty = a;
+    minus_empty.and_not_with(SvoBitset(size));
+    EXPECT_EQ(minus_empty, a);
+  }
+}
+
+TEST(SvoBitsetTest, FusedKernelsAgreeOnDisjointAndIdenticalSets) {
+  for (std::size_t size : kBoundarySizes) {
+    if (size == 0) continue;
+    SvoBitset evens(size);
+    SvoBitset odds(size);
+    for (std::size_t i = 0; i < size; i += 2) evens.set(i);
+    for (std::size_t i = 1; i < size; i += 2) odds.set(i);
+    EXPECT_EQ(evens.and_count(odds), 0u);
+    EXPECT_FALSE(evens.intersects(odds));
+    EXPECT_EQ(evens.and_count(evens), evens.count());
+    SvoBitset copy = evens;
+    EXPECT_EQ(copy.intersect_with_count(odds), 0u);
+    EXPECT_TRUE(copy.empty());
+  }
+}
+
 }  // namespace
 }  // namespace featsep
