@@ -1,12 +1,26 @@
-// Batched-evaluation-service comparison (DESIGN.md §8): Statistic::Matrix
-// over a feature bank through serve::EvalService vs the serial per-feature
-// sweep. Series compare (a) cold-cache sharded evaluation at 1/2/8 shards
-// against the unserved baseline, and (b) warm-cache reuse, where repeated
-// Matrix calls over equal database content reduce to digest + hash lookups
-// — the acceptance bar is warm ≥ 5× faster than cold.
+// Serve-path benchmarks, in two sections:
+//
+// Batch section (DESIGN.md §8): Statistic::Matrix over a feature bank
+// through serve::EvalService vs the serial per-feature sweep. Series
+// compare (a) cold-cache sharded evaluation at 1/2/8 shards against the
+// unserved baseline, and (b) warm-cache reuse, where repeated Matrix calls
+// over equal database content reduce to digest + hash lookups — the
+// acceptance bar is warm ≥ 5× faster than cold.
+//
+// Closed-loop async section (DESIGN.md §12): a configurable number of
+// closed-loop clients each keep one request in flight against an
+// AsyncEvalService (mixed priorities, optional deadline distribution).
+// Rows report p50/p99 request latency, saturation throughput
+// (items_per_second), and the expired/rejected lifecycle counters, plus an
+// admission benchmark that bursts past a small queue to measure shed rate.
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -14,6 +28,7 @@
 #include "bench_util.h"
 #include "core/statistic.h"
 #include "cq/enumeration.h"
+#include "serve/async_service.h"
 #include "serve/eval_service.h"
 #include "util/budget.h"
 #include "workload/generators.h"
@@ -121,6 +136,138 @@ void BM_TryResolveDeadline(benchmark::State& state) {
   ExportServeStats(state, service);
 }
 BENCHMARK(BM_TryResolveDeadline)->Arg(32)->Arg(64);
+
+// --------------------------------------------------------------------------
+// Closed-loop async section.
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::size_t index = static_cast<std::size_t>(p * (sorted.size() - 1));
+  return sorted[index];
+}
+
+/// Publishes the per-class lifecycle counters summed over both priority
+/// classes, so a bench row shows how many requests completed vs expired vs
+/// were shed at admission.
+void ExportAsyncStats(benchmark::State& state,
+                      const serve::AsyncEvalService& service) {
+  serve::AsyncServeStats stats = service.stats();
+  double completed = 0, expired = 0, rejected = 0, cancelled = 0;
+  for (const serve::RequestClassStats& cls : stats.classes) {
+    completed += static_cast<double>(cls.completed);
+    expired += static_cast<double>(cls.expired);
+    rejected += static_cast<double>(cls.rejected);
+    cancelled += static_cast<double>(cls.cancelled);
+  }
+  state.counters["completed"] = completed;
+  state.counters["expired"] = expired;
+  state.counters["rejected"] = rejected;
+  state.counters["cancelled"] = cancelled;
+}
+
+/// Closed-loop load generator: `clients` (range 0) requests are kept in
+/// flight at all times — each benchmark iteration waits on the oldest,
+/// records its latency, and immediately resubmits. items_per_second is the
+/// saturation throughput of the closed loop; p50_ms/p99_ms are the
+/// end-to-end (submit → terminal) request latencies. Deadlines (range 1,
+/// milliseconds; 0 = unbounded) are spread over [D/2, 3D/2] per request so
+/// under queueing some requests expire instead of completing. The backend
+/// cache is disabled so every request pays real evaluation work.
+void BM_AsyncClosedLoop(benchmark::State& state) {
+  using Clock = std::chrono::steady_clock;
+  std::shared_ptr<const Database> db = World(32);
+  Statistic statistic = FeatureBank();
+  const std::size_t clients = static_cast<std::size_t>(state.range(0));
+  const std::int64_t deadline_ms = state.range(1);
+
+  serve::AsyncServeOptions options;
+  options.serve.num_shards = 1;
+  options.serve.cache_capacity = 0;
+  options.queue_capacity = 0;  // Closed loop bounds its own in-flight count.
+  serve::AsyncEvalService service(options);
+
+  WorkloadRng rng(2026);
+  auto submit = [&]() {
+    serve::SubmitOptions opts;
+    opts.priority = rng.Chance(0.5) ? serve::RequestPriority::kBatch
+                                    : serve::RequestPriority::kInteractive;
+    if (deadline_ms > 0) {
+      opts.timeout = std::chrono::milliseconds(
+          deadline_ms / 2 +
+          static_cast<std::int64_t>(
+              rng.Below(static_cast<std::size_t>(deadline_ms) + 1)));
+    }
+    return std::make_pair(service.Submit(statistic.features(), db, opts),
+                          Clock::now());
+  };
+
+  std::deque<std::pair<serve::RequestHandle, Clock::time_point>> in_flight;
+  for (std::size_t c = 0; c < clients; ++c) in_flight.push_back(submit());
+
+  std::vector<double> latencies_ms;
+  for (auto _ : state) {
+    auto [handle, submitted_at] = std::move(in_flight.front());
+    in_flight.pop_front();
+    handle.Wait();
+    latencies_ms.push_back(std::chrono::duration<double, std::milli>(
+                               Clock::now() - submitted_at)
+                               .count());
+    in_flight.push_back(submit());
+  }
+  for (auto& [handle, submitted_at] : in_flight) handle.Wait();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  state.counters["clients"] = static_cast<double>(clients);
+  state.counters["p50_ms"] = Percentile(latencies_ms, 0.5);
+  state.counters["p99_ms"] = Percentile(latencies_ms, 0.99);
+  ExportAsyncStats(state, service);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AsyncClosedLoop)
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({8, 20})
+    ->UseRealTime();
+
+/// Admission control under burst: each iteration submits `burst` (range 0)
+/// requests against a queue of capacity 4 and drains them. With a burst
+/// well past capacity most of the tail is shed with kRejected — the
+/// rejected counter and items_per_second together give the sustainable
+/// admitted throughput under overload.
+void BM_AsyncAdmission(benchmark::State& state) {
+  std::shared_ptr<const Database> db = World(32);
+  Statistic statistic = FeatureBank();
+  const std::size_t burst = static_cast<std::size_t>(state.range(0));
+
+  serve::AsyncServeOptions options;
+  options.serve.num_shards = 1;
+  options.serve.cache_capacity = 0;
+  options.queue_capacity = 4;
+  serve::AsyncEvalService service(options);
+
+  WorkloadRng rng(2027);
+  for (auto _ : state) {
+    std::vector<serve::RequestHandle> handles;
+    handles.reserve(burst);
+    for (std::size_t b = 0; b < burst; ++b) {
+      serve::SubmitOptions opts;
+      opts.priority = rng.Chance(0.5) ? serve::RequestPriority::kBatch
+                                      : serve::RequestPriority::kInteractive;
+      handles.push_back(service.Submit(statistic.features(), db, opts));
+    }
+    for (serve::RequestHandle& handle : handles) handle.Wait();
+  }
+
+  state.counters["burst"] = static_cast<double>(burst);
+  state.counters["queue_capacity"] =
+      static_cast<double>(options.queue_capacity);
+  ExportAsyncStats(state, service);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(burst));
+}
+BENCHMARK(BM_AsyncAdmission)->Arg(8)->Arg(32)->UseRealTime();
 
 }  // namespace
 }  // namespace featsep

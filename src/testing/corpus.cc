@@ -127,6 +127,10 @@ std::vector<std::string> Tokens(const std::string& rest) {
 std::string SerializeFuzzInstance(const FuzzInstance& instance) {
   std::ostringstream out;
   out << "config " << FuzzConfigName(instance.config) << "\n";
+  if (instance.config == FuzzConfig::kServe) {
+    out << "k " << instance.k << "\n";
+    out << "m " << instance.m << "\n";
+  }
   if (instance.config == FuzzConfig::kCoverGame) {
     out << "k " << instance.k << "\n";
   }

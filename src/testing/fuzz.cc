@@ -171,6 +171,7 @@ const char* FuzzConfigName(FuzzConfig config) {
     case FuzzConfig::kDimension: return "dimension";
     case FuzzConfig::kLinsep: return "linsep";
     case FuzzConfig::kFaults: return "faults";
+    case FuzzConfig::kServe: return "serve";
     case FuzzConfig::kMixed: return "mixed";
   }
   return "unknown";
@@ -181,7 +182,8 @@ std::optional<FuzzConfig> ParseFuzzConfig(std::string_view name) {
        {FuzzConfig::kHom, FuzzConfig::kEval, FuzzConfig::kContainment,
         FuzzConfig::kCore, FuzzConfig::kGhw, FuzzConfig::kSep,
         FuzzConfig::kQbe, FuzzConfig::kCoverGame, FuzzConfig::kDimension,
-        FuzzConfig::kLinsep, FuzzConfig::kFaults, FuzzConfig::kMixed}) {
+        FuzzConfig::kLinsep, FuzzConfig::kFaults, FuzzConfig::kServe,
+        FuzzConfig::kMixed}) {
     if (name == FuzzConfigName(config)) return config;
   }
   return std::nullopt;

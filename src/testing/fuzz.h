@@ -44,9 +44,13 @@ enum class FuzzConfig {
   kFaults,       ///< Fault-injection robustness: cancellation/timeout/OOM at
                  ///< a chosen kernel event must never poison a cache or change
                  ///< the answer of a completed or resumed run.
+  kServe,        ///< Async serve front-end: seeded random interleavings of
+                 ///< Submit/poll/cancel/pause against the serial evaluation
+                 ///< path as oracle — every completed answer bit-identical.
   kMixed,        ///< Per-iteration uniform choice among the above (kFaults
-                 ///< excluded — it re-runs the engines several times per
-                 ///< instance and is smoke-tested separately).
+                 ///< and kServe excluded — they re-run the engines several
+                 ///< times per instance / spin up dispatcher threads, and are
+                 ///< smoke-tested separately).
 };
 
 const char* FuzzConfigName(FuzzConfig config);

@@ -429,6 +429,16 @@ FuzzInstance GenerateFuzzInstance(FuzzConfig config,
       instance.fault_visit = 1 + rng.Below(40);
       break;
     }
+    case FuzzConfig::kServe: {
+      // An entity database plus an interleaving seed and op count; the
+      // feature set is derived deterministically from the schema inside the
+      // property driver, so the instance stays serializable as (db, k, m).
+      instance.schema = PickSchema(rng, 2, /*need_entity=*/true);
+      instance.db_a = PickDatabase(instance.schema, rng, 5, 10);
+      instance.k = rng.Next() >> 1;  // Interleaving seed.
+      instance.m = rng.Range(6, 40);  // Submit/poll/cancel/pause op count.
+      break;
+    }
     case FuzzConfig::kLinsep: {
       std::size_t num_features = rng.Range(1, 3);
       std::size_t num_examples = rng.Range(1, 6);
@@ -538,6 +548,13 @@ PropertyCheck CheckFuzzInstance(const FuzzInstance& instance) {
           RebuildTraining(instance),
           static_cast<CoverageSite>(instance.fault_site),
           static_cast<FaultKind>(instance.fault_kind), instance.fault_visit);
+    case FuzzConfig::kServe:
+      if (!instance.db_a.has_value() ||
+          !instance.db_a->schema().has_entity_relation()) {
+        return std::nullopt;
+      }
+      return CheckServeAsyncProperties(*instance.db_a, instance.k,
+                                       instance.m);
     case FuzzConfig::kLinsep: {
       TrainingCollection examples;
       for (std::size_t i = 0; i < instance.features.size(); ++i) {
@@ -687,6 +704,12 @@ void SanitizeFuzzInstance(FuzzInstance* instance) {
       ReconcileLabels(instance);
       instance->ell = std::clamp<std::size_t>(instance->ell, 1, 2);
       break;
+    case FuzzConfig::kServe:
+      if (instance->db_a.has_value()) {
+        *instance->db_a = TrimDatabase(*instance->db_a, 5, 10);
+      }
+      instance->m = std::clamp<std::size_t>(instance->m, 1, 60);
+      break;
     case FuzzConfig::kLinsep: {
       if (instance->features.size() > 6) instance->features.resize(6);
       std::size_t num_features =
@@ -831,6 +854,16 @@ FuzzInstance ShrinkFuzzInstance(
     case FuzzConfig::kDimension:
     case FuzzConfig::kQbe:
       shrink_db(&FuzzInstance::db_a);
+      break;
+    case FuzzConfig::kServe:
+      shrink_db(&FuzzInstance::db_a);
+      // Fewer ops make shorter interleavings; halve while it still fails.
+      while (instance.m > 1) {
+        FuzzInstance candidate = instance;
+        candidate.m = std::max<std::size_t>(instance.m / 2, 1);
+        if (!candidate_fails(candidate)) break;
+        instance.m = std::max<std::size_t>(instance.m / 2, 1);
+      }
       break;
     case FuzzConfig::kFaults:
       shrink_db(&FuzzInstance::db_a);

@@ -37,6 +37,8 @@ namespace testing {
 ///   kFaults       db_a labeled by `labels` plus a fault spec
 ///                 (`fault_site`/`fault_kind`/`fault_visit`) injected into
 ///                 the budgeted decision procedures
+///   kServe        entity database db_a; `k` seeds the async request
+///                 interleaving, `m` is the operation count
 ///
 /// `config` is never kMixed — mixed resolves to a concrete config before an
 /// instance exists.

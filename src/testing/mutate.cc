@@ -319,6 +319,15 @@ FuzzInstance MutateFuzzInstance(const FuzzInstance& original,
     if (instance.config == FuzzConfig::kDimension) {
       ops.push_back([&] { instance.ell = instance.ell == 1 ? 2 : 1; });
     }
+    if (instance.config == FuzzConfig::kServe) {
+      // Reseed the interleaving, or grow/shrink the op schedule.
+      ops.push_back([&] { instance.k = rng.Next() >> 1; });
+      ops.push_back([&] {
+        instance.m = rng.Chance(0.5)
+                         ? instance.m + 1 + rng.Below(8)
+                         : std::max<std::size_t>(instance.m / 2, 1);
+      });
+    }
     if (instance.config == FuzzConfig::kLinsep) {
       ops.push_back([&] {
         if (instance.features.empty()) return;

@@ -1,7 +1,9 @@
 #include "testing/properties.h"
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
+#include <memory>
 #include <new>
 #include <sstream>
 
@@ -19,7 +21,9 @@
 #include "hypertree/ghw.h"
 #include "io/writer.h"
 #include "qbe/qbe.h"
+#include "serve/async_service.h"
 #include "serve/eval_service.h"
+#include "workload/generators.h"
 #include "testing/reference_ghw.h"
 #include "testing/reference_hom.h"
 #include "testing/reference_lp.h"
@@ -1101,6 +1105,201 @@ PropertyCheck CheckFaultInjectionProperties(const TrainingDatabase& training,
           }
         }
       }
+    }
+  }
+  return std::nullopt;
+}
+
+PropertyCheck CheckServeAsyncProperties(const Database& db,
+                                        std::uint64_t interleaving_seed,
+                                        std::size_t num_ops) {
+  using serve::AsyncEvalService;
+  using serve::RequestHandle;
+  using serve::RequestPriority;
+  using serve::RequestResult;
+  using serve::RequestState;
+
+  if (!db.schema().has_entity_relation()) return std::nullopt;
+  std::vector<ConjunctiveQuery> features =
+      EnumerateFeatureQueries(db.schema_ptr(), 1);
+  if (features.empty()) return std::nullopt;
+  if (features.size() > 12) {
+    features.erase(features.begin() + 12, features.end());  // Bound work.
+  }
+
+  // The oracle: the serial evaluation path, one shard, no cache.
+  serve::ServeOptions serial_options;
+  serial_options.num_shards = 1;
+  serial_options.cache_capacity = 0;
+  serve::EvalService serial(serial_options);
+  std::vector<std::shared_ptr<const serve::FeatureAnswer>> truth =
+      serial.TryResolve(features, db, nullptr);
+
+  auto matches_truth = [&](const serve::FeatureAnswer& answer,
+                           std::size_t feature) {
+    if (answer.size() != truth[feature]->size()) return false;
+    for (Value e : db.Entities()) {
+      if (answer.Selects(db, e) != truth[feature]->Selects(db, e)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto describe = [&](std::uint64_t id, std::size_t feature,
+                      const char* state) {
+    std::ostringstream out;
+    out << "request " << id << " (" << state << "), feature "
+        << features[feature].ToString() << ", seed " << interleaving_seed
+        << ", ops " << num_ops;
+    return out.str();
+  };
+
+  WorkloadRng rng(interleaving_seed ^ 0xa5e53e59a11dULL);
+  serve::AsyncServeOptions options;
+  options.queue_capacity = rng.Range(1, 4);
+  options.num_dispatchers = rng.Range(1, 2);
+  options.serve.num_shards = rng.Range(1, 2);
+  options.serve.entity_block = rng.Chance(0.5) ? 1 : 64;
+  if (rng.Chance(0.2)) options.serve.cache_capacity = 0;
+  auto shared_db = std::make_shared<const Database>(db);
+
+  struct Submitted {
+    RequestHandle handle;
+    std::vector<std::size_t> subset;  ///< Feature indices this request asked.
+  };
+  std::vector<Submitted> submitted;
+
+  AsyncEvalService service(options);
+  for (std::size_t op = 0; op < num_ops; ++op) {
+    const std::size_t pick = rng.Below(100);
+    if (pick < 50 || submitted.empty()) {
+      // Submit a random nonempty feature subset under a random priority and
+      // budget: mostly unbounded, sometimes a tiny deterministic step limit
+      // or an already-expired deadline.
+      std::vector<std::size_t> subset;
+      std::vector<ConjunctiveQuery> request_features;
+      for (std::size_t i = 0; i < features.size(); ++i) {
+        if (rng.Chance(0.5)) {
+          subset.push_back(i);
+          request_features.push_back(features[i]);
+        }
+      }
+      if (subset.empty()) {
+        subset.push_back(0);
+        request_features.push_back(features[0]);
+      }
+      serve::SubmitOptions submit;
+      submit.priority = rng.Chance(0.5) ? RequestPriority::kInteractive
+                                        : RequestPriority::kBatch;
+      const std::size_t budget_kind = rng.Below(10);
+      if (budget_kind < 2) {
+        submit.step_limit = 1 + rng.Below(60);
+      } else if (budget_kind < 4) {
+        submit.timeout = ExecutionBudget::Clock::duration::zero();
+      }
+      submitted.push_back({service.Submit(std::move(request_features),
+                                          shared_db, submit),
+                           std::move(subset)});
+    } else if (pick < 70) {
+      submitted[rng.Below(submitted.size())].handle.Poll();
+    } else if (pick < 85) {
+      submitted[rng.Below(submitted.size())].handle.Cancel();
+    } else if (pick < 93) {
+      service.PauseDispatch();
+    } else {
+      service.ResumeDispatch();
+    }
+  }
+
+  // Drain: resume (Wait on a paused queue would hang) and settle everything.
+  service.ResumeDispatch();
+  for (const Submitted& entry : submitted) entry.handle.Wait();
+
+  std::array<std::array<std::uint64_t, 4>, serve::kNumRequestPriorities>
+      observed{};  // [class][completed, expired, cancelled, rejected]
+  for (const Submitted& entry : submitted) {
+    std::optional<RequestResult> polled = entry.handle.Poll();
+    if (!polled.has_value()) {
+      return Violation("serve/drain-incomplete",
+                       "handle not terminal after Wait returned");
+    }
+    const RequestResult& result = *polled;
+    const char* state = RequestStateName(result.state);
+    const std::size_t cls = static_cast<std::size_t>(entry.handle.priority());
+    switch (result.state) {
+      case RequestState::kCompleted: observed[cls][0]++; break;
+      case RequestState::kExpired: observed[cls][1]++; break;
+      case RequestState::kCancelled: observed[cls][2]++; break;
+      case RequestState::kRejected: observed[cls][3]++; break;
+      default:
+        return Violation("serve/non-terminal-state",
+                         describe(entry.handle.id(), 0, state));
+    }
+    if (result.answers.size() != entry.subset.size()) {
+      return Violation("serve/answer-arity",
+                       describe(entry.handle.id(), 0, state));
+    }
+    for (std::size_t j = 0; j < entry.subset.size(); ++j) {
+      if (result.answers[j] == nullptr) {
+        if (result.state == RequestState::kCompleted) {
+          return Violation(
+              "serve/completed-with-hole",
+              describe(entry.handle.id(), entry.subset[j], state));
+        }
+        continue;
+      }
+      if (result.state == RequestState::kRejected) {
+        return Violation("serve/rejected-with-answer",
+                         describe(entry.handle.id(), entry.subset[j], state));
+      }
+      // The determinism contract: any non-null answer, in any terminal
+      // state, is bit-identical to the serial path.
+      if (!matches_truth(*result.answers[j], entry.subset[j])) {
+        return Violation("serve/async-vs-serial",
+                         describe(entry.handle.id(), entry.subset[j], state));
+      }
+    }
+    if (result.state == RequestState::kRejected && result.sequence != 0) {
+      return Violation("serve/rejected-dispatched",
+                       describe(entry.handle.id(), 0, state));
+    }
+  }
+
+  const serve::AsyncServeStats stats = service.stats();
+  for (std::size_t cls = 0; cls < serve::kNumRequestPriorities; ++cls) {
+    const serve::RequestClassStats& counters = stats.classes[cls];
+    std::ostringstream detail;
+    detail << serve::RequestPriorityName(static_cast<RequestPriority>(cls))
+           << ": submitted " << counters.submitted << " accepted "
+           << counters.accepted << " rejected " << counters.rejected
+           << " completed " << counters.completed << " expired "
+           << counters.expired << " cancelled " << counters.cancelled
+           << " observed " << observed[cls][0] << "/" << observed[cls][1]
+           << "/" << observed[cls][2] << "/" << observed[cls][3] << ", seed "
+           << interleaving_seed;
+    if (counters.submitted != counters.accepted + counters.rejected ||
+        counters.accepted !=
+            counters.completed + counters.expired + counters.cancelled) {
+      return Violation("serve/stats-unbalanced", detail.str());
+    }
+    if (counters.completed != observed[cls][0] ||
+        counters.expired != observed[cls][1] ||
+        counters.cancelled != observed[cls][2] ||
+        counters.rejected != observed[cls][3]) {
+      return Violation("serve/stats-vs-handles", detail.str());
+    }
+    if (counters.queue_high_water > options.queue_capacity) {
+      return Violation("serve/high-water-over-capacity", detail.str());
+    }
+  }
+
+  // No interrupted request may have poisoned the shared cache: a final
+  // resolve through the same backend still produces the serial truth.
+  std::vector<std::shared_ptr<const serve::FeatureAnswer>> final_answers =
+      service.backend().TryResolve(features, db, nullptr);
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (final_answers[i] == nullptr || !matches_truth(*final_answers[i], i)) {
+      return Violation("serve/cache-poisoned", describe(0, i, "final"));
     }
   }
   return std::nullopt;

@@ -149,6 +149,28 @@ PropertyCheck CheckFaultInjectionProperties(const TrainingDatabase& training,
                                             CoverageSite site, FaultKind kind,
                                             std::uint64_t trigger_visit);
 
+/// Async serve front-end laws on an entity database, against the serial
+/// evaluation path as oracle. A seeded random interleaving of `num_ops`
+/// Submit (mixed priorities and budgets: unbounded, tiny step limits,
+/// already-expired deadlines) / Poll / Cancel / PauseDispatch /
+/// ResumeDispatch operations runs against an AsyncEvalService with
+/// seed-derived queue capacity, dispatcher count, and shard count; after a
+/// full drain:
+///   - every non-null answer of every terminal request is bit-identical to
+///     the serial path (num_shards = 1, no cache), regardless of the
+///     request's terminal state — interruption yields nothing or the truth;
+///   - kCompleted requests answer every feature; kRejected requests answer
+///     none and carry dispatch sequence 0;
+///   - per-class stats balance: submitted = accepted + rejected and
+///     accepted = completed + expired + cancelled, each matching the states
+///     observed on the handles exactly; the queue high-water mark respects
+///     the admission capacity;
+///   - a final resolve through the shared backend still matches the serial
+///     truth (no interrupted request poisoned the cache).
+PropertyCheck CheckServeAsyncProperties(const Database& db,
+                                        std::uint64_t interleaving_seed,
+                                        std::size_t num_ops);
+
 /// MinimizeCq laws: the minimized query has no more atoms, preserves the
 /// free tuple, is hom-equivalent to the input (reference Chandra–Merlin
 /// containment both ways), and is minimal — no single atom can be removed

@@ -9,10 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 namespace featsep {
 namespace {
 
 using std::chrono::milliseconds;
+using ::featsep::testing::ExpiredBudget;
 
 TEST(BudgetTest, DefaultBudgetIsUnbounded) {
   ExecutionBudget budget;
@@ -43,8 +46,7 @@ TEST(BudgetTest, MultiStepChargeCountsAllUnits) {
 }
 
 TEST(BudgetTest, ExpiredDeadlineDetectedByRecheckWithoutCharging) {
-  ExecutionBudget budget =
-      ExecutionBudget::WithDeadline(ExecutionBudget::Clock::now());
+  ExecutionBudget budget = ExpiredBudget();
   EXPECT_FALSE(budget.Recheck());
   EXPECT_EQ(budget.outcome(), BudgetOutcome::kTimedOut);
   EXPECT_EQ(budget.steps(), 0u);

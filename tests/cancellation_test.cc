@@ -38,39 +38,8 @@ namespace {
 using std::chrono::milliseconds;
 using std::chrono::seconds;
 
-/// A budget whose deadline already passed when the procedure starts.
-ExecutionBudget ExpiredBudget() {
-  return ExecutionBudget::WithDeadline(ExecutionBudget::Clock::now());
-}
-
-/// Adds a bidirected clique on `n` fresh values; returns the node values.
-std::vector<Value> AddClique(Database& db, const std::string& prefix,
-                             std::size_t n) {
-  std::vector<Value> nodes;
-  for (std::size_t i = 0; i < n; ++i) {
-    nodes.push_back(db.Intern(prefix + std::to_string(i)));
-  }
-  RelationId e = db.schema().FindRelation("E");
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (i != j) db.AddFact(e, {nodes[i], nodes[j]});
-    }
-  }
-  return nodes;
-}
-
-/// Two entities, one edge, opposite labels: trivially separable, small
-/// enough that every procedure finishes instantly when unbudgeted.
-TrainingDatabase SmallTraining() {
-  auto db = std::make_shared<Database>(GraphSchema());
-  Value a = AddEntity(*db, "a");
-  Value b = AddEntity(*db, "b");
-  AddEdge(*db, "a", "b");
-  TrainingDatabase training(db);
-  training.SetLabel(a, 1);
-  training.SetLabel(b, -1);
-  return training;
-}
+// Fixtures ExpiredBudget/AddClique/SmallTraining live in test_util.h,
+// shared with budget_test.cc and serve_async_test.cc.
 
 // --- The acceptance bound -------------------------------------------------
 

@@ -18,46 +18,12 @@ namespace {
 using ::featsep::testing::AddEdge;
 using ::featsep::testing::AddEntity;
 using ::featsep::testing::GraphSchema;
+using ::featsep::testing::MakeWorld;
+using ::featsep::testing::MakeWorldReordered;
+using ::featsep::testing::OutInFeatures;
 using serve::EvalService;
 using serve::ServeOptions;
 using serve::ServeStats;
-
-/// Out-edge and in-edge feature queries over GraphSchema.
-std::vector<ConjunctiveQuery> OutInFeatures() {
-  auto schema = GraphSchema();
-  ConjunctiveQuery out = ConjunctiveQuery::MakeFeatureQuery(schema);
-  out.AddAtom(schema->FindRelation("E"),
-              {out.free_variable(), out.NewVariable("y")});
-  ConjunctiveQuery in = ConjunctiveQuery::MakeFeatureQuery(schema);
-  in.AddAtom(schema->FindRelation("E"),
-             {in.NewVariable("z"), in.free_variable()});
-  return {out, in};
-}
-
-Database MakeWorld() {
-  Database db(GraphSchema());
-  AddEntity(db, "both");
-  AddEntity(db, "none");
-  AddEntity(db, "out");
-  AddEdge(db, "both", "t");
-  AddEdge(db, "u", "both");
-  AddEdge(db, "out", "t");
-  return db;
-}
-
-/// Same facts as MakeWorld() inserted in a different order with extra
-/// interning, so value ids and entity order differ but content is equal.
-Database MakeWorldReordered() {
-  Database db(GraphSchema());
-  db.Intern("zzz");  // Interned but never in a fact: not content.
-  AddEdge(db, "out", "t");
-  AddEdge(db, "u", "both");
-  AddEntity(db, "out");
-  AddEntity(db, "none");
-  AddEdge(db, "both", "t");
-  AddEntity(db, "both");
-  return db;
-}
 
 TEST(EvalServiceTest, AnswerMatchesKernelEvaluator) {
   Database db = MakeWorld();

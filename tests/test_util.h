@@ -5,9 +5,11 @@
 #include <string>
 #include <vector>
 
+#include "cq/cq.h"
 #include "relational/database.h"
 #include "relational/schema.h"
 #include "relational/training_database.h"
+#include "util/budget.h"
 
 namespace featsep {
 namespace testing {
@@ -70,6 +72,80 @@ inline std::vector<Value> AddCycle(Database& db, const std::string& prefix,
     db.AddFact(e, {nodes[i], nodes[(i + 1) % length]});
   }
   return nodes;
+}
+
+/// Adds a bidirected clique on `n` fresh values; returns the node values.
+inline std::vector<Value> AddClique(Database& db, const std::string& prefix,
+                                    std::size_t n) {
+  std::vector<Value> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(db.Intern(prefix + std::to_string(i)));
+  }
+  RelationId e = db.schema().FindRelation("E");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) db.AddFact(e, {nodes[i], nodes[j]});
+    }
+  }
+  return nodes;
+}
+
+/// Out-edge and in-edge feature queries over GraphSchema.
+inline std::vector<ConjunctiveQuery> OutInFeatures() {
+  auto schema = GraphSchema();
+  ConjunctiveQuery out = ConjunctiveQuery::MakeFeatureQuery(schema);
+  out.AddAtom(schema->FindRelation("E"),
+              {out.free_variable(), out.NewVariable("y")});
+  ConjunctiveQuery in = ConjunctiveQuery::MakeFeatureQuery(schema);
+  in.AddAtom(schema->FindRelation("E"),
+             {in.NewVariable("z"), in.free_variable()});
+  return {out, in};
+}
+
+/// Three entities over GraphSchema: "both" has an out- and an in-edge,
+/// "out" only an out-edge, "none" neither — every OutInFeatures() sign
+/// pattern except in-only.
+inline Database MakeWorld() {
+  Database db(GraphSchema());
+  AddEntity(db, "both");
+  AddEntity(db, "none");
+  AddEntity(db, "out");
+  AddEdge(db, "both", "t");
+  AddEdge(db, "u", "both");
+  AddEdge(db, "out", "t");
+  return db;
+}
+
+/// Same facts as MakeWorld() inserted in a different order with extra
+/// interning, so value ids and entity order differ but content is equal.
+inline Database MakeWorldReordered() {
+  Database db(GraphSchema());
+  db.Intern("zzz");  // Interned but never in a fact: not content.
+  AddEdge(db, "out", "t");
+  AddEdge(db, "u", "both");
+  AddEntity(db, "out");
+  AddEntity(db, "none");
+  AddEdge(db, "both", "t");
+  AddEntity(db, "both");
+  return db;
+}
+
+/// Two entities, one edge, opposite labels: trivially separable, small
+/// enough that every procedure finishes instantly when unbudgeted.
+inline TrainingDatabase SmallTraining() {
+  auto db = std::make_shared<Database>(GraphSchema());
+  Value a = AddEntity(*db, "a");
+  Value b = AddEntity(*db, "b");
+  AddEdge(*db, "a", "b");
+  TrainingDatabase training(db);
+  training.SetLabel(a, 1);
+  training.SetLabel(b, -1);
+  return training;
+}
+
+/// A budget whose deadline already passed when the procedure starts.
+inline ExecutionBudget ExpiredBudget() {
+  return ExecutionBudget::WithDeadline(ExecutionBudget::Clock::now());
 }
 
 }  // namespace testing

@@ -18,10 +18,12 @@
 //                [--corpus DIR] [--mutate] [--coverage-stats]
 //                [--replay FILE]...
 // Configs: hom, eval, containment, core, ghw, sep, qbe, covergame,
-// dimension, linsep, faults, mixed (default). The faults config injects
-// deterministic cancellations/timeouts/allocation failures into the
+// dimension, linsep, faults, serve, mixed (default). The faults config
+// injects deterministic cancellations/timeouts/allocation failures into the
 // budgeted decision procedures and checks the robustness invariants
-// (no cache poisoning, interrupt-then-resume determinism).
+// (no cache poisoning, interrupt-then-resume determinism). The serve config
+// runs seeded random Submit/poll/cancel/pause interleavings through the
+// async serve front-end against the serial evaluation path as oracle.
 
 #include <cstdint>
 #include <cstdlib>
@@ -37,7 +39,8 @@ void Usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " [--iters N] [--seed S] [--config hom|eval|containment|core|ghw|"
-         "sep|qbe|covergame|dimension|linsep|faults|mixed] [--no-shrink]\n"
+         "sep|qbe|covergame|dimension|linsep|faults|serve|mixed] "
+         "[--no-shrink]\n"
          "       [--corpus DIR] [--mutate] [--coverage-stats] "
          "[--replay FILE]...\n";
 }
