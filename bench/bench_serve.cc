@@ -7,6 +7,12 @@
 // over equal database content reduce to digest + hash lookups — the
 // acceptance bar is warm ≥ 5× faster than cold.
 //
+// Durable tier section (DESIGN.md §13): warm-restart-from-disk, where a
+// fresh service (simulating a restarted process, empty LRU) serves the
+// whole feature bank from the persistent result cache — the row's
+// disk_hits/feat_eval counters prove no kernel work ran; cost sits between
+// in-memory-warm lookups and cold evaluation.
+//
 // Closed-loop async section (DESIGN.md §12): a configurable number of
 // closed-loop clients each keep one request in flight against an
 // AsyncEvalService (mixed priorities, optional deadline distribution).
@@ -19,7 +25,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -48,6 +56,10 @@ void ExportServeStats(benchmark::State& state,
   state.counters["ent_eval"] = static_cast<double>(stats.entity_evaluations);
   state.counters["cancelled"] = static_cast<double>(stats.cancelled_shards);
   state.counters["retries"] = static_cast<double>(stats.evaluation_retries);
+  if (!service.options().cache_dir.empty()) {
+    state.counters["disk_hits"] = static_cast<double>(stats.disk_hits);
+    state.counters["disk_writes"] = static_cast<double>(stats.disk_writes);
+  }
 }
 
 std::shared_ptr<Database> World(std::size_t nodes) {
@@ -115,6 +127,41 @@ void BM_MatrixServedWarm(benchmark::State& state) {
   ExportServeStats(state, service);
 }
 BENCHMARK(BM_MatrixServedWarm)->Args({32, 1})->Args({64, 1})->Args({64, 8});
+
+void BM_MatrixServedDiskWarm(benchmark::State& state) {
+  // Warm restart from the persistent tier: a cold service fills the disk
+  // cache once, then every iteration constructs a FRESH service (empty
+  // in-memory LRU — a restarted process) over the same directory and
+  // resolves the whole bank through disk read-through. feat_eval stays 0:
+  // the kernel never runs after a restart.
+  namespace fs = std::filesystem;
+  auto db = World(static_cast<std::size_t>(state.range(0)));
+  Statistic statistic = FeatureBank();
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("featsep-bench-diskwarm-" + std::to_string(state.range(0)));
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  serve::ServeOptions options;
+  options.num_shards = 1;
+  options.cache_dir = dir.string();
+  { serve::EvalService(options).Matrix(statistic.features(), *db); }
+
+  std::uint64_t disk_hits = 0, features_evaluated = 0;
+  for (auto _ : state) {
+    serve::EvalService restarted(options);
+    benchmark::DoNotOptimize(
+        restarted.Matrix(statistic.features(), *db).size());
+    serve::ServeStats stats = restarted.stats();
+    disk_hits += stats.disk_hits;
+    features_evaluated += stats.features_evaluated;
+  }
+  state.counters["disk_hits"] = static_cast<double>(disk_hits);
+  state.counters["feat_eval"] = static_cast<double>(features_evaluated);
+  state.counters["features"] = static_cast<double>(statistic.dimension());
+  fs::remove_all(dir, ec);
+}
+BENCHMARK(BM_MatrixServedDiskWarm)->Arg(32)->Arg(64);
 
 void BM_TryResolveDeadline(benchmark::State& state) {
   // Per-request deadline on a cold service: measures how quickly an

@@ -234,35 +234,51 @@ std::uint64_t Database::ContentDigest() const {
   if (!digest_valid_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     if (!digest_valid_.load(std::memory_order_relaxed)) {
-      std::hash<std::string> hash_string;
-      // Schema part: relation names and arities in id order, plus the
-      // entity designation (id order is semantic — Schema::operator==
-      // compares it).
-      std::size_t schema_hash = 0xcbf29ce484222325ULL;
+      // Explicit FNV-1a-64 over canonical bytes — the exact format is a
+      // persistence contract (DESIGN.md §13) pinned by golden values in
+      // DatabaseDigestTest; it must never drift. In particular no part of
+      // the computation may touch std::hash, whose output is
+      // implementation-defined and differs across standard libraries, so
+      // any on-disk or cross-process cache keyed by it would silently
+      // never hit.
+      //
+      // Schema part: relation count, then for each relation in id order
+      // its name (length-prefixed) and arity, then the entity designation
+      // (id + 1, or 0 when absent). Id order is semantic —
+      // Schema::operator== compares it.
+      std::uint64_t schema_hash = kFnv64OffsetBasis;
+      schema_hash =
+          Fnv1a64U64(schema_hash, static_cast<std::uint64_t>(schema_->size()));
       for (RelationId r = 0; r < schema_->size(); ++r) {
-        HashCombine(schema_hash, hash_string(schema_->name(r)));
-        HashCombine(schema_hash, schema_->arity(r));
+        schema_hash = Fnv1a64String(schema_hash, schema_->name(r));
+        schema_hash = Fnv1a64U64(
+            schema_hash, static_cast<std::uint64_t>(schema_->arity(r)));
       }
-      HashCombine(schema_hash, schema_->has_entity_relation()
-                                   ? schema_->entity_relation() + 1
-                                   : 0);
-      // Fact part: each fact hashed by relation id and argument *names*
-      // (value ids depend on interning order; names do not), combined by
-      // wrap-around addition so the digest is insensitive to insertion
-      // order. Facts are deduplicated, so the sum is over a set.
+      schema_hash = Fnv1a64U64(
+          schema_hash,
+          schema_->has_entity_relation()
+              ? static_cast<std::uint64_t>(schema_->entity_relation()) + 1
+              : 0);
+      // Fact part: each fact is FNV-1a-64 of its relation id followed by
+      // its argument *names* (value ids depend on interning order; names
+      // do not), each length-prefixed. Per-fact hashes are combined by
+      // wrap-around u64 addition so the digest is insensitive to insertion
+      // order; facts are deduplicated, so the sum is over a set.
       std::uint64_t facts_hash = 0;
       for (const Fact& fact : facts_) {
-        std::size_t h = 0x100000001b3ULL;
-        HashCombine(h, fact.relation);
+        std::uint64_t h = kFnv64OffsetBasis;
+        h = Fnv1a64U64(h, static_cast<std::uint64_t>(fact.relation));
         for (Value v : fact.args) {
-          HashCombine(h, hash_string(value_names_[v]));
+          h = Fnv1a64String(h, value_names_[v]);
         }
-        facts_hash += static_cast<std::uint64_t>(h);
+        facts_hash += h;
       }
-      std::size_t digest = schema_hash;
-      HashCombine(digest, static_cast<std::size_t>(facts_hash));
-      HashCombine(digest, facts_.size());
-      digest_cache_ = static_cast<std::uint64_t>(digest);
+      // Final digest: FNV-1a-64 over the three u64s above.
+      std::uint64_t digest = kFnv64OffsetBasis;
+      digest = Fnv1a64U64(digest, schema_hash);
+      digest = Fnv1a64U64(digest, facts_hash);
+      digest = Fnv1a64U64(digest, static_cast<std::uint64_t>(facts_.size()));
+      digest_cache_ = digest;
       digest_valid_.store(true, std::memory_order_release);
     }
   }

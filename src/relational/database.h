@@ -108,14 +108,18 @@ class Database {
   /// from concurrent readers.
   const std::vector<std::uint32_t>& domain_index() const;
 
-  /// Content digest: a 64-bit hash of the schema and the *set* of facts,
-  /// insensitive to fact insertion order and to value interning order
-  /// (facts are hashed by relation and argument names, then combined
-  /// commutatively). Two databases with equal schemas and equal fact sets —
-  /// up to constant names — digest equally regardless of construction
-  /// order; interned-but-unused constants do not contribute. Memoized
-  /// thread-safely; serves as the database half of the serve-layer cache
-  /// key (serve/eval_service.h).
+  /// Content digest: explicit FNV-1a-64 over canonical bytes of the schema
+  /// and the *set* of facts, insensitive to fact insertion order and to
+  /// value interning order (facts are hashed by relation and argument
+  /// names, then combined commutatively). Two databases with equal schemas
+  /// and equal fact sets — up to constant names — digest equally regardless
+  /// of construction order; interned-but-unused constants do not
+  /// contribute. The value is *stable across processes, platforms, and
+  /// standard libraries* (no std::hash anywhere in its computation; golden
+  /// values are pinned in DatabaseDigestTest and the format is specified in
+  /// DESIGN.md §13), so it keys the persistent on-disk result cache and the
+  /// multi-process shard protocol as well as the in-memory serve cache
+  /// (serve/eval_service.h, serve/disk_cache.h). Memoized thread-safely.
   std::uint64_t ContentDigest() const;
 
   /// Position of `value` in domain(), or kNoDomainIndex if absent.

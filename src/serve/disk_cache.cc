@@ -1,0 +1,207 @@
+#include "serve/disk_cache.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "serve/wire_format.h"
+#include "util/hash.h"
+
+namespace featsep {
+namespace serve {
+
+namespace {
+
+constexpr std::string_view kMagic = "featsep-result-cache";
+
+std::uint64_t ProcessId() {
+#ifndef _WIN32
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::uint64_t StableCacheKeyDigest(std::uint64_t content_digest,
+                                   std::string_view feature) {
+  std::uint64_t hash = Fnv1a64U64(kFnv64OffsetBasis, content_digest);
+  return Fnv1a64String(hash, feature);
+}
+
+std::string SerializeDiskCacheEntry(std::uint64_t content_digest,
+                                    std::string_view feature,
+                                    std::vector<std::string> selected) {
+  std::sort(selected.begin(), selected.end());
+  std::ostringstream out;
+  out << kMagic << " " << DiskResultCache::kFormatVersion << "\n";
+  out << "digest " << wire::DigestHex(content_digest) << "\n";
+  out << "feature " << feature.size() << "\n" << feature << "\n";
+  out << "entities " << selected.size() << "\n";
+  for (const std::string& name : selected) {
+    out << name.size() << " " << name << "\n";
+  }
+  return wire::WithChecksum(out.str());
+}
+
+Result<DiskCacheEntry> ParseDiskCacheEntry(std::string_view bytes) {
+  wire::Cursor cursor{bytes};
+  std::string_view line;
+  if (!cursor.ReadLine(&line)) return Error("truncated header");
+  std::uint64_t version = 0;
+  if (!wire::ParseKeyedU64(line, kMagic, &version)) return Error("bad magic");
+  if (version != static_cast<std::uint64_t>(DiskResultCache::kFormatVersion)) {
+    return Error("version mismatch: " + std::to_string(version));
+  }
+
+  DiskCacheEntry entry;
+  if (!cursor.ReadLine(&line) ||
+      !wire::ParseKeyedU64(line, "digest", &entry.content_digest, 16)) {
+    return Error("bad digest line");
+  }
+  std::uint64_t feature_size = 0;
+  if (!cursor.ReadLine(&line) ||
+      !wire::ParseKeyedU64(line, "feature", &feature_size)) {
+    return Error("bad feature line");
+  }
+  std::string_view feature;
+  if (!cursor.ReadExact(feature_size, &feature)) {
+    return Error("truncated feature");
+  }
+  entry.feature = std::string(feature);
+  std::uint64_t count = 0;
+  if (!cursor.ReadLine(&line) ||
+      !wire::ParseKeyedU64(line, "entities", &count)) {
+    return Error("bad entities line");
+  }
+  if (count > bytes.size()) return Error("implausible entity count");
+  entry.selected.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string_view name;
+    if (!cursor.ReadSized(&name)) return Error("truncated entity");
+    entry.selected.emplace_back(name);
+  }
+  if (!wire::VerifyChecksum(cursor)) return Error("checksum mismatch");
+  if (!std::is_sorted(entry.selected.begin(), entry.selected.end())) {
+    return Error("entities not in canonical order");
+  }
+  return entry;
+}
+
+DiskResultCache::DiskResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(std::filesystem::path(dir_) / "tmp", ec);
+}
+
+std::string DiskResultCache::EntryPath(std::uint64_t content_digest,
+                                       std::string_view feature) const {
+  return (std::filesystem::path(dir_) /
+          (wire::DigestHex(StableCacheKeyDigest(content_digest, feature)) +
+           ".fse"))
+      .string();
+}
+
+std::optional<std::vector<std::string>> DiskResultCache::Load(
+    std::uint64_t content_digest, const std::string& feature) {
+  const std::string path = EntryPath(content_digest, feature);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  // A different-version entry may belong to a newer binary sharing the
+  // directory: drop it without trusting OR deleting it.
+  std::uint64_t version = 0;
+  std::string_view first = std::string_view(bytes);
+  first = first.substr(0, first.find('\n'));
+  if (wire::ParseKeyedU64(first, kMagic, &version) &&
+      version != static_cast<std::uint64_t>(kFormatVersion)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.version_dropped;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Result<DiskCacheEntry> entry = ParseDiskCacheEntry(bytes);
+  if (!entry.ok()) {
+    // Corrupt or truncated: never trusted, best-effort deleted so a later
+    // write replaces it with a good entry.
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.corrupt_dropped;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (entry.value().content_digest != content_digest ||
+      entry.value().feature != feature) {
+    // 64-bit file-name collision between distinct keys: keep the resident
+    // entry, miss on ours.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.key_mismatch_dropped;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.hits;
+  return std::move(entry.value().selected);
+}
+
+bool DiskResultCache::Store(std::uint64_t content_digest,
+                            const std::string& feature,
+                            std::vector<std::string> selected) {
+  const std::string name =
+      wire::DigestHex(StableCacheKeyDigest(content_digest, feature));
+  const std::filesystem::path final_path =
+      std::filesystem::path(dir_) / (name + ".fse");
+  const std::filesystem::path tmp_path =
+      std::filesystem::path(dir_) / "tmp" /
+      (name + "." + std::to_string(ProcessId()) + "." +
+       std::to_string(tmp_counter_.fetch_add(1, std::memory_order_relaxed)) +
+       ".tmp");
+  std::string bytes =
+      SerializeDiskCacheEntry(content_digest, feature, std::move(selected));
+
+  auto fail = [&]() {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.write_failures;
+    return false;
+  };
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return fail();
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) return fail();
+  }
+  // Publish atomically: a rename within the directory either installs the
+  // complete entry or leaves the old state; readers never see a torn file.
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) return fail();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.writes;
+  return true;
+}
+
+DiskCacheStats DiskResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace featsep

@@ -1,0 +1,115 @@
+#ifndef FEATSEP_SERVE_DISK_CACHE_H_
+#define FEATSEP_SERVE_DISK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace featsep {
+namespace serve {
+
+/// Stable identity of one (database content digest, feature canonical
+/// string) cache key: FNV-1a-64 over the digest (8 LE bytes) followed by
+/// the length-prefixed feature string. This single value names the entry's
+/// file on disk, buckets the in-memory LRU, and is identical in every
+/// process — it is part of the persistent format contract (DESIGN.md §13).
+std::uint64_t StableCacheKeyDigest(std::uint64_t content_digest,
+                                   std::string_view feature);
+
+/// The payload of one on-disk entry: the key it was stored under plus the
+/// selected entity names, sorted by byte order (canonical — equal answers
+/// serialize to bit-identical files in every process).
+struct DiskCacheEntry {
+  std::uint64_t content_digest = 0;
+  std::string feature;
+  std::vector<std::string> selected;  ///< Sorted ascending by byte order.
+};
+
+/// Serializes an entry to its canonical on-disk bytes (version header,
+/// length-prefixed strings, trailing FNV-1a-64 checksum over everything
+/// before the checksum line). `selected` is sorted internally.
+std::string SerializeDiskCacheEntry(std::uint64_t content_digest,
+                                    std::string_view feature,
+                                    std::vector<std::string> selected);
+
+/// Parses entry bytes, verifying the magic, version, and checksum. Any
+/// truncation, corruption, or version mismatch is an error — a bad entry is
+/// never partially trusted.
+Result<DiskCacheEntry> ParseDiskCacheEntry(std::string_view bytes);
+
+/// Counters for observability and tests; snapshot via stats().
+struct DiskCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writes = 0;
+  /// Entries dropped because their bytes failed to parse or checksum
+  /// (truncated/corrupt files; best-effort deleted so they get rewritten).
+  std::uint64_t corrupt_dropped = 0;
+  /// Entries dropped because they carry a different format version (left
+  /// on disk untouched — they may belong to a newer binary).
+  std::uint64_t version_dropped = 0;
+  /// Entries dropped because the stored key disagrees with the requested
+  /// one (a 64-bit file-name collision; treated as a miss).
+  std::uint64_t key_mismatch_dropped = 0;
+  std::uint64_t write_failures = 0;
+};
+
+/// Persistent, cross-process result cache for feature answer sets, keyed by
+/// (Database::ContentDigest(), feature canonical string) — the durable tier
+/// under EvalService's in-memory LRU (DESIGN.md §13).
+///
+/// Layout: one file per entry, `<dir>/<hex16(StableCacheKeyDigest)>.fse`,
+/// written atomically (serialize → unique temp file in `<dir>/tmp/` →
+/// rename), so readers in any process only ever observe complete entries.
+/// Entries are versioned and checksummed; Load never trusts a corrupt,
+/// truncated, or version-mismatched file — it degrades to a miss.
+/// Concurrent writers of the same key are harmless: answers are
+/// deterministic, so both render bit-identical bytes and the second rename
+/// replaces the first with equal content.
+///
+/// Thread-safe; all filesystem errors degrade to miss/failure counters,
+/// never exceptions.
+class DiskResultCache {
+ public:
+  /// Current on-disk format version, spelled in every entry's header.
+  static constexpr int kFormatVersion = 1;
+
+  /// Creates the directory (and its tmp/ subdirectory) if absent.
+  explicit DiskResultCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// The entry file path Load/Store use for this key.
+  std::string EntryPath(std::uint64_t content_digest,
+                        std::string_view feature) const;
+
+  /// Reads the entry for the key, or nullopt on miss / corrupt / version
+  /// mismatch / key collision. Returned names are sorted ascending.
+  std::optional<std::vector<std::string>> Load(std::uint64_t content_digest,
+                                               const std::string& feature);
+
+  /// Atomically persists the entry; returns false (and counts a
+  /// write_failure) if the filesystem refuses. Never called with partial
+  /// answers by EvalService — budget-aborted evaluations are not persisted.
+  bool Store(std::uint64_t content_digest, const std::string& feature,
+             std::vector<std::string> selected);
+
+  DiskCacheStats stats() const;
+
+ private:
+  std::string dir_;
+  std::atomic<std::uint64_t> tmp_counter_{0};
+  mutable std::mutex mutex_;  // Guards stats_ only; file ops are lock-free.
+  DiskCacheStats stats_;
+};
+
+}  // namespace serve
+}  // namespace featsep
+
+#endif  // FEATSEP_SERVE_DISK_CACHE_H_

@@ -2,23 +2,39 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <optional>
 
 #include "cq/evaluation.h"
+#include "serve/shard_protocol.h"
+#include "serve/wire_format.h"
 #include "util/check.h"
 #include "util/hash.h"
 
 namespace featsep {
 namespace serve {
 
+/// One cold (feature × database) evaluation slot of a Resolve batch.
+struct EvalService::Miss {
+  std::size_t feature_index;
+  CacheKey key;
+  std::unique_ptr<CqEvaluator> evaluator;
+  std::vector<char> flags;  // One per entity of db, in Entities() order.
+};
+
 std::size_t EvalService::CacheKeyHash::operator()(const CacheKey& key) const {
-  std::size_t seed = std::hash<std::uint64_t>()(key.first);
-  HashCombine(seed, std::hash<std::string>()(key.second));
-  return seed;
+  // The stable key identity, truncated to size_t on 32-bit hosts — bucket
+  // choice may differ there, but the serialized identity never does.
+  return static_cast<std::size_t>(
+      StableCacheKeyDigest(key.first, key.second));
 }
 
 EvalService::EvalService(const ServeOptions& options)
-    : options_(options), pool_(options.num_shards) {}
+    : options_(options), pool_(options.num_shards) {
+  if (!options_.cache_dir.empty()) {
+    disk_ = std::make_unique<DiskResultCache>(options_.cache_dir);
+  }
+}
 
 std::shared_ptr<const FeatureAnswer> EvalService::CacheGet(
     const CacheKey& key) {
@@ -52,6 +68,68 @@ void EvalService::CachePut(CacheKey key,
   }
 }
 
+bool EvalService::ResolveMissesSharded(std::vector<Miss>& misses,
+                                       const Database& db,
+                                       const std::vector<Value>& entities) {
+  // One job directory per batch, unique to this process and call so two
+  // coordinators can never entangle lifecycles (the shared disk cache is
+  // where cross-process reuse happens; the job dir is scratch).
+  static std::atomic<std::uint64_t> job_counter{0};
+  std::vector<std::string> feature_strings;
+  feature_strings.reserve(misses.size());
+  std::uint64_t job_key = Fnv1a64U64(kFnv64OffsetBasis, db.ContentDigest());
+  for (const Miss& miss : misses) {
+    feature_strings.push_back(miss.key.second);
+    job_key = Fnv1a64String(job_key, miss.key.second);
+  }
+  job_key = Fnv1a64U64(job_key, job_counter.fetch_add(1));
+#ifndef _WIN32
+  job_key = Fnv1a64U64(job_key, static_cast<std::uint64_t>(::getpid()));
+#endif
+  const std::string job_dir =
+      (std::filesystem::path(options_.shard_dir) /
+       ("job-" + wire::DigestHex(job_key)))
+          .string();
+
+  Result<std::size_t> published =
+      PublishShardJob(job_dir, db, feature_strings,
+                      std::max<std::size_t>(1, options_.entity_block),
+                      options_.cache_dir);
+  if (!published.ok()) return false;
+
+  ShardJob job;
+  job.db = &db;
+  for (const Miss& miss : misses) {
+    job.features.push_back(miss.evaluator->query());
+  }
+  job.feature_strings = std::move(feature_strings);
+  job.digest = db.ContentDigest();
+  job.entity_block = std::max<std::size_t>(1, options_.entity_block);
+  job.cache_dir = options_.cache_dir;
+  job.entities = entities;
+
+  ShardCoordinatorOptions coordinator;
+  coordinator.lease = options_.shard_lease;
+  Result<ShardMergeResult> merged =
+      CoordinateShardJob(job_dir, job, coordinator);
+  if (!merged.ok()) return false;
+  for (std::size_t m = 0; m < misses.size(); ++m) {
+    misses[m].flags = std::move(merged.value().flags[m]);
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    ++stats_.shard_jobs;
+    stats_.local_shards += merged.value().local_shards;
+    stats_.remote_shards += merged.value().remote_shards;
+    stats_.reclaimed_leases += merged.value().reclaimed_leases;
+  }
+  // The job directory is scratch; reclaim the space once merged. Workers
+  // see the done marker vanish with the directory and move on.
+  std::error_code ec;
+  std::filesystem::remove_all(job_dir, ec);
+  return true;
+}
+
 std::vector<std::shared_ptr<const FeatureAnswer>> EvalService::Resolve(
     const std::vector<ConjunctiveQuery>& features, const Database& db,
     ExecutionBudget* budget) {
@@ -63,14 +141,9 @@ std::vector<std::shared_ptr<const FeatureAnswer>> EvalService::Resolve(
   if (!RecheckBudget(budget)) return answers;
   const std::uint64_t digest = db.ContentDigest();
 
-  // Cache pass. Batch-internal duplicates (identical canonical strings)
-  // alias one evaluation slot so each distinct feature runs at most once.
-  struct Miss {
-    std::size_t feature_index;
-    CacheKey key;
-    std::unique_ptr<CqEvaluator> evaluator;
-    std::vector<char> flags;  // One per entity of db, in Entities() order.
-  };
+  // Cache pass: in-memory LRU first, then read-through to the disk tier.
+  // Batch-internal duplicates (identical canonical strings) alias one
+  // evaluation slot so each distinct feature runs at most once.
   std::vector<Miss> misses;
   std::vector<std::size_t> alias(features.size(), 0);
   std::unordered_map<CacheKey, std::size_t, CacheKeyHash> miss_of_key;
@@ -79,6 +152,17 @@ std::vector<std::shared_ptr<const FeatureAnswer>> EvalService::Resolve(
     if (use_cache) {
       answers[i] = CacheGet(key);
       if (answers[i] != nullptr) continue;
+    }
+    if (disk_ != nullptr && miss_of_key.count(key) == 0) {
+      std::optional<std::vector<std::string>> names =
+          disk_->Load(digest, key.second);
+      if (names.has_value()) {
+        auto answer = std::make_shared<const FeatureAnswer>(
+            std::unordered_set<std::string>(names->begin(), names->end()));
+        CachePut(key, answer);
+        answers[i] = std::move(answer);
+        continue;
+      }
     }
     auto [it, inserted] = miss_of_key.try_emplace(key, misses.size());
     alias[i] = it->second;
@@ -98,8 +182,9 @@ std::vector<std::shared_ptr<const FeatureAnswer>> EvalService::Resolve(
   if (misses.empty()) return answers;
 
   // Sharded evaluation of the misses: (feature × entity-block) work items
-  // on the persistent pool. Each item writes disjoint flag slots, so the
-  // result is bit-identical for every shard count.
+  // on the persistent pool — or, in shard-dir mode, published to the
+  // multi-process protocol. Each item writes disjoint flag slots, so the
+  // result is bit-identical for every shard count and worker mix.
   const std::vector<Value> entities = db.Entities();
   const std::size_t block = std::max<std::size_t>(1, options_.entity_block);
   const std::size_t blocks_per_feature = (entities.size() + block - 1) / block;
@@ -112,38 +197,46 @@ std::vector<std::shared_ptr<const FeatureAnswer>> EvalService::Resolve(
   // one feature may trip concurrently. C++20 value-initializes the atomics.
   std::vector<std::atomic<bool>> incomplete(misses.size());
   std::atomic<std::uint64_t> cancelled{0};
-  pool_.ParallelFor(
-      misses.size() * blocks_per_feature, [&](std::size_t task) {
-        const std::size_t m = task / blocks_per_feature;
-        Miss& miss = misses[m];
-        // Queued shards of an abandoned request bail at dispatch — this is
-        // what bounds cancellation latency to one in-flight kernel step per
-        // worker.
-        if (budget != nullptr && budget->Interrupted()) {
-          incomplete[m].store(true, std::memory_order_relaxed);
-          cancelled.fetch_add(1, std::memory_order_relaxed);
-          return;
-        }
-        std::size_t begin = (task % blocks_per_feature) * block;
-        std::size_t end = std::min(begin + block, entities.size());
-        for (std::size_t e = begin; e < end; ++e) {
-          std::optional<bool> selects =
-              miss.evaluator->TrySelectsEntity(db, entities[e], budget);
-          if (!selects.has_value()) {
+  // Budgeted requests stay in-process: a deadline cannot cancel work that
+  // other processes already claimed, and an aborted shard must never leak
+  // into the durable tiers.
+  const bool sharded = !options_.shard_dir.empty() && budget == nullptr &&
+                       ResolveMissesSharded(misses, db, entities);
+  if (!sharded) {
+    pool_.ParallelFor(
+        misses.size() * blocks_per_feature, [&](std::size_t task) {
+          const std::size_t m = task / blocks_per_feature;
+          Miss& miss = misses[m];
+          // Queued shards of an abandoned request bail at dispatch — this is
+          // what bounds cancellation latency to one in-flight kernel step per
+          // worker.
+          if (budget != nullptr && budget->Interrupted()) {
             incomplete[m].store(true, std::memory_order_relaxed);
             cancelled.fetch_add(1, std::memory_order_relaxed);
             return;
           }
-          miss.flags[e] = *selects ? 1 : 0;
-        }
-      });
+          std::size_t begin = (task % blocks_per_feature) * block;
+          std::size_t end = std::min(begin + block, entities.size());
+          for (std::size_t e = begin; e < end; ++e) {
+            std::optional<bool> selects =
+                miss.evaluator->TrySelectsEntity(db, entities[e], budget);
+            if (!selects.has_value()) {
+              incomplete[m].store(true, std::memory_order_relaxed);
+              cancelled.fetch_add(1, std::memory_order_relaxed);
+              return;
+            }
+            miss.flags[e] = *selects ? 1 : 0;
+          }
+        });
+  }
 
   std::uint64_t evaluated = 0;
   for (std::size_t m = 0; m < misses.size(); ++m) {
     Miss& miss = misses[m];
     if (incomplete[m].load(std::memory_order_relaxed)) {
       // Aborted: the flags are partial, so the answer must NEVER reach the
-      // cache. Remember the key so a later re-request counts as a retry.
+      // cache — in memory or on disk. Remember the key so a later
+      // re-request counts as a retry.
       std::lock_guard<std::mutex> lock(cache_mutex_);
       aborted_keys_.insert(miss.key);
       continue;  // answers[miss.feature_index] stays nullptr.
@@ -168,6 +261,20 @@ std::vector<std::shared_ptr<const FeatureAnswer>> EvalService::Resolve(
   for (std::size_t i = 0; i < features.size(); ++i) {
     if (answers[i] == nullptr) {
       answers[i] = answers[misses[alias[i]].feature_index];
+    }
+  }
+  // Write-behind to the durable tier, after the in-memory cache and the
+  // response slots are already populated. Only complete, definitive
+  // answers reach this point — aborted evaluations bailed out above.
+  if (disk_ != nullptr) {
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+      if (incomplete[m].load(std::memory_order_relaxed)) continue;
+      const Miss& miss = misses[m];
+      std::vector<std::string> names;
+      for (std::size_t e = 0; e < entities.size(); ++e) {
+        if (miss.flags[e] != 0) names.push_back(db.value_name(entities[e]));
+      }
+      disk_->Store(digest, miss.key.second, std::move(names));
     }
   }
   return answers;
@@ -218,8 +325,20 @@ FeatureVector EvalService::Vector(
 }
 
 ServeStats EvalService::stats() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  return stats_;
+  ServeStats stats;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    stats = stats_;
+  }
+  if (disk_ != nullptr) {
+    DiskCacheStats disk = disk_->stats();
+    stats.disk_hits = disk.hits;
+    stats.disk_misses = disk.misses;
+    stats.disk_writes = disk.writes;
+    stats.disk_drops =
+        disk.corrupt_dropped + disk.version_dropped + disk.key_mismatch_dropped;
+  }
+  return stats;
 }
 
 std::size_t EvalService::cache_size() const {

@@ -1,6 +1,7 @@
 #ifndef FEATSEP_SERVE_EVAL_SERVICE_H_
 #define FEATSEP_SERVE_EVAL_SERVICE_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -15,6 +16,7 @@
 #include "cq/cq.h"
 #include "linsep/linear_classifier.h"
 #include "relational/database.h"
+#include "serve/disk_cache.h"
 #include "util/budget.h"
 #include "util/thread_pool.h"
 
@@ -34,6 +36,21 @@ struct ServeOptions {
   /// Capacity of the per-feature result cache, in entries (one entry per
   /// distinct (database digest, feature) pair); 0 disables caching.
   std::size_t cache_capacity = 1024;
+  /// Directory of the persistent on-disk result cache (serve/disk_cache.h):
+  /// a durable tier under the in-memory LRU, read through on LRU misses and
+  /// written behind after fresh evaluations. Shared safely between
+  /// processes and across restarts; empty disables the disk tier.
+  std::string cache_dir;
+  /// Shared work directory for multi-process sharded evaluation
+  /// (serve/shard_protocol.h): cache misses are published as shard jobs
+  /// here and evaluated cooperatively by this process and any
+  /// `featsep_worker` processes attached to the same directory, with
+  /// results merged bit-identically to the in-process path. Empty disables
+  /// shard mode. Budgeted (TryResolve) requests always evaluate in-process.
+  std::string shard_dir;
+  /// Shard-mode lease: a shard claimed by a worker that died is reclaimed
+  /// and re-run after this long.
+  std::chrono::milliseconds shard_lease{10000};
 };
 
 /// Counters for observability and tests. Snapshot via EvalService::stats().
@@ -49,6 +66,17 @@ struct ServeStats {
   /// Features re-requested after an earlier evaluation of the same
   /// (database, feature) key was aborted before completing.
   std::uint64_t evaluation_retries = 0;
+  // Disk tier (zero unless ServeOptions::cache_dir is set).
+  std::uint64_t disk_hits = 0;
+  std::uint64_t disk_misses = 0;
+  std::uint64_t disk_writes = 0;
+  /// Entries ignored as corrupt, version-mismatched, or key-colliding.
+  std::uint64_t disk_drops = 0;
+  // Shard mode (zero unless ServeOptions::shard_dir is set).
+  std::uint64_t shard_jobs = 0;          ///< Miss batches published as jobs.
+  std::uint64_t local_shards = 0;        ///< Shards this process evaluated.
+  std::uint64_t remote_shards = 0;       ///< Shards merged from workers.
+  std::uint64_t reclaimed_leases = 0;    ///< Dead-worker shards re-queued.
 };
 
 /// The answer set q(D) ∩ η(D) of one feature query, content-addressed: the
@@ -132,6 +160,9 @@ class EvalService {
 
  private:
   using CacheKey = std::pair<std::uint64_t, std::string>;
+  /// Buckets the in-memory LRU by the same stable FNV-1a-64 identity that
+  /// names on-disk entries (serve/disk_cache.h), so the in-memory and
+  /// serialized key spaces agree exactly — no std::hash anywhere.
   struct CacheKeyHash {
     std::size_t operator()(const CacheKey& key) const;
   };
@@ -139,6 +170,7 @@ class EvalService {
     CacheKey key;
     std::shared_ptr<const FeatureAnswer> answer;
   };
+  struct Miss;
 
   /// Cache lookups + batched evaluation of the misses; the workhorse
   /// behind Answer/Matrix/Vector/TryResolve. Returns one answer per
@@ -147,11 +179,21 @@ class EvalService {
       const std::vector<ConjunctiveQuery>& features, const Database& db,
       ExecutionBudget* budget);
 
+  /// Evaluates the misses via the multi-process shard protocol
+  /// (options_.shard_dir), filling each miss's flags; returns false (and
+  /// leaves flags untouched) if publishing failed, in which case the
+  /// caller falls back to the in-process pool.
+  bool ResolveMissesSharded(std::vector<Miss>& misses, const Database& db,
+                            const std::vector<Value>& entities);
+
   std::shared_ptr<const FeatureAnswer> CacheGet(const CacheKey& key);
   void CachePut(CacheKey key, std::shared_ptr<const FeatureAnswer> answer);
 
   ServeOptions options_;
   ThreadPool pool_;
+  /// Durable tier; null when cache_dir is empty. Thread-safe itself, so
+  /// accessed outside cache_mutex_.
+  std::unique_ptr<DiskResultCache> disk_;
 
   mutable std::mutex cache_mutex_;
   std::list<CacheEntry> lru_;  // Front = most recently used.

@@ -1,0 +1,521 @@
+#include "serve/shard_protocol.h"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "cq/evaluation.h"
+#include "io/cq_parser.h"
+#include "io/reader.h"
+#include "io/writer.h"
+#include "serve/wire_format.h"
+#include "util/hash.h"
+
+namespace featsep {
+namespace serve {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kJobMagic = "featsep-shard-job";
+constexpr std::string_view kResultMagic = "featsep-shard-result";
+constexpr int kShardFormatVersion = 1;
+
+std::uint64_t ProcessId() {
+#ifndef _WIN32
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+fs::path TodoPath(const std::string& job_dir, std::size_t shard) {
+  return fs::path(job_dir) / "todo" / ("s" + std::to_string(shard));
+}
+fs::path LeasePath(const std::string& job_dir, std::size_t shard) {
+  return fs::path(job_dir) / "leases" / ("s" + std::to_string(shard));
+}
+fs::path ResultPath(const std::string& job_dir, std::size_t shard) {
+  return fs::path(job_dir) / "results" / ("s" + std::to_string(shard) + ".fsr");
+}
+fs::path DonePath(const std::string& job_dir) {
+  return fs::path(job_dir) / "done";
+}
+
+/// Writes bytes to a unique temp file in <job>/tmp and renames onto
+/// `final_path` — the same publish idiom as disk-cache entries.
+bool AtomicWrite(const std::string& job_dir, const fs::path& final_path,
+                 std::string_view bytes) {
+  static std::atomic<std::uint64_t> counter{0};
+  fs::path tmp = fs::path(job_dir) / "tmp" /
+                 (final_path.filename().string() + "." +
+                  std::to_string(ProcessId()) + "." +
+                  std::to_string(counter.fetch_add(1)) + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+bool ReadFileBytes(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+/// Reads "<keyword> <len> <bytes>\n" at the cursor.
+bool ReadKeywordSized(wire::Cursor& cursor, std::string_view keyword,
+                      std::string_view* out) {
+  if (cursor.bytes.substr(cursor.pos, keyword.size()) != keyword) return false;
+  std::size_t after = cursor.pos + keyword.size();
+  if (after >= cursor.bytes.size() || cursor.bytes[after] != ' ') return false;
+  cursor.pos = after + 1;
+  return cursor.ReadSized(out);
+}
+
+std::string SerializeJob(const Database& db,
+                         const std::vector<std::string>& features,
+                         std::size_t entity_block,
+                         const std::string& cache_dir) {
+  std::ostringstream out;
+  out << kJobMagic << " " << kShardFormatVersion << "\n";
+  out << "digest " << wire::DigestHex(db.ContentDigest()) << "\n";
+  out << "entity_block " << entity_block << "\n";
+  out << "cache_dir " << cache_dir.size() << " " << cache_dir << "\n";
+  out << "features " << features.size() << "\n";
+  for (const std::string& feature : features) {
+    out << feature.size() << " " << feature << "\n";
+  }
+  std::string db_bytes = WriteDatabase(db);
+  out << "db " << db_bytes.size() << " " << db_bytes << "\n";
+  return wire::WithChecksum(out.str());
+}
+
+std::string SerializeShardResult(const ShardJob& job, std::size_t shard,
+                                 std::string_view flags) {
+  std::ostringstream out;
+  out << kResultMagic << " " << kShardFormatVersion << "\n";
+  out << "digest " << wire::DigestHex(job.digest) << "\n";
+  out << "shard " << shard << "\n";
+  out << "flags " << flags.size() << " " << flags << "\n";
+  return wire::WithChecksum(out.str());
+}
+
+/// Parses and verifies one shard result; returns the flag bytes for the
+/// shard's entity range, or an error for anything untrustworthy.
+Result<std::string> ParseShardResult(const ShardJob& job, std::size_t shard,
+                                     std::string_view bytes) {
+  wire::Cursor cursor{bytes};
+  std::string_view line;
+  std::uint64_t version = 0;
+  if (!cursor.ReadLine(&line) ||
+      !wire::ParseKeyedU64(line, kResultMagic, &version)) {
+    return Error("bad result magic");
+  }
+  if (version != static_cast<std::uint64_t>(kShardFormatVersion)) {
+    return Error("result version mismatch");
+  }
+  std::uint64_t digest = 0;
+  if (!cursor.ReadLine(&line) ||
+      !wire::ParseKeyedU64(line, "digest", &digest, 16) ||
+      digest != job.digest) {
+    return Error("result digest mismatch");
+  }
+  std::uint64_t id = 0;
+  if (!cursor.ReadLine(&line) || !wire::ParseKeyedU64(line, "shard", &id) ||
+      id != shard) {
+    return Error("result shard mismatch");
+  }
+  std::string_view flags;
+  if (!ReadKeywordSized(cursor, "flags", &flags)) {
+    return Error("truncated flags");
+  }
+  if (!wire::VerifyChecksum(cursor)) return Error("result checksum mismatch");
+  const std::size_t block = job.entity_block;
+  const std::size_t begin = (shard % job.blocks_per_feature()) * block;
+  const std::size_t end = std::min(begin + block, job.entities.size());
+  if (flags.size() != end - begin) return Error("result flag count mismatch");
+  for (char c : flags) {
+    if (c != '+' && c != '-') return Error("bad flag byte");
+  }
+  return std::string(flags);
+}
+
+bool AllResultsPresent(const std::string& job_dir, const ShardJob& job) {
+  for (std::size_t s = 0; s < job.num_shards(); ++s) {
+    std::error_code ec;
+    if (!fs::exists(ResultPath(job_dir, s), ec)) return false;
+  }
+  return true;
+}
+
+/// When all blocks of `feature` have results, merges them and writes the
+/// feature's answer through the shared disk cache. Quietly does nothing on
+/// missing/corrupt blocks — the coordinator is the authority; this path
+/// only makes warm restarts survive a dead coordinator.
+bool TryCacheCompletedFeature(const std::string& job_dir, const ShardJob& job,
+                              std::size_t feature) {
+  if (job.cache_dir.empty()) return false;
+  const std::size_t bpf = job.blocks_per_feature();
+  std::vector<std::string> selected;
+  for (std::size_t b = 0; b < bpf; ++b) {
+    const std::size_t shard = feature * bpf + b;
+    std::string bytes;
+    if (!ReadFileBytes(ResultPath(job_dir, shard), &bytes)) return false;
+    Result<std::string> flags = ParseShardResult(job, shard, bytes);
+    if (!flags.ok()) return false;
+    const std::size_t begin = b * job.entity_block;
+    for (std::size_t i = 0; i < flags.value().size(); ++i) {
+      if (flags.value()[i] == '+') {
+        selected.push_back(job.db->value_name(job.entities[begin + i]));
+      }
+    }
+  }
+  DiskResultCache cache(job.cache_dir);
+  return cache.Store(job.digest, job.feature_strings[feature],
+                     std::move(selected));
+}
+
+std::vector<std::size_t> ListShardIds(const fs::path& dir) {
+  std::vector<std::size_t> ids;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.size() < 2 || name[0] != 's') continue;
+    std::string_view digits(name);
+    digits.remove_prefix(1);
+    // Strip a ".fsr" result suffix if present.
+    std::size_t dot = digits.find('.');
+    if (dot != std::string_view::npos) digits = digits.substr(0, dot);
+    std::uint64_t id = 0;
+    if (wire::ParseU64(digits, &id)) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+Result<std::size_t> PublishShardJob(const std::string& job_dir,
+                                    const Database& db,
+                                    const std::vector<std::string>& features,
+                                    std::size_t entity_block,
+                                    const std::string& cache_dir) {
+  entity_block = std::max<std::size_t>(1, entity_block);
+  std::error_code ec;
+  for (const char* sub : {"tmp", "todo", "leases", "results"}) {
+    fs::create_directories(fs::path(job_dir) / sub, ec);
+    if (ec) {
+      return Error("cannot create " + (fs::path(job_dir) / sub).string() +
+                   ": " + ec.message());
+    }
+  }
+  if (!AtomicWrite(job_dir, fs::path(job_dir) / "job.fsj",
+                   SerializeJob(db, features, entity_block, cache_dir))) {
+    return Error("cannot write job spec in " + job_dir);
+  }
+  const std::size_t blocks =
+      (db.Entities().size() + entity_block - 1) / entity_block;
+  const std::size_t shards = features.size() * blocks;
+  for (std::size_t s = 0; s < shards; ++s) {
+    // Existence is the whole content; claiming renames the file away.
+    std::ofstream todo(TodoPath(job_dir, s));
+    if (!todo.good()) return Error("cannot write todo shard in " + job_dir);
+  }
+  return shards;
+}
+
+Result<ShardJob> LoadShardJob(const std::string& job_dir) {
+  std::string bytes;
+  if (!ReadFileBytes(fs::path(job_dir) / "job.fsj", &bytes)) {
+    return Error("no job spec in " + job_dir);
+  }
+  wire::Cursor cursor{bytes};
+  std::string_view line;
+  std::uint64_t version = 0;
+  if (!cursor.ReadLine(&line) ||
+      !wire::ParseKeyedU64(line, kJobMagic, &version)) {
+    return Error("bad job magic");
+  }
+  if (version != static_cast<std::uint64_t>(kShardFormatVersion)) {
+    return Error("job version mismatch: " + std::to_string(version));
+  }
+  ShardJob job;
+  if (!cursor.ReadLine(&line) ||
+      !wire::ParseKeyedU64(line, "digest", &job.digest, 16)) {
+    return Error("bad job digest line");
+  }
+  std::uint64_t block = 0;
+  if (!cursor.ReadLine(&line) ||
+      !wire::ParseKeyedU64(line, "entity_block", &block) || block == 0) {
+    return Error("bad entity_block line");
+  }
+  job.entity_block = static_cast<std::size_t>(block);
+  std::string_view cache_dir;
+  if (!ReadKeywordSized(cursor, "cache_dir", &cache_dir)) {
+    return Error("bad cache_dir line");
+  }
+  job.cache_dir = std::string(cache_dir);
+  std::uint64_t count = 0;
+  if (!cursor.ReadLine(&line) ||
+      !wire::ParseKeyedU64(line, "features", &count) ||
+      count > bytes.size()) {
+    return Error("bad features line");
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string_view feature;
+    if (!cursor.ReadSized(&feature)) return Error("truncated feature");
+    job.feature_strings.emplace_back(feature);
+  }
+  std::string_view db_bytes;
+  if (!ReadKeywordSized(cursor, "db", &db_bytes)) {
+    return Error("truncated database");
+  }
+  if (!wire::VerifyChecksum(cursor)) return Error("job checksum mismatch");
+
+  Result<std::shared_ptr<Database>> db = ReadDatabase(db_bytes);
+  if (!db.ok()) return Error("job database: " + db.error().message());
+  job.owned_db = db.value();
+  job.db = job.owned_db.get();
+  // A worker whose digest computation disagrees with the coordinator's
+  // must refuse the job outright — evaluating under the wrong key would
+  // poison every shared cache.
+  if (job.db->ContentDigest() != job.digest) {
+    return Error("job digest disagrees with database content");
+  }
+  for (const std::string& feature : job.feature_strings) {
+    Result<ConjunctiveQuery> query = ParseCq(job.db->schema_ptr(), feature);
+    if (!query.ok()) return Error("job feature: " + query.error().message());
+    job.features.push_back(std::move(query.value()));
+  }
+  job.entities = job.db->Entities();
+  return job;
+}
+
+bool ShardJobDone(const std::string& job_dir) {
+  std::error_code ec;
+  return fs::exists(DonePath(job_dir), ec);
+}
+
+std::optional<std::size_t> ClaimShard(const std::string& job_dir,
+                                      const ShardJob& job) {
+  // Lowest id first: claim order is deterministic per scan, and the merged
+  // answer is slot-keyed so racing processes cannot perturb results.
+  for (std::size_t id : ListShardIds(fs::path(job_dir) / "todo")) {
+    if (id >= job.num_shards()) continue;
+    std::error_code ec;
+    fs::rename(TodoPath(job_dir, id), LeasePath(job_dir, id), ec);
+    if (!ec) return id;  // The rename is atomic: we are the sole owner.
+  }
+  return std::nullopt;
+}
+
+Result<bool> EvaluateClaimedShard(const std::string& job_dir,
+                                  const ShardJob& job, std::size_t shard) {
+  const std::size_t bpf = job.blocks_per_feature();
+  if (bpf == 0 || shard >= job.num_shards()) {
+    return Error("shard id out of range");
+  }
+  const std::size_t feature = shard / bpf;
+  const std::size_t begin = (shard % bpf) * job.entity_block;
+  const std::size_t end =
+      std::min(begin + job.entity_block, job.entities.size());
+
+  CqEvaluator evaluator(job.features[feature]);
+  std::string flags;
+  flags.reserve(end - begin);
+  const fs::path lease = LeasePath(job_dir, shard);
+  for (std::size_t e = begin; e < end; ++e) {
+    flags.push_back(evaluator.SelectsEntity(*job.db, job.entities[e]) ? '+'
+                                                                      : '-');
+    // Renew the lease so a long shard is not reclaimed under a live worker
+    // (entity evaluations are the NP-hard unit of progress).
+    std::error_code ec;
+    fs::last_write_time(lease, fs::file_time_type::clock::now(), ec);
+  }
+  if (!AtomicWrite(job_dir, ResultPath(job_dir, shard),
+                   SerializeShardResult(job, shard, flags))) {
+    return Error("cannot publish shard result");
+  }
+  std::error_code ec;
+  fs::remove(lease, ec);
+  return TryCacheCompletedFeature(job_dir, job, feature);
+}
+
+std::size_t ReclaimExpiredLeases(const std::string& job_dir,
+                                 const ShardJob& job,
+                                 std::chrono::milliseconds lease) {
+  std::size_t reclaimed = 0;
+  for (std::size_t id : ListShardIds(fs::path(job_dir) / "leases")) {
+    std::error_code ec;
+    if (fs::exists(ResultPath(job_dir, id), ec)) {
+      // Finished but the worker died before cleanup: drop the stale lease.
+      fs::remove(LeasePath(job_dir, id), ec);
+      continue;
+    }
+    auto mtime = fs::last_write_time(LeasePath(job_dir, id), ec);
+    if (ec) continue;  // Raced with the owner's cleanup.
+    auto age = fs::file_time_type::clock::now() - mtime;
+    if (age < lease) continue;
+    fs::rename(LeasePath(job_dir, id), TodoPath(job_dir, id), ec);
+    if (!ec) ++reclaimed;
+  }
+  return reclaimed;
+}
+
+Result<ShardWorkerStats> WorkOnShardJob(const std::string& job_dir,
+                                        const ShardJob& job,
+                                        const ShardWorkerOptions& options) {
+  ShardWorkerStats stats;
+  while (!ShardJobDone(job_dir)) {
+    if (options.max_shards != 0 && stats.shards_completed >= options.max_shards)
+      break;
+    std::optional<std::size_t> shard = ClaimShard(job_dir, job);
+    if (shard.has_value()) {
+      const std::size_t begin =
+          (*shard % job.blocks_per_feature()) * job.entity_block;
+      const std::size_t end =
+          std::min(begin + job.entity_block, job.entities.size());
+      Result<bool> done = EvaluateClaimedShard(job_dir, job, *shard);
+      if (!done.ok()) return done.error();
+      ++stats.shards_completed;
+      stats.entities_evaluated += end - begin;
+      if (done.value()) ++stats.features_cached;
+      continue;
+    }
+    if (AllResultsPresent(job_dir, job)) break;
+    if (options.reclaim_lease.has_value()) {
+      ReclaimExpiredLeases(job_dir, job, *options.reclaim_lease);
+    }
+    std::this_thread::sleep_for(options.poll);
+  }
+  return stats;
+}
+
+Result<ShardMergeResult> CoordinateShardJob(
+    const std::string& job_dir, const ShardJob& job,
+    const ShardCoordinatorOptions& options) {
+  ShardMergeResult merge;
+  merge.flags.assign(job.features.size(),
+                     std::vector<char>(job.entities.size(), 0));
+  const std::size_t bpf = job.blocks_per_feature();
+
+  while (true) {
+    // Drive the job to completion: claim locally when allowed, reclaim
+    // leases of dead workers, otherwise wait for attached workers.
+    while (!AllResultsPresent(job_dir, job)) {
+      bool progress = false;
+      if (options.evaluate_locally) {
+        std::optional<std::size_t> shard = ClaimShard(job_dir, job);
+        if (shard.has_value()) {
+          Result<bool> done = EvaluateClaimedShard(job_dir, job, *shard);
+          if (!done.ok()) return done.error();
+          ++merge.local_shards;
+          progress = true;
+        }
+      }
+      if (!progress) {
+        merge.reclaimed_leases +=
+            ReclaimExpiredLeases(job_dir, job, options.lease);
+        std::this_thread::sleep_for(options.poll);
+      }
+    }
+
+    // Merge. Results are slot-keyed by shard id, so the merged flags are
+    // bit-identical to the serial path no matter which process produced
+    // which shard. A corrupt/truncated result is deleted and its shard
+    // re-queued — never trusted.
+    std::vector<std::size_t> requeue;
+    for (std::size_t s = 0; s < job.num_shards(); ++s) {
+      std::string bytes;
+      Result<std::string> flags = Error("unread");
+      if (ReadFileBytes(ResultPath(job_dir, s), &bytes)) {
+        flags = ParseShardResult(job, s, bytes);
+      }
+      if (!flags.ok()) {
+        std::error_code ec;
+        fs::remove(ResultPath(job_dir, s), ec);
+        requeue.push_back(s);
+        continue;
+      }
+      const std::size_t begin = (s % bpf) * job.entity_block;
+      for (std::size_t i = 0; i < flags.value().size(); ++i) {
+        merge.flags[s / bpf][begin + i] = flags.value()[i] == '+' ? 1 : 0;
+      }
+    }
+    if (requeue.empty()) break;
+    for (std::size_t s : requeue) {
+      std::error_code ec;
+      fs::remove(LeasePath(job_dir, s), ec);  // Unblock the todo rename.
+      std::ofstream todo(TodoPath(job_dir, s));
+      if (!todo.good()) return Error("cannot re-queue corrupt shard");
+    }
+  }
+  merge.remote_shards = job.num_shards() - merge.local_shards;
+
+  if (!AtomicWrite(job_dir, DonePath(job_dir), "done\n")) {
+    // Non-fatal: workers will still observe AllResultsPresent and stop.
+  }
+  return merge;
+}
+
+Result<ShardWorkerStats> RunShardWorkerDir(
+    const std::string& work_dir, const ShardWorkerPoolOptions& options) {
+  ShardWorkerStats total;
+  auto last_activity = std::chrono::steady_clock::now();
+  while (true) {
+    bool worked = false;
+    std::error_code ec;
+    std::vector<fs::path> jobs;
+    for (const auto& entry : fs::directory_iterator(work_dir, ec)) {
+      if (!entry.is_directory(ec)) continue;
+      std::error_code exists_ec;
+      if (fs::exists(entry.path() / "job.fsj", exists_ec)) {
+        jobs.push_back(entry.path());
+      }
+    }
+    std::sort(jobs.begin(), jobs.end());
+    for (const fs::path& dir : jobs) {
+      if (ShardJobDone(dir.string())) continue;
+      Result<ShardJob> job = LoadShardJob(dir.string());
+      if (!job.ok()) continue;  // Partially published or foreign-version job.
+      Result<ShardWorkerStats> stats =
+          WorkOnShardJob(dir.string(), job.value(), options.worker);
+      if (!stats.ok()) return stats.error();
+      total.shards_completed += stats.value().shards_completed;
+      total.entities_evaluated += stats.value().entities_evaluated;
+      total.features_cached += stats.value().features_cached;
+      if (stats.value().shards_completed > 0) worked = true;
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (worked) last_activity = now;
+    if (options.idle_exit.count() == 0) break;  // Single pass.
+    if (!worked && now - last_activity >= options.idle_exit) break;
+    if (!worked) std::this_thread::sleep_for(options.poll);
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace featsep

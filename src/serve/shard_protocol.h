@@ -1,0 +1,166 @@
+#ifndef FEATSEP_SERVE_SHARD_PROTOCOL_H_
+#define FEATSEP_SERVE_SHARD_PROTOCOL_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cq/cq.h"
+#include "relational/database.h"
+#include "serve/disk_cache.h"
+#include "util/result.h"
+
+namespace featsep {
+namespace serve {
+
+/// File-based multi-process shard protocol for (feature × entity-block)
+/// evaluation sweeps (DESIGN.md §13). One *job* lives in one directory:
+///
+///   <job>/job.fsj       — checksummed job spec: database bytes, feature
+///                         canonical strings, content digest, block size,
+///                         optional shared disk-cache directory
+///   <job>/todo/s<id>    — one (empty) file per unclaimed shard
+///   <job>/leases/s<id>  — a claimed shard; mtime = claim/renewal time
+///   <job>/results/s<id>.fsr — checksummed per-shard result flags
+///   <job>/done          — coordinator marker: job merged, workers move on
+///
+/// Claiming is a rename todo/s<id> → leases/s<id>: atomic on POSIX, so
+/// exactly one process wins a shard. A worker renews its lease mtime while
+/// evaluating; the coordinator reclaims leases older than the lease window
+/// (rename back to todo) so shards claimed by dead workers are re-run.
+/// Results are published by atomic rename like disk-cache entries, and the
+/// kernel is deterministic, so a reclaimed-but-alive worker double-writing
+/// a shard produces bit-identical bytes — last rename wins harmlessly.
+///
+/// Shard ids are `feature_index * blocks_per_feature + block_index`; every
+/// result carries disjoint, deterministic slots, so the merged answer is
+/// bit-identical to the serial path regardless of worker count, claim
+/// order, or timing.
+
+/// A parsed (or in-memory) job.
+struct ShardJob {
+  /// Storage for a database parsed from job.fsj; null when the coordinator
+  /// built the job around a live database it does not own.
+  std::shared_ptr<Database> owned_db;
+  const Database* db = nullptr;
+  std::vector<ConjunctiveQuery> features;
+  std::vector<std::string> feature_strings;
+  std::uint64_t digest = 0;
+  std::size_t entity_block = 64;
+  /// Shared DiskResultCache directory; empty = no write-through.
+  std::string cache_dir;
+  /// db->Entities(), cached at load/publish time; the evaluation order
+  /// every process agrees on.
+  std::vector<Value> entities;
+
+  std::size_t blocks_per_feature() const {
+    return (entities.size() + entity_block - 1) / entity_block;
+  }
+  std::size_t num_shards() const {
+    return features.size() * blocks_per_feature();
+  }
+};
+
+/// Serializes and publishes a job into `job_dir` (created if absent):
+/// writes job.fsj atomically plus one todo file per shard. Returns the
+/// shard count.
+Result<std::size_t> PublishShardJob(const std::string& job_dir,
+                                    const Database& db,
+                                    const std::vector<std::string>& features,
+                                    std::size_t entity_block,
+                                    const std::string& cache_dir);
+
+/// Loads and verifies job.fsj (checksum, parseable database and features,
+/// database content digest matching the spelled digest — a worker whose
+/// digest computation disagrees must refuse rather than poison caches).
+Result<ShardJob> LoadShardJob(const std::string& job_dir);
+
+/// True once the coordinator has merged the job and marked it done.
+bool ShardJobDone(const std::string& job_dir);
+
+/// Claims the lowest-id unclaimed shard (rename into leases/); nullopt when
+/// no todo shard exists right now.
+std::optional<std::size_t> ClaimShard(const std::string& job_dir,
+                                      const ShardJob& job);
+
+/// Evaluates one claimed shard and publishes its result file, renewing the
+/// lease mtime after each entity. Removes the lease on success. When the
+/// job names a cache_dir and this shard completes its feature (all blocks'
+/// results present), also merges the feature's answer and writes it through
+/// the shared disk cache — so warm restarts hit even if the coordinator
+/// died before merging. Returns whether that write-through happened.
+Result<bool> EvaluateClaimedShard(const std::string& job_dir,
+                                  const ShardJob& job, std::size_t shard);
+
+/// Renames leases older than `lease` (with no result) back into todo/;
+/// returns how many shards were reclaimed.
+std::size_t ReclaimExpiredLeases(const std::string& job_dir,
+                                 const ShardJob& job,
+                                 std::chrono::milliseconds lease);
+
+struct ShardWorkerOptions {
+  std::chrono::milliseconds poll{25};
+  /// Stop after this many shards (0 = unlimited).
+  std::size_t max_shards = 0;
+  /// Workers do not reclaim leases by default (that is the coordinator's
+  /// job); a standalone worker pool with no coordinator can opt in.
+  std::optional<std::chrono::milliseconds> reclaim_lease;
+};
+
+struct ShardWorkerStats {
+  std::uint64_t shards_completed = 0;
+  std::uint64_t entities_evaluated = 0;
+  std::uint64_t features_cached = 0;  ///< Features written through the cache.
+};
+
+/// Worker loop over one job: claim → evaluate → publish until every shard
+/// has a result (or the done marker appears, or max_shards is reached).
+Result<ShardWorkerStats> WorkOnShardJob(const std::string& job_dir,
+                                        const ShardJob& job,
+                                        const ShardWorkerOptions& options = {});
+
+struct ShardCoordinatorOptions {
+  /// Leases older than this are reclaimed (dead or stuck workers).
+  std::chrono::milliseconds lease{10000};
+  std::chrono::milliseconds poll{10};
+  /// The coordinator claims and evaluates shards itself while waiting, so
+  /// a job always finishes even with zero workers attached.
+  bool evaluate_locally = true;
+};
+
+struct ShardMergeResult {
+  /// flags[feature][entity] ∈ {0,1} in job.entities order — the same shape
+  /// the in-process evaluation produces.
+  std::vector<std::vector<char>> flags;
+  std::uint64_t local_shards = 0;
+  std::uint64_t remote_shards = 0;
+  std::uint64_t reclaimed_leases = 0;
+};
+
+/// Coordinator: drives the job to completion (evaluating locally when
+/// enabled, reclaiming expired leases), verifies and merges every shard
+/// result, writes the done marker. A corrupt result file is deleted and
+/// its shard re-queued, never trusted.
+Result<ShardMergeResult> CoordinateShardJob(
+    const std::string& job_dir, const ShardJob& job,
+    const ShardCoordinatorOptions& options = {});
+
+/// Scans `work_dir` for job subdirectories (any directory containing
+/// job.fsj) that are not done, and works on each; used by featsep_worker.
+/// Exits once `idle_exit` elapses with nothing to do (0 = one pass only).
+struct ShardWorkerPoolOptions {
+  ShardWorkerOptions worker;
+  std::chrono::milliseconds idle_exit{0};
+  std::chrono::milliseconds poll{50};
+};
+Result<ShardWorkerStats> RunShardWorkerDir(
+    const std::string& work_dir, const ShardWorkerPoolOptions& options = {});
+
+}  // namespace serve
+}  // namespace featsep
+
+#endif  // FEATSEP_SERVE_SHARD_PROTOCOL_H_

@@ -12,6 +12,7 @@
 #include "io/cq_parser.h"
 #include "io/reader.h"
 #include "io/writer.h"
+#include "util/hash.h"
 
 namespace featsep {
 namespace testing {
@@ -364,16 +365,11 @@ Result<FuzzInstance> DeserializeFuzzInstance(std::string_view text) {
 }
 
 std::string FuzzInstanceFileName(std::string_view serialized) {
-  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a 64.
-  for (char c : serialized) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ULL;
-  }
   std::ostringstream out;
   out << std::hex;
   out.width(16);
   out.fill('0');
-  out << hash;
+  out << Fnv1a64(serialized);
   return out.str() + ".fz";
 }
 

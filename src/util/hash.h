@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -11,8 +12,57 @@ namespace featsep {
 
 /// Mixes `value` into a running hash seed (boost::hash_combine-style, with a
 /// 64-bit golden-ratio constant). Order-sensitive.
+///
+/// NOT stable across processes when fed std::hash output — never use it for
+/// anything serialized or shared between processes; that is what the
+/// Fnv1a64* family below is for.
 inline void HashCombine(std::size_t& seed, std::size_t value) {
   seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+// ---------------------------------------------------------------------------
+// Stable hashing: FNV-1a-64 over explicitly specified byte sequences.
+//
+// Every constant and byte order below is part of the persistent format
+// contract (DESIGN.md §13): the output is identical on every platform,
+// process, and standard library, so it may key on-disk caches, file names,
+// and cross-process protocols. std::hash must never leak into these values.
+
+/// FNV-1a 64-bit offset basis.
+inline constexpr std::uint64_t kFnv64OffsetBasis = 0xcbf29ce484222325ULL;
+/// FNV-1a 64-bit prime.
+inline constexpr std::uint64_t kFnv64Prime = 0x100000001b3ULL;
+
+/// Absorbs one byte into a running FNV-1a-64 hash.
+inline std::uint64_t Fnv1a64Byte(std::uint64_t hash, unsigned char byte) {
+  return (hash ^ byte) * kFnv64Prime;
+}
+
+/// Absorbs a raw byte sequence into a running FNV-1a-64 hash.
+inline std::uint64_t Fnv1a64Bytes(std::uint64_t hash, std::string_view bytes) {
+  for (char c : bytes) hash = Fnv1a64Byte(hash, static_cast<unsigned char>(c));
+  return hash;
+}
+
+/// Absorbs a u64 as exactly 8 little-endian bytes (byte order fixed by
+/// shifts, independent of host endianness).
+inline std::uint64_t Fnv1a64U64(std::uint64_t hash, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    hash = Fnv1a64Byte(hash, static_cast<unsigned char>(value >> shift));
+  }
+  return hash;
+}
+
+/// Absorbs a string unambiguously: its length as a u64, then its bytes
+/// (the length prefix keeps "ab","c" distinct from "a","bc").
+inline std::uint64_t Fnv1a64String(std::uint64_t hash, std::string_view s) {
+  hash = Fnv1a64U64(hash, static_cast<std::uint64_t>(s.size()));
+  return Fnv1a64Bytes(hash, s);
+}
+
+/// Plain FNV-1a-64 of a byte sequence from the offset basis.
+inline std::uint64_t Fnv1a64(std::string_view bytes) {
+  return Fnv1a64Bytes(kFnv64OffsetBasis, bytes);
 }
 
 /// Hashes an arbitrary range of hashable elements, order-sensitively.

@@ -1,0 +1,314 @@
+#include "serve/disk_cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "core/statistic.h"
+#include "serve/eval_service.h"
+#include "test_util.h"
+
+namespace featsep {
+namespace {
+
+namespace fs = std::filesystem;
+
+using ::featsep::testing::ExpiredBudget;
+using ::featsep::testing::MakeWorld;
+using ::featsep::testing::MakeWorldReordered;
+using ::featsep::testing::OutInFeatures;
+using serve::DiskCacheEntry;
+using serve::DiskResultCache;
+using serve::EvalService;
+using serve::ParseDiskCacheEntry;
+using serve::SerializeDiskCacheEntry;
+using serve::ServeOptions;
+using serve::ServeStats;
+using serve::StableCacheKeyDigest;
+
+/// Unique per-process scratch directory, removed on destruction. ctest runs
+/// each TEST as its own process, so the pid keeps parallel runs disjoint.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    std::uint64_t pid = 0;
+#ifndef _WIN32
+    pid = static_cast<std::uint64_t>(::getpid());
+#endif
+    path_ = fs::temp_directory_path() / (tag + "-" + std::to_string(pid));
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void WriteFile(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+TEST(StableKeyTest, GoldenValueIsPinnedForever) {
+  // The stable key identity names on-disk entries and buckets the in-memory
+  // LRU; like Database::ContentDigest() it must never change for given
+  // inputs. Do not update this constant — fix the hash instead.
+  EXPECT_EQ(StableCacheKeyDigest(0x0123456789abcdefULL, "q(x) :- E(x,y)"),
+            0xfcc293d3192e5cc5ULL);
+  // Distinct digests and distinct features produce distinct keys.
+  EXPECT_NE(StableCacheKeyDigest(1, "f"), StableCacheKeyDigest(2, "f"));
+  EXPECT_NE(StableCacheKeyDigest(1, "f"), StableCacheKeyDigest(1, "g"));
+}
+
+TEST(DiskCacheEntryTest, SerializeParseRoundTrip) {
+  std::string bytes = SerializeDiskCacheEntry(
+      0xfeedULL, "q(x) :- E(x,y)", {"zeta", "alpha", "mid"});
+  Result<DiskCacheEntry> entry = ParseDiskCacheEntry(bytes);
+  ASSERT_TRUE(entry.ok()) << entry.error().message();
+  EXPECT_EQ(entry.value().content_digest, 0xfeedULL);
+  EXPECT_EQ(entry.value().feature, "q(x) :- E(x,y)");
+  // Canonical order on disk: sorted, whatever order Store was handed.
+  EXPECT_EQ(entry.value().selected,
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(DiskCacheEntryTest, EntityNamesMayContainAnything) {
+  // Length-prefixed names survive spaces and newlines.
+  std::string bytes = SerializeDiskCacheEntry(
+      7, "f", {"a b", "with\nnewline", "13 digits lead"});
+  Result<DiskCacheEntry> entry = ParseDiskCacheEntry(bytes);
+  ASSERT_TRUE(entry.ok()) << entry.error().message();
+  EXPECT_EQ(entry.value().selected.size(), 3u);
+}
+
+TEST(DiskCacheEntryTest, EveryTruncationIsRejected) {
+  std::string bytes = SerializeDiskCacheEntry(42, "feat", {"e1", "e2"});
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(ParseDiskCacheEntry(bytes.substr(0, len)).ok())
+        << "prefix of length " << len << " parsed";
+  }
+  EXPECT_TRUE(ParseDiskCacheEntry(bytes).ok());
+  // Trailing garbage after the checksum is also corruption.
+  EXPECT_FALSE(ParseDiskCacheEntry(bytes + "x").ok());
+}
+
+TEST(DiskCacheEntryTest, EverySingleByteFlipBreaksTheChecksum) {
+  std::string bytes = SerializeDiskCacheEntry(42, "feat", {"e1"});
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] ^= 0x01;
+    EXPECT_FALSE(ParseDiskCacheEntry(mutated).ok())
+        << "flip at offset " << i << " parsed";
+  }
+}
+
+TEST(DiskResultCacheTest, StoreThenLoad) {
+  TempDir dir("featsep-dc-roundtrip");
+  DiskResultCache cache(dir.str());
+  EXPECT_FALSE(cache.Load(1, "f").has_value());
+  EXPECT_TRUE(cache.Store(1, "f", {"b", "a"}));
+  auto names = cache.Load(1, "f");
+  ASSERT_TRUE(names.has_value());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "b"}));
+  // A different key misses without disturbing the stored entry.
+  EXPECT_FALSE(cache.Load(2, "f").has_value());
+  EXPECT_FALSE(cache.Load(1, "g").has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().writes, 1u);
+}
+
+TEST(DiskResultCacheTest, EntriesSurviveProcessRestart) {
+  // Simulated restart: a brand-new cache object (fresh stats, fresh
+  // everything) over the same directory serves the entry.
+  TempDir dir("featsep-dc-restart");
+  { DiskResultCache(dir.str()).Store(9, "f", {"e"}); }
+  DiskResultCache reopened(dir.str());
+  auto names = reopened.Load(9, "f");
+  ASSERT_TRUE(names.has_value());
+  EXPECT_EQ(*names, std::vector<std::string>{"e"});
+}
+
+TEST(DiskResultCacheTest, CorruptEntryIsDroppedAndDeletedNeverTrusted) {
+  TempDir dir("featsep-dc-corrupt");
+  DiskResultCache cache(dir.str());
+  ASSERT_TRUE(cache.Store(5, "f", {"a"}));
+
+  // Find the entry file and truncate it mid-payload.
+  fs::path entry_path;
+  for (const auto& it : fs::directory_iterator(dir.path())) {
+    if (it.path().extension() == ".fse") entry_path = it.path();
+  }
+  ASSERT_FALSE(entry_path.empty());
+  std::string bytes = ReadFile(entry_path);
+  WriteFile(entry_path, bytes.substr(0, bytes.size() / 2));
+
+  EXPECT_FALSE(cache.Load(5, "f").has_value());
+  EXPECT_EQ(cache.stats().corrupt_dropped, 1u);
+  EXPECT_FALSE(fs::exists(entry_path)) << "corrupt entry not deleted";
+
+  // The slot is reusable: a fresh Store replaces it with a good entry.
+  ASSERT_TRUE(cache.Store(5, "f", {"a"}));
+  EXPECT_TRUE(cache.Load(5, "f").has_value());
+}
+
+TEST(DiskResultCacheTest, VersionMismatchIsIgnoredButPreserved) {
+  TempDir dir("featsep-dc-version");
+  DiskResultCache cache(dir.str());
+  ASSERT_TRUE(cache.Store(5, "f", {"a"}));
+  fs::path entry_path;
+  for (const auto& it : fs::directory_iterator(dir.path())) {
+    if (it.path().extension() == ".fse") entry_path = it.path();
+  }
+  ASSERT_FALSE(entry_path.empty());
+  // A future format version: maybe written by a newer binary sharing the
+  // directory. It must be a miss — but never deleted.
+  WriteFile(entry_path, "featsep-result-cache 999\nwho knows what follows\n");
+
+  EXPECT_FALSE(cache.Load(5, "f").has_value());
+  EXPECT_EQ(cache.stats().version_dropped, 1u);
+  EXPECT_EQ(cache.stats().corrupt_dropped, 0u);
+  EXPECT_TRUE(fs::exists(entry_path)) << "foreign-version entry deleted";
+}
+
+TEST(DiskResultCacheTest, KeyCollisionKeepsResidentEntry) {
+  TempDir dir("featsep-dc-collide");
+  DiskResultCache cache(dir.str());
+  ASSERT_TRUE(cache.Store(5, "f", {"a"}));
+  // Masquerade the valid entry under a different key's file name: the
+  // payload spells its true key, so the reader refuses to serve it.
+  fs::path entry_path;
+  for (const auto& it : fs::directory_iterator(dir.path())) {
+    if (it.path().extension() == ".fse") entry_path = it.path();
+  }
+  const std::string bytes = ReadFile(entry_path);
+  DiskResultCache other(dir.str());
+  other.Store(6, "g", {"b"});
+  fs::path other_path;
+  for (const auto& it : fs::directory_iterator(dir.path())) {
+    if (it.path().extension() == ".fse" && it.path() != entry_path) {
+      other_path = it.path();
+    }
+  }
+  ASSERT_FALSE(other_path.empty());
+  WriteFile(other_path, bytes);  // (6, "g")'s file now holds (5, "f").
+
+  EXPECT_FALSE(other.Load(6, "g").has_value());
+  EXPECT_EQ(other.stats().key_mismatch_dropped, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// EvalService integration: the durable tier under the LRU.
+
+TEST(EvalServiceDiskTest, ColdRunRestartWarmRunBitIdentical) {
+  TempDir dir("featsep-svc-restart");
+  Database db = MakeWorld();
+  Statistic statistic(OutInFeatures());
+  const std::vector<FeatureVector> serial = statistic.Matrix(db);
+
+  ServeOptions options;
+  options.cache_dir = dir.str();
+  std::vector<FeatureVector> cold;
+  {
+    EvalService service(options);
+    cold = service.Matrix(statistic.features(), db);
+    ServeStats stats = service.stats();
+    EXPECT_EQ(stats.disk_hits, 0u);
+    EXPECT_EQ(stats.disk_writes, statistic.features().size());
+    EXPECT_EQ(stats.features_evaluated, statistic.features().size());
+  }  // Service destroyed: the "process" is gone, only the directory stays.
+
+  EvalService restarted(options);
+  std::vector<FeatureVector> warm = restarted.Matrix(statistic.features(), db);
+  ServeStats stats = restarted.stats();
+  EXPECT_EQ(stats.disk_hits, statistic.features().size());
+  EXPECT_EQ(stats.features_evaluated, 0u) << "kernel ran despite disk cache";
+  EXPECT_EQ(warm, cold);
+  EXPECT_EQ(warm, serial);
+}
+
+TEST(EvalServiceDiskTest, DiskEntriesTransferBetweenEqualContentDatabases) {
+  // Entries are keyed by content digest and store entity *names*, so a
+  // database with the same content but different interning order hits.
+  TempDir dir("featsep-svc-transfer");
+  ServeOptions options;
+  options.cache_dir = dir.str();
+  Database a = MakeWorld();
+  Database b = MakeWorldReordered();
+  Statistic statistic(OutInFeatures());
+  std::vector<FeatureVector> on_a;
+  {
+    EvalService service(options);
+    on_a = service.Matrix(statistic.features(), a);
+  }
+  EvalService service(options);
+  std::vector<FeatureVector> on_b = service.Matrix(statistic.features(), b);
+  EXPECT_EQ(service.stats().disk_hits, statistic.features().size());
+  EXPECT_EQ(service.stats().features_evaluated, 0u);
+  EXPECT_EQ(on_b, statistic.Matrix(b));
+}
+
+TEST(EvalServiceDiskTest, CorruptDirectoryIsNotFatal) {
+  TempDir dir("featsep-svc-corrupt");
+  ServeOptions options;
+  options.cache_dir = dir.str();
+  Database db = MakeWorld();
+  Statistic statistic(OutInFeatures());
+  {
+    EvalService service(options);
+    service.Matrix(statistic.features(), db);
+  }
+  // Vandalize every entry.
+  for (const auto& it : fs::directory_iterator(dir.path())) {
+    if (it.path().extension() == ".fse") WriteFile(it.path(), "garbage");
+  }
+  EvalService service(options);
+  std::vector<FeatureVector> matrix = service.Matrix(statistic.features(), db);
+  EXPECT_EQ(matrix, statistic.Matrix(db));
+  ServeStats stats = service.stats();
+  EXPECT_EQ(stats.disk_hits, 0u);
+  EXPECT_EQ(stats.disk_drops, statistic.features().size());
+  EXPECT_EQ(stats.features_evaluated, statistic.features().size());
+}
+
+TEST(EvalServiceDiskTest, AbortedEvaluationsAreNeverPersisted) {
+  // The PR 5 rule extended to disk: an expired budget yields nullptr
+  // answers and must leave NOTHING durable behind.
+  TempDir dir("featsep-svc-aborted");
+  ServeOptions options;
+  options.cache_dir = dir.str();
+  Database db = MakeWorld();
+  EvalService service(options);
+  ExecutionBudget budget = ExpiredBudget();
+  auto answers = service.TryResolve(OutInFeatures(), db, &budget);
+  for (const auto& answer : answers) EXPECT_EQ(answer, nullptr);
+  EXPECT_EQ(service.stats().disk_writes, 0u);
+  std::size_t entries = 0;
+  for (const auto& it : fs::directory_iterator(dir.path())) {
+    if (it.path().extension() == ".fse") ++entries;
+  }
+  EXPECT_EQ(entries, 0u) << "aborted evaluation left a durable entry";
+}
+
+}  // namespace
+}  // namespace featsep

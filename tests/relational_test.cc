@@ -219,6 +219,32 @@ TEST(DatabaseDigestTest, DistinguishesContentAndTracksMutation) {
   EXPECT_EQ(Copy(a).ContentDigest(), a.ContentDigest());
 }
 
+TEST(DatabaseDigestTest, GoldenValuesArePinnedForever) {
+  // ContentDigest() is a persistence contract: it names on-disk cache
+  // entries (serve/disk_cache.h) and authenticates shard jobs between
+  // processes (serve/shard_protocol.h), so its value for given content must
+  // never change — across processes, platforms, standard libraries, or
+  // releases of this codebase. These constants pin the explicitly specified
+  // FNV-1a-64 format of DESIGN.md §13. If this test fails, do NOT update
+  // the constants: you have broken every existing cache directory. Fix the
+  // digest, or introduce an explicitly versioned successor.
+  Database empty(GraphSchema());
+  EXPECT_EQ(empty.ContentDigest(), 0x3a292af2481cd51eULL);
+
+  EXPECT_EQ(testing::MakeWorld().ContentDigest(), 0x67e4952b86c72da1ULL);
+  EXPECT_EQ(testing::MakeWorldReordered().ContentDigest(),
+            0x67e4952b86c72da1ULL);
+
+  Database one_edge(GraphSchema());
+  one_edge.AddFact("E", {"x", "y"});
+  EXPECT_EQ(one_edge.ContentDigest(), 0x4a9b532caa651606ULL);
+
+  // Same (empty) fact set over a different schema: distinct digest, also
+  // pinned — the schema absorption is part of the format.
+  Database empty_unary(testing::UnarySchema());
+  EXPECT_EQ(empty_unary.ContentDigest(), 0xdf843fa6ea075208ULL);
+}
+
 TEST(DatabaseDigestTest, SchemaShapeIsPartOfTheDigest) {
   // Same fact spelling over structurally different schemas must not
   // collide: the digest covers relation names, arities, and the entity

@@ -8,8 +8,17 @@
 // Usage:
 //   featsep_serve [--requests N] [--nodes N] [--m M] [--queue CAP]
 //                 [--dispatchers N] [--shards N] [--deadline-ms D]
-//                 [--batch-frac F] [--seed S]
+//                 [--batch-frac F] [--seed S] [--cache-dir DIR]
+//                 [--require-warm-disk]
 // A deadline of 0 means unbounded requests (nothing expires).
+//
+// --cache-dir enables the persistent on-disk result tier (DESIGN.md §13):
+// run the tool twice with the same directory and seed and the second
+// process serves the whole feature bank from disk without re-running the
+// kernel. --require-warm-disk turns that into an assertion (exit 1 unless
+// at least one answer was served from the disk tier and nothing was
+// kernel-evaluated that the cache already held) — the CI warm-restart
+// smoke runs exactly that pair.
 
 #include <algorithm>
 #include <chrono>
@@ -32,7 +41,8 @@ void Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--requests N] [--nodes N] [--m M] [--queue CAP]\n"
                "       [--dispatchers N] [--shards N] [--deadline-ms D]\n"
-               "       [--batch-frac F] [--seed S]\n";
+               "       [--batch-frac F] [--seed S] [--cache-dir DIR]\n"
+               "       [--require-warm-disk]\n";
 }
 
 double Percentile(std::vector<double> sorted, double p) {
@@ -57,6 +67,7 @@ int main(int argc, char** argv) {
   double batch_frac = 0.5;
   std::uint64_t seed = 1;
   std::int64_t deadline_ms = 50;
+  bool require_warm_disk = false;
   AsyncServeOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -86,6 +97,10 @@ int main(int argc, char** argv) {
       batch_frac = std::strtod(next(), nullptr);
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--cache-dir") {
+      options.serve.cache_dir = next();
+    } else if (arg == "--require-warm-disk") {
+      require_warm_disk = true;
     } else {
       Usage(argv[0]);
       return 2;
@@ -151,8 +166,28 @@ int main(int argc, char** argv) {
   std::cout << "  backend: evaluated=" << backend.features_evaluated
             << " cache_hits=" << backend.cache_hits
             << " cancelled_shards=" << backend.cancelled_shards << "\n";
+  if (!options.serve.cache_dir.empty()) {
+    std::cout << "  disk: hits=" << backend.disk_hits
+              << " misses=" << backend.disk_misses
+              << " writes=" << backend.disk_writes
+              << " drops=" << backend.disk_drops << "\n";
+  }
   std::cout << "  wait-latency ms: p50=" << Percentile(latencies_ms, 0.5)
             << " p90=" << Percentile(latencies_ms, 0.9)
             << " p99=" << Percentile(latencies_ms, 0.99) << "\n";
+  if (require_warm_disk) {
+    // Warm-restart assertion for the two-process CI smoke: a second process
+    // over the same cache directory must serve from the disk tier instead
+    // of re-running the kernel.
+    if (backend.disk_hits == 0) {
+      std::cerr << "featsep_serve: --require-warm-disk but disk_hits=0\n";
+      return 1;
+    }
+    if (backend.features_evaluated > 0) {
+      std::cerr << "featsep_serve: --require-warm-disk but "
+                << backend.features_evaluated << " features were re-run\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,255 @@
+// Standalone shard worker for the multi-process evaluation protocol
+// (serve/shard_protocol.h, DESIGN.md §13): attaches to a shared work
+// directory, claims (feature × entity-block) shards of any published jobs
+// with atomic renames, evaluates them with the homomorphism kernel, and
+// publishes checksummed result files. Completed features are written
+// through the job's shared disk cache so warm restarts hit even when the
+// coordinator dies. Safe to run any number of workers against one
+// directory; the merged answers are bit-identical regardless.
+//
+// Usage:
+//   featsep_worker --dir WORKDIR [--idle-exit-ms N] [--poll-ms N]
+//                  [--max-shards N] [--reclaim-lease-ms N]
+//   featsep_worker --smoke N     multi-process self-test: publishes a job,
+//                                forks N child workers of this same binary,
+//                                coordinates, and verifies the merge is
+//                                bit-identical to serial evaluation.
+//
+// With --idle-exit-ms 0 (the default) the worker makes one pass over the
+// directory and exits; a daemon-style worker passes a positive idle window.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "cq/enumeration.h"
+#include "cq/evaluation.h"
+#include "relational/training_database.h"
+#include "serve/disk_cache.h"
+#include "serve/shard_protocol.h"
+#include "workload/generators.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --dir WORKDIR [--idle-exit-ms N] [--poll-ms N]\n"
+               "       [--max-shards N] [--reclaim-lease-ms N]\n"
+               "   or: "
+            << argv0 << " --smoke NUM_WORKERS\n";
+}
+
+int RunWorker(const std::string& work_dir,
+              const featsep::serve::ShardWorkerPoolOptions& options) {
+  featsep::Result<featsep::serve::ShardWorkerStats> stats =
+      featsep::serve::RunShardWorkerDir(work_dir, options);
+  if (!stats.ok()) {
+    std::cerr << "featsep_worker: " << stats.error().message() << "\n";
+    return 1;
+  }
+  std::cout << "featsep_worker: shards=" << stats.value().shards_completed
+            << " entities=" << stats.value().entities_evaluated
+            << " features_cached=" << stats.value().features_cached << "\n";
+  return 0;
+}
+
+/// Multi-process self-test, ctest-runnable: the parent publishes one job,
+/// forks `num_workers` children exec'ing this binary in worker mode against
+/// the same directory, coordinates the job to completion, and checks the
+/// merged flags against plain serial CqEvaluator answers plus the shared
+/// disk cache for every feature. Exercises claiming, lease renewal, result
+/// publication, and cross-process merge with real separate processes.
+int RunSmoke(const char* argv0, std::size_t num_workers) {
+#ifdef _WIN32
+  (void)argv0;
+  (void)num_workers;
+  std::cout << "featsep_worker --smoke: skipped (no fork on this platform)\n";
+  return 0;
+#else
+  featsep::RandomGraphParams params;
+  params.num_entities = 8;
+  params.num_background_nodes = 20;
+  params.num_background_edges = 30;
+  params.seed = 7;
+  auto training = featsep::RandomPlantedGraph(params);
+  const featsep::Database& db = training->database();
+  std::vector<featsep::ConjunctiveQuery> features =
+      featsep::EnumerateFeatureQueries(featsep::GraphWorkloadSchema(), 1);
+  std::vector<std::string> feature_strings;
+  for (const auto& feature : features) {
+    feature_strings.push_back(feature.ToString());
+  }
+
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("featsep-worker-smoke-" + std::to_string(::getpid()));
+  const std::string work_dir = (root / "work").string();
+  const std::string cache_dir = (root / "cache").string();
+  const std::string job_dir = (root / "work" / "job-smoke").string();
+  std::error_code ec;
+  fs::remove_all(root, ec);
+  fs::create_directories(work_dir);
+
+  // Small blocks → many shards, so the children genuinely race the parent
+  // for claims.
+  const std::size_t entity_block = 2;
+  featsep::Result<std::size_t> published = featsep::serve::PublishShardJob(
+      job_dir, db, feature_strings, entity_block, cache_dir);
+  if (!published.ok()) {
+    std::cerr << "smoke: publish failed: " << published.error().message()
+              << "\n";
+    return 1;
+  }
+  std::cout << "smoke: published " << published.value() << " shards for "
+            << features.size() << " features\n";
+
+  std::vector<pid_t> children;
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      std::cerr << "smoke: fork failed\n";
+      return 1;
+    }
+    if (pid == 0) {
+      ::execl(argv0, argv0, "--dir", work_dir.c_str(), "--idle-exit-ms",
+              "2000", (char*)nullptr);
+      std::cerr << "smoke: exec failed\n";
+      std::_Exit(127);
+    }
+    children.push_back(pid);
+  }
+
+  featsep::serve::ShardJob job;
+  job.db = &db;
+  job.features = features;
+  job.feature_strings = feature_strings;
+  job.digest = db.ContentDigest();
+  job.entity_block = entity_block;
+  job.cache_dir = cache_dir;
+  job.entities = db.Entities();
+
+  featsep::serve::ShardCoordinatorOptions coordinator;
+  coordinator.lease = std::chrono::milliseconds(5000);
+  featsep::Result<featsep::serve::ShardMergeResult> merged =
+      featsep::serve::CoordinateShardJob(job_dir, job, coordinator);
+
+  int failures = 0;
+  for (pid_t pid : children) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::cerr << "smoke: worker " << pid << " exited abnormally\n";
+      ++failures;
+    }
+  }
+  if (!merged.ok()) {
+    std::cerr << "smoke: coordinate failed: " << merged.error().message()
+              << "\n";
+    fs::remove_all(root, ec);
+    return 1;
+  }
+
+  // The merged flags must be bit-identical to plain serial evaluation.
+  const std::vector<featsep::Value> entities = db.Entities();
+  for (std::size_t f = 0; f < features.size(); ++f) {
+    featsep::CqEvaluator evaluator(features[f]);
+    for (std::size_t e = 0; e < entities.size(); ++e) {
+      const char expected = evaluator.SelectsEntity(db, entities[e]) ? 1 : 0;
+      if (merged.value().flags[f][e] != expected) {
+        std::cerr << "smoke: MISMATCH feature " << f << " entity " << e
+                  << "\n";
+        ++failures;
+      }
+    }
+  }
+
+  // Every feature must have been written through the shared disk cache, and
+  // the cached answer must agree with the merge.
+  featsep::serve::DiskResultCache cache(cache_dir);
+  for (std::size_t f = 0; f < features.size(); ++f) {
+    auto names = cache.Load(job.digest, feature_strings[f]);
+    if (!names.has_value()) {
+      std::cerr << "smoke: feature " << f << " missing from disk cache\n";
+      ++failures;
+      continue;
+    }
+    std::size_t selected = 0;
+    for (char flag : merged.value().flags[f]) selected += flag != 0 ? 1 : 0;
+    if (names->size() != selected) {
+      std::cerr << "smoke: feature " << f << " cache size " << names->size()
+                << " != merged " << selected << "\n";
+      ++failures;
+    }
+  }
+
+  std::cout << "smoke: local_shards=" << merged.value().local_shards
+            << " remote_shards=" << merged.value().remote_shards
+            << " reclaimed=" << merged.value().reclaimed_leases << "\n";
+  fs::remove_all(root, ec);
+  if (failures == 0) {
+    std::cout << "smoke: OK (merge bit-identical to serial; cache complete)\n";
+    return 0;
+  }
+  std::cerr << "smoke: FAILED with " << failures << " error(s)\n";
+  return 1;
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string work_dir;
+  std::size_t smoke_workers = 0;
+  bool smoke = false;
+  featsep::serve::ShardWorkerPoolOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--dir") {
+      work_dir = next();
+    } else if (arg == "--idle-exit-ms") {
+      options.idle_exit =
+          std::chrono::milliseconds(std::strtoll(next(), nullptr, 10));
+    } else if (arg == "--poll-ms") {
+      options.poll =
+          std::chrono::milliseconds(std::strtoll(next(), nullptr, 10));
+    } else if (arg == "--max-shards") {
+      options.worker.max_shards = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--reclaim-lease-ms") {
+      options.worker.reclaim_lease =
+          std::chrono::milliseconds(std::strtoll(next(), nullptr, 10));
+    } else if (arg == "--smoke") {
+      smoke = true;
+      smoke_workers = std::strtoull(next(), nullptr, 10);
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (smoke) return RunSmoke(argv[0], smoke_workers);
+  if (work_dir.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+  return RunWorker(work_dir, options);
+}
