@@ -74,6 +74,32 @@ SeparatorSearch TryFindSeparator(const TrainingCollection& examples,
   return search;
 }
 
+SeparatorSearch TryFindSeparatorWarm(
+    const TrainingCollection& examples, const LinearClassifier& previous,
+    const std::vector<std::size_t>& changed_rows, ExecutionBudget* budget) {
+  const std::size_t arity =
+      examples.empty() ? previous.arity() : examples.front().first.size();
+  if (previous.arity() == arity) {
+    bool feasible = true;
+    for (std::size_t row : changed_rows) {
+      if (row >= examples.size()) continue;  // Row deleted since the solve.
+      if (previous.Classify(examples[row].first) != examples[row].second) {
+        feasible = false;
+        break;
+      }
+    }
+    // Feasible on the changed rows + unchanged on the rest (the caller's
+    // contract) = feasible for the whole system; for the feasibility LP
+    // that IS the answer — no pivots.
+    if (feasible) {
+      SeparatorSearch search;
+      search.classifier = previous;
+      return search;
+    }
+  }
+  return TryFindSeparator(examples, budget);
+}
+
 bool IsLinearlySeparable(const TrainingCollection& examples) {
   return FindSeparator(examples).has_value();
 }

@@ -41,6 +41,21 @@ struct SeparatorSearch {
 SeparatorSearch TryFindSeparator(const TrainingCollection& examples,
                                  ExecutionBudget* budget);
 
+/// Warm-started separator search for incremental workloads (DESIGN.md §14).
+/// The warm start reuses the previous solve's optimal *point* rather than
+/// its basis: for the feasibility LP any feasible point is an answer, so if
+/// `previous` still classifies every example in `changed_rows` correctly it
+/// is feasible for the whole new system — the caller asserts all other rows
+/// are unchanged since the solve that produced `previous`, whose
+/// constraints it already satisfied — and is returned in O(|changed_rows| ·
+/// arity) rational arithmetic with zero pivots. Any miss (or an arity
+/// mismatch) falls back to a fresh TryFindSeparator over all examples.
+/// The verdict is identical to the cold path either way.
+SeparatorSearch TryFindSeparatorWarm(const TrainingCollection& examples,
+                                     const LinearClassifier& previous,
+                                     const std::vector<std::size_t>& changed_rows,
+                                     ExecutionBudget* budget);
+
 /// True iff the collection is linearly separable.
 bool IsLinearlySeparable(const TrainingCollection& examples);
 

@@ -1,6 +1,7 @@
 #include "relational/database.h"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "util/check.h"
@@ -43,6 +44,8 @@ Database::Database(const Database& other)
       domain_index_cache_(other.domain_index_cache_),
       domain_cache_valid_(other.domain_cache_valid_.load()),
       digest_cache_(other.digest_cache_),
+      digest_schema_hash_(other.digest_schema_hash_),
+      digest_facts_hash_(other.digest_facts_hash_),
       digest_valid_(other.digest_valid_.load()),
       in_domain_(other.in_domain_) {}
 
@@ -60,6 +63,8 @@ Database& Database::operator=(const Database& other) {
   domain_index_cache_ = other.domain_index_cache_;
   domain_cache_valid_.store(other.domain_cache_valid_.load());
   digest_cache_ = other.digest_cache_;
+  digest_schema_hash_ = other.digest_schema_hash_;
+  digest_facts_hash_ = other.digest_facts_hash_;
   digest_valid_.store(other.digest_valid_.load());
   in_domain_ = other.in_domain_;
   return *this;
@@ -78,6 +83,8 @@ Database::Database(Database&& other) noexcept
       domain_index_cache_(std::move(other.domain_index_cache_)),
       domain_cache_valid_(other.domain_cache_valid_.load()),
       digest_cache_(other.digest_cache_),
+      digest_schema_hash_(other.digest_schema_hash_),
+      digest_facts_hash_(other.digest_facts_hash_),
       digest_valid_(other.digest_valid_.load()),
       in_domain_(std::move(other.in_domain_)) {
   other.domain_cache_valid_.store(false);
@@ -98,6 +105,8 @@ Database& Database::operator=(Database&& other) noexcept {
   domain_index_cache_ = std::move(other.domain_index_cache_);
   domain_cache_valid_.store(other.domain_cache_valid_.load());
   digest_cache_ = other.digest_cache_;
+  digest_schema_hash_ = other.digest_schema_hash_;
+  digest_facts_hash_ = other.digest_facts_hash_;
   digest_valid_.store(other.digest_valid_.load());
   in_domain_ = std::move(other.in_domain_);
   other.domain_cache_valid_.store(false);
@@ -128,7 +137,9 @@ const std::string& Database::value_name(Value value) const {
   return value_names_[value];
 }
 
-bool Database::AddFact(RelationId relation, std::vector<Value> args) {
+bool Database::ApplyInsert(RelationId relation, std::vector<Value> args,
+                           std::vector<Value>* touched,
+                           std::vector<Value>* entered) {
   FEATSEP_CHECK_LT(relation, schema_->size());
   FEATSEP_CHECK_EQ(args.size(), schema_->arity(relation))
       << "arity mismatch for relation " << schema_->name(relation);
@@ -146,12 +157,19 @@ bool Database::AddFact(RelationId relation, std::vector<Value> args) {
   for (Value v : fact.args) {
     if (std::find(seen.begin(), seen.end(), v) == seen.end()) {
       seen.push_back(v);
+      if (!in_domain_[v] && entered != nullptr) entered->push_back(v);
       facts_by_value_[v].push_back(index);
       in_domain_[v] = true;
     }
   }
+  if (touched != nullptr) *touched = seen;
   fact_set_.insert(fact);
   facts_.push_back(std::move(fact));
+  return true;
+}
+
+bool Database::AddFact(RelationId relation, std::vector<Value> args) {
+  if (!ApplyInsert(relation, std::move(args), nullptr, nullptr)) return false;
   domain_cache_valid_.store(false, std::memory_order_relaxed);
   digest_valid_.store(false, std::memory_order_relaxed);
   return true;
@@ -166,6 +184,138 @@ bool Database::AddFact(std::string_view relation_name,
   args.reserve(arg_names.size());
   for (const std::string& name : arg_names) args.push_back(Intern(name));
   return AddFact(relation, std::move(args));
+}
+
+Delta Database::InsertFact(RelationId relation, std::vector<Value> args) {
+  Delta delta;
+  delta.kind = Delta::Kind::kInsert;
+  delta.relation = relation;
+  delta.args = args;
+  // Force the digest memoized so the patch below lands on valid parts; the
+  // first mutation on a database pays the one full fold.
+  delta.old_digest = ContentDigest();
+  delta.new_digest = delta.old_digest;
+
+  const bool domain_was_warm =
+      domain_cache_valid_.load(std::memory_order_relaxed);
+  std::vector<Value> entered;
+  if (!ApplyInsert(relation, std::move(args), &delta.touched, &entered)) {
+    delta.touched.clear();  // duplicate fact: a no-op, footprint is empty
+    return delta;
+  }
+  delta.applied = true;
+  delta.entity_fact = schema_->has_entity_relation() &&
+                      relation == schema_->entity_relation();
+
+  // Digest patch: the facts part is a commutative sum, so one += suffices.
+  digest_facts_hash_ += FactContentHash(facts_.back());
+  digest_cache_ = ComposeDigest();
+  delta.new_digest = digest_cache_;
+
+  // Domain patch: splice newly-domained values into the sorted cache. Only
+  // when the cache was warm — a never-built cache stays invalid and is
+  // built on demand.
+  if (domain_was_warm && !entered.empty()) {
+    for (Value v : entered) {
+      auto it = std::lower_bound(domain_cache_.begin(), domain_cache_.end(), v);
+      domain_cache_.insert(it, v);
+    }
+    ReindexDomainCache();
+  }
+  return delta;
+}
+
+Delta Database::RemoveFact(RelationId relation,
+                           const std::vector<Value>& args) {
+  FEATSEP_CHECK_LT(relation, schema_->size());
+  FEATSEP_CHECK_EQ(args.size(), schema_->arity(relation))
+      << "arity mismatch for relation " << schema_->name(relation);
+  for (Value v : args) FEATSEP_CHECK_LT(v, value_names_.size());
+
+  Delta delta;
+  delta.kind = Delta::Kind::kRemove;
+  delta.relation = relation;
+  delta.args = args;
+  delta.old_digest = ContentDigest();  // memoize before patching
+  delta.new_digest = delta.old_digest;
+
+  Fact fact{relation, args};
+  auto set_it = fact_set_.find(fact);
+  if (set_it == fact_set_.end()) return delta;  // absent fact: a no-op
+
+  delta.applied = true;
+  delta.entity_fact = schema_->has_entity_relation() &&
+                      relation == schema_->entity_relation();
+  for (Value v : args) {
+    if (std::find(delta.touched.begin(), delta.touched.end(), v) ==
+        delta.touched.end()) {
+      delta.touched.push_back(v);
+    }
+  }
+
+  const std::uint64_t fact_hash = FactContentHash(fact);
+  FactIndex removed = facts_.size();
+  for (FactIndex i : facts_by_relation_[relation]) {
+    if (facts_[i] == fact) {
+      removed = i;
+      break;
+    }
+  }
+  FEATSEP_CHECK_LT(removed, facts_.size());
+
+  fact_set_.erase(set_it);
+  facts_.erase(facts_.begin() + static_cast<std::ptrdiff_t>(removed));
+
+  // Every index list may reference facts above the removed one, whose
+  // FactIndex values all shift down by one; rewrite them all. Linear in
+  // total index size — trivial next to the per-entity evaluation work the
+  // delta saves downstream.
+  auto fix_list = [removed](std::vector<FactIndex>& list) {
+    std::size_t out = 0;
+    for (FactIndex i : list) {
+      if (i == removed) continue;
+      list[out++] = i > removed ? i - 1 : i;
+    }
+    list.resize(out);
+  };
+  for (std::vector<FactIndex>& list : facts_by_relation_) fix_list(list);
+  for (std::vector<FactIndex>& list : facts_by_value_) fix_list(list);
+  for (std::vector<PositionIndex>& by_pos : facts_by_position_) {
+    for (PositionIndex& index : by_pos) {
+      for (auto it = index.begin(); it != index.end();) {
+        fix_list(it->second);
+        // Drop emptied entries so the map only ever holds live postings.
+        it = it->second.empty() ? index.erase(it) : std::next(it);
+      }
+    }
+  }
+
+  // Values whose last fact this was leave dom(D).
+  const bool domain_was_warm =
+      domain_cache_valid_.load(std::memory_order_relaxed);
+  std::vector<Value> left;
+  for (Value v : delta.touched) {
+    if (facts_by_value_[v].empty() && in_domain_[v]) {
+      in_domain_[v] = false;
+      left.push_back(v);
+    }
+  }
+
+  // Digest patch: subtract the removed fact's hash from the commutative sum.
+  digest_facts_hash_ -= fact_hash;
+  digest_cache_ = ComposeDigest();
+  delta.new_digest = digest_cache_;
+
+  // Domain patch: erase leavers from the sorted cache (cache stays warm).
+  if (domain_was_warm && !left.empty()) {
+    for (Value v : left) {
+      auto it = std::lower_bound(domain_cache_.begin(), domain_cache_.end(), v);
+      FEATSEP_CHECK(it != domain_cache_.end() && *it == v);
+      domain_cache_.erase(it);
+    }
+    ReindexDomainCache();
+  }
+  return delta;
 }
 
 bool Database::ContainsFact(const Fact& fact) const {
@@ -263,26 +413,45 @@ std::uint64_t Database::ContentDigest() const {
       // its argument *names* (value ids depend on interning order; names
       // do not), each length-prefixed. Per-fact hashes are combined by
       // wrap-around u64 addition so the digest is insensitive to insertion
-      // order; facts are deduplicated, so the sum is over a set.
+      // order; facts are deduplicated, so the sum is over a set. The
+      // commutative-sum form is also what makes the digest incrementally
+      // maintainable: InsertFact/RemoveFact patch it by adding/subtracting
+      // one FactContentHash instead of re-folding the whole database.
       std::uint64_t facts_hash = 0;
       for (const Fact& fact : facts_) {
-        std::uint64_t h = kFnv64OffsetBasis;
-        h = Fnv1a64U64(h, static_cast<std::uint64_t>(fact.relation));
-        for (Value v : fact.args) {
-          h = Fnv1a64String(h, value_names_[v]);
-        }
-        facts_hash += h;
+        facts_hash += FactContentHash(fact);
       }
-      // Final digest: FNV-1a-64 over the three u64s above.
-      std::uint64_t digest = kFnv64OffsetBasis;
-      digest = Fnv1a64U64(digest, schema_hash);
-      digest = Fnv1a64U64(digest, facts_hash);
-      digest = Fnv1a64U64(digest, static_cast<std::uint64_t>(facts_.size()));
-      digest_cache_ = digest;
+      digest_schema_hash_ = schema_hash;
+      digest_facts_hash_ = facts_hash;
+      digest_cache_ = ComposeDigest();
       digest_valid_.store(true, std::memory_order_release);
     }
   }
   return digest_cache_;
+}
+
+std::uint64_t Database::FactContentHash(const Fact& fact) const {
+  std::uint64_t h = kFnv64OffsetBasis;
+  h = Fnv1a64U64(h, static_cast<std::uint64_t>(fact.relation));
+  for (Value v : fact.args) {
+    h = Fnv1a64String(h, value_names_[v]);
+  }
+  return h;
+}
+
+std::uint64_t Database::ComposeDigest() const {
+  std::uint64_t digest = kFnv64OffsetBasis;
+  digest = Fnv1a64U64(digest, digest_schema_hash_);
+  digest = Fnv1a64U64(digest, digest_facts_hash_);
+  digest = Fnv1a64U64(digest, static_cast<std::uint64_t>(facts_.size()));
+  return digest;
+}
+
+void Database::ReindexDomainCache() const {
+  domain_index_cache_.assign(value_names_.size(), kNoDomainIndex);
+  for (std::size_t i = 0; i < domain_cache_.size(); ++i) {
+    domain_index_cache_[domain_cache_[i]] = static_cast<std::uint32_t>(i);
+  }
 }
 
 std::uint32_t Database::DomainIndexOf(Value value) const {

@@ -17,6 +17,35 @@
 
 namespace featsep {
 
+/// The structured result of one mutation (Database::InsertFact /
+/// Database::RemoveFact): what changed, which values it touched, and the
+/// content digests on either side of the change. This is the unit the
+/// incremental serve layer (serve/incremental.h) consumes to invalidate or
+/// patch exactly the cached state the mutation can affect (DESIGN.md §14).
+struct Delta {
+  enum class Kind { kInsert, kRemove };
+
+  Kind kind = Kind::kInsert;
+  /// False for no-ops — inserting a fact already present, or removing one
+  /// that never was. A no-op delta changed no state: `old_digest ==
+  /// new_digest` and `touched` is empty.
+  bool applied = false;
+  RelationId relation = kNoRelation;
+  /// The fact's argument tuple (valid whether or not the mutation applied).
+  std::vector<Value> args;
+  /// The distinct argument values — the delta's footprint, seed set of the
+  /// neighborhood screen in serve/incremental.h. Empty for no-ops.
+  std::vector<Value> touched;
+  /// True when the fact is an entity fact η(e): the entity set η(D) itself
+  /// changed, not just some entity's neighborhood.
+  bool entity_fact = false;
+  /// Database::ContentDigest() before and after the mutation. Equal for
+  /// no-ops. Mutations through this API keep the digest memoized, patched
+  /// incrementally (see ContentDigest()).
+  std::uint64_t old_digest = 0;
+  std::uint64_t new_digest = 0;
+};
+
 /// A finite set of facts over a schema (paper, Section 2), together with a
 /// symbol table interning the constant names and the secondary indexes used
 /// by the homomorphism engine and the cover-game solver:
@@ -25,12 +54,25 @@ namespace featsep {
 ///   - facts by (relation, argument position, value).
 /// Fact insertion is deduplicating (a database is a *set* of facts).
 ///
-/// Thread safety: mutation (Intern, AddFact) and copying/moving require
-/// exclusive access, like a standard container. All const accessors —
-/// including the lazily built `domain()`, `domain_index()`, and
-/// `ContentDigest()` caches — are safe to call concurrently from any number
-/// of threads with no warm-up step: lazy construction is internally
-/// synchronized (double-checked locking on a per-database mutex).
+/// Thread safety: mutation (Intern, AddFact, InsertFact, RemoveFact) and
+/// copying/moving require exclusive access, like a standard container. All
+/// const accessors — including the lazily built `domain()`,
+/// `domain_index()`, and `ContentDigest()` caches — are safe to call
+/// concurrently from any number of threads with no warm-up step: lazy
+/// construction is internally synchronized (double-checked locking on a
+/// per-database mutex).
+///
+/// Mutation contract (pinned by DatabaseMutationContractTest under tsan):
+/// mutating while ANY other thread reads the database — or dereferences a
+/// reference previously returned by an accessor — is a data race and a
+/// programmer error; the mutators patch the memoized caches in place, so a
+/// concurrently held `domain()`/`domain_index()` reference observes the
+/// write. The safe pattern is epoch-style: readers (any number of threads)
+/// finish and establish a happens-before edge to the mutator (e.g. a join
+/// or a task-queue handoff), the mutator applies InsertFact/RemoveFact
+/// exclusively, then readers resume — re-fetching references, never reusing
+/// pre-mutation ones. Caches stay warm across the epoch boundary: the
+/// mutators patch rather than drop them whenever possible.
 class Database {
  public:
   explicit Database(std::shared_ptr<const Schema> schema);
@@ -64,6 +106,24 @@ class Database {
   /// by name and must exist in the schema.
   bool AddFact(std::string_view relation_name,
                const std::vector<std::string>& arg_names);
+
+  /// Mutation API for delta maintenance (DESIGN.md §14). Semantically
+  /// InsertFact is AddFact; both return a structured Delta describing the
+  /// change, and both *force* the content digest to be memoized so it can
+  /// be patched incrementally: the first mutation on a database pays one
+  /// full digest pass, every further one costs O(fact) digest work. The
+  /// memoized domain()/domain_index() caches are likewise patched in place
+  /// when they are warm (insertion into / deletion from the sorted domain),
+  /// or left invalid when they never were built.
+  Delta InsertFact(RelationId relation, std::vector<Value> args);
+
+  /// Removes the fact if present (no-op delta otherwise). Remaining facts
+  /// keep their relative order — FactIndex values above the removed fact
+  /// shift down by one, and every secondary index is rewritten accordingly,
+  /// so Entities() order stays the insertion order of the surviving η
+  /// facts. Cost is linear in the total index size (|D| · arity), far below
+  /// the NP-hard per-entity evaluation the delta saves downstream.
+  Delta RemoveFact(RelationId relation, const std::vector<Value>& args);
 
   bool ContainsFact(const Fact& fact) const;
 
@@ -136,6 +196,28 @@ class Database {
   bool IsEntity(Value value) const;
 
  private:
+  // Core insertion shared by AddFact and InsertFact: dedups, appends to all
+  // indexes, updates in_domain_. Does NOT touch the lazy-cache validity
+  // flags — callers decide between invalidating (AddFact) and patching
+  // (InsertFact). Records the distinct argument values in `touched` and the
+  // values that newly entered dom(D) in `entered` when non-null.
+  bool ApplyInsert(RelationId relation, std::vector<Value> args,
+                   std::vector<Value>* touched, std::vector<Value>* entered);
+
+  // The per-fact FNV-1a-64 hash folded (by wraparound addition) into the
+  // facts part of ContentDigest().
+  std::uint64_t FactContentHash(const Fact& fact) const;
+
+  // Recombines the memoized digest parts with the current fact count.
+  // Requires digest_schema_hash_/digest_facts_hash_ to be populated (i.e.
+  // ContentDigest() ran at least once and mutations kept them patched).
+  std::uint64_t ComposeDigest() const;
+
+  // Rebuilds domain_index_cache_ from domain_cache_ after a sorted
+  // insert/erase patch (O(num_values), vs. re-deriving domain_cache_ from
+  // scratch which the DCL slow path does).
+  void ReindexDomainCache() const;
+
   std::shared_ptr<const Schema> schema_;
 
   std::vector<std::string> value_names_;
@@ -159,6 +241,13 @@ class Database {
   mutable std::vector<std::uint32_t> domain_index_cache_;
   mutable std::atomic<bool> domain_cache_valid_{false};
   mutable std::uint64_t digest_cache_ = 0;
+  // The two components ContentDigest() is composed from, memoized alongside
+  // it so the mutation API can patch the digest in O(fact): the schema part
+  // is immutable, the facts part is a wraparound sum of per-fact hashes, so
+  // insert/remove is += / -= of FactContentHash. Meaningful only while
+  // digest_valid_ is true.
+  mutable std::uint64_t digest_schema_hash_ = 0;
+  mutable std::uint64_t digest_facts_hash_ = 0;
   mutable std::atomic<bool> digest_valid_{false};
   std::vector<bool> in_domain_;
 };

@@ -198,6 +198,64 @@ bool DiskResultCache::Store(std::uint64_t content_digest,
   return true;
 }
 
+bool DiskResultCache::Remove(std::uint64_t content_digest,
+                             const std::string& feature) {
+  std::error_code ec;
+  const bool removed =
+      std::filesystem::remove(EntryPath(content_digest, feature), ec) && !ec;
+  if (removed) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.removed;
+  }
+  return removed;
+}
+
+DiskSweepResult DiskResultCache::Sweep(std::uint64_t max_bytes) {
+  DiskSweepResult result;
+  struct Entry {
+    std::filesystem::path path;
+    std::uint64_t bytes = 0;
+    std::filesystem::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (const auto& item :
+       std::filesystem::directory_iterator(dir_, ec)) {
+    if (ec) break;
+    if (!item.is_regular_file(ec) || item.path().extension() != ".fse") {
+      continue;
+    }
+    Entry entry;
+    entry.path = item.path();
+    entry.bytes = static_cast<std::uint64_t>(item.file_size(ec));
+    if (ec) continue;
+    entry.mtime = item.last_write_time(ec);
+    if (ec) continue;
+    result.bytes_before += entry.bytes;
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              // Oldest mtime first; path as a deterministic tiebreak.
+              if (a.mtime != b.mtime) return a.mtime < b.mtime;
+              return a.path < b.path;
+            });
+  result.bytes_after = result.bytes_before;
+  for (const Entry& entry : entries) {
+    if (result.bytes_after <= max_bytes) break;
+    std::error_code remove_ec;
+    if (std::filesystem::remove(entry.path, remove_ec) && !remove_ec) {
+      result.bytes_after -= entry.bytes;
+      ++result.entries_removed;
+    }
+  }
+  if (result.entries_removed > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.swept += result.entries_removed;
+  }
+  return result;
+}
+
 DiskCacheStats DiskResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

@@ -58,6 +58,18 @@ struct DiskCacheStats {
   /// one (a 64-bit file-name collision; treated as a miss).
   std::uint64_t key_mismatch_dropped = 0;
   std::uint64_t write_failures = 0;
+  /// Entries explicitly deleted (Remove) — stale-digest drops after a
+  /// delta re-publish.
+  std::uint64_t removed = 0;
+  /// Entries evicted by the GC (Sweep), oldest mtime first.
+  std::uint64_t swept = 0;
+};
+
+/// Outcome of one DiskResultCache::Sweep pass.
+struct DiskSweepResult {
+  std::uint64_t bytes_before = 0;  ///< Total `.fse` bytes found by the scan.
+  std::uint64_t bytes_after = 0;   ///< Total remaining after evictions.
+  std::uint64_t entries_removed = 0;
 };
 
 /// Persistent, cross-process result cache for feature answer sets, keyed by
@@ -99,6 +111,20 @@ class DiskResultCache {
   /// answers by EvalService — budget-aborted evaluations are not persisted.
   bool Store(std::uint64_t content_digest, const std::string& feature,
              std::vector<std::string> selected);
+
+  /// Deletes the entry for the key if present; returns true iff a file was
+  /// removed. Used by delta maintenance: once an answer is re-published
+  /// under a new digest, the stale-digest entry must never be served again.
+  bool Remove(std::uint64_t content_digest, const std::string& feature);
+
+  /// Minimal GC: scans the directory's `.fse` entries and, while their
+  /// total size exceeds `max_bytes`, deletes the oldest-mtime entry first.
+  /// Entries are judged by file size and mtime only — corrupt or
+  /// foreign-version files count toward the total like any other and are
+  /// swept in the same order (a corrupt entry would be deleted on its next
+  /// Load anyway). Safe to race with concurrent Store/Load in any process:
+  /// a swept entry simply becomes a future miss.
+  DiskSweepResult Sweep(std::uint64_t max_bytes);
 
   DiskCacheStats stats() const;
 

@@ -276,6 +276,7 @@ std::vector<std::shared_ptr<const FeatureAnswer>> EvalService::Resolve(
       }
       disk_->Store(digest, miss.key.second, std::move(names));
     }
+    MaybeSweepDisk();
   }
   return answers;
 }
@@ -351,6 +352,66 @@ void EvalService::ClearCache() {
   cache_.clear();
   lru_.clear();
   aborted_keys_.clear();
+}
+
+std::shared_ptr<const FeatureAnswer> EvalService::PeekCached(
+    std::uint64_t digest, const std::string& feature) {
+  CacheKey key{digest, feature};
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second->answer;
+  }
+  if (disk_ != nullptr) {
+    std::optional<std::vector<std::string>> names = disk_->Load(digest, feature);
+    if (names.has_value()) {
+      return std::make_shared<const FeatureAnswer>(
+          std::unordered_set<std::string>(names->begin(), names->end()));
+    }
+  }
+  return nullptr;
+}
+
+void EvalService::Republish(std::uint64_t old_digest, std::uint64_t new_digest,
+                            const std::string& feature,
+                            std::shared_ptr<const FeatureAnswer> answer) {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    CacheKey old_key{old_digest, feature};
+    auto it = cache_.find(old_key);
+    if (it != cache_.end()) {
+      lru_.erase(it->second);
+      cache_.erase(it);
+    }
+    aborted_keys_.erase(old_key);
+  }
+  CachePut(CacheKey{new_digest, feature}, answer);
+  if (disk_ != nullptr) {
+    disk_->Remove(old_digest, feature);
+    disk_->Store(new_digest, feature,
+                 std::vector<std::string>(answer->names().begin(),
+                                          answer->names().end()));
+    MaybeSweepDisk();
+  }
+}
+
+void EvalService::DropCached(std::uint64_t digest, const std::string& feature) {
+  CacheKey key{digest, feature};
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      lru_.erase(it->second);
+      cache_.erase(it);
+    }
+    aborted_keys_.erase(key);
+  }
+  if (disk_ != nullptr) disk_->Remove(digest, feature);
+}
+
+void EvalService::MaybeSweepDisk() {
+  if (disk_ == nullptr || options_.disk_cache_max_bytes == 0) return;
+  disk_->Sweep(options_.disk_cache_max_bytes);
 }
 
 }  // namespace serve

@@ -51,6 +51,18 @@ struct ServeOptions {
   /// Shard-mode lease: a shard claimed by a worker that died is reclaimed
   /// and re-run after this long.
   std::chrono::milliseconds shard_lease{10000};
+  /// Delta maintenance policy (serve/incremental.h). True: after a database
+  /// mutation, warm cache entries are *patched* in place — only entities the
+  /// delta can affect are re-evaluated — and re-published under the new
+  /// digest. False: warm entries touched by a delta are simply dropped and
+  /// the next read recomputes cold. Both are bit-identical to full
+  /// recompute; patching trades a small maintenance cost on the write path
+  /// for warm reads right after every write.
+  bool incremental = true;
+  /// Disk-tier GC budget in bytes: when the durable cache directory exceeds
+  /// this, EvalService opportunistically sweeps oldest-mtime entries after
+  /// write-behind (DiskResultCache::Sweep). 0 = unlimited, never sweep.
+  std::uint64_t disk_cache_max_bytes = 0;
 };
 
 /// Counters for observability and tests. Snapshot via EvalService::stats().
@@ -95,6 +107,16 @@ class FeatureAnswer {
   }
 
   std::size_t size() const { return selected_.size(); }
+
+  /// True iff the entity with this name is selected (name-level probe for
+  /// callers that track entities by name across digests).
+  bool SelectsName(const std::string& name) const {
+    return selected_.count(name) > 0;
+  }
+
+  /// The selected entity names — the content the incremental maintainer
+  /// patches (copy, mutate, re-wrap) and the disk tier serializes.
+  const std::unordered_set<std::string>& names() const { return selected_; }
 
  private:
   std::unordered_set<std::string> selected_;
@@ -158,6 +180,27 @@ class EvalService {
   std::size_t cache_size() const;
   void ClearCache();
 
+  // Delta-maintenance hooks, used by IncrementalMaintainer
+  // (serve/incremental.h). They operate on one (digest, feature) entry at a
+  // time across both tiers; normal Resolve traffic may run concurrently.
+
+  /// The cached answer for (digest, feature) from the LRU or, read-through,
+  /// the disk tier — without promoting, inserting, or counting a hit/miss
+  /// in the in-memory stats. nullptr when cold in both tiers.
+  std::shared_ptr<const FeatureAnswer> PeekCached(std::uint64_t digest,
+                                                  const std::string& feature);
+
+  /// Publishes a patched answer under the new digest in both tiers and
+  /// drops the stale old-digest entry from both: after this returns, the
+  /// old key can never be served again and the new key is warm.
+  void Republish(std::uint64_t old_digest, std::uint64_t new_digest,
+                 const std::string& feature,
+                 std::shared_ptr<const FeatureAnswer> answer);
+
+  /// Drops the (digest, feature) entry from both tiers (invalidate-only
+  /// maintenance, ServeOptions::incremental = false).
+  void DropCached(std::uint64_t digest, const std::string& feature);
+
  private:
   using CacheKey = std::pair<std::uint64_t, std::string>;
   /// Buckets the in-memory LRU by the same stable FNV-1a-64 identity that
@@ -188,6 +231,9 @@ class EvalService {
 
   std::shared_ptr<const FeatureAnswer> CacheGet(const CacheKey& key);
   void CachePut(CacheKey key, std::shared_ptr<const FeatureAnswer> answer);
+  /// Runs the disk-tier GC when options_.disk_cache_max_bytes is set;
+  /// called opportunistically after write-behind.
+  void MaybeSweepDisk();
 
   ServeOptions options_;
   ThreadPool pool_;

@@ -128,7 +128,8 @@ std::vector<std::string> Tokens(const std::string& rest) {
 std::string SerializeFuzzInstance(const FuzzInstance& instance) {
   std::ostringstream out;
   out << "config " << FuzzConfigName(instance.config) << "\n";
-  if (instance.config == FuzzConfig::kServe) {
+  if (instance.config == FuzzConfig::kServe ||
+      instance.config == FuzzConfig::kIncremental) {
     out << "k " << instance.k << "\n";
     out << "m " << instance.m << "\n";
   }

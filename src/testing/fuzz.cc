@@ -172,6 +172,7 @@ const char* FuzzConfigName(FuzzConfig config) {
     case FuzzConfig::kLinsep: return "linsep";
     case FuzzConfig::kFaults: return "faults";
     case FuzzConfig::kServe: return "serve";
+    case FuzzConfig::kIncremental: return "incremental";
     case FuzzConfig::kMixed: return "mixed";
   }
   return "unknown";
@@ -183,7 +184,7 @@ std::optional<FuzzConfig> ParseFuzzConfig(std::string_view name) {
         FuzzConfig::kCore, FuzzConfig::kGhw, FuzzConfig::kSep,
         FuzzConfig::kQbe, FuzzConfig::kCoverGame, FuzzConfig::kDimension,
         FuzzConfig::kLinsep, FuzzConfig::kFaults, FuzzConfig::kServe,
-        FuzzConfig::kMixed}) {
+        FuzzConfig::kIncremental, FuzzConfig::kMixed}) {
     if (name == FuzzConfigName(config)) return config;
   }
   return std::nullopt;

@@ -47,10 +47,16 @@ enum class FuzzConfig {
   kServe,        ///< Async serve front-end: seeded random interleavings of
                  ///< Submit/poll/cancel/pause against the serial evaluation
                  ///< path as oracle — every completed answer bit-identical.
-  kMixed,        ///< Per-iteration uniform choice among the above (kFaults
-                 ///< and kServe excluded — they re-run the engines several
-                 ///< times per instance / spin up dispatcher threads, and are
-                 ///< smoke-tested separately).
+  kIncremental,  ///< Delta maintenance: seeded random insert/delete/relabel
+                 ///< traces on a live (Database, EvalService,
+                 ///< IncrementalMaintainer) stack, cross-checked at every
+                 ///< step against a permanently-naive full-recompute oracle
+                 ///< (fresh database + cold service) for matrices, digests,
+                 ///< and separability verdicts.
+  kMixed,        ///< Per-iteration uniform choice among the above (kFaults,
+                 ///< kServe, and kIncremental excluded — they re-run the
+                 ///< engines several times per instance / spin up dispatcher
+                 ///< threads, and are smoke-tested separately).
 };
 
 const char* FuzzConfigName(FuzzConfig config);

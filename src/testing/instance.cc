@@ -439,6 +439,16 @@ FuzzInstance GenerateFuzzInstance(FuzzConfig config,
       instance.m = rng.Range(6, 40);  // Submit/poll/cancel/pause op count.
       break;
     }
+    case FuzzConfig::kIncremental: {
+      // A starting entity database plus a trace seed and step count; the
+      // mutation trace itself is derived deterministically from `k` inside
+      // the property driver, so the instance serializes as (db, k, m).
+      instance.schema = PickSchema(rng, 2, /*need_entity=*/true);
+      instance.db_a = PickDatabase(instance.schema, rng, 4, 8);
+      instance.k = rng.Next() >> 1;  // Mutation-trace seed.
+      instance.m = rng.Range(4, 24);  // Insert/remove/relabel step count.
+      break;
+    }
     case FuzzConfig::kLinsep: {
       std::size_t num_features = rng.Range(1, 3);
       std::size_t num_examples = rng.Range(1, 6);
@@ -555,6 +565,13 @@ PropertyCheck CheckFuzzInstance(const FuzzInstance& instance) {
       }
       return CheckServeAsyncProperties(*instance.db_a, instance.k,
                                        instance.m);
+    case FuzzConfig::kIncremental:
+      if (!instance.db_a.has_value() ||
+          !instance.db_a->schema().has_entity_relation()) {
+        return std::nullopt;
+      }
+      return CheckIncrementalProperties(*instance.db_a, instance.k,
+                                        instance.m);
     case FuzzConfig::kLinsep: {
       TrainingCollection examples;
       for (std::size_t i = 0; i < instance.features.size(); ++i) {
@@ -710,6 +727,12 @@ void SanitizeFuzzInstance(FuzzInstance* instance) {
       }
       instance->m = std::clamp<std::size_t>(instance->m, 1, 60);
       break;
+    case FuzzConfig::kIncremental:
+      if (instance->db_a.has_value()) {
+        *instance->db_a = TrimDatabase(*instance->db_a, 4, 8);
+      }
+      instance->m = std::clamp<std::size_t>(instance->m, 1, 40);
+      break;
     case FuzzConfig::kLinsep: {
       if (instance->features.size() > 6) instance->features.resize(6);
       std::size_t num_features =
@@ -856,8 +879,9 @@ FuzzInstance ShrinkFuzzInstance(
       shrink_db(&FuzzInstance::db_a);
       break;
     case FuzzConfig::kServe:
+    case FuzzConfig::kIncremental:
       shrink_db(&FuzzInstance::db_a);
-      // Fewer ops make shorter interleavings; halve while it still fails.
+      // Fewer ops make shorter traces; halve while it still fails.
       while (instance.m > 1) {
         FuzzInstance candidate = instance;
         candidate.m = std::max<std::size_t>(instance.m / 2, 1);

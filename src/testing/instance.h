@@ -39,6 +39,9 @@ namespace testing {
 ///                 the budgeted decision procedures
 ///   kServe        entity database db_a; `k` seeds the async request
 ///                 interleaving, `m` is the operation count
+///   kIncremental  entity database db_a (the starting state); `k` seeds the
+///                 mutation trace, `m` is the number of
+///                 insert/remove/relabel steps
 ///
 /// `config` is never kMixed — mixed resolves to a concrete config before an
 /// instance exists.

@@ -5,7 +5,9 @@
 #include <cstddef>
 #include <memory>
 #include <new>
+#include <optional>
 #include <sstream>
+#include <unordered_map>
 
 #include "core/dimension_bounded.h"
 #include "core/separability.h"
@@ -23,6 +25,7 @@
 #include "qbe/qbe.h"
 #include "serve/async_service.h"
 #include "serve/eval_service.h"
+#include "serve/incremental.h"
 #include "workload/generators.h"
 #include "testing/reference_ghw.h"
 #include "testing/reference_hom.h"
@@ -1300,6 +1303,227 @@ PropertyCheck CheckServeAsyncProperties(const Database& db,
   for (std::size_t i = 0; i < features.size(); ++i) {
     if (final_answers[i] == nullptr || !matches_truth(*final_answers[i], i)) {
       return Violation("serve/cache-poisoned", describe(0, i, "final"));
+    }
+  }
+  return std::nullopt;
+}
+
+PropertyCheck CheckIncrementalProperties(const Database& db,
+                                         std::uint64_t trace_seed,
+                                         std::size_t num_ops) {
+  if (!db.schema().has_entity_relation()) return std::nullopt;
+  std::vector<ConjunctiveQuery> features =
+      EnumerateFeatureQueries(db.schema_ptr(), 1);
+  if (features.empty()) return std::nullopt;
+  if (features.size() > 8) {
+    features.erase(features.begin() + 8, features.end());  // Bound work.
+  }
+
+  WorkloadRng rng(trace_seed ^ 0x1cc5e5a7a11dULL);
+
+  // The live stack under test: one mutating database, one warm service the
+  // maintainer re-keys across every mutation, one warm-started separability
+  // decider. The drop policy rides the seed so both maintenance modes fuzz.
+  Database live = db;
+  serve::ServeOptions live_options;
+  live_options.num_shards = 1;
+  live_options.cache_capacity = 64;
+  live_options.incremental = rng.Chance(0.75);
+  serve::EvalService service(live_options);
+  serve::IncrementalMaintainer maintainer(&service, features);
+  serve::IncrementalSeparability isep(features);
+
+  // Labels keyed by entity NAME: names survive the oracle's re-interning
+  // and entity churn, value ids do not.
+  std::unordered_map<std::string, Label> labels;
+  for (Value e : live.Entities()) {
+    labels.emplace(live.value_name(e),
+                   rng.Chance(0.5) ? kPositive : kNegative);
+  }
+
+  const Schema& schema = live.schema();
+  std::size_t fresh = 0;
+  auto describe = [&](std::size_t op, const char* what) {
+    std::ostringstream out;
+    out << "op " << op << " (" << what << "), seed " << trace_seed << ", ops "
+        << num_ops << "\ndb:\n" << WriteDatabase(live);
+    return out.str();
+  };
+
+  service.Matrix(features, live);  // Warm the state the maintainer patches.
+
+  for (std::size_t op = 0; op < num_ops; ++op) {
+    const std::uint64_t digest_before = live.ContentDigest();
+    std::optional<Delta> delta;
+    const char* what = "recheck";
+    const std::size_t pick = rng.Below(100);
+    if (pick < 45) {
+      // Insert a random fact; occasional fresh constants widen the domain.
+      RelationId rel = static_cast<RelationId>(rng.Below(schema.size()));
+      std::vector<Value> args;
+      for (std::size_t i = 0; i < schema.arity(rel); ++i) {
+        if (live.num_values() == 0 || rng.Chance(0.15)) {
+          args.push_back(live.Intern("w" + std::to_string(fresh++)));
+        } else {
+          args.push_back(static_cast<Value>(rng.Below(live.num_values())));
+        }
+      }
+      delta = live.InsertFact(rel, std::move(args));
+      what = "insert";
+    } else if (pick < 70 && live.size() > 0) {
+      // Copy first: RemoveFact invalidates references into facts_.
+      const Fact fact = live.fact(rng.Below(live.size()));
+      delta = live.RemoveFact(fact.relation, fact.args);
+      what = "remove";
+    } else if (pick < 80) {
+      // Forced no-op: a duplicate insert, or removing a fact that was
+      // never there (its argument is a freshly interned constant).
+      if (live.size() > 0 && rng.Chance(0.5)) {
+        const Fact fact = live.fact(rng.Below(live.size()));
+        delta = live.InsertFact(fact.relation, fact.args);
+        what = "noop-insert";
+      } else {
+        RelationId rel = static_cast<RelationId>(rng.Below(schema.size()));
+        std::vector<Value> args(schema.arity(rel),
+                                live.Intern("w" + std::to_string(fresh++)));
+        delta = live.RemoveFact(rel, args);
+        what = "noop-remove";
+      }
+      if (delta->applied) {
+        return Violation("incremental/noop-applied", describe(op, what));
+      }
+    } else if (pick < 90) {
+      // Relabel a random entity — no Delta; Recheck must self-detect the
+      // label diff.
+      std::vector<Value> entities = live.Entities();
+      if (!entities.empty()) {
+        const std::string& name =
+            live.value_name(entities[rng.Below(entities.size())]);
+        labels[name] = labels[name] == kPositive ? kNegative : kPositive;
+        what = "relabel";
+      }
+    }
+
+    std::vector<std::string> changed;
+    if (delta.has_value()) {
+      if (delta->old_digest != digest_before) {
+        return Violation("incremental/delta-old-digest", describe(op, what));
+      }
+      if (delta->new_digest != live.ContentDigest()) {
+        return Violation("incremental/delta-new-digest", describe(op, what));
+      }
+      if (!delta->applied && delta->old_digest != delta->new_digest) {
+        return Violation("incremental/noop-digest-moved", describe(op, what));
+      }
+      if (delta->applied && delta->entity_fact) {
+        const std::string& name = live.value_name(delta->args[0]);
+        const Label label = rng.Chance(0.5) ? kPositive : kNegative;
+        if (delta->kind == Delta::Kind::kInsert) {
+          labels.emplace(name, label);
+        } else {
+          labels.erase(name);
+        }
+      }
+      serve::DeltaMaintenance maintenance =
+          maintainer.ApplyDelta(live, *delta);
+      changed = std::move(maintenance.changed_entities);
+      // The instant the digest moved, no old-digest key may be resolvable
+      // in any cache tier.
+      if (delta->applied && delta->old_digest != delta->new_digest) {
+        for (const ConjunctiveQuery& feature : features) {
+          if (service.PeekCached(delta->old_digest, feature.ToString()) !=
+              nullptr) {
+            return Violation(
+                "incremental/stale-key-survives",
+                describe(op, what) + "\nfeature " + feature.ToString());
+          }
+        }
+      }
+    }
+
+    // The permanently-naive oracle: a fresh database replaying the live
+    // fact set (same interning and fact order, so entity order matches),
+    // digested and evaluated completely cold.
+    Database oracle(live.schema_ptr());
+    for (std::size_t v = 0; v < live.num_values(); ++v) {
+      oracle.Intern(live.value_name(static_cast<Value>(v)));
+    }
+    for (const Fact& fact : live.facts()) {
+      oracle.AddFact(fact.relation, fact.args);
+    }
+    if (oracle.ContentDigest() != live.ContentDigest()) {
+      return Violation("incremental/digest-vs-recompute", describe(op, what));
+    }
+
+    serve::ServeOptions cold_options;
+    cold_options.num_shards = 1;
+    cold_options.cache_capacity = 0;
+    serve::EvalService cold(cold_options);
+    const std::vector<FeatureVector> truth = cold.Matrix(features, oracle);
+    const std::vector<FeatureVector> warm = service.Matrix(features, live);
+    const std::vector<Value> live_entities = live.Entities();
+    const std::vector<Value> oracle_entities = oracle.Entities();
+    if (live_entities.size() != oracle_entities.size()) {
+      return Violation("incremental/entity-set", describe(op, what));
+    }
+    for (std::size_t i = 0; i < live_entities.size(); ++i) {
+      if (live.value_name(live_entities[i]) !=
+          oracle.value_name(oracle_entities[i])) {
+        return Violation("incremental/entity-order", describe(op, what));
+      }
+      if (warm[i] != truth[i]) {
+        std::ostringstream out;
+        out << describe(op, what) << "\nentity "
+            << live.value_name(live_entities[i]) << " row differs";
+        return Violation("incremental/matrix-vs-recompute", out.str());
+      }
+    }
+
+    // Separability: incremental verdicts vs from-scratch decisions. The
+    // copy keeps the digest memo warm, so Recheck's reuse path really runs.
+    auto live_db = std::make_shared<Database>(live);
+    TrainingDatabase training(live_db);
+    for (Value e : live_db->Entities()) {
+      training.SetLabel(e, labels.at(live_db->value_name(e)));
+    }
+    serve::IncrementalSeparability::Verdict verdict =
+        isep.Recheck(training, &service, changed);
+
+    TrainingCollection collection;
+    collection.reserve(oracle_entities.size());
+    for (std::size_t i = 0; i < oracle_entities.size(); ++i) {
+      collection.emplace_back(
+          truth[i], labels.at(oracle.value_name(oracle_entities[i])));
+    }
+    std::optional<LinearClassifier> cold_sep = FindSeparator(collection);
+    if (verdict.lin_separable != cold_sep.has_value()) {
+      return Violation("incremental/linsep-vs-recompute", describe(op, what));
+    }
+    if (verdict.lin_separable &&
+        verdict.classifier->CountErrors(collection) != 0) {
+      return Violation("incremental/linsep-classifier-errors",
+                       describe(op, what));
+    }
+
+    auto oracle_db = std::make_shared<Database>(oracle);
+    TrainingDatabase oracle_training(oracle_db);
+    for (Value e : oracle_db->Entities()) {
+      oracle_training.SetLabel(e, labels.at(oracle_db->value_name(e)));
+    }
+    const CqSepResult cold_cq = DecideCqSep(oracle_training);
+    if (verdict.cq_sep.separable != cold_cq.separable) {
+      return Violation("incremental/cqsep-vs-recompute", describe(op, what));
+    }
+    if (!verdict.cq_sep.separable) {
+      if (!verdict.cq_sep.conflict.has_value()) {
+        return Violation("incremental/cqsep-no-conflict", describe(op, what));
+      }
+      const auto [p, n] = *verdict.cq_sep.conflict;
+      if (!training.labeling().Has(p) || !training.labeling().Has(n) ||
+          training.labeling().Get(p) == training.labeling().Get(n) ||
+          !HomEquivalent(*live_db, {p}, *live_db, {n})) {
+        return Violation("incremental/cqsep-bad-witness", describe(op, what));
+      }
     }
   }
   return std::nullopt;

@@ -171,6 +171,30 @@ PropertyCheck CheckServeAsyncProperties(const Database& db,
                                         std::uint64_t interleaving_seed,
                                         std::size_t num_ops);
 
+/// Delta-maintenance laws (DESIGN.md §14) on an entity database: a seeded
+/// random trace of `num_ops` insert / remove / forced-no-op / relabel /
+/// pure-recheck steps runs against a live stack — a mutating Database, a
+/// warm EvalService maintained by IncrementalMaintainer (patch or drop
+/// policy by seed), and an IncrementalSeparability warm-starting both
+/// separability decisions. After EVERY step the live state is cross-checked
+/// against a permanently-naive oracle rebuilt from scratch (fresh Database
+/// replaying the live fact set, cold single-shard cache-free EvalService,
+/// from-scratch FindSeparator and DecideCqSep):
+///   - each Delta's old/new digests bracket the mutation, no-ops move
+///     nothing, and the incrementally patched digest equals the fresh
+///     recompute;
+///   - the instant the digest moves, no (old-digest, feature) key is
+///     resolvable in any cache tier;
+///   - the warm feature matrix is bit-identical to the cold oracle's, with
+///     the entity order preserved;
+///   - the incremental linear-separability verdict matches the fresh LP
+///     (and a returned classifier commits zero errors), and the incremental
+///     CQ-SEP verdict matches the fresh sweep, any inseparability witness
+///     being genuinely differently-labeled and hom-equivalent.
+PropertyCheck CheckIncrementalProperties(const Database& db,
+                                         std::uint64_t trace_seed,
+                                         std::size_t num_ops);
+
 /// MinimizeCq laws: the minimized query has no more atoms, preserves the
 /// free tuple, is hom-equivalent to the input (reference Chandra–Merlin
 /// containment both ways), and is minimal — no single atom can be removed

@@ -1,9 +1,13 @@
 #include "serve/disk_cache.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -215,6 +219,105 @@ TEST(DiskResultCacheTest, KeyCollisionKeepsResidentEntry) {
 
   EXPECT_FALSE(other.Load(6, "g").has_value());
   EXPECT_EQ(other.stats().key_mismatch_dropped, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep / Remove: the disk tier's size-bounded GC.
+
+TEST(DiskResultCacheTest, RemoveDeletesTheEntry) {
+  TempDir dir("featsep-dc-remove");
+  DiskResultCache cache(dir.str());
+  ASSERT_TRUE(cache.Store(5, "f", {"a"}));
+  EXPECT_TRUE(cache.Remove(5, "f"));
+  EXPECT_FALSE(cache.Load(5, "f").has_value());
+  EXPECT_EQ(cache.stats().removed, 1u);
+  // Removing what is not there reports false without counting.
+  EXPECT_FALSE(cache.Remove(5, "f"));
+  EXPECT_EQ(cache.stats().removed, 1u);
+}
+
+TEST(DiskResultCacheTest, SweepUnderLimitIsANoOp) {
+  TempDir dir("featsep-dc-sweep-under");
+  DiskResultCache cache(dir.str());
+  ASSERT_TRUE(cache.Store(1, "f", {"a"}));
+  ASSERT_TRUE(cache.Store(2, "g", {"b"}));
+  serve::DiskSweepResult result = cache.Sweep(1 << 20);
+  EXPECT_EQ(result.entries_removed, 0u);
+  EXPECT_EQ(result.bytes_before, result.bytes_after);
+  EXPECT_EQ(cache.stats().swept, 0u);
+  EXPECT_TRUE(cache.Load(1, "f").has_value());
+  EXPECT_TRUE(cache.Load(2, "g").has_value());
+}
+
+TEST(DiskResultCacheTest, SweepEvictsOldestMtimeFirst) {
+  TempDir dir("featsep-dc-sweep-order");
+  DiskResultCache cache(dir.str());
+  ASSERT_TRUE(cache.Store(1, "old", {"a"}));
+  ASSERT_TRUE(cache.Store(2, "mid", {"b"}));
+  ASSERT_TRUE(cache.Store(3, "new", {"c"}));
+  // Pin the age order explicitly — filesystem timestamps are too coarse to
+  // trust the three Stores above to land on distinct ticks.
+  const auto now = fs::file_time_type::clock::now();
+  for (const auto& it : fs::directory_iterator(dir.path())) {
+    if (it.path().extension() != ".fse") continue;
+    Result<DiskCacheEntry> entry = ParseDiskCacheEntry(ReadFile(it.path()));
+    ASSERT_TRUE(entry.ok());
+    fs::last_write_time(
+        it.path(),
+        now - std::chrono::hours(
+                  entry.value().content_digest == 1
+                      ? 3
+                      : entry.value().content_digest == 2 ? 2 : 1));
+  }
+  // One entry's worth of budget: the two oldest go, the newest survives.
+  std::uintmax_t one_entry = 0;
+  for (const auto& it : fs::directory_iterator(dir.path())) {
+    if (it.path().extension() == ".fse") {
+      one_entry = std::max(one_entry, fs::file_size(it.path()));
+    }
+  }
+  serve::DiskSweepResult result = cache.Sweep(one_entry);
+  EXPECT_EQ(result.entries_removed, 2u);
+  EXPECT_LE(result.bytes_after, one_entry);
+  EXPECT_EQ(cache.stats().swept, 2u);
+  EXPECT_FALSE(cache.Load(1, "old").has_value());
+  EXPECT_FALSE(cache.Load(2, "mid").has_value());
+  EXPECT_TRUE(cache.Load(3, "new").has_value());
+}
+
+TEST(DiskResultCacheTest, SweepCountsCorruptEntriesAndDeletesThem) {
+  // Sweep is size + mtime only — it never parses. A corrupt .fse file is
+  // just bytes toward the limit, counted and deleted like any entry.
+  TempDir dir("featsep-dc-sweep-corrupt");
+  DiskResultCache cache(dir.str());
+  ASSERT_TRUE(cache.Store(1, "f", {"a"}));
+  WriteFile(dir.path() / "deadbeefdeadbeef.fse", "not a valid entry");
+  serve::DiskSweepResult result = cache.Sweep(0);
+  EXPECT_EQ(result.entries_removed, 2u);
+  EXPECT_EQ(result.bytes_after, 0u);
+  std::size_t remaining = 0;
+  for (const auto& it : fs::directory_iterator(dir.path())) {
+    if (it.path().extension() == ".fse") ++remaining;
+  }
+  EXPECT_EQ(remaining, 0u);
+}
+
+TEST(EvalServiceDiskTest, OpportunisticSweepHonorsTheByteLimit) {
+  TempDir dir("featsep-svc-sweep");
+  ServeOptions options;
+  options.cache_dir = dir.str();
+  options.disk_cache_max_bytes = 1;  // Tighter than any single entry.
+  Database db = MakeWorld();
+  Statistic statistic(OutInFeatures());
+  EvalService service(options);
+  std::vector<FeatureVector> matrix = service.Matrix(statistic.features(), db);
+  EXPECT_EQ(matrix, statistic.Matrix(db));  // Answers unaffected by GC.
+  std::uintmax_t bytes = 0;
+  for (const auto& it : fs::directory_iterator(dir.path())) {
+    if (it.path().extension() == ".fse") bytes += fs::file_size(it.path());
+  }
+  EXPECT_LE(bytes, options.disk_cache_max_bytes)
+      << "write-behind left the disk tier over its GC limit";
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include "cq/evaluation.h"
 #include "qbe/qbe.h"
 #include "relational/training_database.h"
+#include "serve/incremental.h"
 #include "test_util.h"
 
 namespace featsep {
@@ -212,6 +213,82 @@ TEST(EvalServiceTest, SolveCqmQbeMatchesSerialPath) {
     EXPECT_EQ(served.explanation->ToString(), serial.explanation->ToString());
   }
   EXPECT_GT(service.stats().cache_hits, 0u);
+}
+
+TEST(EvalServiceCoherenceTest, StaleEntriesAreNeverServedAfterMutation) {
+  // A mutated database has a new content digest, so pre-mutation cache
+  // entries — still resident in the LRU — can never answer for it, with or
+  // without delta maintenance running.
+  Database db = MakeWorld();
+  std::vector<ConjunctiveQuery> features = OutInFeatures();
+  ServeOptions options;
+  options.num_shards = 1;
+  options.cache_capacity = 16;
+  EvalService service(options);
+  service.Matrix(features, db);
+  const std::uint64_t old_digest = db.ContentDigest();
+
+  Delta delta = db.InsertFact(db.schema().FindRelation("E"),
+                              {db.FindValue("none"), db.FindValue("t")});
+  ASSERT_TRUE(delta.applied);
+  // No maintenance ran: the old entries still exist under the old digest,
+  // but a read against the mutated database re-evaluates under the new one.
+  ASSERT_NE(service.PeekCached(old_digest, features[0].ToString()), nullptr);
+  Statistic statistic(features);
+  EXPECT_EQ(service.Matrix(features, db), statistic.Matrix(db));
+  auto fresh = service.PeekCached(db.ContentDigest(), features[0].ToString());
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_TRUE(fresh->SelectsName("none")) << "served a stale answer";
+}
+
+TEST(EvalServiceCoherenceTest, MutationSoakStaysBitIdenticalToCold) {
+  // Interleaved reads and mutations: after every mutation, the warm
+  // service's matrix must equal a cold single-shard cache-free service run
+  // on a from-scratch rebuild of the same content.
+  Database db = MakeWorld();
+  std::vector<ConjunctiveQuery> features = OutInFeatures();
+  ServeOptions warm_options;
+  warm_options.num_shards = 1;
+  warm_options.cache_capacity = 16;
+  EvalService warm(warm_options);
+  serve::IncrementalMaintainer maintainer(&warm, features);
+  warm.Matrix(features, db);
+
+  RelationId edge = db.schema().FindRelation("E");
+  RelationId eta = db.schema().entity_relation();
+  const struct {
+    RelationId relation;
+    const char* a;
+    const char* b;  // nullptr for unary η mutations.
+    bool insert;
+  } kSoak[] = {
+      {edge, "none", "t", true},   {edge, "both", "t", false},
+      {eta, "t", nullptr, true},   {edge, "u", "both", false},
+      {eta, "t", nullptr, false},  {edge, "none", "t", false},
+      {eta, "none", nullptr, false},
+  };
+  for (const auto& step : kSoak) {
+    std::vector<Value> args;
+    args.push_back(db.Intern(step.a));
+    if (step.b != nullptr) args.push_back(db.Intern(step.b));
+    Delta delta = step.insert ? db.InsertFact(step.relation, args)
+                              : db.RemoveFact(step.relation, args);
+    maintainer.ApplyDelta(db, delta);
+
+    Database rebuilt(db.schema_ptr());
+    for (std::size_t v = 0; v < db.num_values(); ++v) {
+      rebuilt.Intern(db.value_name(static_cast<Value>(v)));
+    }
+    for (const Fact& fact : db.facts()) {
+      rebuilt.AddFact(fact.relation, fact.args);
+    }
+    ServeOptions cold_options;
+    cold_options.num_shards = 1;
+    cold_options.cache_capacity = 0;
+    EvalService cold(cold_options);
+    EXPECT_EQ(warm.Matrix(features, db), cold.Matrix(features, rebuilt))
+        << "warm reads diverged from cold after a mutation";
+  }
 }
 
 TEST(CqEvaluatorReuseTest, OneEvaluatorAcrossCollidingDatabases) {
