@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 #include <utility>
 
@@ -95,9 +94,13 @@ Result<DiskCacheEntry> ParseDiskCacheEntry(std::string_view bytes) {
   return entry;
 }
 
-DiskResultCache::DiskResultCache(std::string dir) : dir_(std::move(dir)) {
-  std::error_code ec;
-  std::filesystem::create_directories(std::filesystem::path(dir_) / "tmp", ec);
+DiskResultCache::DiskResultCache(std::string dir,
+                                 const DiskCacheOptions& options)
+    : dir_(std::move(dir)),
+      env_(options.env != nullptr ? options.env : RealFs()),
+      retry_(options.retry) {
+  env_->CreateDirs((std::filesystem::path(dir_) / "tmp").string());
+  if (options.tmp_gc_on_open) CollectStaleTmp(options.tmp_gc_age);
 }
 
 std::string DiskResultCache::EntryPath(std::uint64_t content_digest,
@@ -108,20 +111,35 @@ std::string DiskResultCache::EntryPath(std::uint64_t content_digest,
       .string();
 }
 
-std::optional<std::vector<std::string>> DiskResultCache::Load(
-    std::uint64_t content_digest, const std::string& feature) {
+DiskLoadResult DiskResultCache::LoadEntry(std::uint64_t content_digest,
+                                          const std::string& feature) {
   const std::string path = EntryPath(content_digest, feature);
+  DiskLoadResult result;
   std::string bytes;
-  {
-    std::ifstream in(path, std::ios::binary);
-    if (!in.is_open()) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.misses;
-      return std::nullopt;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    bytes = buffer.str();
+  FsStatus read = FsStatus::kError;
+  RetryOutcome read_outcome =
+      RetryCall(retry_, nullptr, [&]() {
+        read = env_->ReadFile(path, &bytes);
+        return read != FsStatus::kError;  // A miss is settled, not retried.
+      });
+  if (read_outcome.retries() > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.load_retries += read_outcome.retries();
+  }
+  if (!read_outcome.ok) {
+    // The read kept faulting: the disk is sick, not cold. Reported apart
+    // from a miss so the circuit breaker can react.
+    result.status = DiskLoadStatus::kIoError;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.io_errors;
+    ++stats_.misses;
+    return result;
+  }
+  if (read == FsStatus::kNotFound) {
+    result.status = DiskLoadStatus::kMiss;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    return result;
   }
   // A different-version entry may belong to a newer binary sharing the
   // directory: drop it without trusting OR deleting it.
@@ -130,34 +148,45 @@ std::optional<std::vector<std::string>> DiskResultCache::Load(
   first = first.substr(0, first.find('\n'));
   if (wire::ParseKeyedU64(first, kMagic, &version) &&
       version != static_cast<std::uint64_t>(kFormatVersion)) {
+    result.status = DiskLoadStatus::kVersionSkew;
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.version_dropped;
     ++stats_.misses;
-    return std::nullopt;
+    return result;
   }
   Result<DiskCacheEntry> entry = ParseDiskCacheEntry(bytes);
   if (!entry.ok()) {
     // Corrupt or truncated: never trusted, best-effort deleted so a later
     // write replaces it with a good entry.
-    std::error_code ec;
-    std::filesystem::remove(path, ec);
+    env_->Remove(path);
+    result.status = DiskLoadStatus::kCorrupt;
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.corrupt_dropped;
     ++stats_.misses;
-    return std::nullopt;
+    return result;
   }
   if (entry.value().content_digest != content_digest ||
       entry.value().feature != feature) {
     // 64-bit file-name collision between distinct keys: keep the resident
     // entry, miss on ours.
+    result.status = DiskLoadStatus::kKeyCollision;
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.key_mismatch_dropped;
     ++stats_.misses;
-    return std::nullopt;
+    return result;
   }
+  result.status = DiskLoadStatus::kHit;
+  result.selected = std::move(entry.value().selected);
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.hits;
-  return std::move(entry.value().selected);
+  return result;
+}
+
+std::optional<std::vector<std::string>> DiskResultCache::Load(
+    std::uint64_t content_digest, const std::string& feature) {
+  DiskLoadResult result = LoadEntry(content_digest, feature);
+  if (!result.hit()) return std::nullopt;
+  return std::move(result.selected);
 }
 
 bool DiskResultCache::Store(std::uint64_t content_digest,
@@ -165,95 +194,123 @@ bool DiskResultCache::Store(std::uint64_t content_digest,
                             std::vector<std::string> selected) {
   const std::string name =
       wire::DigestHex(StableCacheKeyDigest(content_digest, feature));
-  const std::filesystem::path final_path =
-      std::filesystem::path(dir_) / (name + ".fse");
-  const std::filesystem::path tmp_path =
-      std::filesystem::path(dir_) / "tmp" /
-      (name + "." + std::to_string(ProcessId()) + "." +
-       std::to_string(tmp_counter_.fetch_add(1, std::memory_order_relaxed)) +
-       ".tmp");
+  const std::string final_path =
+      (std::filesystem::path(dir_) / (name + ".fse")).string();
   std::string bytes =
       SerializeDiskCacheEntry(content_digest, feature, std::move(selected));
 
-  auto fail = [&]() {
-    std::error_code ec;
-    std::filesystem::remove(tmp_path, ec);
-    std::lock_guard<std::mutex> lock(mutex_);
+  // Each attempt publishes through a fresh unique tmp name: a failed
+  // attempt can at worst orphan a tmp file (collected by startup GC), never
+  // tear the published entry. A failed attempt also re-creates the cache
+  // directories: if CreateDirs faulted when the cache opened, the store
+  // path self-heals once the filesystem recovers instead of failing
+  // forever against a missing tmp/.
+  RetryOutcome outcome = RetryCall(retry_, nullptr, [&]() {
+    const std::string tmp_path =
+        (std::filesystem::path(dir_) / "tmp" /
+         (name + "." + std::to_string(ProcessId()) + "." +
+          std::to_string(
+              tmp_counter_.fetch_add(1, std::memory_order_relaxed)) +
+          ".tmp"))
+            .string();
+    if (env_->Publish(tmp_path, final_path, bytes) == FsStatus::kOk) {
+      return true;
+    }
+    env_->CreateDirs((std::filesystem::path(dir_) / "tmp").string());
+    return false;
+  });
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.store_retries += outcome.retries();
+  if (!outcome.ok) {
     ++stats_.write_failures;
     return false;
-  };
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) return fail();
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out.good()) return fail();
   }
-  // Publish atomically: a rename within the directory either installs the
-  // complete entry or leaves the old state; readers never see a torn file.
-  std::error_code ec;
-  std::filesystem::rename(tmp_path, final_path, ec);
-  if (ec) return fail();
-  std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.writes;
   return true;
 }
 
 bool DiskResultCache::Remove(std::uint64_t content_digest,
                              const std::string& feature) {
-  std::error_code ec;
-  const bool removed =
-      std::filesystem::remove(EntryPath(content_digest, feature), ec) && !ec;
-  if (removed) {
+  const std::string path = EntryPath(content_digest, feature);
+  FsStatus status = FsStatus::kError;
+  RetryOutcome outcome = RetryCall(retry_, nullptr, [&]() {
+    status = env_->Remove(path);
+    return status != FsStatus::kError;
+  });
+  if (!outcome.ok) {
+    // The stale entry may linger. Not a correctness problem — entries are
+    // content-addressed, so it stays a correct answer for its own digest —
+    // but worth counting.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.remove_failures;
+    return false;
+  }
+  if (status == FsStatus::kOk) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.removed;
+    return true;
   }
-  return removed;
+  return false;
 }
 
 DiskSweepResult DiskResultCache::Sweep(std::uint64_t max_bytes) {
   DiskSweepResult result;
+  FsListResult listing = env_->ListDir(dir_);
+  result.scan_errors = listing.scan_errors;
+  if (listing.status != FsStatus::kOk) ++result.scan_errors;
   struct Entry {
-    std::filesystem::path path;
+    std::string name;
     std::uint64_t bytes = 0;
     std::filesystem::file_time_type mtime;
   };
   std::vector<Entry> entries;
-  std::error_code ec;
-  for (const auto& item :
-       std::filesystem::directory_iterator(dir_, ec)) {
-    if (ec) break;
-    if (!item.is_regular_file(ec) || item.path().extension() != ".fse") {
+  for (FsDirEntry& item : listing.entries) {
+    const std::string& name = item.name;
+    if (name.size() < 4 || name.compare(name.size() - 4, 4, ".fse") != 0) {
       continue;
     }
-    Entry entry;
-    entry.path = item.path();
-    entry.bytes = static_cast<std::uint64_t>(item.file_size(ec));
-    if (ec) continue;
-    entry.mtime = item.last_write_time(ec);
-    if (ec) continue;
-    result.bytes_before += entry.bytes;
-    entries.push_back(std::move(entry));
+    result.bytes_before += item.size;
+    entries.push_back(Entry{std::move(item.name), item.size, item.mtime});
   }
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) {
-              // Oldest mtime first; path as a deterministic tiebreak.
+              // Oldest mtime first; name as a deterministic tiebreak.
               if (a.mtime != b.mtime) return a.mtime < b.mtime;
-              return a.path < b.path;
+              return a.name < b.name;
             });
   result.bytes_after = result.bytes_before;
   for (const Entry& entry : entries) {
     if (result.bytes_after <= max_bytes) break;
-    std::error_code remove_ec;
-    if (std::filesystem::remove(entry.path, remove_ec) && !remove_ec) {
+    const std::string path =
+        (std::filesystem::path(dir_) / entry.name).string();
+    if (env_->Remove(path) == FsStatus::kOk) {
       result.bytes_after -= entry.bytes;
       ++result.entries_removed;
     }
   }
-  if (result.entries_removed > 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats_.swept += result.entries_removed;
-  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.swept += result.entries_removed;
+  stats_.scan_errors += result.scan_errors;
   return result;
+}
+
+std::uint64_t DiskResultCache::CollectStaleTmp(std::chrono::milliseconds age) {
+  const std::string tmp_dir = (std::filesystem::path(dir_) / "tmp").string();
+  FsListResult listing = env_->ListDir(tmp_dir);
+  std::uint64_t scan_errors = listing.scan_errors;
+  if (listing.status != FsStatus::kOk) ++scan_errors;
+  const auto now = std::filesystem::file_time_type::clock::now();
+  std::uint64_t collected = 0;
+  for (const FsDirEntry& item : listing.entries) {
+    if (now - item.mtime < age) continue;  // Possibly a live publish.
+    const std::string path =
+        (std::filesystem::path(tmp_dir) / item.name).string();
+    if (env_->Remove(path) == FsStatus::kOk) ++collected;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.tmp_collected += collected;
+  stats_.scan_errors += scan_errors;
+  return collected;
 }
 
 DiskCacheStats DiskResultCache::stats() const {

@@ -2,6 +2,7 @@
 #define FEATSEP_SERVE_DISK_CACHE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -9,7 +10,9 @@
 #include <string_view>
 #include <vector>
 
+#include "util/fs_env.h"
 #include "util/result.h"
+#include "util/retry.h"
 
 namespace featsep {
 namespace serve {
@@ -63,6 +66,22 @@ struct DiskCacheStats {
   std::uint64_t removed = 0;
   /// Entries evicted by the GC (Sweep), oldest mtime first.
   std::uint64_t swept = 0;
+  /// Loads that exhausted their retries on a read *fault* (not absence).
+  /// Distinct from `misses` bookkeeping-wise so the serve-layer circuit
+  /// breaker can tell a cold cache from a sick disk.
+  std::uint64_t io_errors = 0;
+  /// Extra attempts beyond the first, per RetryPolicy, on loads / stores.
+  std::uint64_t load_retries = 0;
+  std::uint64_t store_retries = 0;
+  /// Remove() calls that failed with an I/O fault (the entry may linger;
+  /// harmless for correctness — entries are content-addressed — but counted
+  /// for hygiene).
+  std::uint64_t remove_failures = 0;
+  /// Orphaned tmp files collected by startup/explicit GC.
+  std::uint64_t tmp_collected = 0;
+  /// Cumulative directory-scan errors observed by Sweep/CollectStaleTmp —
+  /// nonzero means some GC pass ran over an incomplete listing.
+  std::uint64_t scan_errors = 0;
 };
 
 /// Outcome of one DiskResultCache::Sweep pass.
@@ -70,6 +89,45 @@ struct DiskSweepResult {
   std::uint64_t bytes_before = 0;  ///< Total `.fse` bytes found by the scan.
   std::uint64_t bytes_after = 0;   ///< Total remaining after evictions.
   std::uint64_t entries_removed = 0;
+  /// Directory entries the scan failed to stat or iterate past: nonzero
+  /// means bytes_before undercounts and the pass may have missed garbage —
+  /// reported, never silently ignored.
+  std::uint64_t scan_errors = 0;
+};
+
+/// How one LoadEntry resolved. Everything except kHit returns no answer;
+/// kIoError is the only outcome caused by a filesystem *fault* rather than
+/// by what is (or is not) durably stored.
+enum class DiskLoadStatus : std::uint8_t {
+  kHit = 0,
+  kMiss,
+  kCorrupt,
+  kVersionSkew,
+  kKeyCollision,
+  kIoError,
+};
+
+struct DiskLoadResult {
+  DiskLoadStatus status = DiskLoadStatus::kMiss;
+  std::vector<std::string> selected;  ///< Filled iff status == kHit.
+  bool hit() const { return status == DiskLoadStatus::kHit; }
+  /// True when the lookup failed because of an I/O fault, not absence —
+  /// what the serve-layer circuit breaker keys on.
+  bool io_error() const { return status == DiskLoadStatus::kIoError; }
+};
+
+/// Construction-time knobs; the one-argument constructor uses the defaults
+/// (real filesystem, no retries, collect hour-old tmp orphans on open).
+struct DiskCacheOptions {
+  /// Filesystem backend; nullptr = the real filesystem. Non-owning — the
+  /// environment must outlive the cache (tests/fuzzers own a FaultFsEnv).
+  FsEnv* env = nullptr;
+  /// Applied to entry loads, stores, and removes on transient faults.
+  RetryPolicy retry;
+  /// tmp/ files older than this are orphans of a crash between tmp-write
+  /// and rename; collected when the cache opens (and by CollectStaleTmp).
+  std::chrono::milliseconds tmp_gc_age{60 * 60 * 1000};
+  bool tmp_gc_on_open = true;
 };
 
 /// Persistent, cross-process result cache for feature answer sets, keyed by
@@ -85,6 +143,11 @@ struct DiskSweepResult {
 /// deterministic, so both render bit-identical bytes and the second rename
 /// replaces the first with equal content.
 ///
+/// All filesystem access goes through an injectable FsEnv (DESIGN.md §15):
+/// transient faults are retried per the RetryPolicy, a load that exhausts
+/// its retries reports kIoError (distinguished from a plain miss), and
+/// orphaned tmp files from a crash mid-publish are GC'd on open.
+///
 /// Thread-safe; all filesystem errors degrade to miss/failure counters,
 /// never exceptions.
 class DiskResultCache {
@@ -93,7 +156,9 @@ class DiskResultCache {
   static constexpr int kFormatVersion = 1;
 
   /// Creates the directory (and its tmp/ subdirectory) if absent.
-  explicit DiskResultCache(std::string dir);
+  explicit DiskResultCache(std::string dir)
+      : DiskResultCache(std::move(dir), DiskCacheOptions{}) {}
+  DiskResultCache(std::string dir, const DiskCacheOptions& options);
 
   const std::string& dir() const { return dir_; }
 
@@ -101,14 +166,21 @@ class DiskResultCache {
   std::string EntryPath(std::uint64_t content_digest,
                         std::string_view feature) const;
 
+  /// Reads the entry for the key with full outcome reporting. Returned
+  /// names are sorted ascending.
+  DiskLoadResult LoadEntry(std::uint64_t content_digest,
+                           const std::string& feature);
+
   /// Reads the entry for the key, or nullopt on miss / corrupt / version
-  /// mismatch / key collision. Returned names are sorted ascending.
+  /// mismatch / key collision / I/O fault. Returned names are sorted
+  /// ascending. (LoadEntry reports which of those it was.)
   std::optional<std::vector<std::string>> Load(std::uint64_t content_digest,
                                                const std::string& feature);
 
   /// Atomically persists the entry; returns false (and counts a
-  /// write_failure) if the filesystem refuses. Never called with partial
-  /// answers by EvalService — budget-aborted evaluations are not persisted.
+  /// write_failure) if the filesystem refuses after retries. Never called
+  /// with partial answers by EvalService — budget-aborted evaluations are
+  /// not persisted.
   bool Store(std::uint64_t content_digest, const std::string& feature,
              std::vector<std::string> selected);
 
@@ -123,13 +195,21 @@ class DiskResultCache {
   /// foreign-version files count toward the total like any other and are
   /// swept in the same order (a corrupt entry would be deleted on its next
   /// Load anyway). Safe to race with concurrent Store/Load in any process:
-  /// a swept entry simply becomes a future miss.
+  /// a swept entry simply becomes a future miss. Scan errors are counted in
+  /// the result, never silently swallowed.
   DiskSweepResult Sweep(std::uint64_t max_bytes);
+
+  /// Collects tmp/ files older than `age` — the orphans a crash between
+  /// tmp-write and rename leaves behind. Returns the number collected.
+  /// Runs automatically on open unless DiskCacheOptions says otherwise.
+  std::uint64_t CollectStaleTmp(std::chrono::milliseconds age);
 
   DiskCacheStats stats() const;
 
  private:
   std::string dir_;
+  FsEnv* env_;
+  RetryPolicy retry_;
   std::atomic<std::uint64_t> tmp_counter_{0};
   mutable std::mutex mutex_;  // Guards stats_ only; file ops are lock-free.
   DiskCacheStats stats_;

@@ -29,11 +29,91 @@ std::size_t EvalService::CacheKeyHash::operator()(const CacheKey& key) const {
       StableCacheKeyDigest(key.first, key.second));
 }
 
+namespace {
+
+/// The retry policy both durable tiers (disk cache + shard protocol) run
+/// under, built from the serve knobs.
+RetryPolicy DurableRetryPolicy(const ServeOptions& options) {
+  RetryPolicy retry;
+  retry.max_attempts = std::max(1, options.disk_retry_attempts);
+  retry.initial_backoff = options.disk_retry_backoff;
+  retry.jitter_seed = 0x9e3779b97f4a7c15ULL;
+  return retry;
+}
+
+}  // namespace
+
+const char* DiskHealthName(DiskHealth health) {
+  switch (health) {
+    case DiskHealth::kClosed: return "closed";
+    case DiskHealth::kOpen: return "open";
+    case DiskHealth::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
 EvalService::EvalService(const ServeOptions& options)
     : options_(options), pool_(options.num_shards) {
   if (!options_.cache_dir.empty()) {
-    disk_ = std::make_unique<DiskResultCache>(options_.cache_dir);
+    DiskCacheOptions disk_options;
+    disk_options.env = options_.fs_env.get();
+    disk_options.retry = DurableRetryPolicy(options_);
+    disk_ = std::make_unique<DiskResultCache>(options_.cache_dir, disk_options);
   }
+}
+
+bool EvalService::DiskTierAllowed() {
+  if (options_.breaker_failure_threshold <= 0) return true;
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  switch (breaker_state_) {
+    case DiskHealth::kClosed:
+      return true;
+    case DiskHealth::kOpen: {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - breaker_opened_at_ >= options_.breaker_probe_interval) {
+        breaker_state_ = DiskHealth::kHalfOpen;
+        ++breaker_probes_;
+        return true;  // This caller is the probe.
+      }
+      ++breaker_short_circuits_;
+      return false;
+    }
+    case DiskHealth::kHalfOpen:
+      // One probe at a time; everyone else keeps degrading until it lands.
+      ++breaker_short_circuits_;
+      return false;
+  }
+  return true;
+}
+
+void EvalService::NoteDiskResult(bool io_ok) {
+  if (options_.breaker_failure_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  if (io_ok) {
+    if (breaker_state_ == DiskHealth::kHalfOpen) ++breaker_closes_;
+    breaker_state_ = DiskHealth::kClosed;
+    breaker_failures_ = 0;
+    return;
+  }
+  if (breaker_state_ == DiskHealth::kHalfOpen) {
+    // The probe failed: straight back to open, restart the interval.
+    breaker_state_ = DiskHealth::kOpen;
+    breaker_opened_at_ = std::chrono::steady_clock::now();
+    ++breaker_trips_;
+    return;
+  }
+  ++breaker_failures_;
+  if (breaker_state_ == DiskHealth::kClosed &&
+      breaker_failures_ >= options_.breaker_failure_threshold) {
+    breaker_state_ = DiskHealth::kOpen;
+    breaker_opened_at_ = std::chrono::steady_clock::now();
+    ++breaker_trips_;
+  }
+}
+
+DiskHealth EvalService::disk_health() const {
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  return breaker_state_;
 }
 
 std::shared_ptr<const FeatureAnswer> EvalService::CacheGet(
@@ -91,14 +171,17 @@ bool EvalService::ResolveMissesSharded(std::vector<Miss>& misses,
        ("job-" + wire::DigestHex(job_key)))
           .string();
 
+  FsEnv* env = options_.fs_env.get();
   Result<std::size_t> published =
       PublishShardJob(job_dir, db, feature_strings,
                       std::max<std::size_t>(1, options_.entity_block),
-                      options_.cache_dir);
+                      options_.cache_dir, env);
   if (!published.ok()) return false;
 
   ShardJob job;
   job.db = &db;
+  job.env = env;
+  job.retry = DurableRetryPolicy(options_);
   for (const Miss& miss : misses) {
     job.features.push_back(miss.evaluator->query());
   }
@@ -122,6 +205,14 @@ bool EvalService::ResolveMissesSharded(std::vector<Miss>& misses,
     stats_.local_shards += merged.value().local_shards;
     stats_.remote_shards += merged.value().remote_shards;
     stats_.reclaimed_leases += merged.value().reclaimed_leases;
+    stats_.quarantined_shards += merged.value().quarantined_shards;
+    stats_.shard_corrupt_results += merged.value().corrupt_results;
+    const ShardIoStats& io = merged.value().io;
+    stats_.shard_claim_races += io.claim_races;
+    stats_.shard_claim_errors += io.claim_errors;
+    stats_.shard_requeue_failures += io.requeue_failures;
+    stats_.shard_io_retries += io.io_retries;
+    stats_.shard_io_give_ups += io.io_give_ups;
   }
   // The job directory is scratch; reclaim the space once merged. Workers
   // see the done marker vanish with the directory and move on.
@@ -153,12 +244,13 @@ std::vector<std::shared_ptr<const FeatureAnswer>> EvalService::Resolve(
       answers[i] = CacheGet(key);
       if (answers[i] != nullptr) continue;
     }
-    if (disk_ != nullptr && miss_of_key.count(key) == 0) {
-      std::optional<std::vector<std::string>> names =
-          disk_->Load(digest, key.second);
-      if (names.has_value()) {
+    if (disk_ != nullptr && miss_of_key.count(key) == 0 && DiskTierAllowed()) {
+      DiskLoadResult loaded = disk_->LoadEntry(digest, key.second);
+      NoteDiskResult(!loaded.io_error());
+      if (loaded.hit()) {
         auto answer = std::make_shared<const FeatureAnswer>(
-            std::unordered_set<std::string>(names->begin(), names->end()));
+            std::unordered_set<std::string>(loaded.selected.begin(),
+                                            loaded.selected.end()));
         CachePut(key, answer);
         answers[i] = std::move(answer);
         continue;
@@ -269,12 +361,16 @@ std::vector<std::shared_ptr<const FeatureAnswer>> EvalService::Resolve(
   if (disk_ != nullptr) {
     for (std::size_t m = 0; m < misses.size(); ++m) {
       if (incomplete[m].load(std::memory_order_relaxed)) continue;
+      // An open breaker skips write-behind entirely: the answer is already
+      // in memory and in the response; only durability across restarts is
+      // deferred until the disk recovers.
+      if (!DiskTierAllowed()) continue;
       const Miss& miss = misses[m];
       std::vector<std::string> names;
       for (std::size_t e = 0; e < entities.size(); ++e) {
         if (miss.flags[e] != 0) names.push_back(db.value_name(entities[e]));
       }
-      disk_->Store(digest, miss.key.second, std::move(names));
+      NoteDiskResult(disk_->Store(digest, miss.key.second, std::move(names)));
     }
     MaybeSweepDisk();
   }
@@ -338,6 +434,16 @@ ServeStats EvalService::stats() const {
     stats.disk_writes = disk.writes;
     stats.disk_drops =
         disk.corrupt_dropped + disk.version_dropped + disk.key_mismatch_dropped;
+    stats.disk_io_errors = disk.io_errors;
+    stats.disk_retries = disk.load_retries + disk.store_retries;
+    stats.disk_give_ups = disk.io_errors + disk.write_failures;
+  }
+  {
+    std::lock_guard<std::mutex> lock(breaker_mutex_);
+    stats.breaker_trips = breaker_trips_;
+    stats.breaker_probes = breaker_probes_;
+    stats.breaker_closes = breaker_closes_;
+    stats.breaker_short_circuits = breaker_short_circuits_;
   }
   return stats;
 }
@@ -362,11 +468,13 @@ std::shared_ptr<const FeatureAnswer> EvalService::PeekCached(
     auto it = cache_.find(key);
     if (it != cache_.end()) return it->second->answer;
   }
-  if (disk_ != nullptr) {
-    std::optional<std::vector<std::string>> names = disk_->Load(digest, feature);
-    if (names.has_value()) {
+  if (disk_ != nullptr && DiskTierAllowed()) {
+    DiskLoadResult loaded = disk_->LoadEntry(digest, feature);
+    NoteDiskResult(!loaded.io_error());
+    if (loaded.hit()) {
       return std::make_shared<const FeatureAnswer>(
-          std::unordered_set<std::string>(names->begin(), names->end()));
+          std::unordered_set<std::string>(loaded.selected.begin(),
+                                          loaded.selected.end()));
     }
   }
   return nullptr;
@@ -386,11 +494,15 @@ void EvalService::Republish(std::uint64_t old_digest, std::uint64_t new_digest,
     aborted_keys_.erase(old_key);
   }
   CachePut(CacheKey{new_digest, feature}, answer);
-  if (disk_ != nullptr) {
+  if (disk_ != nullptr && DiskTierAllowed()) {
+    // A failed remove only leaves a stale-digest file behind: entries are
+    // content-addressed, so it can never be served under the new digest —
+    // counted by the cache as a remove_failure, not breaker evidence.
     disk_->Remove(old_digest, feature);
-    disk_->Store(new_digest, feature,
-                 std::vector<std::string>(answer->names().begin(),
-                                          answer->names().end()));
+    NoteDiskResult(
+        disk_->Store(new_digest, feature,
+                     std::vector<std::string>(answer->names().begin(),
+                                              answer->names().end())));
     MaybeSweepDisk();
   }
 }
@@ -406,11 +518,14 @@ void EvalService::DropCached(std::uint64_t digest, const std::string& feature) {
     }
     aborted_keys_.erase(key);
   }
-  if (disk_ != nullptr) disk_->Remove(digest, feature);
+  if (disk_ != nullptr && DiskTierAllowed()) disk_->Remove(digest, feature);
 }
 
 void EvalService::MaybeSweepDisk() {
   if (disk_ == nullptr || options_.disk_cache_max_bytes == 0) return;
+  // No GC against a sick disk: while the breaker is open the sweep would
+  // only accumulate scan/remove failures.
+  if (disk_health() == DiskHealth::kOpen) return;
   disk_->Sweep(options_.disk_cache_max_bytes);
 }
 

@@ -63,7 +63,33 @@ struct ServeOptions {
   /// this, EvalService opportunistically sweeps oldest-mtime entries after
   /// write-behind (DiskResultCache::Sweep). 0 = unlimited, never sweep.
   std::uint64_t disk_cache_max_bytes = 0;
+  /// Filesystem backend for the durable tiers (disk cache + shard
+  /// protocol); null = the real filesystem. Tests and the crashio fuzzer
+  /// inject a FaultFsEnv here.
+  std::shared_ptr<FsEnv> fs_env;
+  /// Retry policy for transient disk-tier faults: total attempts per
+  /// store/load/remove (1 = no retry) and the backoff before each retry
+  /// (exponential, deterministically jittered).
+  int disk_retry_attempts = 3;
+  std::chrono::microseconds disk_retry_backoff{100};
+  /// Disk circuit breaker: after this many *consecutive* store/load I/O
+  /// failures the disk tier trips open and serving degrades gracefully to
+  /// LRU + compute (answers stay bit-identical; the disk is simply not
+  /// consulted). 0 disables the breaker. While open, after
+  /// breaker_probe_interval the next disk operation is let through as a
+  /// half-open probe: success closes the breaker, failure re-opens it.
+  int breaker_failure_threshold = 5;
+  std::chrono::milliseconds breaker_probe_interval{1000};
 };
+
+/// Health of the disk tier as seen by the circuit breaker.
+enum class DiskHealth : std::uint8_t {
+  kClosed = 0,  ///< Healthy: disk consulted normally.
+  kOpen,        ///< Tripped: disk bypassed, serving from LRU + compute.
+  kHalfOpen,    ///< Probing: one operation in flight to test recovery.
+};
+
+const char* DiskHealthName(DiskHealth health);
 
 /// Counters for observability and tests. Snapshot via EvalService::stats().
 struct ServeStats {
@@ -84,11 +110,30 @@ struct ServeStats {
   std::uint64_t disk_writes = 0;
   /// Entries ignored as corrupt, version-mismatched, or key-colliding.
   std::uint64_t disk_drops = 0;
+  // Disk-tier fault handling (serve/disk_cache.h + the circuit breaker).
+  std::uint64_t disk_io_errors = 0;   ///< Loads that faulted after retries.
+  std::uint64_t disk_retries = 0;     ///< Extra load/store attempts.
+  std::uint64_t disk_give_ups = 0;    ///< Loads+stores that exhausted retries.
+  std::uint64_t breaker_trips = 0;    ///< closed/half-open → open transitions.
+  std::uint64_t breaker_probes = 0;   ///< open → half-open probe admissions.
+  std::uint64_t breaker_closes = 0;   ///< Successful probes (probe → closed).
+  /// Disk operations skipped because the breaker was open (served from
+  /// LRU + compute instead; answers unaffected).
+  std::uint64_t breaker_short_circuits = 0;
   // Shard mode (zero unless ServeOptions::shard_dir is set).
   std::uint64_t shard_jobs = 0;          ///< Miss batches published as jobs.
   std::uint64_t local_shards = 0;        ///< Shards this process evaluated.
   std::uint64_t remote_shards = 0;       ///< Shards merged from workers.
   std::uint64_t reclaimed_leases = 0;    ///< Dead-worker shards re-queued.
+  /// Shards pulled out of the protocol after repeated failures and
+  /// evaluated in-memory by the coordinator (answers unaffected).
+  std::uint64_t quarantined_shards = 0;
+  std::uint64_t shard_corrupt_results = 0;  ///< Dropped, never trusted.
+  std::uint64_t shard_claim_races = 0;
+  std::uint64_t shard_claim_errors = 0;
+  std::uint64_t shard_requeue_failures = 0;
+  std::uint64_t shard_io_retries = 0;
+  std::uint64_t shard_io_give_ups = 0;
 };
 
 /// The answer set q(D) ∩ η(D) of one feature query, content-addressed: the
@@ -180,6 +225,10 @@ class EvalService {
   std::size_t cache_size() const;
   void ClearCache();
 
+  /// Current disk-tier breaker state (kClosed when the breaker is disabled
+  /// or there is no disk tier).
+  DiskHealth disk_health() const;
+
   // Delta-maintenance hooks, used by IncrementalMaintainer
   // (serve/incremental.h). They operate on one (digest, feature) entry at a
   // time across both tiers; normal Resolve traffic may run concurrently.
@@ -235,6 +284,16 @@ class EvalService {
   /// called opportunistically after write-behind.
   void MaybeSweepDisk();
 
+  /// Breaker gate: true when the disk tier may be touched right now. While
+  /// open, returns false (counting a short-circuit) until the probe
+  /// interval elapses, then admits exactly one operation as the half-open
+  /// probe. Every admitted store/load must report back via NoteDiskResult.
+  bool DiskTierAllowed();
+  /// Feeds one store/load outcome to the breaker: success closes a probing
+  /// breaker and resets the consecutive-failure run; an I/O failure extends
+  /// it and trips the breaker at the threshold.
+  void NoteDiskResult(bool io_ok);
+
   ServeOptions options_;
   ThreadPool pool_;
   /// Durable tier; null when cache_dir is empty. Thread-safe itself, so
@@ -249,6 +308,17 @@ class EvalService {
   /// such a key counts as an evaluation retry. Guarded by cache_mutex_.
   std::unordered_set<CacheKey, CacheKeyHash> aborted_keys_;
   ServeStats stats_;
+
+  /// Circuit-breaker state for the disk tier. Guarded by breaker_mutex_
+  /// (never held while doing I/O, and never nested with cache_mutex_).
+  mutable std::mutex breaker_mutex_;
+  DiskHealth breaker_state_ = DiskHealth::kClosed;
+  int breaker_failures_ = 0;  // Consecutive store/load I/O failures.
+  std::chrono::steady_clock::time_point breaker_opened_at_{};
+  std::uint64_t breaker_trips_ = 0;
+  std::uint64_t breaker_probes_ = 0;
+  std::uint64_t breaker_closes_ = 0;
+  std::uint64_t breaker_short_circuits_ = 0;
 };
 
 }  // namespace serve

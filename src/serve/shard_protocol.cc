@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <filesystem>
-#include <fstream>
+#include <functional>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -47,41 +47,51 @@ fs::path LeasePath(const std::string& job_dir, std::size_t shard) {
 fs::path ResultPath(const std::string& job_dir, std::size_t shard) {
   return fs::path(job_dir) / "results" / ("s" + std::to_string(shard) + ".fsr");
 }
+fs::path QuarantinePath(const std::string& job_dir, std::size_t shard) {
+  return fs::path(job_dir) / "quarantine" / ("s" + std::to_string(shard));
+}
 fs::path DonePath(const std::string& job_dir) {
   return fs::path(job_dir) / "done";
 }
 
 /// Writes bytes to a unique temp file in <job>/tmp and renames onto
-/// `final_path` — the same publish idiom as disk-cache entries.
-bool AtomicWrite(const std::string& job_dir, const fs::path& final_path,
-                 std::string_view bytes) {
+/// `final_path` — the same publish idiom as disk-cache entries — retrying
+/// transient faults per `retry`. Each attempt uses a fresh tmp name, so a
+/// failed attempt at worst orphans a tmp file, never tears the target.
+bool AtomicWrite(FsEnv* env, const RetryPolicy& retry,
+                 const std::string& job_dir, const fs::path& final_path,
+                 std::string_view bytes, ShardIoStats* io) {
   static std::atomic<std::uint64_t> counter{0};
-  fs::path tmp = fs::path(job_dir) / "tmp" /
-                 (final_path.filename().string() + "." +
-                  std::to_string(ProcessId()) + "." +
-                  std::to_string(counter.fetch_add(1)) + ".tmp");
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) return false;
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out.good()) return false;
+  RetryOutcome outcome = RetryCall(retry, nullptr, [&]() {
+    fs::path tmp = fs::path(job_dir) / "tmp" /
+                   (final_path.filename().string() + "." +
+                    std::to_string(ProcessId()) + "." +
+                    std::to_string(counter.fetch_add(1)) + ".tmp");
+    return env->Publish(tmp.string(), final_path.string(), bytes) ==
+           FsStatus::kOk;
+  });
+  if (io != nullptr) {
+    io->io_retries += outcome.retries();
+    if (!outcome.ok) ++io->io_give_ups;
   }
-  std::error_code ec;
-  fs::rename(tmp, final_path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    return false;
-  }
-  return true;
+  return outcome.ok;
 }
 
-bool ReadFileBytes(const fs::path& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return false;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  *out = buffer.str();
-  return true;
+/// Reads a whole file with retries on transient faults. Returns kOk,
+/// kNotFound (settled immediately, never retried), or kError (gave up).
+FsStatus ReadBytes(FsEnv* env, const RetryPolicy& retry,
+                   const std::string& path, std::string* out,
+                   ShardIoStats* io) {
+  FsStatus status = FsStatus::kError;
+  RetryOutcome outcome = RetryCall(retry, nullptr, [&]() {
+    status = env->ReadFile(path, out);
+    return status != FsStatus::kError;
+  });
+  if (io != nullptr) {
+    io->io_retries += outcome.retries();
+    if (!outcome.ok) ++io->io_give_ups;
+  }
+  return outcome.ok ? status : FsStatus::kError;
 }
 
 /// Reads "<keyword> <len> <bytes>\n" at the cursor.
@@ -162,10 +172,16 @@ Result<std::string> ParseShardResult(const ShardJob& job, std::size_t shard,
   return std::string(flags);
 }
 
-bool AllResultsPresent(const std::string& job_dir, const ShardJob& job) {
+/// A shard is resolved once it has a result or has been quarantined (the
+/// coordinator answers quarantined shards in-memory, so no one should wait
+/// on them).
+bool AllShardsResolved(const std::string& job_dir, const ShardJob& job) {
+  FsEnv* env = job.fs();
   for (std::size_t s = 0; s < job.num_shards(); ++s) {
-    std::error_code ec;
-    if (!fs::exists(ResultPath(job_dir, s), ec)) return false;
+    if (!env->Exists(ResultPath(job_dir, s).string()) &&
+        !env->Exists(QuarantinePath(job_dir, s).string())) {
+      return false;
+    }
   }
   return true;
 }
@@ -175,14 +191,18 @@ bool AllResultsPresent(const std::string& job_dir, const ShardJob& job) {
 /// missing/corrupt blocks — the coordinator is the authority; this path
 /// only makes warm restarts survive a dead coordinator.
 bool TryCacheCompletedFeature(const std::string& job_dir, const ShardJob& job,
-                              std::size_t feature) {
+                              std::size_t feature, ShardIoStats* io) {
   if (job.cache_dir.empty()) return false;
+  FsEnv* env = job.fs();
   const std::size_t bpf = job.blocks_per_feature();
   std::vector<std::string> selected;
   for (std::size_t b = 0; b < bpf; ++b) {
     const std::size_t shard = feature * bpf + b;
     std::string bytes;
-    if (!ReadFileBytes(ResultPath(job_dir, shard), &bytes)) return false;
+    if (ReadBytes(env, job.retry, ResultPath(job_dir, shard).string(),
+                  &bytes, io) != FsStatus::kOk) {
+      return false;
+    }
     Result<std::string> flags = ParseShardResult(job, shard, bytes);
     if (!flags.ok()) return false;
     const std::size_t begin = b * job.entity_block;
@@ -192,16 +212,25 @@ bool TryCacheCompletedFeature(const std::string& job_dir, const ShardJob& job,
       }
     }
   }
-  DiskResultCache cache(job.cache_dir);
+  DiskCacheOptions cache_options;
+  cache_options.env = env;
+  cache_options.retry = job.retry;
+  cache_options.tmp_gc_on_open = false;  // The write-through is a hot path.
+  DiskResultCache cache(job.cache_dir, cache_options);
   return cache.Store(job.digest, job.feature_strings[feature],
                      std::move(selected));
 }
 
-std::vector<std::size_t> ListShardIds(const fs::path& dir) {
+std::vector<std::size_t> ListShardIds(FsEnv* env, const fs::path& dir,
+                                      ShardIoStats* io) {
+  FsListResult listing = env->ListDir(dir.string());
+  if (io != nullptr &&
+      (listing.status != FsStatus::kOk || listing.scan_errors > 0)) {
+    ++io->list_errors;
+  }
   std::vector<std::size_t> ids;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    std::string name = entry.path().filename().string();
+  for (const FsDirEntry& entry : listing.entries) {
+    const std::string& name = entry.name;
     if (name.size() < 2 || name[0] != 's') continue;
     std::string_view digits(name);
     digits.remove_prefix(1);
@@ -215,24 +244,52 @@ std::vector<std::size_t> ListShardIds(const fs::path& dir) {
   return ids;
 }
 
+/// Tries to claim each candidate shard in order. A faulted rename is never
+/// a win: it counts io->claim_errors, feeds `on_claim_error` (the
+/// coordinator's quarantine evidence), and the scan moves on.
+std::optional<std::size_t> ClaimFromCandidates(
+    const std::string& job_dir, const ShardJob& job,
+    const std::vector<std::size_t>& candidates, ShardIoStats* io,
+    const std::function<void(std::size_t)>& on_claim_error) {
+  FsEnv* env = job.fs();
+  for (std::size_t id : candidates) {
+    if (id >= job.num_shards()) continue;
+    const FsStatus status = env->Rename(TodoPath(job_dir, id).string(),
+                                        LeasePath(job_dir, id).string());
+    if (status == FsStatus::kOk) {
+      return id;  // The rename is atomic: we are the sole owner.
+    }
+    if (status == FsStatus::kNotFound) {
+      // The todo file is gone: someone else won the shard (or it is
+      // resolved). A race, not a fault.
+      if (io != nullptr) ++io->claim_races;
+      continue;
+    }
+    if (io != nullptr) ++io->claim_errors;
+    if (on_claim_error) on_claim_error(id);
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 Result<std::size_t> PublishShardJob(const std::string& job_dir,
                                     const Database& db,
                                     const std::vector<std::string>& features,
                                     std::size_t entity_block,
-                                    const std::string& cache_dir) {
+                                    const std::string& cache_dir,
+                                    FsEnv* env) {
+  if (env == nullptr) env = RealFs();
   entity_block = std::max<std::size_t>(1, entity_block);
-  std::error_code ec;
-  for (const char* sub : {"tmp", "todo", "leases", "results"}) {
-    fs::create_directories(fs::path(job_dir) / sub, ec);
-    if (ec) {
-      return Error("cannot create " + (fs::path(job_dir) / sub).string() +
-                   ": " + ec.message());
+  for (const char* sub : {"tmp", "todo", "leases", "results", "quarantine"}) {
+    if (env->CreateDirs((fs::path(job_dir) / sub).string()) !=
+        FsStatus::kOk) {
+      return Error("cannot create " + (fs::path(job_dir) / sub).string());
     }
   }
-  if (!AtomicWrite(job_dir, fs::path(job_dir) / "job.fsj",
-                   SerializeJob(db, features, entity_block, cache_dir))) {
+  if (!AtomicWrite(env, RetryPolicy{}, job_dir, fs::path(job_dir) / "job.fsj",
+                   SerializeJob(db, features, entity_block, cache_dir),
+                   nullptr)) {
     return Error("cannot write job spec in " + job_dir);
   }
   const std::size_t blocks =
@@ -240,15 +297,18 @@ Result<std::size_t> PublishShardJob(const std::string& job_dir,
   const std::size_t shards = features.size() * blocks;
   for (std::size_t s = 0; s < shards; ++s) {
     // Existence is the whole content; claiming renames the file away.
-    std::ofstream todo(TodoPath(job_dir, s));
-    if (!todo.good()) return Error("cannot write todo shard in " + job_dir);
+    if (env->WriteFile(TodoPath(job_dir, s).string(), "") != FsStatus::kOk) {
+      return Error("cannot write todo shard in " + job_dir);
+    }
   }
   return shards;
 }
 
-Result<ShardJob> LoadShardJob(const std::string& job_dir) {
+Result<ShardJob> LoadShardJob(const std::string& job_dir, FsEnv* env) {
+  if (env == nullptr) env = RealFs();
   std::string bytes;
-  if (!ReadFileBytes(fs::path(job_dir) / "job.fsj", &bytes)) {
+  if (env->ReadFile((fs::path(job_dir) / "job.fsj").string(), &bytes) !=
+      FsStatus::kOk) {
     return Error("no job spec in " + job_dir);
   }
   wire::Cursor cursor{bytes};
@@ -262,6 +322,7 @@ Result<ShardJob> LoadShardJob(const std::string& job_dir) {
     return Error("job version mismatch: " + std::to_string(version));
   }
   ShardJob job;
+  job.env = env;
   if (!cursor.ReadLine(&line) ||
       !wire::ParseKeyedU64(line, "digest", &job.digest, 16)) {
     return Error("bad job digest line");
@@ -302,7 +363,7 @@ Result<ShardJob> LoadShardJob(const std::string& job_dir) {
   // must refuse the job outright — evaluating under the wrong key would
   // poison every shared cache.
   if (job.db->ContentDigest() != job.digest) {
-    return Error("job digest disagrees with database content");
+    return Error(std::string(kDigestRefusalMessage));
   }
   for (const std::string& feature : job.feature_strings) {
     Result<ConjunctiveQuery> query = ParseCq(job.db->schema_ptr(), feature);
@@ -313,26 +374,30 @@ Result<ShardJob> LoadShardJob(const std::string& job_dir) {
   return job;
 }
 
-bool ShardJobDone(const std::string& job_dir) {
-  std::error_code ec;
-  return fs::exists(DonePath(job_dir), ec);
+bool ShardJobDone(const std::string& job_dir, FsEnv* env) {
+  if (env == nullptr) env = RealFs();
+  return env->Exists(DonePath(job_dir).string());
+}
+
+std::vector<std::size_t> QuarantinedShards(const std::string& job_dir,
+                                           FsEnv* env) {
+  if (env == nullptr) env = RealFs();
+  return ListShardIds(env, fs::path(job_dir) / "quarantine", nullptr);
 }
 
 std::optional<std::size_t> ClaimShard(const std::string& job_dir,
-                                      const ShardJob& job) {
+                                      const ShardJob& job, ShardIoStats* io) {
   // Lowest id first: claim order is deterministic per scan, and the merged
   // answer is slot-keyed so racing processes cannot perturb results.
-  for (std::size_t id : ListShardIds(fs::path(job_dir) / "todo")) {
-    if (id >= job.num_shards()) continue;
-    std::error_code ec;
-    fs::rename(TodoPath(job_dir, id), LeasePath(job_dir, id), ec);
-    if (!ec) return id;  // The rename is atomic: we are the sole owner.
-  }
-  return std::nullopt;
+  return ClaimFromCandidates(
+      job_dir, job, ListShardIds(job.fs(), fs::path(job_dir) / "todo", io),
+      io, nullptr);
 }
 
 Result<bool> EvaluateClaimedShard(const std::string& job_dir,
-                                  const ShardJob& job, std::size_t shard) {
+                                  const ShardJob& job, std::size_t shard,
+                                  ShardIoStats* io) {
+  FsEnv* env = job.fs();
   const std::size_t bpf = job.blocks_per_feature();
   if (bpf == 0 || shard >= job.num_shards()) {
     return Error("shard id out of range");
@@ -345,41 +410,64 @@ Result<bool> EvaluateClaimedShard(const std::string& job_dir,
   CqEvaluator evaluator(job.features[feature]);
   std::string flags;
   flags.reserve(end - begin);
-  const fs::path lease = LeasePath(job_dir, shard);
+  const std::string lease = LeasePath(job_dir, shard).string();
   for (std::size_t e = begin; e < end; ++e) {
     flags.push_back(evaluator.SelectsEntity(*job.db, job.entities[e]) ? '+'
                                                                       : '-');
     // Renew the lease so a long shard is not reclaimed under a live worker
-    // (entity evaluations are the NP-hard unit of progress).
-    std::error_code ec;
-    fs::last_write_time(lease, fs::file_time_type::clock::now(), ec);
+    // (entity evaluations are the NP-hard unit of progress). A faulted
+    // renewal is non-fatal — the next entity retries — but counted: enough
+    // of them and the lease goes stale under a live worker.
+    if (env->Touch(lease) == FsStatus::kError && io != nullptr) {
+      ++io->lease_renew_failures;
+    }
   }
-  if (!AtomicWrite(job_dir, ResultPath(job_dir, shard),
-                   SerializeShardResult(job, shard, flags))) {
+  if (!AtomicWrite(env, job.retry, job_dir, ResultPath(job_dir, shard),
+                   SerializeShardResult(job, shard, flags), io)) {
     return Error("cannot publish shard result");
   }
-  std::error_code ec;
-  fs::remove(lease, ec);
-  return TryCacheCompletedFeature(job_dir, job, feature);
+  env->Remove(lease);
+  return TryCacheCompletedFeature(job_dir, job, feature, io);
 }
 
 std::size_t ReclaimExpiredLeases(const std::string& job_dir,
                                  const ShardJob& job,
-                                 std::chrono::milliseconds lease) {
+                                 std::chrono::milliseconds lease,
+                                 ShardIoStats* io,
+                                 std::vector<std::size_t>* attempted) {
+  FsEnv* env = job.fs();
   std::size_t reclaimed = 0;
-  for (std::size_t id : ListShardIds(fs::path(job_dir) / "leases")) {
-    std::error_code ec;
-    if (fs::exists(ResultPath(job_dir, id), ec)) {
+  for (std::size_t id : ListShardIds(env, fs::path(job_dir) / "leases", io)) {
+    if (id >= job.num_shards()) continue;
+    if (env->Exists(ResultPath(job_dir, id).string())) {
       // Finished but the worker died before cleanup: drop the stale lease.
-      fs::remove(LeasePath(job_dir, id), ec);
+      env->Remove(LeasePath(job_dir, id).string());
       continue;
     }
-    auto mtime = fs::last_write_time(LeasePath(job_dir, id), ec);
-    if (ec) continue;  // Raced with the owner's cleanup.
-    auto age = fs::file_time_type::clock::now() - mtime;
+    std::optional<fs::file_time_type> mtime =
+        env->Mtime(LeasePath(job_dir, id).string());
+    if (!mtime.has_value()) continue;  // Raced with the owner's cleanup.
+    const auto age = fs::file_time_type::clock::now() - *mtime;
     if (age < lease) continue;
-    fs::rename(LeasePath(job_dir, id), TodoPath(job_dir, id), ec);
-    if (!ec) ++reclaimed;
+    FsStatus status = FsStatus::kError;
+    RetryOutcome outcome = RetryCall(job.retry, nullptr, [&]() {
+      status = env->Rename(LeasePath(job_dir, id).string(),
+                           TodoPath(job_dir, id).string());
+      return status != FsStatus::kError;
+    });
+    if (io != nullptr) io->io_retries += outcome.retries();
+    if (!outcome.ok) {
+      // The expired lease could not be requeued: surfaced, and the shard is
+      // still lease-visible so the next pass retries — never silently lost.
+      if (io != nullptr) ++io->requeue_failures;
+      if (attempted != nullptr) attempted->push_back(id);
+      continue;
+    }
+    if (status == FsStatus::kOk) {
+      ++reclaimed;
+      if (attempted != nullptr) attempted->push_back(id);
+    }
+    // kNotFound: the owner finished or cleaned up concurrently — no-op.
   }
   return reclaimed;
 }
@@ -388,25 +476,54 @@ Result<ShardWorkerStats> WorkOnShardJob(const std::string& job_dir,
                                         const ShardJob& job,
                                         const ShardWorkerOptions& options) {
   ShardWorkerStats stats;
-  while (!ShardJobDone(job_dir)) {
+  FsEnv* env = job.fs();
+  // Passes that claimed nothing while observing fresh I/O faults. A worker
+  // on a dead disk must give up (kWorkerExitIoGiveUp) rather than spin: it
+  // cannot even see whether the job still exists.
+  std::size_t fruitless_faulted_passes = 0;
+  constexpr std::size_t kMaxFruitlessFaultedPasses = 8;
+  while (!ShardJobDone(job_dir, env)) {
     if (options.max_shards != 0 && stats.shards_completed >= options.max_shards)
       break;
-    std::optional<std::size_t> shard = ClaimShard(job_dir, job);
+    const std::uint64_t faults_before =
+        stats.io.claim_errors + stats.io.list_errors;
+    std::optional<std::size_t> shard = ClaimShard(job_dir, job, &stats.io);
     if (shard.has_value()) {
+      fruitless_faulted_passes = 0;
       const std::size_t begin =
           (*shard % job.blocks_per_feature()) * job.entity_block;
       const std::size_t end =
           std::min(begin + job.entity_block, job.entities.size());
-      Result<bool> done = EvaluateClaimedShard(job_dir, job, *shard);
-      if (!done.ok()) return done.error();
+      Result<bool> done =
+          EvaluateClaimedShard(job_dir, job, *shard, &stats.io);
+      if (!done.ok()) {
+        // The result could not be published after retries. Requeue our
+        // lease so the shard is not stranded until lease expiry, then
+        // surface the give-up (a worker process exits kWorkerExitIoGiveUp).
+        if (env->Rename(LeasePath(job_dir, *shard).string(),
+                        TodoPath(job_dir, *shard).string()) ==
+            FsStatus::kError) {
+          ++stats.io.requeue_failures;
+        }
+        return done.error();
+      }
       ++stats.shards_completed;
       stats.entities_evaluated += end - begin;
       if (done.value()) ++stats.features_cached;
       continue;
     }
-    if (AllResultsPresent(job_dir, job)) break;
+    if (AllShardsResolved(job_dir, job)) break;
+    if (stats.io.claim_errors + stats.io.list_errors > faults_before) {
+      if (++fruitless_faulted_passes >= kMaxFruitlessFaultedPasses) {
+        return Error(
+            "shard worker giving up after persistent I/O faults");
+      }
+    } else {
+      fruitless_faulted_passes = 0;
+    }
     if (options.reclaim_lease.has_value()) {
-      ReclaimExpiredLeases(job_dir, job, *options.reclaim_lease);
+      ReclaimExpiredLeases(job_dir, job, *options.reclaim_lease, &stats.io,
+                           nullptr);
     }
     std::this_thread::sleep_for(options.poll);
   }
@@ -416,96 +533,222 @@ Result<ShardWorkerStats> WorkOnShardJob(const std::string& job_dir,
 Result<ShardMergeResult> CoordinateShardJob(
     const std::string& job_dir, const ShardJob& job,
     const ShardCoordinatorOptions& options) {
+  FsEnv* env = job.fs();
   ShardMergeResult merge;
   merge.flags.assign(job.features.size(),
                      std::vector<char>(job.entities.size(), 0));
+  const std::size_t num_shards = job.num_shards();
   const std::size_t bpf = job.blocks_per_feature();
 
+  // Per-shard failure evidence: faulted claims, expired leases, corrupt
+  // results, failed publishes and requeues all count. At quarantine_after
+  // the shard leaves the distributed protocol for good.
+  std::vector<std::size_t> attempts(num_shards, 0);
+  // merged[s]: the shard's slots in merge.flags are final (verified result
+  // file or in-memory quarantine evaluation).
+  std::vector<char> merged(num_shards, 0);
+
+  std::optional<WorkerSupervisor> supervisor;
+  if (options.supervise.has_value()) {
+    supervisor.emplace(*options.supervise);
+    supervisor->Start();
+  }
+
+  auto evaluate_in_memory = [&](std::size_t s) {
+    const std::size_t feature = s / bpf;
+    const std::size_t begin = (s % bpf) * job.entity_block;
+    const std::size_t end =
+        std::min(begin + job.entity_block, job.entities.size());
+    CqEvaluator evaluator(job.features[feature]);
+    for (std::size_t e = begin; e < end; ++e) {
+      merge.flags[feature][e] =
+          evaluator.SelectsEntity(*job.db, job.entities[e]) ? 1 : 0;
+    }
+  };
+
+  auto quarantine = [&](std::size_t s, const char* reason) {
+    // Pull the shard out of the protocol (nothing left to claim, a marker
+    // explaining why) and answer it authoritatively in-memory — evaluation
+    // is pure compute, so no filesystem fault can stop the job from
+    // completing, and the merged answer stays bit-identical to serial.
+    env->Remove(TodoPath(job_dir, s).string());
+    env->Remove(LeasePath(job_dir, s).string());
+    env->WriteFile(QuarantinePath(job_dir, s).string(),
+                   std::string(reason) + "\n");  // Best effort.
+    evaluate_in_memory(s);
+    merged[s] = 1;
+    ++merge.quarantined_shards;
+  };
+
+  auto note_failure = [&](std::size_t s, const char* reason) {
+    if (s >= num_shards || merged[s]) return;
+    ++attempts[s];
+    if (options.quarantine_after != 0 &&
+        attempts[s] >= options.quarantine_after) {
+      quarantine(s, reason);
+    }
+  };
+
   while (true) {
-    // Drive the job to completion: claim locally when allowed, reclaim
-    // leases of dead workers, otherwise wait for attached workers.
-    while (!AllResultsPresent(job_dir, job)) {
+    // Drive the job until every shard is resolved: claim locally when
+    // allowed, reclaim leases of dead workers, keep the supervised fleet
+    // alive, and quarantine shards that keep failing.
+    while (true) {
+      if (supervisor.has_value()) supervisor->Poll();
+      bool all_resolved = true;
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        if (!merged[s] && !env->Exists(ResultPath(job_dir, s).string())) {
+          all_resolved = false;
+          break;
+        }
+      }
+      if (all_resolved) break;
       bool progress = false;
       if (options.evaluate_locally) {
-        std::optional<std::size_t> shard = ClaimShard(job_dir, job);
-        if (shard.has_value()) {
-          Result<bool> done = EvaluateClaimedShard(job_dir, job, *shard);
-          if (!done.ok()) return done.error();
-          ++merge.local_shards;
+        // Candidates come from the todo listing; when the listing itself
+        // faults, fall back to probing every unresolved shard directly so a
+        // dead disk still produces per-shard failure evidence instead of an
+        // infinite wait.
+        std::vector<std::size_t> candidates =
+            ListShardIds(env, fs::path(job_dir) / "todo", &merge.io);
+        if (candidates.empty()) {
+          for (std::size_t s = 0; s < num_shards; ++s) {
+            if (!merged[s] && !env->Exists(ResultPath(job_dir, s).string()) &&
+                !env->Exists(LeasePath(job_dir, s).string())) {
+              candidates.push_back(s);
+            }
+          }
+        }
+        std::optional<std::size_t> shard = ClaimFromCandidates(
+            job_dir, job, candidates, &merge.io,
+            [&](std::size_t s) { note_failure(s, "claim faulted"); });
+        if (shard.has_value() && !merged[*shard]) {
+          Result<bool> done =
+              EvaluateClaimedShard(job_dir, job, *shard, &merge.io);
+          if (done.ok()) {
+            ++merge.local_shards;
+          } else {
+            // Publish gave up: requeue the lease and record the failure.
+            if (env->Rename(LeasePath(job_dir, *shard).string(),
+                            TodoPath(job_dir, *shard).string()) ==
+                FsStatus::kError) {
+              ++merge.io.requeue_failures;
+            }
+            note_failure(*shard, "publish failed");
+          }
           progress = true;
         }
       }
       if (!progress) {
+        std::vector<std::size_t> attempted;
         merge.reclaimed_leases +=
-            ReclaimExpiredLeases(job_dir, job, options.lease);
+            ReclaimExpiredLeases(job_dir, job, options.lease, &merge.io,
+                                 &attempted);
+        for (std::size_t s : attempted) note_failure(s, "lease expired");
         std::this_thread::sleep_for(options.poll);
       }
     }
 
     // Merge. Results are slot-keyed by shard id, so the merged flags are
     // bit-identical to the serial path no matter which process produced
-    // which shard. A corrupt/truncated result is deleted and its shard
+    // which shard. A corrupt/unreadable result is deleted and its shard
     // re-queued — never trusted.
     std::vector<std::size_t> requeue;
-    for (std::size_t s = 0; s < job.num_shards(); ++s) {
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (merged[s]) continue;
       std::string bytes;
-      Result<std::string> flags = Error("unread");
-      if (ReadFileBytes(ResultPath(job_dir, s), &bytes)) {
+      Result<std::string> flags = Error("unreadable result");
+      if (ReadBytes(env, job.retry, ResultPath(job_dir, s).string(), &bytes,
+                    &merge.io) == FsStatus::kOk) {
         flags = ParseShardResult(job, s, bytes);
       }
       if (!flags.ok()) {
-        std::error_code ec;
-        fs::remove(ResultPath(job_dir, s), ec);
-        requeue.push_back(s);
+        ++merge.corrupt_results;
+        env->Remove(ResultPath(job_dir, s).string());
+        note_failure(s, "corrupt result");  // May quarantine (merged[s]=1).
+        if (!merged[s]) requeue.push_back(s);
         continue;
       }
       const std::size_t begin = (s % bpf) * job.entity_block;
       for (std::size_t i = 0; i < flags.value().size(); ++i) {
         merge.flags[s / bpf][begin + i] = flags.value()[i] == '+' ? 1 : 0;
       }
+      merged[s] = 1;
     }
     if (requeue.empty()) break;
     for (std::size_t s : requeue) {
-      std::error_code ec;
-      fs::remove(LeasePath(job_dir, s), ec);  // Unblock the todo rename.
-      std::ofstream todo(TodoPath(job_dir, s));
-      if (!todo.good()) return Error("cannot re-queue corrupt shard");
+      env->Remove(LeasePath(job_dir, s).string());  // Unblock the rename.
+      RetryOutcome requeued = RetryCall(job.retry, nullptr, [&]() {
+        return env->WriteFile(TodoPath(job_dir, s).string(), "") ==
+               FsStatus::kOk;
+      });
+      merge.io.io_retries += requeued.retries();
+      if (!requeued.ok) {
+        // Surfaced and retried via the next drive pass (claim probing keeps
+        // accumulating evidence until the shard quarantines) — a corrupt
+        // shard is never silently dropped.
+        ++merge.io.requeue_failures;
+        note_failure(s, "requeue failed");
+      }
     }
   }
-  merge.remote_shards = job.num_shards() - merge.local_shards;
+  const std::uint64_t accounted =
+      merge.local_shards + merge.quarantined_shards;
+  merge.remote_shards =
+      accounted >= num_shards ? 0 : num_shards - accounted;
 
-  if (!AtomicWrite(job_dir, DonePath(job_dir), "done\n")) {
-    // Non-fatal: workers will still observe AllResultsPresent and stop.
+  if (supervisor.has_value()) {
+    supervisor->StopAll();
+    merge.supervisor = supervisor->stats();
+  }
+
+  if (!AtomicWrite(env, job.retry, job_dir, DonePath(job_dir), "done\n",
+                   &merge.io)) {
+    // Non-fatal: workers will still observe AllShardsResolved and stop.
   }
   return merge;
 }
 
 Result<ShardWorkerStats> RunShardWorkerDir(
     const std::string& work_dir, const ShardWorkerPoolOptions& options) {
+  FsEnv* env = options.env != nullptr ? options.env : RealFs();
   ShardWorkerStats total;
   auto last_activity = std::chrono::steady_clock::now();
   while (true) {
     bool worked = false;
-    std::error_code ec;
-    std::vector<fs::path> jobs;
-    for (const auto& entry : fs::directory_iterator(work_dir, ec)) {
-      if (!entry.is_directory(ec)) continue;
-      std::error_code exists_ec;
-      if (fs::exists(entry.path() / "job.fsj", exists_ec)) {
-        jobs.push_back(entry.path());
+    FsListResult listing = env->ListDir(work_dir);
+    if (listing.status != FsStatus::kOk || listing.scan_errors > 0) {
+      ++total.io.list_errors;
+    }
+    std::vector<std::string> jobs;
+    for (const FsDirEntry& entry : listing.entries) {
+      if (!entry.is_dir) continue;
+      const fs::path dir = fs::path(work_dir) / entry.name;
+      if (env->Exists((dir / "job.fsj").string())) {
+        jobs.push_back(dir.string());
       }
     }
     std::sort(jobs.begin(), jobs.end());
-    for (const fs::path& dir : jobs) {
-      if (ShardJobDone(dir.string())) continue;
-      Result<ShardJob> job = LoadShardJob(dir.string());
-      if (!job.ok()) continue;  // Partially published or foreign-version job.
+    for (const std::string& dir : jobs) {
+      if (ShardJobDone(dir, env)) continue;
+      Result<ShardJob> job = LoadShardJob(dir, env);
+      if (!job.ok()) {
+        // A digest refusal is poison — evaluating would poison shared
+        // caches — and distinct from a partially published or
+        // foreign-version job, which simply is not ready yet.
+        if (job.error().message() == kDigestRefusalMessage) {
+          ++total.digest_refusals;
+        }
+        continue;
+      }
+      job.value().retry = options.retry;
       Result<ShardWorkerStats> stats =
-          WorkOnShardJob(dir.string(), job.value(), options.worker);
+          WorkOnShardJob(dir, job.value(), options.worker);
       if (!stats.ok()) return stats.error();
       total.shards_completed += stats.value().shards_completed;
       total.entities_evaluated += stats.value().entities_evaluated;
       total.features_cached += stats.value().features_cached;
+      total.io.Add(stats.value().io);
       if (stats.value().shards_completed > 0) worked = true;
     }
     auto now = std::chrono::steady_clock::now();

@@ -1,0 +1,159 @@
+#include "serve/supervisor.h"
+
+#include <utility>
+
+#ifndef _WIN32
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace featsep {
+namespace serve {
+
+const char* WorkerExitCodeName(int code) {
+  switch (code) {
+    case kWorkerExitClean: return "clean";
+    case kWorkerExitUsage: return "usage";
+    case kWorkerExitDigestRefusal: return "digest-refusal";
+    case kWorkerExitIoGiveUp: return "io-give-up";
+    case kWorkerExitCrash: return "crash";
+    default: return "other";
+  }
+}
+
+bool WorkerExitRestartable(int code) {
+  // Only faults that a fresh process might not hit again: transient I/O and
+  // crashes. Clean exits need no restart; usage and digest refusal would
+  // repeat verbatim (poison).
+  return code == kWorkerExitIoGiveUp || code == kWorkerExitCrash;
+}
+
+WorkerSupervisor::WorkerSupervisor(WorkerProcessOptions options)
+    : options_(std::move(options)) {}
+
+WorkerSupervisor::~WorkerSupervisor() { StopAll(); }
+
+bool WorkerSupervisor::Spawn(Slot* slot) {
+#ifndef _WIN32
+  if (options_.argv.empty()) return false;
+  std::vector<char*> argv;
+  argv.reserve(options_.argv.size() + 1);
+  for (const std::string& arg : options_.argv) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    ::execvp(argv[0], argv.data());
+    _exit(127);  // exec failed; classified as a poison exit by the parent.
+  }
+  slot->pid = pid;
+  ++stats_.spawned;
+  return true;
+#else
+  (void)slot;
+  return false;
+#endif
+}
+
+bool WorkerSupervisor::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_.assign(options_.num_workers, Slot{});
+  bool all = true;
+  for (Slot& slot : slots_) {
+    if (!Spawn(&slot)) {
+      slot.abandoned = true;
+      all = false;
+    }
+  }
+  return all;
+}
+
+std::size_t WorkerSupervisor::Poll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t live = 0;
+#ifndef _WIN32
+  for (Slot& slot : slots_) {
+    if (slot.pid < 0) continue;
+    int status = 0;
+    const pid_t reaped =
+        ::waitpid(static_cast<pid_t>(slot.pid), &status, WNOHANG);
+    if (reaped == 0) {
+      ++live;
+      continue;
+    }
+    slot.pid = -1;
+    bool restart = false;
+    if (reaped < 0) {
+      // Already reaped elsewhere (should not happen); treat as crash.
+      ++stats_.crashes;
+      restart = true;
+    } else if (WIFSIGNALED(status)) {
+      ++stats_.crashes;
+      restart = true;
+    } else {
+      const int code = WIFEXITED(status) ? WEXITSTATUS(status) : 127;
+      if (code == kWorkerExitClean) {
+        ++stats_.clean_exits;
+      } else if (WorkerExitRestartable(code)) {
+        ++stats_.restartable_exits;
+        restart = true;
+      } else {
+        ++stats_.poison_exits;
+        slot.abandoned = true;
+      }
+    }
+    if (restart) {
+      if (slot.restarts >= options_.max_restarts) {
+        slot.abandoned = true;
+        ++stats_.restart_budget_exhausted;
+      } else {
+        ++slot.restarts;
+        ++stats_.restarts;
+        if (Spawn(&slot)) {
+          ++live;
+        } else {
+          slot.abandoned = true;
+        }
+      }
+    }
+  }
+#endif
+  return live;
+}
+
+void WorkerSupervisor::StopAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+#ifndef _WIN32
+  for (Slot& slot : slots_) {
+    if (slot.pid < 0) continue;
+    ::kill(static_cast<pid_t>(slot.pid), SIGTERM);
+  }
+  for (Slot& slot : slots_) {
+    if (slot.pid < 0) continue;
+    int status = 0;
+    ::waitpid(static_cast<pid_t>(slot.pid), &status, 0);
+    slot.pid = -1;
+  }
+#endif
+}
+
+std::size_t WorkerSupervisor::live_workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t live = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.pid >= 0) ++live;
+  }
+  return live;
+}
+
+WorkerSupervisorStats WorkerSupervisor::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace featsep

@@ -1,0 +1,104 @@
+#ifndef FEATSEP_SERVE_SUPERVISOR_H_
+#define FEATSEP_SERVE_SUPERVISOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace featsep {
+namespace serve {
+
+/// Structured exit codes for featsep_worker (documented in the tool's
+/// --help and DESIGN.md §15). The supervisor uses them to distinguish
+/// failures a restart can cure from poison it must not retry:
+///   0  clean drain — the job(s) completed or there was nothing to do
+///   2  usage error — bad flags; restarting with the same argv cannot help
+///   3  digest refusal — the job spec's digest disagrees with its database
+///      bytes; evaluating would poison shared caches, so never restart
+///   4  I/O give-up — persistent filesystem faults after retries; the fault
+///      may be transient, so a restart is worth attempting
+///   5  crash — unhandled exception; restartable (so is death by signal)
+enum WorkerExitCode : int {
+  kWorkerExitClean = 0,
+  kWorkerExitUsage = 2,
+  kWorkerExitDigestRefusal = 3,
+  kWorkerExitIoGiveUp = 4,
+  kWorkerExitCrash = 5,
+};
+
+const char* WorkerExitCodeName(int code);
+
+/// Whether a supervisor should restart a worker that exited with `code`.
+/// Death by signal is always restartable and handled separately.
+bool WorkerExitRestartable(int code);
+
+struct WorkerProcessOptions {
+  /// Worker command line; argv[0] is the binary path.
+  std::vector<std::string> argv;
+  std::size_t num_workers = 1;
+  /// Restart budget *per worker slot*; once exhausted the slot stays down.
+  std::size_t max_restarts = 3;
+};
+
+struct WorkerSupervisorStats {
+  std::uint64_t spawned = 0;
+  std::uint64_t restarts = 0;
+  /// Exits by kind: signal deaths count as crashes.
+  std::uint64_t clean_exits = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t poison_exits = 0;       ///< Non-restartable exit codes.
+  std::uint64_t restartable_exits = 0;  ///< kIoGiveUp/kCrash exit codes.
+  /// Slots abandoned because their restart budget ran out.
+  std::uint64_t restart_budget_exhausted = 0;
+};
+
+/// Spawns and monitors a fixed fleet of worker processes (POSIX
+/// fork/exec). Poll() reaps exits without blocking and restarts workers
+/// whose exit was restartable, up to max_restarts per slot; StopAll()
+/// terminates the fleet (SIGTERM, then reap). The shard coordinator runs
+/// one of these when ShardCoordinatorOptions::supervise is set, so a job
+/// keeps its worker fleet alive across worker crashes without any human in
+/// the loop. Thread-safe. On non-POSIX builds Start() fails.
+class WorkerSupervisor {
+ public:
+  explicit WorkerSupervisor(WorkerProcessOptions options);
+  ~WorkerSupervisor();
+
+  WorkerSupervisor(const WorkerSupervisor&) = delete;
+  WorkerSupervisor& operator=(const WorkerSupervisor&) = delete;
+
+  /// Spawns the fleet. False if any spawn failed (the rest still run).
+  bool Start();
+
+  /// Reaps any exited workers and restarts the restartable ones within
+  /// budget. Non-blocking. Returns the number of live workers.
+  std::size_t Poll();
+
+  /// SIGTERMs and reaps every live worker. Idempotent; the destructor
+  /// calls it.
+  void StopAll();
+
+  std::size_t live_workers() const;
+  WorkerSupervisorStats stats() const;
+
+ private:
+  struct Slot {
+    long long pid = -1;  ///< -1 = not running.
+    std::size_t restarts = 0;
+    bool abandoned = false;  ///< Poison exit or restart budget exhausted.
+  };
+
+  /// Spawns one worker into `slot` (locked by the caller).
+  bool Spawn(Slot* slot);
+
+  WorkerProcessOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_;
+  WorkerSupervisorStats stats_;
+};
+
+}  // namespace serve
+}  // namespace featsep
+
+#endif  // FEATSEP_SERVE_SUPERVISOR_H_

@@ -129,7 +129,8 @@ std::string SerializeFuzzInstance(const FuzzInstance& instance) {
   std::ostringstream out;
   out << "config " << FuzzConfigName(instance.config) << "\n";
   if (instance.config == FuzzConfig::kServe ||
-      instance.config == FuzzConfig::kIncremental) {
+      instance.config == FuzzConfig::kIncremental ||
+      instance.config == FuzzConfig::kCrashIo) {
     out << "k " << instance.k << "\n";
     out << "m " << instance.m << "\n";
   }

@@ -173,6 +173,7 @@ const char* FuzzConfigName(FuzzConfig config) {
     case FuzzConfig::kFaults: return "faults";
     case FuzzConfig::kServe: return "serve";
     case FuzzConfig::kIncremental: return "incremental";
+    case FuzzConfig::kCrashIo: return "crashio";
     case FuzzConfig::kMixed: return "mixed";
   }
   return "unknown";
@@ -184,7 +185,7 @@ std::optional<FuzzConfig> ParseFuzzConfig(std::string_view name) {
         FuzzConfig::kCore, FuzzConfig::kGhw, FuzzConfig::kSep,
         FuzzConfig::kQbe, FuzzConfig::kCoverGame, FuzzConfig::kDimension,
         FuzzConfig::kLinsep, FuzzConfig::kFaults, FuzzConfig::kServe,
-        FuzzConfig::kIncremental, FuzzConfig::kMixed}) {
+        FuzzConfig::kIncremental, FuzzConfig::kCrashIo, FuzzConfig::kMixed}) {
     if (name == FuzzConfigName(config)) return config;
   }
   return std::nullopt;

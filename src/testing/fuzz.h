@@ -53,10 +53,19 @@ enum class FuzzConfig {
                  ///< step against a permanently-naive full-recompute oracle
                  ///< (fresh database + cold service) for matrices, digests,
                  ///< and separability verdicts.
+  kCrashIo,      ///< Crash-recovery fuzzing of the durable tier: seeded
+                 ///< filesystem fault schedules (EIO/ENOSPC, torn writes,
+                 ///< partial scans, kill-at-a-random-I/O-point then recover)
+                 ///< against the disk cache, the breaker-gated EvalService,
+                 ///< and the shard protocol. Corrupt or torn entries are
+                 ///< never trusted, completed answers stay bit-identical to
+                 ///< the serial oracle, no shard job is lost, and serving
+                 ///< keeps working (degraded) while the disk is sick.
   kMixed,        ///< Per-iteration uniform choice among the above (kFaults,
-                 ///< kServe, and kIncremental excluded — they re-run the
-                 ///< engines several times per instance / spin up dispatcher
-                 ///< threads, and are smoke-tested separately).
+                 ///< kServe, kIncremental, and kCrashIo excluded — they
+                 ///< re-run the engines several times per instance / spin up
+                 ///< dispatcher threads / touch the real filesystem, and are
+                 ///< smoke-tested separately).
 };
 
 const char* FuzzConfigName(FuzzConfig config);

@@ -449,6 +449,17 @@ FuzzInstance GenerateFuzzInstance(FuzzConfig config,
       instance.m = rng.Range(4, 24);  // Insert/remove/relabel step count.
       break;
     }
+    case FuzzConfig::kCrashIo: {
+      // An entity database plus a fault-schedule seed and op count; the
+      // fault schedules, crash points, and request traces are all derived
+      // deterministically from `k` inside the property driver, so the
+      // instance serializes as (db, k, m) like kServe/kIncremental.
+      instance.schema = PickSchema(rng, 2, /*need_entity=*/true);
+      instance.db_a = PickDatabase(instance.schema, rng, 4, 8);
+      instance.k = rng.Next() >> 1;  // Fault-schedule seed.
+      instance.m = rng.Range(4, 24);  // Durable-tier op count.
+      break;
+    }
     case FuzzConfig::kLinsep: {
       std::size_t num_features = rng.Range(1, 3);
       std::size_t num_examples = rng.Range(1, 6);
@@ -572,6 +583,12 @@ PropertyCheck CheckFuzzInstance(const FuzzInstance& instance) {
       }
       return CheckIncrementalProperties(*instance.db_a, instance.k,
                                         instance.m);
+    case FuzzConfig::kCrashIo:
+      if (!instance.db_a.has_value() ||
+          !instance.db_a->schema().has_entity_relation()) {
+        return std::nullopt;
+      }
+      return CheckCrashIoProperties(*instance.db_a, instance.k, instance.m);
     case FuzzConfig::kLinsep: {
       TrainingCollection examples;
       for (std::size_t i = 0; i < instance.features.size(); ++i) {
@@ -728,6 +745,7 @@ void SanitizeFuzzInstance(FuzzInstance* instance) {
       instance->m = std::clamp<std::size_t>(instance->m, 1, 60);
       break;
     case FuzzConfig::kIncremental:
+    case FuzzConfig::kCrashIo:
       if (instance->db_a.has_value()) {
         *instance->db_a = TrimDatabase(*instance->db_a, 4, 8);
       }
@@ -880,6 +898,7 @@ FuzzInstance ShrinkFuzzInstance(
       break;
     case FuzzConfig::kServe:
     case FuzzConfig::kIncremental:
+    case FuzzConfig::kCrashIo:
       shrink_db(&FuzzInstance::db_a);
       // Fewer ops make shorter traces; halve while it still fails.
       while (instance.m > 1) {

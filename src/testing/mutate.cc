@@ -320,9 +320,10 @@ FuzzInstance MutateFuzzInstance(const FuzzInstance& original,
       ops.push_back([&] { instance.ell = instance.ell == 1 ? 2 : 1; });
     }
     if (instance.config == FuzzConfig::kServe ||
-        instance.config == FuzzConfig::kIncremental) {
-      // Reseed the interleaving / mutation trace, or grow/shrink the
-      // op schedule.
+        instance.config == FuzzConfig::kIncremental ||
+        instance.config == FuzzConfig::kCrashIo) {
+      // Reseed the interleaving / mutation / fault trace, or grow/shrink
+      // the op schedule.
       ops.push_back([&] { instance.k = rng.Next() >> 1; });
       ops.push_back([&] {
         instance.m = rng.Chance(0.5)

@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstddef>
+#include <filesystem>
 #include <memory>
 #include <new>
 #include <optional>
 #include <sstream>
 #include <unordered_map>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "core/dimension_bounded.h"
 #include "core/separability.h"
@@ -26,6 +32,7 @@
 #include "serve/async_service.h"
 #include "serve/eval_service.h"
 #include "serve/incremental.h"
+#include "serve/shard_protocol.h"
 #include "workload/generators.h"
 #include "testing/reference_ghw.h"
 #include "testing/reference_hom.h"
@@ -1527,6 +1534,306 @@ PropertyCheck CheckIncrementalProperties(const Database& db,
     }
   }
   return std::nullopt;
+}
+
+PropertyCheck CheckCrashIoProperties(const Database& db,
+                                     std::uint64_t fault_seed,
+                                     std::size_t num_ops) {
+  namespace fsys = std::filesystem;
+  if (!db.schema().has_entity_relation()) return std::nullopt;
+  std::vector<ConjunctiveQuery> features =
+      EnumerateFeatureQueries(db.schema_ptr(), 1);
+  if (features.empty()) return std::nullopt;
+  if (features.size() > 8) {
+    features.erase(features.begin() + 8, features.end());  // Bound work.
+  }
+  std::vector<std::string> feature_strings;
+  for (const ConjunctiveQuery& feature : features) {
+    feature_strings.push_back(feature.ToString());
+  }
+  const std::uint64_t digest = db.ContentDigest();
+  const std::vector<Value> entities = db.Entities();
+
+  // The oracle: the serial evaluation path, one shard, no caches, no disk.
+  serve::ServeOptions serial_options;
+  serial_options.num_shards = 1;
+  serial_options.cache_capacity = 0;
+  serve::EvalService serial(serial_options);
+  std::vector<std::shared_ptr<const serve::FeatureAnswer>> truth =
+      serial.TryResolve(features, db, nullptr);
+
+  auto matches_truth = [&](const serve::FeatureAnswer& answer,
+                           std::size_t feature) {
+    if (answer.size() != truth[feature]->size()) return false;
+    for (Value e : entities) {
+      if (answer.Selects(db, e) != truth[feature]->Selects(db, e)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto names_match_truth = [&](const std::vector<std::string>& names,
+                               std::size_t feature) {
+    if (names.size() != truth[feature]->size()) return false;
+    for (const std::string& name : names) {
+      if (!truth[feature]->SelectsName(name)) return false;
+    }
+    return true;
+  };
+  auto truth_names = [&](std::size_t feature) {
+    return std::vector<std::string>(truth[feature]->names().begin(),
+                                    truth[feature]->names().end());
+  };
+  auto describe = [&](const char* leg, const std::string& what) {
+    std::ostringstream out;
+    out << leg << ": " << what << ", fault seed " << fault_seed << ", ops "
+        << num_ops;
+    return out.str();
+  };
+
+  // Unique scratch root per check: seed alone is not enough (the corpus
+  // regression test and a smoke run may replay the same instance
+  // concurrently in different processes).
+  static std::atomic<std::uint64_t> scratch_counter{0};
+  std::ostringstream root_name;
+  root_name << "featsep-crashio-";
+#ifndef _WIN32
+  root_name << ::getpid() << "-";
+#endif
+  root_name << scratch_counter.fetch_add(1) << "-" << fault_seed;
+  const fsys::path root = fsys::temp_directory_path() / root_name.str();
+  WorkloadRng rng(fault_seed ^ 0xc7a54107f5eedULL);
+
+  auto run = [&]() -> PropertyCheck {
+    // Leg A — disk cache under a seeded fault schedule with torn writes:
+    // a hit is always the exact stored answer; once faults clear, every
+    // store lands and serves back bit-identical.
+    {
+      FaultFsOptions fault_options;
+      fault_options.seed = rng.Next() | 1;
+      fault_options.fail_chance = 0.05 + 0.35 * rng.Uniform();
+      fault_options.torn_write_chance = 0.5;
+      FaultFsEnv env(fault_options);
+      serve::DiskCacheOptions cache_options;
+      cache_options.env = &env;
+      cache_options.retry.max_attempts = 2;
+      serve::DiskResultCache cache((root / "a").string(), cache_options);
+      for (std::size_t op = 0; op < num_ops; ++op) {
+        const std::size_t f = rng.Below(features.size());
+        if (rng.Chance(0.5)) {
+          cache.Store(digest, feature_strings[f], truth_names(f));
+        } else {
+          serve::DiskLoadResult loaded =
+              cache.LoadEntry(digest, feature_strings[f]);
+          if (loaded.hit() && !names_match_truth(loaded.selected, f)) {
+            return Violation("crashio/disk-hit-mismatch",
+                             describe("leg A", feature_strings[f]));
+          }
+        }
+      }
+      env.ClearFaults();
+      for (std::size_t f = 0; f < features.size(); ++f) {
+        if (!cache.Store(digest, feature_strings[f], truth_names(f))) {
+          return Violation("crashio/disk-clean-store-failed",
+                           describe("leg A", feature_strings[f]));
+        }
+        serve::DiskLoadResult loaded =
+            cache.LoadEntry(digest, feature_strings[f]);
+        if (!loaded.hit() || !names_match_truth(loaded.selected, f)) {
+          return Violation("crashio/disk-clean-load-mismatch",
+                           describe("leg A", feature_strings[f]));
+        }
+      }
+    }
+
+    // Leg B — breaker-gated serving: with the disk tier hard-failing the
+    // service keeps answering bit-identical to serial while the breaker
+    // trips open; once faults clear, a probe closes it again.
+    {
+      auto env = std::make_shared<FaultFsEnv>(FaultFsOptions{
+          /*seed=*/rng.Next() | 1});
+      serve::ServeOptions options;
+      options.num_shards = 1;
+      options.cache_capacity = rng.Chance(0.3) ? 0 : 16;
+      options.cache_dir = (root / "b").string();
+      options.fs_env = env;
+      options.disk_retry_attempts = 2;
+      options.disk_retry_backoff = std::chrono::microseconds(0);
+      options.breaker_failure_threshold = 2;
+      options.breaker_probe_interval = std::chrono::milliseconds(0);
+      serve::EvalService service(options);
+
+      auto check_round = [&](const char* phase) -> PropertyCheck {
+        service.ClearCache();  // Force LRU misses → disk reads attempted.
+        std::vector<std::shared_ptr<const serve::FeatureAnswer>> answers =
+            service.TryResolve(features, db, nullptr);
+        for (std::size_t f = 0; f < features.size(); ++f) {
+          if (answers[f] == nullptr || !matches_truth(*answers[f], f)) {
+            return Violation("crashio/breaker-degraded-mismatch",
+                             describe("leg B", phase));
+          }
+        }
+        return std::nullopt;
+      };
+
+      if (PropertyCheck v = check_round("healthy")) return v;
+      env->set_fail_chance(1.0);
+      for (int round = 0; round < 4; ++round) {
+        if (PropertyCheck v = check_round("disk failing")) return v;
+      }
+      if (service.stats().breaker_trips == 0) {
+        return Violation("crashio/breaker-never-tripped",
+                         describe("leg B", "4 rounds of hard disk failure"));
+      }
+      env->ClearFaults();
+      for (int round = 0;
+           round < 5 && service.disk_health() != serve::DiskHealth::kClosed;
+           ++round) {
+        if (PropertyCheck v = check_round("recovering")) return v;
+      }
+      if (service.disk_health() != serve::DiskHealth::kClosed) {
+        return Violation("crashio/breaker-never-closed",
+                         describe("leg B", "faults cleared, probes failing"));
+      }
+      if (service.stats().breaker_closes == 0) {
+        return Violation("crashio/breaker-close-uncounted",
+                         describe("leg B", "closed without a counted probe"));
+      }
+    }
+
+    // Leg C — kill at a seed-chosen I/O point mid-publish, then recover
+    // with a fresh cache over the same directory: no half-visible entries,
+    // every load is a miss or the exact answer, tmp orphans are collected.
+    {
+      const std::string dir = (root / "c").string();
+      FaultFsOptions crash_options;
+      crash_options.seed = rng.Next() | 1;
+      crash_options.torn_write_chance = 0.7;
+      crash_options.crash_after_ops = 3 + rng.Below(30);
+      FaultFsEnv env(crash_options);
+      serve::DiskCacheOptions cache_options;
+      cache_options.env = &env;
+      cache_options.tmp_gc_on_open = false;
+      {
+        serve::DiskResultCache cache(dir, cache_options);
+        for (std::size_t f = 0; f < features.size(); ++f) {
+          cache.Store(digest, feature_strings[f], truth_names(f));
+        }
+      }
+      // "Restart": a fresh cache over the same directory on the real
+      // filesystem, collecting every tmp orphan regardless of age.
+      serve::DiskCacheOptions recovery_options;
+      recovery_options.tmp_gc_age = std::chrono::milliseconds(0);
+      serve::DiskResultCache recovered(dir, recovery_options);
+      for (std::size_t f = 0; f < features.size(); ++f) {
+        serve::DiskLoadResult loaded =
+            recovered.LoadEntry(digest, feature_strings[f]);
+        if (loaded.status == serve::DiskLoadStatus::kMiss) continue;
+        if (!loaded.hit()) {
+          return Violation("crashio/recovery-half-visible",
+                           describe("leg C", feature_strings[f]));
+        }
+        if (!names_match_truth(loaded.selected, f)) {
+          return Violation("crashio/recovery-mismatch",
+                           describe("leg C", feature_strings[f]));
+        }
+      }
+      FsListResult tmp_left = RealFs()->ListDir(dir + "/tmp");
+      if (!tmp_left.entries.empty()) {
+        return Violation("crashio/recovery-tmp-orphans",
+                         describe("leg C", "tmp files survived startup GC"));
+      }
+    }
+
+    // Leg D — a shard job: a faulted worker runs partway and "dies", then
+    // a fresh coordinator over a clean filesystem drives the job to a
+    // bit-identical merge (quarantining poison shards if needed); a
+    // fault-free control job quarantines nothing.
+    {
+      const std::string job_dir = (root / "d" / "job").string();
+      Result<std::size_t> published = serve::PublishShardJob(
+          job_dir, db, feature_strings, /*entity_block=*/2,
+          /*cache_dir=*/std::string());
+      if (!published.ok()) {
+        return Violation("crashio/shard-publish-failed",
+                         describe("leg D", published.error().message()));
+      }
+      FaultFsOptions worker_fault;
+      worker_fault.seed = rng.Next() | 1;
+      worker_fault.fail_chance = 0.15;
+      worker_fault.torn_write_chance = 0.3;
+      worker_fault.crash_after_ops = 20 + rng.Below(60);
+      FaultFsEnv worker_env(worker_fault);
+      Result<serve::ShardJob> worker_job =
+          serve::LoadShardJob(job_dir, &worker_env);
+      if (worker_job.ok()) {
+        serve::ShardWorkerOptions worker_options;
+        worker_options.max_shards = 1 + rng.Below(4);
+        worker_options.poll = std::chrono::milliseconds(0);
+        // The worker may give up or "die" mid-job; either is the point.
+        (void)serve::WorkOnShardJob(job_dir, worker_job.value(),
+                                    worker_options);
+      }
+
+      Result<serve::ShardJob> coordinator_job = serve::LoadShardJob(job_dir);
+      if (!coordinator_job.ok()) {
+        return Violation("crashio/shard-reload-failed",
+                         describe("leg D", coordinator_job.error().message()));
+      }
+      serve::ShardCoordinatorOptions coordinator;
+      coordinator.lease = std::chrono::milliseconds(0);  // Worker is "dead".
+      coordinator.poll = std::chrono::milliseconds(0);
+      coordinator.quarantine_after = 2;
+      Result<serve::ShardMergeResult> merged =
+          serve::CoordinateShardJob(job_dir, coordinator_job.value(),
+                                    coordinator);
+      if (!merged.ok()) {
+        return Violation("crashio/shard-merge-failed",
+                         describe("leg D", merged.error().message()));
+      }
+      for (std::size_t f = 0; f < features.size(); ++f) {
+        for (std::size_t e = 0; e < entities.size(); ++e) {
+          const char expected =
+              truth[f]->Selects(db, entities[e]) ? 1 : 0;
+          if (merged.value().flags[f][e] != expected) {
+            return Violation("crashio/shard-merge-mismatch",
+                             describe("leg D", feature_strings[f]));
+          }
+        }
+      }
+      if (!serve::ShardJobDone(job_dir)) {
+        return Violation("crashio/shard-not-done",
+                         describe("leg D", "done marker missing after merge"));
+      }
+
+      // Fault-free control: nothing may be quarantined when nothing fails.
+      const std::string clean_dir = (root / "d" / "clean").string();
+      Result<std::size_t> clean_published = serve::PublishShardJob(
+          clean_dir, db, feature_strings, /*entity_block=*/2,
+          /*cache_dir=*/std::string());
+      if (clean_published.ok()) {
+        Result<serve::ShardJob> clean_job = serve::LoadShardJob(clean_dir);
+        if (clean_job.ok()) {
+          Result<serve::ShardMergeResult> clean_merged =
+              serve::CoordinateShardJob(clean_dir, clean_job.value(),
+                                        coordinator);
+          if (!clean_merged.ok() ||
+              clean_merged.value().quarantined_shards != 0 ||
+              clean_merged.value().corrupt_results != 0) {
+            return Violation(
+                "crashio/quarantine-false-positive",
+                describe("leg D", "fault-free job quarantined shards"));
+          }
+        }
+      }
+    }
+    return std::nullopt;
+  };
+
+  PropertyCheck result = run();
+  std::error_code ec;
+  fsys::remove_all(root, ec);
+  return result;
 }
 
 }  // namespace testing

@@ -195,6 +195,32 @@ PropertyCheck CheckIncrementalProperties(const Database& db,
                                          std::uint64_t trace_seed,
                                          std::size_t num_ops);
 
+/// Crash-recovery laws for the durable tier (DESIGN.md §15) on an entity
+/// database, under a deterministic fault-injecting filesystem seeded from
+/// `fault_seed` (EIO/ENOSPC-style op failures, torn writes that leave a
+/// prefix on disk, partial directory scans, and a kill at a seed-chosen
+/// I/O point followed by recovery over the same directory):
+///   - disk-cache round trips under faults: a Load that reports a hit is
+///     bit-identical to what was stored — torn or corrupt entries are
+///     dropped, never trusted — and once faults clear every stored key
+///     serves its exact answer again;
+///   - breaker-gated serving: an EvalService whose disk tier is failing
+///     answers every request bit-identical to the serial oracle while the
+///     breaker trips open (degrading to LRU + compute), and after the
+///     faults clear a probe closes the breaker and the disk tier resumes;
+///   - crash mid-publish: killing the environment at an arbitrary op and
+///     recovering with a fresh cache over the same directory never yields a
+///     half-visible entry — every post-recovery load is a miss or the exact
+///     stored answer, and orphaned tmp files are collected;
+///   - shard jobs under faults: a coordinator driving a faulted job (with a
+///     partially-run worker whose process "died" mid-job) still merges
+///     every feature bit-identical to serial — shards that keep failing are
+///     quarantined and evaluated in-memory, no shard is lost, and with a
+///     fault-free environment nothing is quarantined.
+PropertyCheck CheckCrashIoProperties(const Database& db,
+                                     std::uint64_t fault_seed,
+                                     std::size_t num_ops);
+
 /// MinimizeCq laws: the minimized query has no more atoms, preserves the
 /// free tuple, is hom-equivalent to the input (reference Chandra–Merlin
 /// containment both ways), and is minimal — no single atom can be removed

@@ -19,6 +19,7 @@
 #include "core/statistic.h"
 #include "serve/eval_service.h"
 #include "test_util.h"
+#include "util/fs_env.h"
 
 namespace featsep {
 namespace {
@@ -30,6 +31,9 @@ using ::featsep::testing::MakeWorld;
 using ::featsep::testing::MakeWorldReordered;
 using ::featsep::testing::OutInFeatures;
 using serve::DiskCacheEntry;
+using serve::DiskCacheOptions;
+using serve::DiskLoadResult;
+using serve::DiskLoadStatus;
 using serve::DiskResultCache;
 using serve::EvalService;
 using serve::ParseDiskCacheEntry;
@@ -321,6 +325,156 @@ TEST(EvalServiceDiskTest, OpportunisticSweepHonorsTheByteLimit) {
 }
 
 // ---------------------------------------------------------------------------
+// Fault injection: retries, I/O-error reporting, tmp GC, crash-mid-publish.
+
+TEST(DiskResultCacheTest, TmpGcOnOpenCollectsStaleOrphansOnly) {
+  TempDir dir("featsep-dc-tmpgc");
+  { DiskResultCache warmup(dir.str()); }  // Creates tmp/.
+  const fs::path orphan = dir.path() / "tmp" / "orphan.123.0.tmp";
+  const fs::path fresh = dir.path() / "tmp" / "fresh.456.0.tmp";
+  WriteFile(orphan, "partial bytes a crash left behind");
+  // Backdate past the default hour-long GC age.
+  fs::last_write_time(
+      orphan, fs::file_time_type::clock::now() - std::chrono::hours(2));
+  WriteFile(fresh, "another process's live publish");
+
+  DiskResultCache cache(dir.str());  // Defaults: GC on open, hour age.
+  EXPECT_EQ(cache.stats().tmp_collected, 1u);
+  EXPECT_FALSE(fs::exists(orphan)) << "stale orphan survived startup GC";
+  EXPECT_TRUE(fs::exists(fresh)) << "a possibly-live publish was collected";
+
+  // An explicit zero-age pass collects everything left.
+  EXPECT_EQ(cache.CollectStaleTmp(std::chrono::milliseconds(0)), 1u);
+  EXPECT_EQ(cache.stats().tmp_collected, 2u);
+  EXPECT_FALSE(fs::exists(fresh));
+}
+
+TEST(DiskResultCacheTest, StoreRetriesTransientFaultThenSucceeds) {
+  TempDir dir("featsep-dc-retry-store");
+  FaultFsEnv env(FaultFsOptions{});
+  DiskCacheOptions options;
+  options.env = &env;
+  options.retry.max_attempts = 2;
+  DiskResultCache cache(dir.str(), options);
+
+  env.FailNext(FsOp::kWrite, 1);
+  EXPECT_TRUE(cache.Store(1, "f", {"a"}));
+  EXPECT_EQ(cache.stats().store_retries, 1u);
+  EXPECT_EQ(cache.stats().write_failures, 0u);
+  EXPECT_EQ(cache.stats().writes, 1u);
+  auto names = cache.Load(1, "f");
+  ASSERT_TRUE(names.has_value());
+  EXPECT_EQ(*names, std::vector<std::string>{"a"});
+}
+
+TEST(DiskResultCacheTest, StoreExhaustedRetriesCountsWriteFailure) {
+  TempDir dir("featsep-dc-retry-exhaust");
+  FaultFsEnv env(FaultFsOptions{});
+  DiskCacheOptions options;
+  options.env = &env;
+  options.retry.max_attempts = 2;
+  DiskResultCache cache(dir.str(), options);
+
+  env.FailNext(FsOp::kWrite, 2);  // Both attempts fault.
+  EXPECT_FALSE(cache.Store(1, "f", {"a"}));
+  EXPECT_EQ(cache.stats().write_failures, 1u);
+  EXPECT_EQ(cache.stats().store_retries, 1u);
+  EXPECT_EQ(cache.stats().writes, 0u);
+  // The failure is not sticky: once the fault clears, the key stores fine.
+  EXPECT_TRUE(cache.Store(1, "f", {"a"}));
+  EXPECT_TRUE(cache.Load(1, "f").has_value());
+}
+
+TEST(DiskResultCacheTest, LoadIoErrorIsDistinctFromMiss) {
+  TempDir dir("featsep-dc-ioerror");
+  FaultFsEnv env(FaultFsOptions{});
+  DiskCacheOptions options;
+  options.env = &env;
+  options.retry.max_attempts = 2;
+  DiskResultCache cache(dir.str(), options);
+
+  // A sick disk: retries exhausted on a read fault.
+  env.FailNext(FsOp::kRead, 2);
+  DiskLoadResult faulted = cache.LoadEntry(1, "f");
+  EXPECT_EQ(faulted.status, DiskLoadStatus::kIoError);
+  EXPECT_TRUE(faulted.io_error());
+  EXPECT_EQ(cache.stats().io_errors, 1u);
+  EXPECT_EQ(cache.stats().load_retries, 1u);
+
+  // A cold cache: settled on the first attempt, never an io_error.
+  DiskLoadResult missed = cache.LoadEntry(1, "f");
+  EXPECT_EQ(missed.status, DiskLoadStatus::kMiss);
+  EXPECT_FALSE(missed.io_error());
+  EXPECT_EQ(cache.stats().io_errors, 1u);
+
+  // A transient read fault on a present entry: retried into a hit.
+  ASSERT_TRUE(cache.Store(1, "f", {"a"}));
+  env.FailNext(FsOp::kRead, 1);
+  DiskLoadResult recovered = cache.LoadEntry(1, "f");
+  EXPECT_TRUE(recovered.hit());
+  EXPECT_EQ(cache.stats().load_retries, 2u);
+}
+
+TEST(DiskResultCacheTest, SweepReportsPartialScanErrors) {
+  TempDir dir("featsep-dc-sweep-partial");
+  FaultFsOptions fault;
+  fault.partial_list_chance = 1.0;
+  FaultFsEnv env(fault);
+  DiskCacheOptions options;
+  options.env = &env;
+  DiskResultCache cache(dir.str(), options);
+  for (std::uint64_t digest = 1; digest <= 4; ++digest) {
+    ASSERT_TRUE(cache.Store(digest, "f", {"a"}));
+  }
+  env.FailNext(FsOp::kList, 1);
+  serve::DiskSweepResult result = cache.Sweep(1 << 20);
+  EXPECT_GT(result.scan_errors, 0u)
+      << "a truncated scan must not report itself complete";
+  EXPECT_EQ(cache.stats().scan_errors, result.scan_errors);
+}
+
+TEST(DiskResultCacheTest, CrashMidPublishIsInvisibleAfterRecovery) {
+  // Kill the "process" at every I/O point of a store (with torn writes on)
+  // and restart over the same directory: the entry is either fully absent
+  // or fully present — never half-visible — and recovery GC leaves no tmp
+  // orphans behind.
+  TempDir dir("featsep-dc-crash");
+  for (std::uint64_t crash_at = 1; crash_at <= 6; ++crash_at) {
+    const fs::path sub = dir.path() / ("crash-" + std::to_string(crash_at));
+    fs::create_directories(sub);
+    {
+      FaultFsOptions fault;
+      fault.seed = crash_at * 1000 + 7;
+      fault.torn_write_chance = 1.0;
+      fault.crash_after_ops = crash_at;
+      FaultFsEnv env(fault);
+      DiskCacheOptions options;
+      options.env = &env;
+      options.tmp_gc_on_open = false;  // Land the crash inside the publish.
+      DiskResultCache cache(sub.string(), options);
+      cache.Store(1, "f", {"a", "b"});  // May die at any point inside.
+    }
+    // Restart: a fresh cache on the real filesystem, collecting tmp
+    // orphans regardless of age.
+    DiskCacheOptions recovery;
+    recovery.tmp_gc_age = std::chrono::milliseconds(0);
+    DiskResultCache reopened(sub.string(), recovery);
+    DiskLoadResult result = reopened.LoadEntry(1, "f");
+    ASSERT_TRUE(result.status == DiskLoadStatus::kMiss || result.hit())
+        << "crash_at=" << crash_at << " left a half-visible entry";
+    if (result.hit()) {
+      EXPECT_EQ(result.selected, (std::vector<std::string>{"a", "b"}));
+    }
+    std::size_t tmp_files = 0;
+    for (const auto& it : fs::directory_iterator(sub / "tmp")) {
+      (void)it;
+      ++tmp_files;
+    }
+    EXPECT_EQ(tmp_files, 0u) << "crash_at=" << crash_at << " orphaned tmp";
+  }
+}
+
+// ---------------------------------------------------------------------------
 // EvalService integration: the durable tier under the LRU.
 
 TEST(EvalServiceDiskTest, ColdRunRestartWarmRunBitIdentical) {
@@ -411,6 +565,107 @@ TEST(EvalServiceDiskTest, AbortedEvaluationsAreNeverPersisted) {
     if (it.path().extension() == ".fse") ++entries;
   }
   EXPECT_EQ(entries, 0u) << "aborted evaluation left a durable entry";
+}
+
+// ---------------------------------------------------------------------------
+// The disk circuit breaker: a sick disk must degrade the durable tier to
+// LRU+compute, never degrade answers.
+
+TEST(EvalServiceBreakerTest, OpenBreakerShortCircuitsTheSickDisk) {
+  TempDir dir("featsep-breaker-open");
+  auto env = std::make_shared<FaultFsEnv>(FaultFsOptions{});
+  ServeOptions options;
+  options.cache_dir = dir.str();
+  options.fs_env = env;
+  options.disk_retry_attempts = 1;  // One attempt per op: clean counting.
+  options.disk_retry_backoff = std::chrono::microseconds(0);
+  options.breaker_failure_threshold = 1;
+  options.breaker_probe_interval = std::chrono::hours(1);  // No probes here.
+  Database db = MakeWorld();
+  Statistic statistic(OutInFeatures());
+  const std::vector<FeatureVector> serial = statistic.Matrix(db);
+
+  EvalService service(options);
+  EXPECT_EQ(service.disk_health(), serve::DiskHealth::kClosed);
+  EXPECT_EQ(service.Matrix(statistic.features(), db), serial);
+  EXPECT_EQ(service.disk_health(), serve::DiskHealth::kClosed);
+
+  // The disk goes dark: the first faulted op trips the breaker, everything
+  // after short-circuits, and the answers never notice.
+  env->set_fail_chance(1.0);
+  service.ClearCache();
+  EXPECT_EQ(service.Matrix(statistic.features(), db), serial);
+  EXPECT_EQ(service.disk_health(), serve::DiskHealth::kOpen);
+  ServeStats stats = service.stats();
+  EXPECT_EQ(stats.breaker_trips, 1u);
+  EXPECT_GE(stats.breaker_short_circuits, 1u);
+  EXPECT_EQ(stats.breaker_closes, 0u);
+
+  // While open (and the probe interval far away), the disk is not touched
+  // at all — that is the point of the breaker.
+  const std::uint64_t attempts_when_open = env->stats().total_attempts;
+  service.ClearCache();
+  EXPECT_EQ(service.Matrix(statistic.features(), db), serial);
+  EXPECT_EQ(env->stats().total_attempts, attempts_when_open)
+      << "open breaker still sent operations to the sick disk";
+}
+
+TEST(EvalServiceBreakerTest, GracefulDegradationEndToEnd) {
+  // The acceptance-criteria arc: healthy -> disk fails -> breaker opens and
+  // requests keep serving bit-identically to the serial oracle -> faults
+  // clear -> a half-open probe closes the breaker -> the disk tier resumes.
+  TempDir dir("featsep-breaker-e2e");
+  auto env = std::make_shared<FaultFsEnv>(FaultFsOptions{});
+  ServeOptions options;
+  options.cache_dir = dir.str();
+  options.fs_env = env;
+  options.disk_retry_attempts = 2;
+  options.disk_retry_backoff = std::chrono::microseconds(0);
+  options.breaker_failure_threshold = 2;
+  options.breaker_probe_interval = std::chrono::milliseconds(0);
+  Database db = MakeWorld();
+  Statistic statistic(OutInFeatures());
+  const std::vector<FeatureVector> serial = statistic.Matrix(db);
+
+  // A no-disk, no-cache twin is the oracle for every phase.
+  EvalService oracle{[] {
+    ServeOptions serial_options;
+    serial_options.cache_capacity = 0;
+    return serial_options;
+  }()};
+
+  EvalService service(options);
+  EXPECT_EQ(service.Matrix(statistic.features(), db),
+            oracle.Matrix(statistic.features(), db));
+  EXPECT_EQ(service.disk_health(), serve::DiskHealth::kClosed);
+
+  env->set_fail_chance(1.0);
+  for (int round = 0; round < 4; ++round) {
+    service.ClearCache();
+    EXPECT_EQ(service.Matrix(statistic.features(), db), serial)
+        << "faulted round " << round << " degraded the answers";
+  }
+  ServeStats degraded = service.stats();
+  EXPECT_GT(degraded.breaker_trips, 0u) << "breaker never opened";
+  EXPECT_GT(degraded.disk_io_errors, 0u);
+
+  // Faults clear; the zero-length probe interval lets the next operation
+  // through as a half-open probe, which succeeds and closes the breaker.
+  env->ClearFaults();
+  service.ClearCache();
+  EXPECT_EQ(service.Matrix(statistic.features(), db), serial);
+  EXPECT_EQ(service.disk_health(), serve::DiskHealth::kClosed)
+      << "breaker failed to close after the disk recovered";
+  ServeStats recovered = service.stats();
+  EXPECT_GT(recovered.breaker_closes, 0u);
+
+  // The disk tier is genuinely back: entries stored after recovery are
+  // served from disk on the next cold pass.
+  service.ClearCache();
+  const std::uint64_t hits_before = service.stats().disk_hits;
+  EXPECT_EQ(service.Matrix(statistic.features(), db), serial);
+  EXPECT_GT(service.stats().disk_hits, hits_before)
+      << "recovered disk tier served no hits";
 }
 
 }  // namespace

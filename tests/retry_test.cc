@@ -1,0 +1,140 @@
+#include "util/retry.h"
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "util/budget.h"
+
+namespace featsep {
+namespace {
+
+TEST(RetryTest, FirstTrySuccessMakesOneAttempt) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  RetryOutcome outcome = RetryCall(policy, nullptr, [&]() {
+    ++calls;
+    return true;
+  });
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(outcome.retries(), 0u);
+  EXPECT_FALSE(outcome.gave_up());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, TransientFaultRetriesThenSucceeds) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  int calls = 0;
+  RetryOutcome outcome = RetryCall(policy, nullptr, [&]() {
+    return ++calls >= 3;  // Fails twice, then succeeds.
+  });
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_EQ(outcome.retries(), 2u);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, ExhaustionReportsGaveUpAfterExactlyMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  RetryOutcome outcome = RetryCall(policy, nullptr, [&]() {
+    ++calls;
+    return false;
+  });
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.gave_up());
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_EQ(outcome.retries(), 2u);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, ZeroAndNegativeMaxAttemptsMeanTryOnce) {
+  for (int max_attempts : {0, -2}) {
+    RetryPolicy policy;
+    policy.max_attempts = max_attempts;
+    int calls = 0;
+    RetryOutcome outcome = RetryCall(policy, nullptr, [&]() {
+      ++calls;
+      return false;
+    });
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.attempts, 1u);
+    EXPECT_EQ(calls, 1);
+  }
+}
+
+TEST(RetryTest, ExhaustedBudgetStopsBeforeFirstAttempt) {
+  // A retrying store must never hold a request past its deadline: with the
+  // budget already spent, the op body must not run at all.
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  ExecutionBudget budget;
+  budget.Cancel();
+  int calls = 0;
+  RetryOutcome outcome = RetryCall(policy, &budget, [&]() {
+    ++calls;
+    return true;
+  });
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 0u);
+  EXPECT_EQ(outcome.retries(), 0u);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(RetryTest, CancelledMidLoopStopsRetrying) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff = std::chrono::microseconds(1);
+  ExecutionBudget budget;
+  int calls = 0;
+  RetryOutcome outcome = RetryCall(policy, &budget, [&]() {
+    if (++calls == 2) budget.Cancel();
+    return false;
+  });
+  EXPECT_FALSE(outcome.ok);
+  // The cancellation lands before the post-second-attempt sleep or at the
+  // latest before the third attempt.
+  EXPECT_EQ(outcome.attempts, 2u);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, JitterKeepsBackoffWithinNominal) {
+  // With jitter enabled the total sleep is bounded by the nominal backoff
+  // schedule; we can only observe time, so check the loop still terminates
+  // promptly and succeeds.
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = std::chrono::microseconds(50);
+  policy.max_backoff = std::chrono::microseconds(100);
+  policy.jitter_seed = 0x9e3779b97f4a7c15ULL;
+  const auto start = std::chrono::steady_clock::now();
+  int calls = 0;
+  RetryOutcome outcome = RetryCall(policy, nullptr, [&]() {
+    ++calls;
+    return false;
+  });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 4u);
+  // Nominal schedule: 50 + 100 + 100 = 250us of sleeping; allow generous
+  // scheduler slack but catch an unclamped exponential blow-up.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(500));
+}
+
+TEST(RetryTest, DefaultPolicyIsTryOnce) {
+  RetryPolicy policy;
+  int calls = 0;
+  RetryOutcome outcome = RetryCall(policy, nullptr, [&]() {
+    ++calls;
+    return false;
+  });
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace featsep

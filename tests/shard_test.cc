@@ -17,8 +17,10 @@
 #include "cq/evaluation.h"
 #include "serve/disk_cache.h"
 #include "serve/eval_service.h"
+#include "serve/supervisor.h"
 #include "serve/wire_format.h"
 #include "test_util.h"
+#include "util/fs_env.h"
 
 namespace featsep {
 namespace {
@@ -42,8 +44,13 @@ using serve::ServeStats;
 using serve::ShardJob;
 using serve::ShardJobDone;
 using serve::ShardMergeResult;
+using serve::ShardIoStats;
 using serve::ShardWorkerOptions;
 using serve::ShardWorkerStats;
+using serve::WorkerExitRestartable;
+using serve::WorkerProcessOptions;
+using serve::WorkerSupervisor;
+using serve::WorkerSupervisorStats;
 using serve::WorkOnShardJob;
 
 class TempDir {
@@ -176,8 +183,12 @@ TEST(ShardProtocolTest, DigestContentDisagreementIsRefused) {
   }
   Result<ShardJob> loaded = LoadShardJob(dir.str());
   ASSERT_FALSE(loaded.ok());
-  EXPECT_NE(loaded.error().message().find("disagrees"), std::string::npos)
-      << loaded.error().message();
+  // The exact message is a contract: featsep_worker keys its structured
+  // digest-refusal exit code (kWorkerExitDigestRefusal, poison — never
+  // restarted) off a byte-equal comparison with it.
+  EXPECT_EQ(loaded.error().message(),
+            std::string(serve::kDigestRefusalMessage));
+  EXPECT_FALSE(WorkerExitRestartable(serve::kWorkerExitDigestRefusal));
 }
 
 TEST(ShardProtocolTest, CoordinatorAloneCompletesAndMatchesSerial) {
@@ -191,6 +202,9 @@ TEST(ShardProtocolTest, CoordinatorAloneCompletesAndMatchesSerial) {
   EXPECT_EQ(merged.value().flags, SerialFlags(db));
   EXPECT_EQ(merged.value().local_shards, job.num_shards());
   EXPECT_EQ(merged.value().remote_shards, 0u);
+  // On a healthy filesystem nothing is ever quarantined or dropped.
+  EXPECT_EQ(merged.value().quarantined_shards, 0u);
+  EXPECT_EQ(merged.value().corrupt_results, 0u);
   EXPECT_TRUE(ShardJobDone(dir.str()));
 }
 
@@ -368,6 +382,209 @@ TEST(EvalServiceShardTest, BudgetedRequestsStayInProcess) {
   auto retried = service.TryResolve(OutInFeatures(), db, nullptr);
   for (const auto& answer : retried) ASSERT_NE(answer, nullptr);
   EXPECT_EQ(service.stats().shard_jobs, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault handling: claim/requeue accounting, quarantine, worker supervision.
+
+TEST(ShardProtocolTest, FaultedClaimIsCountedAndNeverTreatedAsAWin) {
+  TempDir dir("featsep-shard-claimfault");
+  Database db = MakeWorld();
+  ASSERT_TRUE(PublishShardJob(dir.str(), db, FeatureStrings(), 1, "").ok());
+  FaultFsEnv env(FaultFsOptions{});
+  Result<ShardJob> job = LoadShardJob(dir.str(), &env);
+  ASSERT_TRUE(job.ok()) << job.error().message();
+
+  // The first candidate's claim rename faults: counted as a claim_error
+  // (not a race, not a win) and the scan claims the next shard instead.
+  env.FailNext(FsOp::kRename, 1);
+  ShardIoStats io;
+  std::optional<std::size_t> claimed = ClaimShard(dir.str(), job.value(), &io);
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_EQ(io.claim_errors, 1u);
+  EXPECT_EQ(io.claim_races, 0u);
+
+  // A fully dead rename path claims nothing, and every fault is counted.
+  env.FailNext(FsOp::kRename, 1000);
+  ShardIoStats dead;
+  EXPECT_FALSE(ClaimShard(dir.str(), job.value(), &dead).has_value());
+  EXPECT_GT(dead.claim_errors, 0u);
+}
+
+TEST(ShardProtocolTest, RequeueFaultIsSurfacedAndRetriedNextPass) {
+  TempDir dir("featsep-shard-requeue");
+  Database db = MakeWorld();
+  ASSERT_TRUE(PublishShardJob(dir.str(), db, FeatureStrings(), 1, "").ok());
+  FaultFsEnv env(FaultFsOptions{});
+  Result<ShardJob> job = LoadShardJob(dir.str(), &env);
+  ASSERT_TRUE(job.ok()) << job.error().message();
+  ShardIoStats claim_io;
+  std::optional<std::size_t> claimed =
+      ClaimShard(dir.str(), job.value(), &claim_io);
+  ASSERT_TRUE(claimed.has_value());
+
+  // The worker "dies" holding the lease, and the requeue rename faults: the
+  // failure is surfaced (and the shard reported as failure evidence for
+  // quarantine accounting) — a shard must never silently leave the
+  // protocol.
+  env.FailNext(FsOp::kRename, 1);
+  ShardIoStats io;
+  std::vector<std::size_t> attempted;
+  EXPECT_EQ(ReclaimExpiredLeases(dir.str(), job.value(),
+                                 std::chrono::milliseconds(0), &io,
+                                 &attempted),
+            0u);
+  EXPECT_EQ(io.requeue_failures, 1u);
+  EXPECT_EQ(attempted, std::vector<std::size_t>{*claimed});
+
+  // Next pass with the fault cleared: the shard returns to todo/ and is
+  // claimable again.
+  ShardIoStats clean_io;
+  std::vector<std::size_t> attempted_again;
+  EXPECT_EQ(ReclaimExpiredLeases(dir.str(), job.value(),
+                                 std::chrono::milliseconds(0), &clean_io,
+                                 &attempted_again),
+            1u);
+  EXPECT_EQ(clean_io.requeue_failures, 0u);
+  EXPECT_EQ(attempted_again, std::vector<std::size_t>{*claimed});
+  EXPECT_EQ(ClaimShard(dir.str(), job.value(), nullptr), claimed);
+}
+
+TEST(ShardProtocolTest, QuarantineCompletesJobBitIdenticalUnderFaults) {
+  // A filesystem sick enough that shards keep failing: after
+  // quarantine_after observations each failing shard is pulled out of the
+  // protocol and evaluated in-memory, so the job still completes and the
+  // merge is still bit-identical to serial.
+  TempDir dir("featsep-shard-quarantine");
+  Database db = MakeWorld();
+  ASSERT_TRUE(PublishShardJob(dir.str(), db, FeatureStrings(), 1, "").ok());
+  FaultFsOptions fault;
+  fault.seed = 99;
+  FaultFsEnv env(fault);
+  Result<ShardJob> job = LoadShardJob(dir.str(), &env);  // Loads clean.
+  ASSERT_TRUE(job.ok()) << job.error().message();
+  job.value().retry.max_attempts = 2;
+  env.set_fail_chance(0.85);
+
+  ShardCoordinatorOptions options;
+  options.lease = std::chrono::milliseconds(0);
+  options.poll = std::chrono::milliseconds(0);
+  options.quarantine_after = 2;
+  Result<ShardMergeResult> merged =
+      CoordinateShardJob(dir.str(), job.value(), options);
+  ASSERT_TRUE(merged.ok()) << merged.error().message();
+  EXPECT_EQ(merged.value().flags, SerialFlags(db));
+  EXPECT_GT(merged.value().quarantined_shards, 0u)
+      << "no shard was quarantined despite persistent faults";
+}
+
+#ifndef _WIN32
+
+TEST(ShardProtocolTest, CoordinatorSupervisesAFleetForTheJobDuration) {
+  TempDir dir("featsep-shard-supervised");
+  Database db = MakeWorld();
+  ASSERT_TRUE(PublishShardJob(dir.str(), db, FeatureStrings(), 1, "").ok());
+  ShardJob job = LocalJob(db, 1, "");
+
+  // The "workers" just sleep: the coordinator evaluates locally, finishes
+  // the job, and tears the fleet down on its way out.
+  ShardCoordinatorOptions options;
+  options.supervise = WorkerProcessOptions{};
+  options.supervise->argv = {"/bin/sh", "-c", "sleep 30"};
+  options.supervise->num_workers = 2;
+  Result<ShardMergeResult> merged =
+      CoordinateShardJob(dir.str(), job, options);
+  ASSERT_TRUE(merged.ok()) << merged.error().message();
+  EXPECT_EQ(merged.value().flags, SerialFlags(db));
+  EXPECT_EQ(merged.value().supervisor.spawned, 2u);
+  EXPECT_TRUE(ShardJobDone(dir.str()));
+}
+
+TEST(WorkerSupervisorTest, RestartsRestartableExitsWithinBudget) {
+  WorkerProcessOptions options;
+  options.argv = {"/bin/sh", "-c", "exit 4"};  // kWorkerExitIoGiveUp.
+  options.num_workers = 2;
+  options.max_restarts = 2;
+  WorkerSupervisor supervisor(options);
+  ASSERT_TRUE(supervisor.Start());
+  for (int i = 0; i < 5000 && supervisor.Poll() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  WorkerSupervisorStats stats = supervisor.stats();
+  EXPECT_EQ(supervisor.live_workers(), 0u);
+  // Per slot: the initial spawn plus two restarts, every exit restartable,
+  // then the slot is abandoned with its budget spent.
+  EXPECT_EQ(stats.spawned, 6u);
+  EXPECT_EQ(stats.restarts, 4u);
+  EXPECT_EQ(stats.restartable_exits, 6u);
+  EXPECT_EQ(stats.restart_budget_exhausted, 2u);
+  EXPECT_EQ(stats.poison_exits, 0u);
+  EXPECT_EQ(stats.clean_exits, 0u);
+}
+
+TEST(WorkerSupervisorTest, PoisonExitsAreNeverRestarted) {
+  WorkerProcessOptions options;
+  options.argv = {"/bin/sh", "-c", "exit 3"};  // kWorkerExitDigestRefusal.
+  options.num_workers = 2;
+  options.max_restarts = 3;  // Budget available — but must not be used.
+  WorkerSupervisor supervisor(options);
+  ASSERT_TRUE(supervisor.Start());
+  for (int i = 0; i < 5000 && supervisor.Poll() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  WorkerSupervisorStats stats = supervisor.stats();
+  EXPECT_EQ(supervisor.live_workers(), 0u);
+  EXPECT_EQ(stats.spawned, 2u);
+  EXPECT_EQ(stats.restarts, 0u);
+  EXPECT_EQ(stats.poison_exits, 2u);
+  EXPECT_EQ(stats.restart_budget_exhausted, 0u);
+}
+
+TEST(WorkerSupervisorTest, CleanExitsNeedNoRestart) {
+  WorkerProcessOptions options;
+  options.argv = {"/bin/sh", "-c", "exit 0"};
+  options.num_workers = 1;
+  WorkerSupervisor supervisor(options);
+  ASSERT_TRUE(supervisor.Start());
+  for (int i = 0; i < 5000 && supervisor.Poll() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  WorkerSupervisorStats stats = supervisor.stats();
+  EXPECT_EQ(stats.spawned, 1u);
+  EXPECT_EQ(stats.clean_exits, 1u);
+  EXPECT_EQ(stats.restarts, 0u);
+}
+
+TEST(WorkerSupervisorTest, SignalDeathIsRestartable) {
+  WorkerProcessOptions options;
+  options.argv = {"/bin/sh", "-c", "kill -9 $$"};
+  options.num_workers = 1;
+  options.max_restarts = 1;
+  WorkerSupervisor supervisor(options);
+  ASSERT_TRUE(supervisor.Start());
+  for (int i = 0; i < 5000 && supervisor.Poll() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  WorkerSupervisorStats stats = supervisor.stats();
+  EXPECT_EQ(stats.spawned, 2u);
+  EXPECT_EQ(stats.crashes, 2u);
+  EXPECT_EQ(stats.restarts, 1u);
+  EXPECT_EQ(stats.restart_budget_exhausted, 1u);
+}
+
+#endif  // !_WIN32
+
+TEST(WorkerExitCodeTest, RestartabilityContract) {
+  EXPECT_FALSE(WorkerExitRestartable(serve::kWorkerExitClean));
+  EXPECT_FALSE(WorkerExitRestartable(serve::kWorkerExitUsage));
+  EXPECT_FALSE(WorkerExitRestartable(serve::kWorkerExitDigestRefusal));
+  EXPECT_TRUE(WorkerExitRestartable(serve::kWorkerExitIoGiveUp));
+  EXPECT_TRUE(WorkerExitRestartable(serve::kWorkerExitCrash));
+  EXPECT_FALSE(WorkerExitRestartable(127)) << "exec failure must be poison";
+  EXPECT_STREQ(serve::WorkerExitCodeName(serve::kWorkerExitDigestRefusal),
+               "digest-refusal");
+  EXPECT_STREQ(serve::WorkerExitCodeName(serve::kWorkerExitIoGiveUp),
+               "io-give-up");
 }
 
 }  // namespace

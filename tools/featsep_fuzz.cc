@@ -18,12 +18,17 @@
 //                [--corpus DIR] [--mutate] [--coverage-stats]
 //                [--replay FILE]...
 // Configs: hom, eval, containment, core, ghw, sep, qbe, covergame,
-// dimension, linsep, faults, serve, mixed (default). The faults config
-// injects deterministic cancellations/timeouts/allocation failures into the
-// budgeted decision procedures and checks the robustness invariants
-// (no cache poisoning, interrupt-then-resume determinism). The serve config
-// runs seeded random Submit/poll/cancel/pause interleavings through the
-// async serve front-end against the serial evaluation path as oracle.
+// dimension, linsep, faults, serve, incremental, crashio, mixed (default).
+// The faults config injects deterministic cancellations/timeouts/allocation
+// failures into the budgeted decision procedures and checks the robustness
+// invariants (no cache poisoning, interrupt-then-resume determinism). The
+// serve config runs seeded random Submit/poll/cancel/pause interleavings
+// through the async serve front-end against the serial evaluation path as
+// oracle. The crashio config runs the durable tier (disk cache, breaker-
+// gated EvalService, shard protocol) under seeded filesystem fault
+// schedules — EIO/ENOSPC, torn writes, partial scans, kill-at-a-random-I/O-
+// point then recover — checking that corrupt entries are never trusted,
+// answers stay bit-identical to serial, and no shard job is ever lost.
 
 #include <cstdint>
 #include <cstdlib>
@@ -39,7 +44,8 @@ void Usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " [--iters N] [--seed S] [--config hom|eval|containment|core|ghw|"
-         "sep|qbe|covergame|dimension|linsep|faults|serve|mixed] "
+         "sep|qbe|covergame|dimension|linsep|faults|serve|incremental|"
+         "crashio|mixed] "
          "[--no-shrink]\n"
          "       [--corpus DIR] [--mutate] [--coverage-stats] "
          "[--replay FILE]...\n";

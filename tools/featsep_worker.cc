@@ -17,6 +17,15 @@
 //
 // With --idle-exit-ms 0 (the default) the worker makes one pass over the
 // directory and exits; a daemon-style worker passes a positive idle window.
+//
+// Exit codes are structured so a supervisor (serve/supervisor.h) can tell
+// failures a restart may cure from poison it must never retry:
+//   0  clean drain: jobs completed or nothing to do
+//   2  usage error (restarting the same argv cannot help)
+//   3  digest refusal: a job spec's digest disagrees with its database
+//      bytes — evaluating would poison shared caches; never restarted
+//   4  I/O give-up: persistent filesystem faults after retries; restartable
+//   5  crash: unhandled exception (restartable, like death by signal)
 
 #include <chrono>
 #include <cstdint>
@@ -48,7 +57,12 @@ void Usage(const char* argv0) {
             << " --dir WORKDIR [--idle-exit-ms N] [--poll-ms N]\n"
                "       [--max-shards N] [--reclaim-lease-ms N]\n"
                "   or: "
-            << argv0 << " --smoke NUM_WORKERS\n";
+            << argv0
+            << " --smoke NUM_WORKERS\n"
+               "exit codes: 0 clean drain, 2 usage, 3 digest refusal "
+               "(poison, never restart),\n"
+               "            4 I/O give-up (restartable), 5 crash "
+               "(restartable)\n";
 }
 
 int RunWorker(const std::string& work_dir,
@@ -57,12 +71,25 @@ int RunWorker(const std::string& work_dir,
       featsep::serve::RunShardWorkerDir(work_dir, options);
   if (!stats.ok()) {
     std::cerr << "featsep_worker: " << stats.error().message() << "\n";
-    return 1;
+    // A digest refusal is poison (restart cannot help, and evaluating would
+    // poison shared caches); everything else that bubbles up here is an
+    // I/O give-up after retries — a supervisor may restart those.
+    return stats.error().message() ==
+                   featsep::serve::kDigestRefusalMessage
+               ? featsep::serve::kWorkerExitDigestRefusal
+               : featsep::serve::kWorkerExitIoGiveUp;
   }
   std::cout << "featsep_worker: shards=" << stats.value().shards_completed
             << " entities=" << stats.value().entities_evaluated
-            << " features_cached=" << stats.value().features_cached << "\n";
-  return 0;
+            << " features_cached=" << stats.value().features_cached
+            << " digest_refusals=" << stats.value().digest_refusals << "\n";
+  // A pass that refused jobs and accomplished nothing else is a poison
+  // signal: the directory holds work this worker must never evaluate.
+  if (stats.value().digest_refusals > 0 &&
+      stats.value().shards_completed == 0) {
+    return featsep::serve::kWorkerExitDigestRefusal;
+  }
+  return featsep::serve::kWorkerExitClean;
 }
 
 /// Multi-process self-test, ctest-runnable: the parent publishes one job,
@@ -209,7 +236,7 @@ int RunSmoke(const char* argv0, std::size_t num_workers) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int Run(int argc, char** argv) {
   std::string work_dir;
   std::size_t smoke_workers = 0;
   bool smoke = false;
@@ -249,7 +276,19 @@ int main(int argc, char** argv) {
   if (smoke) return RunSmoke(argv[0], smoke_workers);
   if (work_dir.empty()) {
     Usage(argv[0]);
-    return 2;
+    return featsep::serve::kWorkerExitUsage;
   }
   return RunWorker(work_dir, options);
+}
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "featsep_worker: crash: " << e.what() << "\n";
+    return featsep::serve::kWorkerExitCrash;
+  } catch (...) {
+    std::cerr << "featsep_worker: crash: unknown exception\n";
+    return featsep::serve::kWorkerExitCrash;
+  }
 }
